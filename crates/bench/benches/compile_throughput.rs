@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: per-back-end compile throughput on one
+//! representative query, plus interpreter vs. compiled execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qc_engine::{backends, Engine};
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn representative_query() -> qc_workloads::BenchQuery {
+    qc_workloads::hlike_suite().remove(2) // H03: joins + group + sort
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let q = representative_query();
+    let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
+    let mut group = c.benchmark_group("compile");
+    for backend in backends::all_for(Isa::Tx64) {
+        group.bench_function(backend.name(), |b| {
+            b.iter(|| {
+                engine
+                    .compile(&prepared, backend.as_ref(), &TimeTrace::disabled())
+                    .expect("compile")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let q = representative_query();
+    let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
+    let mut group = c.benchmark_group("execute_wallclock");
+    for backend in [backends::interpreter(), backends::direct_emit()] {
+        let mut compiled = engine
+            .compile(&prepared, backend.as_ref(), &TimeTrace::disabled())
+            .expect("compile");
+        group.bench_function(backend.name(), |b| {
+            b.iter(|| engine.execute(&prepared, &mut compiled).expect("execute"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_execute);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Sec. V-A2 ablation: Small-PIC vs. large code model. Small-PIC keeps
+//! FastISel on the fast path for calls (the large model falls back to
+//! SelectionDAG on every call) at the cost of a PLT double-jump — which,
+//! as the paper reports, makes no measurable run-time difference.
+
+use qc_bench::{env_sf, env_suite, run_suite, secs};
+use qc_engine::backends;
+use qc_lvm::{LvmOptions, OptMode};
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    println!("Sec. V-A2 ablation: code model (TX64, cheap mode)");
+    let trace = TimeTrace::disabled();
+    for small_pic in [true, false] {
+        let mut o = LvmOptions::defaults(Isa::Tx64, OptMode::Cheap);
+        o.small_pic = small_pic;
+        let backend = backends::lvm_with(o);
+        let r = run_suite(&db, &suite, backend.as_ref(), &trace).expect("suite");
+        let fallbacks: u64 = r
+            .queries
+            .iter()
+            .flat_map(|q| q.stats.counters.get("fallback_calls"))
+            .sum();
+        println!(
+            "  small_pic={small_pic}: compile {} | exec {:.3}s | call fallbacks {}",
+            secs(r.total_compile()),
+            r.total_exec_secs(),
+            fallbacks
+        );
+    }
+    println!("  (the paper found no measurable run-time difference from the PLT)");
+}

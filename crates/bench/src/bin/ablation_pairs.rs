@@ -1,0 +1,35 @@
+//! Sec. V-A2 ablation: `{i64,i64}` struct representation vs. two scalar
+//! values — compile time and FastISel fallback counts.
+
+use qc_bench::{compile_suite, env_sf, env_suite, secs};
+use qc_engine::backends;
+use qc_lvm::{LvmOptions, OptMode, PairRepr};
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    println!("Sec. V-A2 ablation: pair representation (TX64)");
+    for mode in [OptMode::Cheap, OptMode::Optimized] {
+        for repr in [PairRepr::Scalars, PairRepr::Struct] {
+            let mut o = LvmOptions::defaults(Isa::Tx64, mode);
+            o.pair_repr = repr;
+            let backend = backends::lvm_with(o);
+            let trace = TimeTrace::disabled();
+            let (total, stats) =
+                compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+            let fb: u64 = ["fallback_calls", "fallback_i128", "fallback_struct"]
+                .iter()
+                .filter_map(|k| stats.counters.get(*k))
+                .sum();
+            println!(
+                "  {:?} {:?}: compile {} | fastisel fallbacks {}",
+                mode,
+                repr,
+                secs(total),
+                fb
+            );
+        }
+    }
+}

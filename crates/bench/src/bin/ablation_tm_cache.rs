@@ -1,0 +1,23 @@
+//! Sec. V-A2 ablation: TargetMachine construction cached per thread vs.
+//! rebuilt per compilation.
+
+use qc_bench::{compile_suite, env_sf, env_suite, secs};
+use qc_engine::backends;
+use qc_lvm::{LvmOptions, OptMode};
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    println!("Sec. V-A2 ablation: TargetMachine caching (TX64, cheap mode)");
+    for cached in [true, false] {
+        let mut o = LvmOptions::defaults(Isa::Tx64, OptMode::Cheap);
+        o.cache_target_machine = cached;
+        let backend = backends::lvm_with(o);
+        let trace = TimeTrace::new();
+        let (total, _) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+        let tm = trace.report().total("targetmachine").unwrap_or_default();
+        println!("  cached={cached}: compile {} (targetmachine {})", secs(total), secs(tm));
+    }
+}

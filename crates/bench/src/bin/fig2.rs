@@ -1,0 +1,30 @@
+//! Figure 2: compile-time breakdown of the LLVM-analog on TX64, cheap
+//! (-O0 + FastISel) vs. optimized (-O2 + SelectionDAG), plus the FastISel
+//! fallback statistics of Sec. V-B3.
+
+use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs};
+use qc_engine::backends;
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    for (label, backend) in [
+        ("cheap (-O0, FastISel)", backends::lvm_cheap(Isa::Tx64)),
+        ("optimized (-O2, SelectionDAG)", backends::lvm_opt(Isa::Tx64)),
+    ] {
+        let trace = TimeTrace::new();
+        let (total, stats) =
+            compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+        let report = trace.report();
+        print_breakdown(&format!("Figure 2: LVM {label} on TX64"), &report);
+        println!("total: {}  (functions: {})", secs(total), stats.functions);
+        for key in ["fallback_calls", "fallback_i128", "fallback_struct", "fallback_intrinsic"] {
+            if let Some(v) = stats.counters.get(key) {
+                println!("  {key}: {v}");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 3: LLVM-analog compile times on TA64 — FastISel vs. SelectionDAG
+//! vs. GlobalISel (cheap and optimized).
+//!
+//! Phase times per configuration are a few milliseconds, so each
+//! configuration is compiled `REPS` times and the median is reported
+//! (the paper likewise reports repeated-run statistics).
+
+use std::time::Duration;
+
+use qc_bench::{compile_suite, env_sf, env_suite, secs};
+use qc_engine::backends;
+use qc_lvm::{LvmOptions, OptMode};
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+const REPS: usize = 7;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    let mut rows = Vec::new();
+    for (label, mode, gisel) in [
+        ("FastISel (cheap)", OptMode::Cheap, false),
+        ("GlobalISel (cheap)", OptMode::Cheap, true),
+        ("SelectionDAG (opt)", OptMode::Optimized, false),
+        ("GlobalISel (opt)", OptMode::Optimized, true),
+    ] {
+        let mut o = LvmOptions::defaults(Isa::Ta64, mode);
+        o.global_isel = gisel;
+        let backend = backends::lvm_with(o);
+        let mut totals = Vec::new();
+        let mut isels = Vec::new();
+        for _ in 0..REPS {
+            let trace = TimeTrace::new();
+            let (total, _) =
+                compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+            totals.push(total);
+            isels.push(trace.report().total("isel").unwrap_or_default());
+        }
+        let (total, isel) = (median(totals), median(isels));
+        println!("{label:<22} total {:>9}  isel {:>9}", secs(total), secs(isel));
+        rows.push((label, total, isel));
+    }
+    let isel_of =
+        |l: &str| rows.iter().find(|(n, ..)| *n == l).expect("row").2.as_secs_f64();
+    println!();
+    println!(
+        "ISel phase: GlobalISel-cheap / FastISel-cheap = {:.2}x   (paper: ~2.7x slower)",
+        isel_of("GlobalISel (cheap)") / isel_of("FastISel (cheap)")
+    );
+    println!(
+        "ISel phase: SelectionDAG-opt / GlobalISel-opt = {:.2}x   (paper: GISel ~1.4x faster)",
+        isel_of("SelectionDAG (opt)") / isel_of("GlobalISel (opt)")
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 4: compile-time breakdown of the Cranelift-analog on TX64
+//! (IRGen, IRPasses, ISelPrepare+ISel, RegAlloc, Emit, Finish).
+
+use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs};
+use qc_engine::backends;
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    let trace = TimeTrace::new();
+    let backend = backends::clift(Isa::Tx64);
+    let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+    let report = trace.report();
+    print_breakdown("Figure 4: Clift compile-time breakdown (TX64)", &report);
+    println!("total: {}  functions: {}", secs(total), stats.functions);
+    println!(
+        "regalloc share: {:.1}%   (paper: the largest phase)",
+        100.0 * report.fraction("regalloc")
+    );
+}

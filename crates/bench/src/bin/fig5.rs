@@ -1,0 +1,20 @@
+//! Figure 5: DirectEmit compile-time breakdown (analysis vs. codegen;
+//! liveness dominating the analysis pass).
+
+use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs};
+use qc_engine::backends;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    let trace = TimeTrace::new();
+    let backend = backends::direct_emit();
+    let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+    let report = trace.report();
+    print_breakdown("Figure 5: DirectEmit compile-time breakdown (TX64)", &report);
+    println!("total: {}  functions: {}", secs(total), stats.functions);
+    let analysis = report.subtree("analysis");
+    let live = analysis.fraction("liveness");
+    println!("liveness share of analysis: {:.1}%   (paper: ~75%)", 100.0 * live);
+}

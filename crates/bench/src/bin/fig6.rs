@@ -1,0 +1,30 @@
+//! Figure 6: per-query compile time vs. execution time for every back-end
+//! (CSV series, one line per query per back-end).
+
+use qc_bench::{env_sf, env_suite, run_suite, MODEL_HZ};
+use qc_engine::backends;
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    let trace = TimeTrace::disabled();
+    println!("backend,isa,query,compile_secs,exec_model_secs,rows");
+    for isa in [Isa::Tx64, Isa::Ta64] {
+        for backend in backends::all_for(isa) {
+            let r = run_suite(&db, &suite, backend.as_ref(), &trace).expect("suite");
+            for q in &r.queries {
+                println!(
+                    "{},{},{},{:.6},{:.6},{}",
+                    backend.name(),
+                    isa,
+                    q.name,
+                    q.compile.as_secs_f64(),
+                    q.cycles as f64 / MODEL_HZ,
+                    q.rows
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 7: best back-end per H-like query, minimizing compile + run
+//! time, at a small and a large scale factor.
+//!
+//! Per-query compile times are sub-millisecond, so each suite is run
+//! `REPS` times and the median per-query compile time is used (execution
+//! cycles are deterministic and identical across runs).
+
+use qc_bench::{env_sf, run_suite, MODEL_HZ};
+use qc_engine::backends;
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+const REPS: usize = 5;
+
+fn main() {
+    let base_sf = env_sf(1.0);
+    let trace = TimeTrace::disabled();
+    for (label, sf) in [("sf=small", base_sf), ("sf=large (25x)", base_sf * 25.0)] {
+        let db = qc_storage::gen_hlike(sf);
+        let suite = qc_workloads::hlike_suite();
+        let mut per_query: Vec<(String, Vec<(String, f64)>)> =
+            suite.iter().map(|q| (q.name.clone(), Vec::new())).collect();
+        for backend in backends::all_for(Isa::Tx64) {
+            let mut reps = Vec::new();
+            for _ in 0..REPS {
+                reps.push(run_suite(&db, &suite, backend.as_ref(), &trace).expect("suite"));
+            }
+            for (qi, slot) in per_query.iter_mut().enumerate() {
+                let mut compiles: Vec<f64> = reps
+                    .iter()
+                    .map(|r| r.queries[qi].compile.as_secs_f64())
+                    .collect();
+                compiles.sort_unstable_by(|a, b| a.partial_cmp(b).expect("ordered"));
+                let compile = compiles[compiles.len() / 2];
+                let cycles = reps[0].queries[qi].cycles;
+                slot.1.push((backend.name().to_string(), compile + cycles as f64 / MODEL_HZ));
+            }
+        }
+        println!("== Figure 7 ({label}): best back-end per query (compile+run) ==");
+        let mut wins: std::collections::BTreeMap<String, usize> = Default::default();
+        for (name, entries) in &per_query {
+            let best = entries
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("ordered"))
+                .expect("entries");
+            *wins.entry(best.0.clone()).or_default() += 1;
+            println!("  {name}: {} ({:.4}s)", best.0, best.1);
+        }
+        println!("  wins: {wins:?}");
+        println!();
+    }
+}

@@ -1,0 +1,26 @@
+//! Table I: compile-time breakdown of the GCC/C back-end on the DS-like
+//! suite (parse share, optimization/codegen, assembler, linker).
+
+use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs};
+use qc_engine::backends;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    let trace = TimeTrace::new();
+    let backend = backends::cgen(qc_target::Isa::Tx64);
+    let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+    let report = trace.report();
+    print_breakdown("Table I: GCC/C compile-time breakdown (TX64, DS-like suite)", &report);
+    println!("\ntotal wall-clock compile time: {}", secs(total));
+    println!("functions compiled: {}", stats.functions);
+    let cc1: f64 = ["cc1_parse", "cc1_gimplify", "cc1_optimize", "cc1_codegen"]
+        .iter()
+        .map(|p| report.fraction(p))
+        .sum();
+    println!("compiler-proper share: {:.1}%", 100.0 * cc1);
+    println!("parse share:           {:.1}%  (paper: ~13%)", 100.0 * report.fraction("cc1_parse"));
+    println!("assembler share:       {:.1}%", 100.0 * report.fraction("as"));
+    println!("linker share:          {:.1}%", 100.0 * report.fraction("ld"));
+}

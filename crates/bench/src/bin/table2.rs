@@ -1,0 +1,47 @@
+//! Table II: execution speedup from the Cranelift-analog's added
+//! instructions (crc32, overflow arithmetic, combined multiplication):
+//! average and maximum speedup across the DS-like suite.
+
+use qc_bench::{env_sf, env_suite, run_suite};
+use qc_engine::backends;
+use qc_clift::CliftExtensions;
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    let trace = TimeTrace::disabled();
+    let base = run_suite(
+        &db,
+        &suite,
+        backends::clift_with(Isa::Tx64, CliftExtensions::default()).as_ref(),
+        &trace,
+    )
+    .expect("baseline");
+    println!("Table II: run-time speedup of CIR extension instructions (TX64)");
+    println!("{:<22} {:>10} {:>10}", "disabled instruction", "avg", "max");
+    for (label, ext) in [
+        ("crc32", CliftExtensions { crc32: false, ..Default::default() }),
+        ("overflow arithmetic", CliftExtensions { overflow_arith: false, ..Default::default() }),
+        ("mul with full result", CliftExtensions { mulfull: false, ..Default::default() }),
+    ] {
+        let without = run_suite(
+            &db,
+            &suite,
+            backends::clift_with(Isa::Tx64, ext).as_ref(),
+            &trace,
+        )
+        .expect("variant");
+        let mut speedups = Vec::new();
+        for (b, w) in base.queries.iter().zip(&without.queries) {
+            assert_eq!(b.name, w.name);
+            if b.cycles > 0 {
+                speedups.push(w.cycles as f64 / b.cycles as f64);
+            }
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+        println!("{label:<22} {avg:>9.3}x {max:>9.3}x");
+    }
+}

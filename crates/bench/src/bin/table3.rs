@@ -1,0 +1,46 @@
+//! Table III: compile time and execution performance of all back-ends on
+//! the DS-like suite, TX64 and TA64 (DirectEmit is TX64-only).
+
+use qc_bench::{env_sf, env_suite, run_suite, secs};
+use qc_engine::backends;
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    let trace = TimeTrace::disabled();
+    println!("Table III: DS-like suite, sum over all queries");
+    println!(
+        "{:<14} {:>12} {:>14} {:>12} {:>14}",
+        "back-end", "tx64 comp", "tx64 exec[mc]", "ta64 comp", "ta64 exec[mc]"
+    );
+    for backend_name in ["Interpreter", "DirectEmit", "Clift", "LVM-cheap", "LVM-opt", "GCC/C"] {
+        let mut cells = Vec::new();
+        for isa in [Isa::Tx64, Isa::Ta64] {
+            let backend = match (backend_name, isa) {
+                ("Interpreter", Isa::Tx64) => Some(backends::interpreter()),
+                ("Interpreter", Isa::Ta64) => Some(backends::interpreter()),
+                ("DirectEmit", Isa::Tx64) => Some(backends::direct_emit()),
+                ("DirectEmit", Isa::Ta64) => None,
+                ("Clift", _) => Some(backends::clift(isa)),
+                ("LVM-cheap", _) => Some(backends::lvm_cheap(isa)),
+                ("LVM-opt", _) => Some(backends::lvm_opt(isa)),
+                ("GCC/C", _) => Some(backends::cgen(isa)),
+                _ => unreachable!(),
+            };
+            match backend {
+                Some(b) => {
+                    let r = run_suite(&db, &suite, b.as_ref(), &trace).expect(backend_name);
+                    cells.push((secs(r.total_compile()), format!("{:.3}s", r.total_exec_secs())));
+                }
+                None => cells.push(("—".into(), "—".into())),
+            }
+        }
+        println!(
+            "{:<14} {:>12} {:>14} {:>12} {:>14}",
+            backend_name, cells[0].0, cells[0].1, cells[1].0, cells[1].1
+        );
+    }
+    println!("\n[mc] = model-cycle seconds at 1 model-GHz (deterministic)");
+}

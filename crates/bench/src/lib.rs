@@ -1,0 +1,135 @@
+//! Shared infrastructure for the benchmark harness binaries.
+//!
+//! One binary per paper table/figure regenerates the corresponding data
+//! (see DESIGN.md's experiment index). Compile times are wall-clock;
+//! execution is reported in deterministic model cycles, converted to
+//! "model seconds" at [`MODEL_HZ`] for compile-vs-run tradeoff plots
+//! (Figures 6–7).
+
+use qc_backend::{Backend, CompileStats};
+use qc_engine::{Engine, EngineError};
+use qc_storage::Database;
+use qc_timing::{Report, TimeTrace};
+use qc_workloads::BenchQuery;
+use std::time::Duration;
+
+/// Model clock used to convert cycles into seconds (1 model-GHz).
+pub const MODEL_HZ: f64 = 1e9;
+
+/// Result of running one query through one back-end.
+#[derive(Debug)]
+pub struct QueryRun {
+    /// Query name.
+    pub name: String,
+    /// Wall-clock compile time.
+    pub compile: Duration,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Output row count (sanity).
+    pub rows: usize,
+    /// Merged compile statistics.
+    pub stats: CompileStats,
+}
+
+/// Aggregate of a suite run.
+#[derive(Debug, Default)]
+pub struct SuiteRun {
+    /// Per-query results.
+    pub queries: Vec<QueryRun>,
+    /// Functions compiled in total.
+    pub functions: usize,
+}
+
+impl SuiteRun {
+    /// Total wall-clock compile time.
+    pub fn total_compile(&self) -> Duration {
+        self.queries.iter().map(|q| q.compile).sum()
+    }
+
+    /// Total execution cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.queries.iter().map(|q| q.cycles).sum()
+    }
+
+    /// Total execution time in model seconds.
+    pub fn total_exec_secs(&self) -> f64 {
+        self.total_cycles() as f64 / MODEL_HZ
+    }
+}
+
+/// Compiles and executes a whole suite with `backend`, collecting phase
+/// timings into `trace`.
+///
+/// # Errors
+/// Propagates engine errors (with the offending query named).
+pub fn run_suite(
+    db: &Database,
+    suite: &[BenchQuery],
+    backend: &dyn Backend,
+    trace: &TimeTrace,
+) -> Result<SuiteRun, EngineError> {
+    let engine = Engine::new(db);
+    let mut out = SuiteRun::default();
+    for q in suite {
+        let prepared = engine.prepare(&q.plan, &q.name)?;
+        let mut compiled = engine.compile(&prepared, backend, trace)?;
+        let result = engine.execute(&prepared, &mut compiled)?;
+        out.functions += compiled.compile_stats.functions;
+        out.queries.push(QueryRun {
+            name: q.name.clone(),
+            compile: compiled.compile_time,
+            cycles: result.exec_stats.cycles,
+            rows: result.rows.len(),
+            stats: compiled.compile_stats.clone(),
+        });
+    }
+    Ok(out)
+}
+
+/// Compiles a whole suite without executing (compile-time studies).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn compile_suite(
+    db: &Database,
+    suite: &[BenchQuery],
+    backend: &dyn Backend,
+    trace: &TimeTrace,
+) -> Result<(Duration, CompileStats), EngineError> {
+    let engine = Engine::new(db);
+    let mut total = Duration::ZERO;
+    let mut stats = CompileStats::default();
+    for q in suite {
+        let prepared = engine.prepare(&q.plan, &q.name)?;
+        let compiled = engine.compile(&prepared, backend, trace)?;
+        total += compiled.compile_time;
+        stats.merge(&compiled.compile_stats);
+    }
+    Ok((total, stats))
+}
+
+/// Prints a phase-breakdown report scaled to percent, in a stable order.
+pub fn print_breakdown(title: &str, report: &Report) {
+    println!("== {title} ==");
+    print!("{}", report.render());
+}
+
+/// Formats a duration in seconds with 3 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Scale-factor / suite-size options shared by the harness binaries, read
+/// from environment variables so CI can shrink them:
+/// `QC_SF` (default 1.0), `QC_QUERIES` (default: full suite).
+pub fn env_sf(default: f64) -> f64 {
+    std::env::var("QC_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Truncates a suite according to `QC_QUERIES`.
+pub fn env_suite(mut suite: Vec<BenchQuery>) -> Vec<BenchQuery> {
+    if let Some(n) = std::env::var("QC_QUERIES").ok().and_then(|v| v.parse::<usize>().ok()) {
+        suite.truncate(n);
+    }
+    suite
+}

@@ -1,0 +1,594 @@
+//! Textual assembly: the compiler's output and `minias`'s input.
+//!
+//! The GCC flow produces textual assembly that a separate assembler must
+//! re-parse and encode (paper Sec. IV: "calling GCC results in a separate
+//! invocation of the assembler and linker, which also take a measurable
+//! amount of time for ... parsing their input files"). The disassembling
+//! printer below renders freshly generated machine code as canonical
+//! assembly text (with labels and symbolic relocations); `minias` lexes,
+//! parses and re-encodes it.
+
+use qc_backend::BackendError;
+use qc_target::{
+    decode_inst, new_masm, AluOp, Cond, DecodedInst, FaluOp, FReg, Isa, MLabel, Reg, Reloc,
+    RelocKind, Width,
+};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+fn wname(w: Width) -> &'static str {
+    match w {
+        Width::W8 => "w8",
+        Width::W16 => "w16",
+        Width::W32 => "w32",
+        Width::W64 => "w64",
+    }
+}
+
+fn parse_w(s: &str) -> Option<Width> {
+    Some(match s {
+        "w8" => Width::W8,
+        "w16" => Width::W16,
+        "w32" => Width::W32,
+        "w64" => Width::W64,
+        _ => return None,
+    })
+}
+
+fn aluname(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Sar => "sar",
+        AluOp::Rotr => "rotr",
+        AluOp::Adc => "adc",
+        AluOp::Sbb => "sbb",
+    }
+}
+
+fn parse_alu(s: &str) -> Option<AluOp> {
+    use AluOp::*;
+    Some(match s {
+        "add" => Add,
+        "sub" => Sub,
+        "mul" => Mul,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "shl" => Shl,
+        "shr" => Shr,
+        "sar" => Sar,
+        "rotr" => Rotr,
+        "adc" => Adc,
+        "sbb" => Sbb,
+        _ => return None,
+    })
+}
+
+fn condname(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "eq",
+        Cond::Ne => "ne",
+        Cond::Lt => "lt",
+        Cond::Le => "le",
+        Cond::Gt => "gt",
+        Cond::Ge => "ge",
+        Cond::B => "b",
+        Cond::Be => "be",
+        Cond::A => "a",
+        Cond::Ae => "ae",
+        Cond::O => "o",
+        Cond::No => "no",
+    }
+}
+
+fn parse_cond(s: &str) -> Option<Cond> {
+    use Cond::*;
+    Some(match s {
+        "eq" => Eq,
+        "ne" => Ne,
+        "lt" => Lt,
+        "le" => Le,
+        "gt" => Gt,
+        "ge" => Ge,
+        "b" => B,
+        "be" => Be,
+        "a" => A,
+        "ae" => Ae,
+        "o" => O,
+        "no" => No,
+        _ => return None,
+    })
+}
+
+fn mem_str(base: Reg, index: Option<(Reg, u8)>, disp: i32) -> String {
+    match index {
+        Some((i, s)) => format!("[r{} + r{}*{} + {}]", base.num(), i.num(), s, disp),
+        None => format!("[r{} + {}]", base.num(), disp),
+    }
+}
+
+/// Disassembles one function's code to text ("the compiler emits assembly").
+///
+/// # Errors
+/// Returns [`BackendError`] on undecodable bytes (a codegen bug).
+pub fn disassemble(
+    name: &str,
+    code: &[u8],
+    relocs: &[Reloc],
+    isa: Isa,
+) -> Result<String, BackendError> {
+    let mut out = String::new();
+    writeln!(out, "func {name}:").unwrap();
+    // Pass 1: find branch targets for labels, and map reloc offsets.
+    let reloc_at: HashMap<usize, &Reloc> = relocs.iter().map(|r| (r.offset, r)).collect();
+    let mut targets: Vec<usize> = Vec::new();
+    let mut off = 0usize;
+    while off < code.len() {
+        // Relocation-covered pseudo instructions first.
+        if let Some(r) = reloc_covering(&reloc_at, off, isa) {
+            off += reloc_len(r.kind, isa);
+            continue;
+        }
+        let (inst, len) =
+            decode_inst(isa, code, off).map_err(|e| BackendError::new(e.to_string()))?;
+        let end = off + len as usize;
+        match inst {
+            DecodedInst::Jcc { rel, .. } | DecodedInst::Jmp { rel } => {
+                targets.push((end as i64 + rel as i64) as usize);
+            }
+            _ => {}
+        }
+        off = end;
+    }
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of = |o: usize| targets.binary_search(&o).ok().map(|i| format!("L{i}"));
+
+    // Pass 2: print.
+    let mut off = 0usize;
+    while off < code.len() {
+        if let Some(l) = label_of(off) {
+            writeln!(out, "{l}:").unwrap();
+        }
+        if let Some(r) = reloc_covering(&reloc_at, off, isa) {
+            match r.kind {
+                RelocKind::Rel32 | RelocKind::Rel24Words => {
+                    writeln!(out, "  call @{}", r.sym.name).unwrap();
+                }
+                RelocKind::Abs64 | RelocKind::MovSeqAbs64 => {
+                    // TX64: MOV_RI64 starts one/two bytes earlier.
+                    let reg = match isa {
+                        Isa::Tx64 => code[r.offset - 1],
+                        Isa::Ta64 => ((u32::from_le_bytes(
+                            code[r.offset..r.offset + 4].try_into().expect("word"),
+                        ) >> 16)
+                            & 31) as u8,
+                    };
+                    writeln!(out, "  movabs r{}, @{}", reg, r.sym.name).unwrap();
+                }
+            }
+            off += reloc_len(r.kind, isa);
+            continue;
+        }
+        let (inst, len) =
+            decode_inst(isa, code, off).map_err(|e| BackendError::new(e.to_string()))?;
+        let end = off + len as usize;
+        print_inst(&mut out, &inst, end, &label_of)?;
+        off = end;
+    }
+    writeln!(out, "endfunc").unwrap();
+    Ok(out)
+}
+
+/// Finds a relocation whose encoded field starts inside the instruction at
+/// `off` (TX64 call rel32 at `off+1`, movabs imm at `off+2`; TA64 at the
+/// word itself).
+fn reloc_covering<'r>(
+    reloc_at: &HashMap<usize, &'r Reloc>,
+    off: usize,
+    isa: Isa,
+) -> Option<&'r Reloc> {
+    match isa {
+        Isa::Tx64 => reloc_at
+            .get(&(off + 1))
+            .filter(|r| r.kind == RelocKind::Rel32)
+            .or_else(|| reloc_at.get(&(off + 2)).filter(|r| r.kind == RelocKind::Abs64))
+            .copied(),
+        Isa::Ta64 => reloc_at.get(&off).copied(),
+    }
+}
+
+fn reloc_len(kind: RelocKind, isa: Isa) -> usize {
+    match (kind, isa) {
+        (RelocKind::Rel32, _) => 5,       // CALL rel32
+        (RelocKind::Abs64, _) => 10,      // MOV_RI64
+        (RelocKind::Rel24Words, _) => 4,  // BL
+        (RelocKind::MovSeqAbs64, _) => 16, // movz + 3×movk
+    }
+}
+
+fn print_inst(
+    out: &mut String,
+    inst: &DecodedInst,
+    end: usize,
+    label_of: &dyn Fn(usize) -> Option<String>,
+) -> Result<(), BackendError> {
+    use DecodedInst as I;
+    match *inst {
+        I::Nop => writeln!(out, "  nop").unwrap(),
+        I::MovRR { dst, src } => writeln!(out, "  mov r{}, r{}", dst.num(), src.num()).unwrap(),
+        I::MovRI { dst, imm } => writeln!(out, "  ldi r{}, {}", dst.num(), imm).unwrap(),
+        I::MovK { dst, imm16, shift } => {
+            writeln!(out, "  movk r{}, {}, {}", dst.num(), imm16, shift).unwrap()
+        }
+        I::Alu { op, width, set_flags, dst, src1, src2 } => {
+            writeln!(
+                out,
+                "  alu {} {} {} r{}, r{}, r{}",
+                aluname(op),
+                wname(width),
+                if set_flags { "sf" } else { "nf" },
+                dst.num(),
+                src1.num(),
+                src2.num()
+            )
+            .unwrap();
+        }
+        I::AluImm { op, width, set_flags, dst, src1, imm } => {
+            writeln!(
+                out,
+                "  alui {} {} {} r{}, r{}, {}",
+                aluname(op),
+                wname(width),
+                if set_flags { "sf" } else { "nf" },
+                dst.num(),
+                src1.num(),
+                imm
+            )
+            .unwrap();
+        }
+        I::MulFull { dst_lo, dst_hi, a, b } => {
+            writeln!(out, "  mulf r{}, r{}, r{}, r{}", dst_lo.num(), dst_hi.num(), a.num(), b.num())
+                .unwrap();
+        }
+        I::Crc32 { dst, acc, data } => {
+            writeln!(out, "  crc r{}, r{}, r{}", dst.num(), acc.num(), data.num()).unwrap();
+        }
+        I::Div { signed, rem, width, dst, a, b } => {
+            writeln!(
+                out,
+                "  div {} {} {} r{}, r{}, r{}",
+                if signed { "s" } else { "u" },
+                if rem { "r" } else { "q" },
+                wname(width),
+                dst.num(),
+                a.num(),
+                b.num()
+            )
+            .unwrap();
+        }
+        I::Sext { from, dst, src } => {
+            writeln!(out, "  sext {} r{}, r{}", wname(from), dst.num(), src.num()).unwrap();
+        }
+        I::Load { width, dst, mem } => {
+            writeln!(out, "  ld {} r{}, {}", wname(width), dst.num(), mem_str(mem.base, mem.index, mem.disp))
+                .unwrap();
+        }
+        I::Store { width, src, mem } => {
+            writeln!(out, "  st {} r{}, {}", wname(width), src.num(), mem_str(mem.base, mem.index, mem.disp))
+                .unwrap();
+        }
+        I::Lea { dst, mem } => {
+            writeln!(out, "  lea r{}, {}", dst.num(), mem_str(mem.base, mem.index, mem.disp))
+                .unwrap();
+        }
+        I::Cmp { width, a, b } => {
+            writeln!(out, "  cmp {} r{}, r{}", wname(width), a.num(), b.num()).unwrap();
+        }
+        I::CmpImm { width, a, imm } => {
+            writeln!(out, "  cmpi {} r{}, {}", wname(width), a.num(), imm).unwrap();
+        }
+        I::SetCc { cond, dst } => {
+            writeln!(out, "  set {} r{}", condname(cond), dst.num()).unwrap();
+        }
+        I::Jcc { cond, rel } => {
+            let t = (end as i64 + rel as i64) as usize;
+            let l = label_of(t)
+                .ok_or_else(|| BackendError::new(format!("jcc to unlabeled offset {t}")))?;
+            writeln!(out, "  jcc {} {l}", condname(cond)).unwrap();
+        }
+        I::Jmp { rel } => {
+            let t = (end as i64 + rel as i64) as usize;
+            let l = label_of(t)
+                .ok_or_else(|| BackendError::new(format!("jmp to unlabeled offset {t}")))?;
+            writeln!(out, "  jmp {l}").unwrap();
+        }
+        I::JmpInd { reg } => writeln!(out, "  jmpi r{}", reg.num()).unwrap(),
+        I::Call { .. } => {
+            return Err(BackendError::new("relative call without relocation"));
+        }
+        I::CallInd { reg } => writeln!(out, "  calli r{}", reg.num()).unwrap(),
+        I::Ret => writeln!(out, "  ret").unwrap(),
+        I::Push { src } => writeln!(out, "  push r{}", src.num()).unwrap(),
+        I::Pop { dst } => writeln!(out, "  pop r{}", dst.num()).unwrap(),
+        I::Falu { op, dst, a, b } => {
+            let n = match op {
+                FaluOp::Add => "add",
+                FaluOp::Sub => "sub",
+                FaluOp::Mul => "mul",
+                FaluOp::Div => "div",
+            };
+            writeln!(out, "  falu {n} f{}, f{}, f{}", dst.num(), a.num(), b.num()).unwrap();
+        }
+        I::FCmp { a, b } => writeln!(out, "  fcmp f{}, f{}", a.num(), b.num()).unwrap(),
+        I::FMov { dst, src } => writeln!(out, "  fmov f{}, f{}", dst.num(), src.num()).unwrap(),
+        I::FMovFromGpr { dst, src } => {
+            writeln!(out, "  fgpr f{}, r{}", dst.num(), src.num()).unwrap()
+        }
+        I::FMovToGpr { dst, src } => {
+            writeln!(out, "  gprf r{}, f{}", dst.num(), src.num()).unwrap()
+        }
+        I::CvtSiToF { dst, src } => {
+            writeln!(out, "  cvtsf f{}, r{}", dst.num(), src.num()).unwrap()
+        }
+        I::CvtFToSi { dst, src } => {
+            writeln!(out, "  cvtfs r{}, f{}", dst.num(), src.num()).unwrap()
+        }
+        I::FLoad { dst, mem } => {
+            writeln!(out, "  fld f{}, {}", dst.num(), mem_str(mem.base, mem.index, mem.disp))
+                .unwrap()
+        }
+        I::FStore { src, mem } => {
+            writeln!(out, "  fst f{}, {}", src.num(), mem_str(mem.base, mem.index, mem.disp))
+                .unwrap()
+        }
+        I::Trap { code } => writeln!(out, "  trap {code}").unwrap(),
+    }
+    Ok(())
+}
+
+/// One assembled function: `(name, bytes, relocations)`.
+pub type AssembledFn = (String, Vec<u8>, Vec<Reloc>);
+
+/// A parsed memory operand: `(base, optional (index, scale), displacement)`.
+type MemOperand = (Reg, Option<(Reg, u8)>, i32);
+
+/// `minias`: parses assembly text and encodes machine code.
+///
+/// Returns per-function `(name, bytes, relocations)`.
+///
+/// # Errors
+/// Returns [`BackendError`] for syntax errors.
+pub fn assemble(text: &str, isa: Isa) -> Result<Vec<AssembledFn>, BackendError> {
+    let mut out = Vec::new();
+    let mut masm: Option<Box<dyn qc_target::MacroAssembler>> = None;
+    let mut name = String::new();
+    let mut labels: HashMap<String, MLabel> = HashMap::new();
+
+    let err = |line: &str, what: &str| {
+        BackendError::new(format!("minias: {what} in line `{line}`"))
+    };
+    let reg = |t: &str, line: &str| -> Result<Reg, BackendError> {
+        t.trim_end_matches(',')
+            .strip_prefix('r')
+            .and_then(|s| s.parse::<u8>().ok())
+            .map(Reg)
+            .ok_or_else(|| err(line, "expected register"))
+    };
+    let freg = |t: &str, line: &str| -> Result<FReg, BackendError> {
+        t.trim_end_matches(',')
+            .strip_prefix('f')
+            .and_then(|s| s.parse::<u8>().ok())
+            .map(FReg)
+            .ok_or_else(|| err(line, "expected float register"))
+    };
+    let imm = |t: &str, line: &str| -> Result<i64, BackendError> {
+        t.trim_end_matches(',')
+            .parse::<i64>()
+            .map_err(|_| err(line, "expected immediate"))
+    };
+    // `[rB + rI*S + D]` or `[rB + D]`
+    let parse_mem = |toks: &[&str], line: &str| -> Result<MemOperand, BackendError> {
+        let joined = toks.join(" ");
+        let inner = joined
+            .trim()
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| err(line, "expected memory operand"))?;
+        let parts: Vec<&str> = inner.split('+').map(str::trim).collect();
+        let base = reg(parts[0], line)?;
+        match parts.len() {
+            2 => Ok((base, None, imm(parts[1], line)? as i32)),
+            3 => {
+                let (ri, sc) = parts[1]
+                    .split_once('*')
+                    .ok_or_else(|| err(line, "expected index*scale"))?;
+                Ok((
+                    base,
+                    Some((reg(ri, line)?, imm(sc, line)? as u8)),
+                    imm(parts[2], line)? as i32,
+                ))
+            }
+            _ => Err(err(line, "bad memory operand")),
+        }
+    };
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("func ") {
+            name = rest.trim_end_matches(':').to_string();
+            masm = Some(new_masm(isa));
+            labels.clear();
+            continue;
+        }
+        if line == "endfunc" {
+            let m = masm.take().ok_or_else(|| err(line, "endfunc without func"))?;
+            let (bytes, relocs) = m.finish();
+            out.push((std::mem::take(&mut name), bytes, relocs));
+            continue;
+        }
+        let m = masm.as_mut().ok_or_else(|| err(line, "instruction outside func"))?;
+        if let Some(label) = line.strip_suffix(':') {
+            let l = *labels
+                .entry(label.to_string())
+                .or_insert_with(|| m.new_label());
+            m.bind(l);
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let get_label = |labels: &mut HashMap<String, MLabel>,
+                         m: &mut Box<dyn qc_target::MacroAssembler>,
+                         name: &str| {
+            *labels.entry(name.to_string()).or_insert_with(|| m.new_label())
+        };
+        match toks[0] {
+            "nop" => {}
+            "mov" => {
+                let d = reg(toks[1], line)?;
+                let s = reg(toks[2], line)?;
+                // A self-move still occupies space in the original code.
+                if d == s {
+                    m.alu_rri(AluOp::Or, Width::W64, false, d, s, 0);
+                } else {
+                    m.mov_rr(d, s);
+                }
+            }
+            "ldi" => m.mov_ri(reg(toks[1], line)?, imm(toks[2], line)?),
+            "movk" => {
+                let d = reg(toks[1], line)?;
+                m.movk(d, imm(toks[2], line)? as u16, imm(toks[3], line)? as u8);
+            }
+            "alu" => {
+                let op = parse_alu(toks[1]).ok_or_else(|| err(line, "bad alu op"))?;
+                let w = parse_w(toks[2]).ok_or_else(|| err(line, "bad width"))?;
+                let sf = toks[3] == "sf";
+                m.alu_rrr(op, w, sf, reg(toks[4], line)?, reg(toks[5], line)?, reg(toks[6], line)?);
+            }
+            "alui" => {
+                let op = parse_alu(toks[1]).ok_or_else(|| err(line, "bad alu op"))?;
+                let w = parse_w(toks[2]).ok_or_else(|| err(line, "bad width"))?;
+                let sf = toks[3] == "sf";
+                m.alu_rri(op, w, sf, reg(toks[4], line)?, reg(toks[5], line)?, imm(toks[6], line)?);
+            }
+            "mulf" => m.mulfull(
+                reg(toks[1], line)?,
+                reg(toks[2], line)?,
+                reg(toks[3], line)?,
+                reg(toks[4], line)?,
+            ),
+            "crc" => m.crc32(reg(toks[1], line)?, reg(toks[2], line)?, reg(toks[3], line)?),
+            "div" => {
+                let signed = toks[1] == "s";
+                let rem = toks[2] == "r";
+                let w = parse_w(toks[3]).ok_or_else(|| err(line, "bad width"))?;
+                m.div(signed, rem, w, reg(toks[4], line)?, reg(toks[5], line)?, reg(toks[6], line)?);
+            }
+            "sext" => {
+                let w = parse_w(toks[1]).ok_or_else(|| err(line, "bad width"))?;
+                m.sext(w, reg(toks[2], line)?, reg(toks[3], line)?);
+            }
+            "ld" | "st" => {
+                let w = parse_w(toks[1]).ok_or_else(|| err(line, "bad width"))?;
+                let r0 = reg(toks[2], line)?;
+                let (b, i, d) = parse_mem(&toks[3..], line)?;
+                if toks[0] == "ld" {
+                    m.load(w, r0, b, i, d);
+                } else {
+                    m.store(w, r0, b, i, d);
+                }
+            }
+            "lea" => {
+                let r0 = reg(toks[1], line)?;
+                let (b, i, d) = parse_mem(&toks[2..], line)?;
+                m.lea(r0, b, i, d);
+            }
+            "cmp" => {
+                let w = parse_w(toks[1]).ok_or_else(|| err(line, "bad width"))?;
+                m.cmp(w, reg(toks[2], line)?, reg(toks[3], line)?);
+            }
+            "cmpi" => {
+                let w = parse_w(toks[1]).ok_or_else(|| err(line, "bad width"))?;
+                m.cmp_ri(w, reg(toks[2], line)?, imm(toks[3], line)?);
+            }
+            "set" => {
+                let c = parse_cond(toks[1]).ok_or_else(|| err(line, "bad cond"))?;
+                m.setcc(c, reg(toks[2], line)?);
+            }
+            "jcc" => {
+                let c = parse_cond(toks[1]).ok_or_else(|| err(line, "bad cond"))?;
+                let l = get_label(&mut labels, m, toks[2]);
+                m.jcc(c, l);
+            }
+            "jmp" => {
+                let l = get_label(&mut labels, m, toks[1]);
+                m.jmp(l);
+            }
+            "jmpi" => m.call_ind(reg(toks[1], line)?), // tail position: ind call
+            "call" => {
+                let sym = toks[1]
+                    .strip_prefix('@')
+                    .ok_or_else(|| err(line, "expected @symbol"))?;
+                m.call_sym(qc_target::SymbolRef::named(sym));
+            }
+            "calli" => m.call_ind(reg(toks[1], line)?),
+            "movabs" => {
+                let d = reg(toks[1], line)?;
+                let sym = toks[2]
+                    .strip_prefix('@')
+                    .ok_or_else(|| err(line, "expected @symbol"))?;
+                m.mov_sym(d, qc_target::SymbolRef::named(sym));
+            }
+            "ret" => m.ret(),
+            "push" | "pop" => {
+                // Only DirectEmit uses push/pop; the shared pipeline never
+                // emits them, so minias does not need to support them.
+                return Err(err(line, "push/pop unsupported"));
+            }
+            "falu" => {
+                let op = match toks[1] {
+                    "add" => FaluOp::Add,
+                    "sub" => FaluOp::Sub,
+                    "mul" => FaluOp::Mul,
+                    "div" => FaluOp::Div,
+                    _ => return Err(err(line, "bad falu op")),
+                };
+                m.falu(op, freg(toks[2], line)?, freg(toks[3], line)?, freg(toks[4], line)?);
+            }
+            "fcmp" => m.fcmp(freg(toks[1], line)?, freg(toks[2], line)?),
+            "fmov" => m.fmov(freg(toks[1], line)?, freg(toks[2], line)?),
+            "fgpr" => m.fmov_from_gpr(freg(toks[1], line)?, reg(toks[2], line)?),
+            "gprf" => m.fmov_to_gpr(reg(toks[1], line)?, freg(toks[2], line)?),
+            "cvtsf" => m.cvt_si2f(freg(toks[1], line)?, reg(toks[2], line)?),
+            "cvtfs" => m.cvt_f2si(reg(toks[1], line)?, freg(toks[2], line)?),
+            "fld" => {
+                let f0 = freg(toks[1], line)?;
+                let (b, i, d) = parse_mem(&toks[2..], line)?;
+                if i.is_some() {
+                    return Err(err(line, "indexed float load"));
+                }
+                m.fload(f0, b, d);
+            }
+            "fst" => {
+                let f0 = freg(toks[1], line)?;
+                let (b, i, d) = parse_mem(&toks[2..], line)?;
+                if i.is_some() {
+                    return Err(err(line, "indexed float store"));
+                }
+                m.fstore(f0, b, d);
+            }
+            "trap" => m.trap(imm(toks[1], line)? as u8),
+            other => return Err(err(line, &format!("unknown mnemonic `{other}`"))),
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,396 @@
+//! The GCC/C back-end (paper Sec. IV).
+//!
+//! The slowest but structurally distinctive pipeline: the engine
+//! **generates C source text**, writes it to a temporary file, and invokes
+//! the bundled `minicc` toolchain, which must lex and parse that text back
+//! (the paper measures GCC's parsing alone at ~13% of compile time),
+//! "gimplify" it into the middle-end IR, run the -O3 scalar optimizations,
+//! generate code, emit **textual assembly**, run the assembler (`minias`,
+//! which parses the text and encodes machine code), and finally the linker
+//! (`minild`, building the loadable image — the `dlopen`/`dlsym` step).
+//!
+//! Phase scopes (Table I): `cgen` (C generation), `io`, `cc1_parse`,
+//! `cc1_gimplify`, `cc1_optimize`, `cc1_codegen`, `as`, `ld`.
+
+mod asmtext;
+mod cprint;
+mod minicc;
+
+pub use cprint::print_c;
+
+use qc_backend::{Backend, BackendError, CompileStats, Executable, NativeExecutable};
+use qc_ir::Module;
+use qc_runtime::resolve_runtime;
+use qc_target::{ImageBuilder, Isa, UnwindEntry};
+use qc_timing::TimeTrace;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The GCC/C-analog back-end.
+#[derive(Debug)]
+pub struct CgenBackend {
+    isa: Isa,
+    /// Whether to round-trip the generated C through a temporary file
+    /// (modeling the external-process invocation; on by default).
+    pub use_temp_files: bool,
+}
+
+impl CgenBackend {
+    /// Creates the back-end.
+    pub fn new(isa: Isa) -> Self {
+        CgenBackend { isa, use_temp_files: true }
+    }
+}
+
+impl Backend for CgenBackend {
+    fn name(&self) -> &'static str {
+        "GCC/C"
+    }
+
+    fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Box<dyn Executable>, BackendError> {
+        let mut stats = CompileStats::default();
+
+        // --- C code generation (the query engine's side). ---
+        let c_src = {
+            let _t = trace.scope("cgen");
+            cprint::print_c(module)
+        };
+        stats.bump("c_bytes", c_src.len() as u64);
+
+        // --- Temp-file round trip (external compiler invocation). ---
+        let c_src = if self.use_temp_files {
+            let _t = trace.scope("io");
+            let path = std::env::temp_dir().join(format!(
+                "qc_cgen_{}_{}.c",
+                std::process::id(),
+                TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            let write_read = || -> std::io::Result<String> {
+                let mut f = std::fs::File::create(&path)?;
+                f.write_all(c_src.as_bytes())?;
+                drop(f);
+                let back = std::fs::read_to_string(&path)?;
+                std::fs::remove_file(&path).ok();
+                Ok(back)
+            };
+            write_read().map_err(|e| BackendError::new(format!("temp file: {e}")))?
+        } else {
+            c_src
+        };
+
+        // --- cc1: lex + parse + gimplify. ---
+        let gimple = minicc::compile_c(&c_src, trace)?;
+
+        // --- cc1: -O3 scalar optimizations (shared optimizer). ---
+        let optimized = {
+            let _t = trace.scope("cc1_optimize");
+            let mut out = Module::new(&gimple.name);
+            for func in gimple.functions() {
+                let f = qc_ir::opt::pass_phi_prune(func);
+                let f = qc_ir::opt::pass_cse(&f);
+                let f = qc_ir::opt::pass_instcombine(&f);
+                let f = qc_ir::opt::pass_licm(&f);
+                let f = qc_ir::opt::pass_dce(&f);
+                // -O3 runs a second combine+cleanup round.
+                let f = qc_ir::opt::pass_cse(&f);
+                let f = qc_ir::opt::pass_dce(&f);
+                out.push_function(f);
+            }
+            out
+        };
+
+        // --- cc1: code generation to textual assembly. ---
+        let func_names: Vec<String> =
+            optimized.functions().iter().map(|f| f.name.clone()).collect();
+        let mut asm_text = String::new();
+        let mut frames: Vec<(String, u32)> = Vec::new();
+        {
+            let _t = trace.scope("cc1_codegen");
+            for func in optimized.functions() {
+                let (bytes, relocs, frame) =
+                    qc_clift::compile_function_parts(func, &func_names, self.isa)?;
+                frames.push((func.name.clone(), frame));
+                asm_text.push_str(&asmtext::disassemble(
+                    &func.name, &bytes, &relocs, self.isa,
+                )?);
+            }
+        }
+        stats.bump("asm_bytes", asm_text.len() as u64);
+
+        // --- Assembler. ---
+        let objects = {
+            let _t = trace.scope("as");
+            asmtext::assemble(&asm_text, self.isa)?
+        };
+
+        // --- Linker (shared-library build + load). ---
+        let linked = {
+            let _t = trace.scope("ld");
+            let mut image = ImageBuilder::new(self.isa);
+            for (name, bytes, relocs) in objects {
+                let len = bytes.len();
+                let frame = frames
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|&(_, f)| f)
+                    .unwrap_or(0);
+                let off = image.add_function(&name, bytes, relocs);
+                image.add_unwind(
+                    off,
+                    UnwindEntry {
+                        start: 0,
+                        end: len,
+                        frame_size: frame,
+                        synchronous_only: false,
+                    },
+                );
+            }
+            image
+                .link(&|name| resolve_runtime(name))
+                .map_err(|e| BackendError::new(e.to_string()))?
+        };
+
+        stats.functions = module.len();
+        stats.code_bytes = linked.len();
+        Ok(Box::new(NativeExecutable::new(linked, stats)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_ir::{CmpOp, FunctionBuilder, Opcode, Signature, Type};
+    use qc_runtime::RuntimeState;
+    use qc_target::Trap;
+
+    fn run_on(
+        isa: Isa,
+        build: impl FnOnce(&mut FunctionBuilder),
+        sig: Signature,
+        args: &[u64],
+    ) -> Result<[u64; 2], Trap> {
+        let mut b = FunctionBuilder::new("f", sig);
+        build(&mut b);
+        let f = b.finish();
+        qc_ir::verify_function(&f).unwrap();
+        let mut m = Module::new("m");
+        m.push_function(f);
+        let mut backend = CgenBackend::new(isa);
+        backend.use_temp_files = false; // keep unit tests hermetic
+        let mut exe = match backend.compile(&m, &TimeTrace::disabled()) {
+            Ok(e) => e,
+            Err(e) => panic!("{e}"),
+        };
+        let mut state = RuntimeState::new();
+        exe.call(&mut state, "f", args)
+    }
+
+    fn run_both(
+        build: impl Fn(&mut FunctionBuilder) + Copy,
+        sig: Signature,
+        args: &[u64],
+    ) -> [u64; 2] {
+        // The high half is only defined for two-register return types.
+        let pair = sig.ret.reg_count() == 2;
+        let mut out = None;
+        for isa in [Isa::Tx64, Isa::Ta64] {
+            let mut r = run_on(isa, build, sig.clone(), args)
+                .unwrap_or_else(|t| panic!("{isa}: {t}"));
+            if !pair {
+                r[1] = 0;
+            }
+            if let Some(prev) = out {
+                assert_eq!(prev, r, "ISA mismatch");
+            }
+            out = Some(r);
+        }
+        out.unwrap()
+    }
+
+    #[test]
+    fn arithmetic_roundtrips_through_c() {
+        let sig = Signature::new(vec![Type::I64, Type::I64], Type::I64);
+        let r = run_both(
+            |b| {
+                let e = b.entry_block();
+                b.switch_to(e);
+                let (x, y) = (b.param(0), b.param(1));
+                let s = b.add(Type::I64, x, y);
+                let c = b.iconst(Type::I64, 3);
+                let m = b.mul(Type::I64, s, c);
+                let q = b.binary(Opcode::SDiv, Type::I64, m, y);
+                b.ret(Some(q));
+            },
+            sig,
+            &[10, 4],
+        );
+        assert_eq!(r[0] as i64, (10 + 4) * 3 / 4);
+    }
+
+    #[test]
+    fn loops_and_phis_roundtrip() {
+        let sig = Signature::new(vec![Type::I64], Type::I64);
+        let r = run_both(
+            |b| {
+                let entry = b.entry_block();
+                let header = b.create_block();
+                let body = b.create_block();
+                let exit = b.create_block();
+                b.switch_to(entry);
+                let zero = b.iconst(Type::I64, 0);
+                b.jump(header);
+                b.switch_to(header);
+                let i = b.phi(Type::I64, vec![(entry, zero)]);
+                let s = b.phi(Type::I64, vec![(entry, zero)]);
+                let n = b.param(0);
+                let c = b.icmp(CmpOp::SLt, Type::I64, i, n);
+                b.branch(c, body, exit);
+                b.switch_to(body);
+                let s2 = b.add(Type::I64, s, i);
+                let one = b.iconst(Type::I64, 1);
+                let i2 = b.add(Type::I64, i, one);
+                b.phi_add_incoming(i, body, i2);
+                b.phi_add_incoming(s, body, s2);
+                b.jump(header);
+                b.switch_to(exit);
+                b.ret(Some(s));
+            },
+            sig,
+            &[100],
+        );
+        assert_eq!(r[0], 4950);
+    }
+
+    #[test]
+    fn i128_and_traps_roundtrip() {
+        let sig = Signature::new(vec![Type::I64, Type::I64], Type::I128);
+        let r = run_both(
+            |b| {
+                let e = b.entry_block();
+                b.switch_to(e);
+                let (x, y) = (b.param(0), b.param(1));
+                let wx = b.sext(Type::I128, x);
+                let wy = b.sext(Type::I128, y);
+                let s = b.binary(Opcode::SAddTrap, Type::I128, wx, wy);
+                let p = b.binary(Opcode::SMulTrap, Type::I128, s, wy);
+                b.ret(Some(p));
+            },
+            sig,
+            &[100, 200],
+        );
+        assert_eq!(r[0], 60_000);
+        let sig2 = Signature::new(vec![Type::I64], Type::I64);
+        let t = run_on(
+            Isa::Tx64,
+            |b| {
+                let e = b.entry_block();
+                b.switch_to(e);
+                let x = b.param(0);
+                let s = b.binary(Opcode::SAddTrap, Type::I64, x, x);
+                b.ret(Some(s));
+            },
+            sig2,
+            &[i64::MAX as u64],
+        );
+        assert_eq!(t.unwrap_err(), Trap::Overflow);
+    }
+
+    #[test]
+    fn strings_and_runtime_calls_roundtrip() {
+        let mut state = RuntimeState::new();
+        let s1 = state.intern_string("the cgen path, a long string");
+        let s2 = state.intern_string("the cgen path, a long string");
+        let sig = Signature::new(vec![Type::String, Type::String], Type::I64);
+        let mut bld = FunctionBuilder::new("f", sig);
+        let ext = bld.declare_ext_func(qc_ir::ExtFuncDecl {
+            name: "rt_str_eq".into(),
+            sig: Signature::new(vec![Type::String, Type::String], Type::Bool),
+        });
+        let e = bld.entry_block();
+        bld.switch_to(e);
+        let (x, y) = (bld.param(0), bld.param(1));
+        let r = bld.call(ext, vec![x, y]).unwrap();
+        let z = bld.zext(Type::I64, r);
+        bld.ret(Some(z));
+        let mut m = Module::new("m");
+        m.push_function(bld.finish());
+        let mut backend = CgenBackend::new(Isa::Tx64);
+        backend.use_temp_files = false;
+        let mut exe = backend.compile(&m, &TimeTrace::disabled()).unwrap();
+        let r = exe.call(&mut state, "f", &[s1.lo, s1.hi, s2.lo, s2.hi]).unwrap();
+        assert_eq!(r[0], 1);
+    }
+
+    #[test]
+    fn crc_and_hash_builtins_roundtrip() {
+        let sig = Signature::new(vec![Type::I64, Type::I64], Type::I64);
+        let r = run_both(
+            |b| {
+                let e = b.entry_block();
+                b.switch_to(e);
+                let (x, y) = (b.param(0), b.param(1));
+                let c = b.crc32(x, y);
+                let f = b.long_mul_fold(c, y);
+                let rot = b.iconst(Type::I64, 17);
+                let rr = b.binary(Opcode::RotR, Type::I64, f, rot);
+                b.ret(Some(rr));
+            },
+            sig,
+            &[5, 999],
+        );
+        let c = qc_target::crc32c_u64(5, 999);
+        let f = qc_runtime::long_mul_fold(c, 999);
+        assert_eq!(r[0], f.rotate_right(17));
+    }
+
+    #[test]
+    fn phase_trace_matches_table1_structure() {
+        let sig = Signature::new(vec![Type::I64], Type::I64);
+        let mut b = FunctionBuilder::new("f", sig);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let x = b.param(0);
+        let y = b.add(Type::I64, x, x);
+        b.ret(Some(y));
+        let mut m = Module::new("m");
+        m.push_function(b.finish());
+        let trace = TimeTrace::new();
+        let _ = CgenBackend::new(Isa::Tx64).compile(&m, &trace).unwrap();
+        let report = trace.report();
+        for phase in
+            ["cgen", "io", "cc1_parse", "cc1_gimplify", "cc1_optimize", "cc1_codegen", "as", "ld"]
+        {
+            assert!(report.total(phase).is_some(), "missing phase {phase}");
+        }
+    }
+
+    #[test]
+    fn generated_c_is_printable_and_reparseable() {
+        let sig = Signature::new(vec![Type::Ptr, Type::I64, Type::I64], Type::Void);
+        let mut b = FunctionBuilder::new("main_fn", sig);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let p = b.param(0);
+        let v = b.load(Type::I32, p, 4);
+        let w = b.sext(Type::I64, v);
+        b.store(Type::I64, p, w, 8);
+        b.ret(None);
+        let mut m = Module::new("m");
+        m.push_function(b.finish());
+        let text = print_c(&m);
+        assert!(text.contains("goto") || text.contains("return"), "{text}");
+        let trace = TimeTrace::disabled();
+        let reparsed = super::minicc::compile_c(&text, &trace).unwrap();
+        qc_ir::verify_module(&reparsed).unwrap();
+    }
+}

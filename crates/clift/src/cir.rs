@@ -1,0 +1,928 @@
+//! CIR: the Cranelift-analog intermediate representation.
+//!
+//! Mirrors the paper's description (Sec. VI): a small type set (scalar
+//! ints up to 128 bits, f64), **no pointer or aggregate types** (the
+//! front-end lowers `getelementptr` to integer arithmetic and strings to
+//! pairs of `i64`), block parameters instead of Φ-nodes, fixed-size
+//! instruction records in one contiguous array with an array-backed linked
+//! list for instruction order, and hard-wired addresses for external
+//! (runtime) calls.
+
+use qc_backend::BackendError;
+use qc_ir as qir;
+use qc_ir::{CastOp, CmpOp, InstData, Opcode};
+use qc_runtime::resolve_runtime;
+use std::collections::HashMap;
+
+/// CIR value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CTy {
+    /// 8-bit integer (also used for booleans).
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer (also addresses).
+    I64,
+    /// 128-bit integer.
+    I128,
+    /// 64-bit float.
+    F64,
+}
+
+/// A CIR value id.
+pub type CVal = u32;
+/// A CIR block id.
+pub type CBlock = u32;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CBinOp {
+    /// Wrapping add.
+    Iadd,
+    /// Wrapping subtract.
+    Isub,
+    /// Wrapping multiply.
+    Imul,
+    /// High half of unsigned 64×64 multiply.
+    UMulHi,
+    /// Signed division (traps).
+    Sdiv,
+    /// Unsigned division (traps).
+    Udiv,
+    /// Signed remainder.
+    Srem,
+    /// Unsigned remainder.
+    Urem,
+    /// Bitwise and/or/xor.
+    Band,
+    /// Bitwise or.
+    Bor,
+    /// Bitwise xor.
+    Bxor,
+    /// Shift left.
+    Ishl,
+    /// Logical shift right.
+    Ushr,
+    /// Arithmetic shift right.
+    Sshr,
+    /// Rotate right.
+    Rotr,
+    /// Trapping signed add (extension instruction, Table II).
+    SaddTrap,
+    /// Trapping signed subtract (extension instruction).
+    SsubTrap,
+    /// Trapping signed multiply (extension instruction).
+    SmulTrap,
+    /// Float add/sub/mul/div.
+    Fadd,
+    /// Float subtract.
+    Fsub,
+    /// Float multiply.
+    Fmul,
+    /// Float divide.
+    Fdiv,
+}
+
+/// One CIR instruction (fixed-size record).
+#[derive(Debug, Clone)]
+pub enum CInst {
+    /// Integer constant.
+    Iconst {
+        /// Value bits.
+        imm: i128,
+    },
+    /// Float constant.
+    Fconst {
+        /// Value.
+        imm: f64,
+    },
+    /// Binary operation (typed by its result value).
+    Bin {
+        /// Operator.
+        op: CBinOp,
+        /// Operands.
+        args: [CVal; 2],
+    },
+    /// Integer comparison (result `i8`).
+    Icmp {
+        /// Predicate.
+        cond: CmpOp,
+        /// Operands.
+        args: [CVal; 2],
+    },
+    /// Float comparison (result `i8`).
+    Fcmp {
+        /// Predicate.
+        cond: CmpOp,
+        /// Operands.
+        args: [CVal; 2],
+    },
+    /// Conditional select.
+    Select {
+        /// Condition (`i8`).
+        cond: CVal,
+        /// Operands.
+        args: [CVal; 2],
+    },
+    /// Memory load (typed by result); addresses are plain `i64`.
+    Load {
+        /// Address.
+        addr: CVal,
+        /// Displacement.
+        off: i32,
+    },
+    /// Memory store.
+    Store {
+        /// Stored type.
+        ty: CTy,
+        /// Address.
+        addr: CVal,
+        /// Value.
+        val: CVal,
+        /// Displacement.
+        off: i32,
+    },
+    /// Sign-extension (typed by result).
+    Sext {
+        /// Source.
+        arg: CVal,
+    },
+    /// Zero-extension (typed by result).
+    Uext {
+        /// Source.
+        arg: CVal,
+    },
+    /// Truncation (typed by result).
+    Ireduce {
+        /// Source.
+        arg: CVal,
+    },
+    /// Signed int to float.
+    SiToF {
+        /// Source.
+        arg: CVal,
+    },
+    /// Float to signed int (typed by result).
+    FToSi {
+        /// Source.
+        arg: CVal,
+    },
+    /// CRC-32 step (extension instruction).
+    Crc32 {
+        /// Accumulator and data.
+        args: [CVal; 2],
+    },
+    /// Call to a hard-wired external address.
+    Call {
+        /// Absolute callee address (runtime function).
+        addr: u64,
+        /// Arguments.
+        args: Vec<CVal>,
+        /// Whether the result is an `i128` pair (vs. one `i64`/none).
+        ret: Option<CTy>,
+    },
+    /// Address of another function in the module (fixup at finish).
+    FuncAddr {
+        /// Module function index.
+        func: usize,
+    },
+    /// Unconditional jump with block arguments.
+    Jump {
+        /// Destination.
+        dest: CBlock,
+        /// Arguments matched to the destination's block params.
+        args: Vec<CVal>,
+    },
+    /// Conditional branch (edges carry no arguments: the translator splits
+    /// critical edges with argument-carrying trampoline blocks).
+    Brif {
+        /// Condition (`i8`).
+        cond: CVal,
+        /// Destination when non-zero.
+        then_dest: CBlock,
+        /// Destination when zero.
+        else_dest: CBlock,
+    },
+    /// Return (0–2 values; an `i128` counts as one value).
+    Ret {
+        /// Returned values.
+        vals: Vec<CVal>,
+    },
+    /// Trap.
+    Trap {
+        /// Code (0 unreachable, 1 overflow).
+        code: u8,
+    },
+}
+
+impl CInst {
+    /// Whether the instruction has side effects (the ISel-prepare
+    /// partitioning criterion).
+    pub fn is_effectful(&self) -> bool {
+        matches!(
+            self,
+            CInst::Store { .. }
+                | CInst::Call { .. }
+                | CInst::Trap { .. }
+                | CInst::Jump { .. }
+                | CInst::Brif { .. }
+                | CInst::Ret { .. }
+        ) || matches!(
+            self,
+            CInst::Bin {
+                op: CBinOp::SaddTrap
+                    | CBinOp::SsubTrap
+                    | CBinOp::SmulTrap
+                    | CBinOp::Sdiv
+                    | CBinOp::Udiv
+                    | CBinOp::Srem
+                    | CBinOp::Urem,
+                ..
+            }
+        )
+    }
+
+    /// Whether this terminates a block.
+    #[allow(dead_code)]
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, CInst::Jump { .. } | CInst::Brif { .. } | CInst::Ret { .. } | CInst::Trap { .. })
+    }
+
+    /// Visits value operands.
+    pub fn for_each_arg(&self, mut f: impl FnMut(CVal)) {
+        match self {
+            CInst::Iconst { .. }
+            | CInst::Fconst { .. }
+            | CInst::FuncAddr { .. }
+            | CInst::Trap { .. } => {}
+            CInst::Bin { args, .. }
+            | CInst::Icmp { args, .. }
+            | CInst::Fcmp { args, .. }
+            | CInst::Crc32 { args } => {
+                f(args[0]);
+                f(args[1]);
+            }
+            CInst::Select { cond, args } => {
+                f(*cond);
+                f(args[0]);
+                f(args[1]);
+            }
+            CInst::Load { addr, .. } => f(*addr),
+            CInst::Store { addr, val, .. } => {
+                f(*addr);
+                f(*val);
+            }
+            CInst::Sext { arg }
+            | CInst::Uext { arg }
+            | CInst::Ireduce { arg }
+            | CInst::SiToF { arg }
+            | CInst::FToSi { arg } => f(*arg),
+            CInst::Call { args, .. } => args.iter().copied().for_each(f),
+            CInst::Jump { args, .. } => args.iter().copied().for_each(f),
+            CInst::Brif { cond, .. } => f(*cond),
+            CInst::Ret { vals } => vals.iter().copied().for_each(f),
+        }
+    }
+}
+
+/// One CIR function.
+///
+/// Instruction records live in `insts` (one contiguous array); each
+/// block's instruction order is an array-backed linked list through
+/// `next`, exactly the layout mix the paper describes.
+#[derive(Debug, Default)]
+pub struct CirFunc {
+    /// Function name.
+    pub name: String,
+    /// Parameter values (already flattened: strings are two `i64`s).
+    pub params: Vec<CVal>,
+    /// Value types (index = value id). Instruction results are values;
+    /// `inst_result[i]` maps instructions to them.
+    pub val_ty: Vec<CTy>,
+    /// Instruction records.
+    pub insts: Vec<CInst>,
+    /// Result value per instruction (`u32::MAX` = none).
+    pub inst_result: Vec<CVal>,
+    /// Array-backed linked list: next instruction within the block.
+    pub next: Vec<u32>,
+    /// Per block: (head, tail) into `insts`, `u32::MAX` when empty.
+    pub block_insts: Vec<(u32, u32)>,
+    /// Per block: parameter values.
+    pub block_params: Vec<Vec<CVal>>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl CirFunc {
+    /// Creates an empty function with one block.
+    pub fn new(name: &str) -> Self {
+        CirFunc {
+            name: name.to_string(),
+            block_insts: vec![(NONE, NONE)],
+            block_params: vec![Vec::new()],
+            ..Default::default()
+        }
+    }
+
+    /// Adds a value of type `ty`.
+    pub fn new_val(&mut self, ty: CTy) -> CVal {
+        self.val_ty.push(ty);
+        (self.val_ty.len() - 1) as CVal
+    }
+
+    /// Adds a block.
+    pub fn new_block(&mut self) -> CBlock {
+        self.block_insts.push((NONE, NONE));
+        self.block_params.push(Vec::new());
+        (self.block_insts.len() - 1) as CBlock
+    }
+
+    /// Appends an instruction to `block`, optionally producing a value of
+    /// `ty`.
+    pub fn push(&mut self, block: CBlock, inst: CInst, ty: Option<CTy>) -> Option<CVal> {
+        let idx = self.insts.len() as u32;
+        self.insts.push(inst);
+        self.next.push(NONE);
+        let result = ty.map(|t| self.new_val(t));
+        self.inst_result.push(result.unwrap_or(NONE));
+        let (head, tail) = self.block_insts[block as usize];
+        if head == NONE {
+            self.block_insts[block as usize] = (idx, idx);
+        } else {
+            self.next[tail as usize] = idx;
+            self.block_insts[block as usize] = (head, idx);
+        }
+        result
+    }
+
+    /// Iterates the instruction indices of `block` in order.
+    pub fn block_iter(&self, block: CBlock) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.block_insts[block as usize].0;
+        std::iter::from_fn(move || {
+            if cur == NONE {
+                return None;
+            }
+            let r = cur;
+            cur = self.next[cur as usize];
+            Some(r)
+        })
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_insts.len()
+    }
+
+    /// Successor blocks of `block`.
+    pub fn succs(&self, block: CBlock) -> Vec<CBlock> {
+        match self.block_iter(block).last().map(|i| &self.insts[i as usize]) {
+            Some(CInst::Jump { dest, .. }) => vec![*dest],
+            Some(CInst::Brif { then_dest, else_dest, .. }) => vec![*then_dest, *else_dest],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Mapping of one QIR value into CIR values.
+#[derive(Debug, Clone, Copy)]
+enum Mapped {
+    One(CVal),
+    /// Strings: (lo, hi) halves.
+    Pair(CVal, CVal),
+}
+
+/// Extension-instruction configuration (see `CliftExtensions`).
+#[derive(Debug, Clone, Copy)]
+pub struct ExtFlags {
+    /// Native crc32.
+    pub crc32: bool,
+    /// Native trapping arithmetic.
+    pub overflow_arith: bool,
+    /// Combined full multiplication.
+    pub mulfull: bool,
+}
+
+fn cty(ty: qir::Type) -> CTy {
+    match ty {
+        qir::Type::Bool | qir::Type::I8 => CTy::I8,
+        qir::Type::I16 => CTy::I16,
+        qir::Type::I32 => CTy::I32,
+        qir::Type::I64 | qir::Type::Ptr => CTy::I64,
+        qir::Type::I128 => CTy::I128,
+        qir::Type::F64 => CTy::F64,
+        qir::Type::String | qir::Type::Void => unreachable!("flattened earlier"),
+    }
+}
+
+fn rt_addr(name: &str) -> Result<u64, BackendError> {
+    resolve_runtime(name)
+        .ok_or_else(|| BackendError::new(format!("unknown runtime function `{name}`")))
+}
+
+/// Translates one QIR function to CIR ("IRGen", paper Fig. 4).
+///
+/// Pass 1 sets up metadata (blocks, block params); pass 2 translates
+/// instruction bodies, mapping QIR values through a hash map (the lookup
+/// cost the paper calls out explicitly).
+///
+/// # Errors
+/// Returns [`BackendError`] for unsupported constructs.
+pub fn translate(func: &qir::Function, ext: ExtFlags) -> Result<CirFunc, BackendError> {
+    let mut cir = CirFunc::new(&func.name);
+    let mut map: HashMap<qir::Value, Mapped> = HashMap::new();
+
+    // Pass 1: metadata — blocks, block params (from Φs), function params.
+    for b in func.blocks().skip(1) {
+        let _ = b;
+        cir.new_block();
+    }
+    for &p in func.params() {
+        match func.value_type(p) {
+            qir::Type::String => {
+                let lo = cir.new_val(CTy::I64);
+                let hi = cir.new_val(CTy::I64);
+                cir.params.push(lo);
+                cir.params.push(hi);
+                map.insert(p, Mapped::Pair(lo, hi));
+            }
+            t => {
+                let v = cir.new_val(cty(t));
+                cir.params.push(v);
+                map.insert(p, Mapped::One(v));
+            }
+        }
+    }
+    for block in func.blocks() {
+        for &inst in func.block_insts(block) {
+            if let InstData::Phi { ty, .. } = func.inst(inst) {
+                let res = func.inst_result(inst).expect("phi result");
+                let m = match ty {
+                    qir::Type::String => {
+                        let lo = cir.new_val(CTy::I64);
+                        let hi = cir.new_val(CTy::I64);
+                        cir.block_params[block.index()].push(lo);
+                        cir.block_params[block.index()].push(hi);
+                        Mapped::Pair(lo, hi)
+                    }
+                    t => {
+                        let v = cir.new_val(cty(*t));
+                        cir.block_params[block.index()].push(v);
+                        Mapped::One(v)
+                    }
+                };
+                map.insert(res, m);
+            } else {
+                break;
+            }
+        }
+    }
+
+    // Pass 2: translate bodies.
+    let mut tr = Translator { cir, map, ext, func };
+    for block in func.blocks() {
+        for &inst in func.block_insts(block) {
+            tr.translate_inst(block.index() as CBlock, inst)?;
+        }
+    }
+    Ok(tr.cir)
+}
+
+struct Translator<'f> {
+    cir: CirFunc,
+    map: HashMap<qir::Value, Mapped>,
+    ext: ExtFlags,
+    func: &'f qir::Function,
+}
+
+impl Translator<'_> {
+    fn one(&self, v: qir::Value) -> CVal {
+        match self.map[&v] {
+            Mapped::One(c) => c,
+            Mapped::Pair(..) => panic!("expected scalar mapping for {v}"),
+        }
+    }
+
+    fn pair(&self, v: qir::Value) -> (CVal, CVal) {
+        match self.map[&v] {
+            Mapped::Pair(lo, hi) => (lo, hi),
+            Mapped::One(_) => panic!("expected pair mapping for {v}"),
+        }
+    }
+
+    /// Flattened CIR args for the edge into `dest` (Φ operands).
+    fn edge_args(&self, pred: qir::Block, dest: qir::Block) -> Vec<CVal> {
+        let mut out = Vec::new();
+        for &inst in self.func.block_insts(dest) {
+            if let InstData::Phi { pairs, ty } = self.func.inst(inst) {
+                let &(_, src) = pairs
+                    .iter()
+                    .find(|&&(b, _)| b == pred)
+                    .expect("verified phi");
+                match ty {
+                    qir::Type::String => {
+                        let (lo, hi) = self.pair(src);
+                        out.push(lo);
+                        out.push(hi);
+                    }
+                    _ => out.push(self.one(src)),
+                }
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Emits a jump edge, splitting through a trampoline when needed for
+    /// conditional branches.
+    fn branch_target(&mut self, pred: qir::Block, dest: qir::Block) -> CBlock {
+        let args = self.edge_args(pred, dest);
+        if args.is_empty() {
+            return dest.index() as CBlock;
+        }
+        // Critical-edge split: trampoline block carrying the args.
+        let t = self.cir.new_block();
+        self.cir.push(t, CInst::Jump { dest: dest.index() as CBlock, args }, None);
+        t
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn translate_inst(&mut self, cb: CBlock, inst: qir::Inst) -> Result<(), BackendError> {
+        let data = self.func.inst(inst).clone();
+        let result = self.func.inst_result(inst);
+        match data {
+            InstData::Phi { .. } => {} // block params
+            InstData::IConst { ty, imm } => {
+                let v = self
+                    .cir
+                    .push(cb, CInst::Iconst { imm }, Some(cty(ty)))
+                    .expect("value");
+                self.map.insert(result.expect("result"), Mapped::One(v));
+            }
+            InstData::FConst { imm } => {
+                let v = self.cir.push(cb, CInst::Fconst { imm }, Some(CTy::F64)).expect("value");
+                self.map.insert(result.expect("result"), Mapped::One(v));
+            }
+            InstData::Binary { op, ty, args } => {
+                let r = result.expect("result");
+                let (a, b) = (self.one(args[0]), self.one(args[1]));
+                let t = cty(ty);
+                let v = match op {
+                    Opcode::Add => self.bin(cb, CBinOp::Iadd, a, b, t),
+                    Opcode::Sub => self.bin(cb, CBinOp::Isub, a, b, t),
+                    Opcode::Mul => self.bin(cb, CBinOp::Imul, a, b, t),
+                    Opcode::And => self.bin(cb, CBinOp::Band, a, b, t),
+                    Opcode::Or => self.bin(cb, CBinOp::Bor, a, b, t),
+                    Opcode::Xor => self.bin(cb, CBinOp::Bxor, a, b, t),
+                    Opcode::Shl => self.bin(cb, CBinOp::Ishl, a, b, t),
+                    Opcode::LShr => self.bin(cb, CBinOp::Ushr, a, b, t),
+                    Opcode::AShr => self.bin(cb, CBinOp::Sshr, a, b, t),
+                    Opcode::RotR => self.bin(cb, CBinOp::Rotr, a, b, t),
+                    Opcode::UDiv => self.bin(cb, CBinOp::Udiv, a, b, t),
+                    Opcode::URem => self.bin(cb, CBinOp::Urem, a, b, t),
+                    Opcode::SRem if t != CTy::I128 => self.bin(cb, CBinOp::Srem, a, b, t),
+                    Opcode::SRem => {
+                        return Err(BackendError::new("clift: srem at i128 unsupported"));
+                    }
+                    Opcode::SDiv if t != CTy::I128 => self.bin(cb, CBinOp::Sdiv, a, b, t),
+                    Opcode::SDiv => self.call_rt(cb, "rt_i128_div", vec![a, b], Some(t))?,
+                    Opcode::FAdd => self.bin(cb, CBinOp::Fadd, a, b, t),
+                    Opcode::FSub => self.bin(cb, CBinOp::Fsub, a, b, t),
+                    Opcode::FMul => self.bin(cb, CBinOp::Fmul, a, b, t),
+                    Opcode::FDiv => self.bin(cb, CBinOp::Fdiv, a, b, t),
+                    Opcode::SAddTrap | Opcode::SSubTrap | Opcode::SMulTrap => {
+                        self.trapping(cb, op, a, b, t)?
+                    }
+                    Opcode::SAddOvf | Opcode::SSubOvf | Opcode::SMulOvf => {
+                        return Err(BackendError::new(
+                            "clift: overflow-flag variants are not used by the query compiler",
+                        ));
+                    }
+                };
+                self.map.insert(r, Mapped::One(v));
+            }
+            InstData::Cmp { op, ty, args } => {
+                let v = self
+                    .cir
+                    .push(
+                        cb,
+                        CInst::Icmp { cond: op, args: [self.one(args[0]), self.one(args[1])] },
+                        Some(CTy::I8),
+                    )
+                    .expect("value");
+                let _ = ty;
+                self.map.insert(result.expect("result"), Mapped::One(v));
+            }
+            InstData::FCmp { op, args } => {
+                let v = self
+                    .cir
+                    .push(
+                        cb,
+                        CInst::Fcmp { cond: op, args: [self.one(args[0]), self.one(args[1])] },
+                        Some(CTy::I8),
+                    )
+                    .expect("value");
+                self.map.insert(result.expect("result"), Mapped::One(v));
+            }
+            InstData::Cast { op, to, arg } => {
+                let r = result.expect("result");
+                let from = self.func.value_type(arg);
+                let v = match (op, from) {
+                    (_, qir::Type::String) => {
+                        return Err(BackendError::new("cast on string"));
+                    }
+                    (CastOp::Zext, _) => {
+                        let a = self.one(arg);
+                        self.cir.push(cb, CInst::Uext { arg: a }, Some(cty(to))).expect("v")
+                    }
+                    (CastOp::Sext, _) => {
+                        let a = self.one(arg);
+                        self.cir.push(cb, CInst::Sext { arg: a }, Some(cty(to))).expect("v")
+                    }
+                    (CastOp::Trunc, _) => {
+                        let a = self.one(arg);
+                        self.cir.push(cb, CInst::Ireduce { arg: a }, Some(cty(to))).expect("v")
+                    }
+                    (CastOp::SiToF, _) => {
+                        let a = self.one(arg);
+                        self.cir.push(cb, CInst::SiToF { arg: a }, Some(CTy::F64)).expect("v")
+                    }
+                    (CastOp::FToSi, _) => {
+                        let a = self.one(arg);
+                        self.cir.push(cb, CInst::FToSi { arg: a }, Some(cty(to))).expect("v")
+                    }
+                };
+                self.map.insert(r, Mapped::One(v));
+            }
+            InstData::Crc32 { args } => {
+                let r = result.expect("result");
+                let (a, b) = (self.one(args[0]), self.one(args[1]));
+                let v = if self.ext.crc32 {
+                    self.cir.push(cb, CInst::Crc32 { args: [a, b] }, Some(CTy::I64)).expect("v")
+                } else {
+                    self.call_rt(cb, "rt_crc32", vec![a, b], Some(CTy::I64))?
+                };
+                self.map.insert(r, Mapped::One(v));
+            }
+            InstData::LongMulFold { args } => {
+                let r = result.expect("result");
+                let (a, b) = (self.one(args[0]), self.one(args[1]));
+                let v = if self.ext.mulfull {
+                    // Single combined multiplication: lo/hi in one go,
+                    // modelled as UMulHi fused at lowering via a marker.
+                    let lo = self.bin(cb, CBinOp::Imul, a, b, CTy::I64);
+                    let hi = self.bin(cb, CBinOp::UMulHi, a, b, CTy::I64);
+                    // The lowering pattern-matches Imul+UMulHi with the
+                    // same operands into one MulFull when enabled.
+                    self.bin(cb, CBinOp::Bxor, lo, hi, CTy::I64)
+                } else {
+                    let lo = self.bin(cb, CBinOp::Imul, a, b, CTy::I64);
+                    let hi = self.bin(cb, CBinOp::UMulHi, a, b, CTy::I64);
+                    self.bin(cb, CBinOp::Bxor, lo, hi, CTy::I64)
+                };
+                self.map.insert(r, Mapped::One(v));
+            }
+            InstData::Select { ty, cond, if_true, if_false } => {
+                let r = result.expect("result");
+                let c = self.one(cond);
+                match ty {
+                    qir::Type::String => {
+                        let (tl, th) = self.pair(if_true);
+                        let (fl, fh) = self.pair(if_false);
+                        let lo = self
+                            .cir
+                            .push(cb, CInst::Select { cond: c, args: [tl, fl] }, Some(CTy::I64))
+                            .expect("v");
+                        let hi = self
+                            .cir
+                            .push(cb, CInst::Select { cond: c, args: [th, fh] }, Some(CTy::I64))
+                            .expect("v");
+                        self.map.insert(r, Mapped::Pair(lo, hi));
+                    }
+                    t => {
+                        let (a, b) = (self.one(if_true), self.one(if_false));
+                        let v = self
+                            .cir
+                            .push(cb, CInst::Select { cond: c, args: [a, b] }, Some(cty(t)))
+                            .expect("v");
+                        self.map.insert(r, Mapped::One(v));
+                    }
+                }
+            }
+            InstData::Load { ty, ptr, offset } => {
+                let r = result.expect("result");
+                let a = self.one(ptr);
+                match ty {
+                    qir::Type::String => {
+                        let lo = self
+                            .cir
+                            .push(cb, CInst::Load { addr: a, off: offset }, Some(CTy::I64))
+                            .expect("v");
+                        let hi = self
+                            .cir
+                            .push(cb, CInst::Load { addr: a, off: offset + 8 }, Some(CTy::I64))
+                            .expect("v");
+                        self.map.insert(r, Mapped::Pair(lo, hi));
+                    }
+                    t => {
+                        let v = self
+                            .cir
+                            .push(cb, CInst::Load { addr: a, off: offset }, Some(cty(t)))
+                            .expect("v");
+                        self.map.insert(r, Mapped::One(v));
+                    }
+                }
+            }
+            InstData::Store { ty, ptr, value, offset } => {
+                let a = self.one(ptr);
+                match ty {
+                    qir::Type::String => {
+                        let (lo, hi) = self.pair(value);
+                        self.cir.push(
+                            cb,
+                            CInst::Store { ty: CTy::I64, addr: a, val: lo, off: offset },
+                            None,
+                        );
+                        self.cir.push(
+                            cb,
+                            CInst::Store { ty: CTy::I64, addr: a, val: hi, off: offset + 8 },
+                            None,
+                        );
+                    }
+                    t => {
+                        let v = self.one(value);
+                        self.cir.push(
+                            cb,
+                            CInst::Store { ty: cty(t), addr: a, val: v, off: offset },
+                            None,
+                        );
+                    }
+                }
+            }
+            InstData::Gep { base, offset, index, scale } => {
+                // No pointers in CIR: plain integer arithmetic.
+                let r = result.expect("result");
+                let mut cur = self.one(base);
+                if let Some(i) = index {
+                    let iv = self.one(i);
+                    let sc = self
+                        .cir
+                        .push(cb, CInst::Iconst { imm: scale as i128 }, Some(CTy::I64))
+                        .expect("v");
+                    let scaled = self.bin(cb, CBinOp::Imul, iv, sc, CTy::I64);
+                    cur = self.bin(cb, CBinOp::Iadd, cur, scaled, CTy::I64);
+                }
+                if offset != 0 {
+                    let oc = self
+                        .cir
+                        .push(cb, CInst::Iconst { imm: offset as i128 }, Some(CTy::I64))
+                        .expect("v");
+                    cur = self.bin(cb, CBinOp::Iadd, cur, oc, CTy::I64);
+                }
+                self.map.insert(r, Mapped::One(cur));
+            }
+            InstData::StackAddr { .. } => {
+                return Err(BackendError::new(
+                    "clift: stack slots are unsupported (query code does not use them)",
+                ));
+            }
+            InstData::Call { callee, args } => {
+                let decl = self.func.ext_func(callee).clone();
+                let addr = rt_addr(&decl.name)?;
+                let mut flat = Vec::new();
+                for &a in &args {
+                    match self.func.value_type(a) {
+                        qir::Type::String => {
+                            let (lo, hi) = self.pair(a);
+                            flat.push(lo);
+                            flat.push(hi);
+                        }
+                        _ => flat.push(self.one(a)),
+                    }
+                }
+                match decl.sig.ret {
+                    qir::Type::Void => {
+                        self.cir.push(cb, CInst::Call { addr, args: flat, ret: None }, None);
+                    }
+                    qir::Type::String => {
+                        return Err(BackendError::new("clift: string-returning runtime call"));
+                    }
+                    t => {
+                        let ct = cty(t);
+                        let v = self
+                            .cir
+                            .push(cb, CInst::Call { addr, args: flat, ret: Some(ct) }, Some(ct))
+                            .expect("v");
+                        self.map.insert(result.expect("result"), Mapped::One(v));
+                    }
+                }
+            }
+            InstData::FuncAddr { func } => {
+                let v = self
+                    .cir
+                    .push(cb, CInst::FuncAddr { func: func.index() }, Some(CTy::I64))
+                    .expect("v");
+                self.map.insert(result.expect("result"), Mapped::One(v));
+            }
+            InstData::Jump { dest } => {
+                let args = self.edge_args(qir::Block::new(cb as usize), dest);
+                self.cir.push(cb, CInst::Jump { dest: dest.index() as CBlock, args }, None);
+            }
+            InstData::Branch { cond, then_dest, else_dest } => {
+                let c = self.one(cond);
+                let pred = qir::Block::new(cb as usize);
+                let t = self.branch_target(pred, then_dest);
+                let f = self.branch_target(pred, else_dest);
+                self.cir.push(cb, CInst::Brif { cond: c, then_dest: t, else_dest: f }, None);
+            }
+            InstData::Return { value } => {
+                let vals = match value {
+                    None => Vec::new(),
+                    Some(v) => match self.func.value_type(v) {
+                        qir::Type::String => {
+                            let (lo, hi) = self.pair(v);
+                            vec![lo, hi]
+                        }
+                        _ => vec![self.one(v)],
+                    },
+                };
+                self.cir.push(cb, CInst::Ret { vals }, None);
+            }
+            InstData::Unreachable => {
+                self.cir.push(cb, CInst::Trap { code: 0 }, None);
+            }
+        }
+        Ok(())
+    }
+
+    fn bin(&mut self, cb: CBlock, op: CBinOp, a: CVal, b: CVal, ty: CTy) -> CVal {
+        self.cir.push(cb, CInst::Bin { op, args: [a, b] }, Some(ty)).expect("value")
+    }
+
+    fn call_rt(
+        &mut self,
+        cb: CBlock,
+        name: &str,
+        args: Vec<CVal>,
+        ret: Option<CTy>,
+    ) -> Result<CVal, BackendError> {
+        let addr = rt_addr(name)?;
+        Ok(self
+            .cir
+            .push(cb, CInst::Call { addr, args, ret }, ret)
+            .expect("call result"))
+    }
+
+    fn trapping(
+        &mut self,
+        cb: CBlock,
+        op: Opcode,
+        a: CVal,
+        b: CVal,
+        t: CTy,
+    ) -> Result<CVal, BackendError> {
+        if t == CTy::I128 {
+            // 128-bit trapping arithmetic: native add/sub when the
+            // extension instructions exist, helper calls otherwise;
+            // multiplication always goes through the hand-optimized helper.
+            return match op {
+                Opcode::SMulTrap => self.call_rt(cb, "rt_mul128_ovf", vec![a, b], Some(t)),
+                Opcode::SAddTrap if self.ext.overflow_arith => {
+                    Ok(self.bin(cb, CBinOp::SaddTrap, a, b, t))
+                }
+                Opcode::SSubTrap if self.ext.overflow_arith => {
+                    Ok(self.bin(cb, CBinOp::SsubTrap, a, b, t))
+                }
+                Opcode::SAddTrap => self.call_rt(cb, "rt_add128_ovf", vec![a, b], Some(t)),
+                Opcode::SSubTrap => self.call_rt(cb, "rt_sub128_ovf", vec![a, b], Some(t)),
+                _ => unreachable!(),
+            };
+        }
+        if self.ext.overflow_arith {
+            let cop = match op {
+                Opcode::SAddTrap => CBinOp::SaddTrap,
+                Opcode::SSubTrap => CBinOp::SsubTrap,
+                Opcode::SMulTrap => CBinOp::SmulTrap,
+                _ => unreachable!(),
+            };
+            Ok(self.bin(cb, cop, a, b, t))
+        } else {
+            // Helper calls operate at 64 bits; narrower types widen first.
+            // (Query code only uses 64/128-bit trapping arithmetic.)
+            let helper = match op {
+                Opcode::SAddTrap => "rt_sadd_ovf",
+                Opcode::SSubTrap => "rt_ssub_ovf",
+                Opcode::SMulTrap => "rt_smul_ovf",
+                _ => unreachable!(),
+            };
+            if t != CTy::I64 {
+                return Err(BackendError::new(
+                    "clift: narrow trapping arithmetic without extension instructions",
+                ));
+            }
+            self.call_rt(cb, helper, vec![a, b], Some(t))
+        }
+    }
+}

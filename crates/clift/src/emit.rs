@@ -1,0 +1,57 @@
+//! Machine-code emission from allocated VCode (paper Sec. VI-C4).
+//!
+//! Before encoding, two preparation passes run over all instructions, as
+//! the paper describes: one computing the function's clobbered registers
+//! from the register allocations, and one estimating block sizes with the
+//! over-approximated maximum instruction length (15 bytes) plus the moves
+//! the register allocator inserted, to decide about veneers.
+
+use qc_backend::memit::MirEmitter;
+use qc_backend::mir::{Allocation, Loc, MInst, VCode};
+use qc_backend::{BackendError, CompileStats};
+use qc_target::Isa;
+
+/// Emits one function, returning its code, relocations, and frame size.
+pub fn emit(
+    vcode: &VCode,
+    alloc: &Allocation,
+    isa: Isa,
+    func_names: &[String],
+    stats: &mut CompileStats,
+) -> Result<(Vec<u8>, Vec<qc_target::Reloc>, u32), BackendError> {
+    // --- Pre-pass 1: clobbered registers. ---
+    let mut clobbered = 0u64;
+    for insts in &vcode.blocks {
+        for inst in insts {
+            inst.for_each_def(|v| match alloc.locs[v as usize] {
+                Loc::R(r) => clobbered |= 1 << r.num(),
+                Loc::F(f) => clobbered |= 1 << (32 + f.num()),
+                Loc::Spill(_) => {}
+            });
+        }
+    }
+    stats.bump("clobber_bits", clobbered.count_ones() as u64);
+
+    // --- Pre-pass 2: veneer size estimation (15-byte over-approximation
+    // plus allocator-inserted moves). ---
+    let mut est = 0u64;
+    for insts in &vcode.blocks {
+        for inst in insts {
+            est += 15;
+            if let MInst::ParMove { moves } = inst {
+                est += 15 * moves.len() as u64;
+            }
+        }
+    }
+    stats.bump("estimated_bytes", est);
+
+    let mut e = MirEmitter::new(isa, alloc, func_names, vcode.blocks.len(), 0);
+    e.prologue(&vcode.params);
+    for (b, insts) in vcode.blocks.iter().enumerate() {
+        e.bind_block(b);
+        for inst in insts {
+            e.emit_inst(inst)?;
+        }
+    }
+    Ok(e.finish())
+}

@@ -1,0 +1,119 @@
+//! Property tests on the linear-scan register allocator: on straight-line
+//! code without move coalescing, two values that are simultaneously live
+//! must never share a physical register, and every spill location must be
+//! inside the reported frame.
+
+use proptest::prelude::*;
+use qc_backend::mir::{Loc, MInst, VCode, VReg};
+use qc_clift::allocate;
+use qc_target::{AluOp, Isa, Width};
+
+/// Builds straight-line three-address code: two params, then `n` ALU
+/// instructions each defining a fresh vreg from two earlier ones (no
+/// register-register moves, so no bundles are merged), ending in a
+/// return of the last value.
+fn straightline(picks: &[(usize, usize)]) -> VCode {
+    let mut insts = Vec::new();
+    let mut next: VReg = 2;
+    for &(a, b) in picks {
+        let s1 = (a % next as usize) as VReg;
+        let s2 = (b % next as usize) as VReg;
+        insts.push(MInst::Alu {
+            op: AluOp::Add,
+            w: Width::W64,
+            sf: false,
+            d: next,
+            s1,
+            s2,
+        });
+        next += 1;
+    }
+    insts.push(MInst::Ret { vals: vec![next - 1] });
+    VCode {
+        name: "f".to_string(),
+        blocks: vec![insts],
+        succs: vec![vec![]],
+        classes: vec![qc_backend::mir::RegClass::Int; next as usize],
+        params: vec![0, 1],
+        fusions: (0, 0),
+    }
+}
+
+/// Def index and last-use index of every vreg, by linear scan over the
+/// single block (params are defined before the first instruction).
+fn ranges(vcode: &VCode) -> Vec<(usize, usize)> {
+    let n = vcode.classes.len();
+    let mut def = vec![0usize; n];
+    let mut last = vec![0usize; n];
+    for (i, inst) in vcode.blocks[0].iter().enumerate() {
+        inst.for_each_def(|v| def[v as usize] = i + 1);
+        inst.for_each_use(|v| last[v as usize] = last[v as usize].max(i + 1));
+    }
+    def.into_iter().zip(last).collect()
+}
+
+fn check_no_overlap(vcode: &VCode, isa: Isa) -> Result<(), String> {
+    let alloc = allocate(vcode, isa);
+    let rs = ranges(vcode);
+    for a in 0..rs.len() {
+        for b in (a + 1)..rs.len() {
+            let (Loc::R(ra), Loc::R(rb)) = (alloc.locs[a], alloc.locs[b]) else {
+                continue;
+            };
+            if ra != rb {
+                continue;
+            }
+            // Straight-line interference: b is defined while a is live.
+            let ((da, la), (db, lb)) = (rs[a], rs[b]);
+            let interfere = da < db && db < la || db < da && da < lb;
+            if interfere {
+                return Err(format!(
+                    "{isa:?}: v{a} (def {da}, last {la}) and v{b} (def {db}, last {lb}) \
+                     both in {ra:?}"
+                ));
+            }
+        }
+    }
+    for loc in &alloc.locs {
+        if let Loc::Spill(s) = loc {
+            if *s >= alloc.spill_slots {
+                return Err(format!("{isa:?}: spill slot {s} >= {}", alloc.spill_slots));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn no_two_live_values_share_a_register(
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..80),
+    ) {
+        let vcode = straightline(&picks);
+        for isa in [Isa::Tx64, Isa::Ta64] {
+            if let Err(e) = check_no_overlap(&vcode, isa) {
+                prop_assert!(false, "{e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn high_pressure_forces_spills() {
+    // 64 values defined up front, all used at the end: far beyond both
+    // register files, so the allocator must report spills.
+    let picks: Vec<(usize, usize)> = (0..64).map(|_| (0, 1)).collect();
+    let mut all: Vec<(usize, usize)> = picks;
+    // Chain the earlier values back in so their ranges extend to the end.
+    for i in 0..60 {
+        all.push((2 + i, 3 + i));
+    }
+    let vcode = straightline(&all);
+    for isa in [Isa::Tx64, Isa::Ta64] {
+        let alloc = allocate(&vcode, isa);
+        assert!(alloc.spills > 0, "{isa:?}: expected spills under pressure");
+        check_no_overlap(&vcode, isa).unwrap();
+    }
+}

@@ -1,0 +1,100 @@
+//! Adaptive back-end selection (paper Sec. III-C).
+//!
+//! Umbra starts every compilation with the low-latency DirectEmit back-end;
+//! after a function has executed a few times, a heuristic on code size and
+//! observed cost decides whether an optimized (LLVM) compilation pays off.
+//! Morsel-driven execution makes switching trivial: the next morsel simply
+//! calls the newly compiled function.
+
+use crate::engine::{Engine, EngineError, ExecutionResult, PreparedQuery};
+use qc_backend::Backend;
+use qc_timing::TimeTrace;
+
+/// Outcome of an adaptive execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveOutcome {
+    /// The cheap tier was sufficient.
+    StayedCheap,
+    /// The query was recompiled with the optimizing tier.
+    TieredUp,
+}
+
+/// Adaptive two-tier execution: a cheap tier compiles immediately; the
+/// optimizing tier is used when the size×work heuristic predicts a win.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveExecution {
+    /// Estimated executions of the query (morsels × repetitions).
+    pub expected_executions: u64,
+    /// Cycles-per-IR-instruction threshold above which optimized
+    /// compilation is considered beneficial.
+    pub benefit_threshold: u64,
+}
+
+impl Default for AdaptiveExecution {
+    fn default() -> Self {
+        AdaptiveExecution { expected_executions: 1, benefit_threshold: 20_000 }
+    }
+}
+
+impl AdaptiveExecution {
+    /// Creates the policy with default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's "simple heuristic on the code size and benefit": decide
+    /// whether the optimizing tier should be started for a query of
+    /// `ir_size` IR instructions that cost `observed_cycles` in the cheap
+    /// tier.
+    pub fn should_tier_up(&self, ir_size: usize, observed_cycles: u64) -> bool {
+        // Optimized compilation cost grows with code size; benefit grows
+        // with executed work. Tier up when remaining work dwarfs it.
+        let est_compile_cost = (ir_size as u64) * self.benefit_threshold;
+        observed_cycles.saturating_mul(self.expected_executions) > est_compile_cost
+    }
+
+    /// Runs a prepared query adaptively: executes in the cheap tier, then
+    /// (if the heuristic fires) recompiles with the optimizing tier and
+    /// re-executes.
+    ///
+    /// Returns the final result, the outcome, and the total compile time
+    /// spent across tiers.
+    ///
+    /// # Errors
+    /// Propagates compilation and execution errors.
+    pub fn run(
+        &self,
+        engine: &Engine<'_>,
+        prepared: &PreparedQuery,
+        cheap: &dyn Backend,
+        optimized: &dyn Backend,
+    ) -> Result<(ExecutionResult, AdaptiveOutcome), EngineError> {
+        let trace = TimeTrace::disabled();
+        let mut compiled = engine.compile(prepared, cheap, &trace)?;
+        let first = engine.execute(prepared, &mut compiled)?;
+        if !self.should_tier_up(prepared.ir_size(), first.exec_stats.cycles) {
+            return Ok((first, AdaptiveOutcome::StayedCheap));
+        }
+        let mut opt = engine.compile(prepared, optimized, &trace)?;
+        let mut second = engine.execute(prepared, &mut opt)?;
+        second.compile_time += first.compile_time;
+        Ok((second, AdaptiveOutcome::TieredUp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_scales_with_work_and_size() {
+        let policy = AdaptiveExecution::default();
+        // Small query, little work: stay cheap.
+        assert!(!policy.should_tier_up(1000, 100_000));
+        // Same query, huge work: tier up.
+        assert!(policy.should_tier_up(1000, 100_000_000));
+        // Many expected repetitions shift the tradeoff.
+        let hot = AdaptiveExecution { expected_executions: 1000, ..Default::default() };
+        assert!(hot.should_tier_up(1000, 100_000));
+    }
+}

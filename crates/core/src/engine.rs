@@ -1,0 +1,470 @@
+//! Query preparation, compilation, and morsel-wise execution.
+
+use qc_backend::{Backend, BackendError, CompileStats, Executable};
+use qc_codegen::{generate, GeneratedQuery};
+use qc_plan::{CtxEntry, PhysicalPlan, PlanError, PlanNode, RowLayout, Source};
+use qc_runtime::{RtString, RuntimeState, SqlValue};
+use qc_storage::{ColumnType, Database};
+use qc_target::{ExecStats, Trap};
+use qc_timing::TimeTrace;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Error produced by engine operations.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Planning/decomposition failed.
+    Plan(PlanError),
+    /// A back-end rejected a module.
+    Backend(BackendError),
+    /// Execution trapped.
+    Trap(Trap),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plan(e) => write!(f, "{e}"),
+            EngineError::Backend(e) => write!(f, "{e}"),
+            EngineError::Trap(t) => write!(f, "execution trapped: {t}"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+impl From<BackendError> for EngineError {
+    fn from(e: BackendError) -> Self {
+        EngineError::Backend(e)
+    }
+}
+impl From<Trap> for EngineError {
+    fn from(t: Trap) -> Self {
+        EngineError::Trap(t)
+    }
+}
+
+/// A planned query: physical pipelines plus their generated IR.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// Query name (used in module names).
+    pub name: String,
+    /// The pipeline decomposition.
+    pub plan: PhysicalPlan,
+    /// Generated IR, one module per pipeline.
+    pub ir: GeneratedQuery,
+}
+
+impl PreparedQuery {
+    /// Total IR instruction count across all pipelines (the adaptive
+    /// compiler's code-size heuristic input).
+    pub fn ir_size(&self) -> usize {
+        self.ir
+            .modules
+            .iter()
+            .flat_map(|m| m.functions())
+            .map(qc_ir::Function::num_insts)
+            .sum()
+    }
+}
+
+/// A compiled query: one executable per pipeline.
+pub struct CompiledQuery {
+    /// Executables in pipeline order.
+    pub executables: Vec<Box<dyn Executable>>,
+    /// Wall-clock compile time (sum over pipelines).
+    pub compile_time: Duration,
+    /// Merged compile statistics.
+    pub compile_stats: CompileStats,
+    /// Name of the back-end used.
+    pub backend_name: &'static str,
+}
+
+impl fmt::Debug for CompiledQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CompiledQuery({} pipelines, {:?}, {})",
+            self.executables.len(),
+            self.compile_time,
+            self.backend_name
+        )
+    }
+}
+
+/// Result of executing a query.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    /// Output rows.
+    pub rows: Vec<Vec<SqlValue>>,
+    /// Deterministic execution cost (cycles/instructions).
+    pub exec_stats: ExecStats,
+    /// Wall-clock compile time.
+    pub compile_time: Duration,
+    /// Merged compile statistics.
+    pub compile_stats: CompileStats,
+}
+
+/// The execution engine over one database.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine<'db> {
+    db: &'db Database,
+    /// Rows per morsel for base-table scans.
+    pub morsel_size: usize,
+}
+
+impl<'db> Engine<'db> {
+    /// Creates an engine over `db`.
+    pub fn new(db: &'db Database) -> Self {
+        Engine { db, morsel_size: 2048 }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Plans a query and generates its IR.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Plan`] for schema/type errors.
+    pub fn prepare(&self, plan: &PlanNode, name: &str) -> Result<PreparedQuery, EngineError> {
+        let catalog = |t: &str| {
+            self.db
+                .table(t)
+                .map(|t| t.schema.iter().map(|(n, ty)| (n.to_string(), ty)).collect())
+        };
+        let phys = PhysicalPlan::decompose(plan, &catalog)?;
+        let ir = generate(&phys, name);
+        Ok(PreparedQuery { name: name.to_string(), plan: phys, ir })
+    }
+
+    /// Compiles a prepared query with `backend`, measuring wall-clock time.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Backend`] when a module is rejected.
+    pub fn compile(
+        &self,
+        prepared: &PreparedQuery,
+        backend: &dyn Backend,
+        trace: &TimeTrace,
+    ) -> Result<CompiledQuery, EngineError> {
+        let start = Instant::now();
+        let mut executables = Vec::with_capacity(prepared.ir.modules.len());
+        let mut stats = CompileStats::default();
+        for module in &prepared.ir.modules {
+            let exe = backend.compile(module, trace)?;
+            stats.merge(exe.compile_stats());
+            executables.push(exe);
+        }
+        Ok(CompiledQuery {
+            executables,
+            compile_time: start.elapsed(),
+            compile_stats: stats,
+            backend_name: backend.name(),
+        })
+    }
+
+    /// Executes a compiled query, returning decoded rows and cycle costs.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Trap`] when generated code traps.
+    pub fn execute(
+        &self,
+        prepared: &PreparedQuery,
+        compiled: &mut CompiledQuery,
+    ) -> Result<ExecutionResult, EngineError> {
+        let mut state = RuntimeState::new();
+        let plan = &prepared.plan;
+
+        // Build and fill the query context block.
+        let mut ctx = vec![0u8; plan.ctx_size().max(8)];
+        for entry in &plan.ctx {
+            let off = plan.ctx_offset(entry) as usize;
+            match entry {
+                CtxEntry::ColumnBase { table, column } => {
+                    let t = self
+                        .db
+                        .table(table)
+                        .unwrap_or_else(|| panic!("table `{table}` vanished"));
+                    let base = t.column_by_name(column).base_addr();
+                    ctx[off..off + 8].copy_from_slice(&base.to_le_bytes());
+                }
+                CtxEntry::StrConst(i) => {
+                    let s = state.intern_string(&plan.str_literals[*i]);
+                    ctx[off..off + 8].copy_from_slice(&s.lo.to_le_bytes());
+                    ctx[off + 8..off + 16].copy_from_slice(&s.hi.to_le_bytes());
+                }
+                _ => {} // handles are written by generated setup functions
+            }
+        }
+        let ctx_addr = ctx.as_ptr() as u64;
+
+        let exec_before: u64 = compiled.executables.iter().map(|e| e.exec_stats().cycles).sum();
+        let insts_before: u64 = compiled.executables.iter().map(|e| e.exec_stats().insts).sum();
+
+        for (pipe, exe) in plan.pipelines.iter().zip(compiled.executables.iter_mut()) {
+            exe.call(&mut state, "setup", &[ctx_addr])?;
+            // Determine the scan range.
+            let (total, morsel) = match &pipe.source {
+                Source::Table { name, .. } => {
+                    let rows = self
+                        .db
+                        .table(name)
+                        .map(qc_storage::Table::row_count)
+                        .unwrap_or(0);
+                    (rows as u64, self.morsel_size as u64)
+                }
+                Source::Buffer { buffer, limit, .. } => {
+                    let off = plan.ctx_offset(buffer) as usize;
+                    let handle =
+                        u64::from_le_bytes(ctx[off..off + 8].try_into().expect("8 bytes"));
+                    let len = state.buffer(handle).len() as u64;
+                    let len = match limit {
+                        Some(l) => len.min(*l as u64),
+                        None => len,
+                    };
+                    (len, len.max(1)) // buffer scans run as one morsel
+                }
+            };
+            let mut start = 0u64;
+            while start < total {
+                let count = morsel.min(total - start);
+                exe.call(&mut state, "main", &[ctx_addr, start, count])?;
+                start += count;
+            }
+            exe.call(&mut state, "finish", &[ctx_addr])?;
+        }
+
+        // Decode the output buffer.
+        let out_off = plan.ctx_offset(&CtxEntry::OutputBuf) as usize;
+        let out_handle =
+            u64::from_le_bytes(ctx[out_off..out_off + 8].try_into().expect("8 bytes"));
+        let rows = decode_rows(&state, out_handle, &plan.output);
+
+        let exec_after: u64 = compiled.executables.iter().map(|e| e.exec_stats().cycles).sum();
+        let insts_after: u64 = compiled.executables.iter().map(|e| e.exec_stats().insts).sum();
+        Ok(ExecutionResult {
+            rows,
+            exec_stats: ExecStats {
+                cycles: exec_after - exec_before,
+                insts: insts_after - insts_before,
+            },
+            compile_time: compiled.compile_time,
+            compile_stats: compiled.compile_stats.clone(),
+        })
+    }
+
+    /// Prepares, compiles, and executes a plan in one call.
+    ///
+    /// # Errors
+    /// Propagates planning, compilation, and execution errors.
+    pub fn run(
+        &self,
+        plan: &PlanNode,
+        backend: &dyn Backend,
+    ) -> Result<ExecutionResult, EngineError> {
+        let prepared = self.prepare(plan, "q")?;
+        let mut compiled = self.compile(&prepared, backend, &TimeTrace::disabled())?;
+        self.execute(&prepared, &mut compiled)
+    }
+}
+
+fn decode_rows(state: &RuntimeState, buf: u64, layout: &RowLayout) -> Vec<Vec<SqlValue>> {
+    let buffer = state.buffer(buf);
+    let mut rows = Vec::with_capacity(buffer.len());
+    for i in 0..buffer.len() {
+        let bytes = buffer.row_bytes(i);
+        let mut row = Vec::with_capacity(layout.fields.len());
+        for f in &layout.fields {
+            let off = f.offset as usize;
+            let v = match f.ty {
+                ColumnType::I32 | ColumnType::Date => {
+                    let raw =
+                        i64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+                    SqlValue::I32(raw as i32)
+                }
+                ColumnType::I64 => SqlValue::I64(i64::from_le_bytes(
+                    bytes[off..off + 8].try_into().expect("8 bytes"),
+                )),
+                ColumnType::Decimal(s) => {
+                    let raw = i128::from_le_bytes(
+                        bytes[off..off + 16].try_into().expect("16 bytes"),
+                    );
+                    SqlValue::Decimal(raw, s)
+                }
+                ColumnType::F64 => SqlValue::F64(f64::from_le_bytes(
+                    bytes[off..off + 8].try_into().expect("8 bytes"),
+                )),
+                ColumnType::Bool => {
+                    let raw =
+                        u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+                    SqlValue::Bool(raw != 0)
+                }
+                ColumnType::Str => {
+                    let s = RtString::from_bytes(
+                        bytes[off..off + 16].try_into().expect("16 bytes"),
+                    );
+                    SqlValue::Str(String::from_utf8_lossy(s.as_slice()).into_owned())
+                }
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends;
+    use qc_plan::reference;
+    use qc_plan::{col, lit_dec, lit_i64, lit_str, AggFunc};
+
+    fn check_against_reference(plan: &PlanNode, db: &Database) {
+        let engine = Engine::new(db);
+        let expected = reference::execute(plan, db).expect("reference execution");
+        let all: Vec<Box<dyn qc_backend::Backend>> = vec![
+            backends::interpreter(),
+            backends::direct_emit(),
+            backends::clift(qc_target::Isa::Tx64),
+            backends::clift(qc_target::Isa::Ta64),
+            backends::lvm_cheap(qc_target::Isa::Tx64),
+            backends::lvm_opt(qc_target::Isa::Tx64),
+            backends::lvm_cheap(qc_target::Isa::Ta64),
+            backends::lvm_opt(qc_target::Isa::Ta64),
+            backends::cgen(qc_target::Isa::Tx64),
+            backends::cgen(qc_target::Isa::Ta64),
+        ];
+        for backend in all {
+            let got = engine.run(plan, backend.as_ref()).expect("engine execution");
+            assert_eq!(
+                reference::normalize(&got.rows),
+                reference::normalize(&expected),
+                "{} disagrees with reference",
+                backend.name()
+            );
+            assert!(got.exec_stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn scan_filter_matches_reference() {
+        let db = qc_storage::gen_hlike(0.02);
+        let plan = PlanNode::scan("lineitem", &["l_orderkey", "l_extendedprice"])
+            .filter(col("l_extendedprice").gt(lit_dec(5_000_000, 2)));
+        check_against_reference(&plan, &db);
+    }
+
+    #[test]
+    fn map_arithmetic_matches_reference() {
+        let db = qc_storage::gen_hlike(0.02);
+        let plan = PlanNode::scan("lineitem", &["l_extendedprice", "l_discount"]).map(vec![(
+            "revenue",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )]);
+        check_against_reference(&plan, &db);
+    }
+
+    #[test]
+    fn join_matches_reference() {
+        let db = qc_storage::gen_hlike(0.02);
+        let plan = PlanNode::scan("orders", &["o_orderkey", "o_custkey"]).hash_join(
+            PlanNode::scan("customer", &["c_custkey", "c_mktsegment"]),
+            &["o_custkey"],
+            &["c_custkey"],
+            &["c_mktsegment"],
+        );
+        check_against_reference(&plan, &db);
+    }
+
+    #[test]
+    fn group_by_matches_reference() {
+        let db = qc_storage::gen_hlike(0.02);
+        let plan = PlanNode::scan("lineitem", &["l_returnflag", "l_quantity", "l_orderkey"])
+            .group_by(
+                &["l_returnflag"],
+                vec![
+                    ("n", AggFunc::CountStar),
+                    ("qty", AggFunc::Sum(col("l_quantity"))),
+                    ("maxk", AggFunc::Max(col("l_orderkey"))),
+                    ("avg_qty", AggFunc::Avg(col("l_quantity"))),
+                ],
+            );
+        check_against_reference(&plan, &db);
+    }
+
+    #[test]
+    fn sort_limit_matches_reference() {
+        let db = qc_storage::gen_hlike(0.02);
+        let plan = PlanNode::scan("orders", &["o_orderkey", "o_totalprice"])
+            .sort(&[("o_totalprice", false), ("o_orderkey", true)], Some(7));
+        let engine = Engine::new(&db);
+        let expected = reference::execute(&plan, &db).unwrap();
+        let backend = backends::interpreter();
+        let got = engine.run(&plan, backend.as_ref()).unwrap();
+        // Order matters here (sorted output with a unique tiebreaker).
+        assert_eq!(got.rows.len(), expected.len());
+        for (g, e) in got.rows.iter().zip(&expected) {
+            assert_eq!(
+                g.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                e.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn string_predicates_match_reference() {
+        let db = qc_storage::gen_hlike(0.02);
+        let plan = PlanNode::scan("customer", &["c_custkey", "c_mktsegment", "c_name"])
+            .filter(col("c_mktsegment").eq(lit_str("BUILDING")))
+            .filter(col("c_name").starts_with(lit_str("Customer#")));
+        check_against_reference(&plan, &db);
+    }
+
+    #[test]
+    fn multi_join_agg_sort_pipeline_matches_reference() {
+        let db = qc_storage::gen_hlike(0.03);
+        let plan = PlanNode::scan(
+            "lineitem",
+            &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+        )
+        .hash_join(
+            PlanNode::scan("supplier", &["s_suppkey", "s_nationkey"]),
+            &["l_suppkey"],
+            &["s_suppkey"],
+            &["s_nationkey"],
+        )
+        .hash_join(
+            PlanNode::scan("nation", &["n_nationkey", "n_name"]),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            &["n_name"],
+        )
+        .map(vec![(
+            "rev",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )])
+        .group_by(&["n_name"], vec![("revenue", AggFunc::Sum(col("rev")))])
+        .sort(&[("revenue", false), ("n_name", true)], None);
+        check_against_reference(&plan, &db);
+    }
+
+    #[test]
+    fn empty_result_is_ok() {
+        let db = qc_storage::gen_hlike(0.02);
+        let plan = PlanNode::scan("orders", &["o_orderkey"])
+            .filter(col("o_orderkey").lt(lit_i64(-1)));
+        let engine = Engine::new(&db);
+        let backend = backends::interpreter();
+        let got = engine.run(&plan, backend.as_ref()).unwrap();
+        assert!(got.rows.is_empty());
+    }
+}

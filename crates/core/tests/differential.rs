@@ -1,0 +1,150 @@
+//! Cross-back-end differential tests: every back-end must produce
+//! bit-identical result multisets to the plan-level reference evaluator,
+//! on workload queries and on randomized plans.
+
+use qc_engine::{backends, Engine};
+use qc_plan::reference;
+use qc_plan::{col, lit_dec, lit_i32, lit_i64, AggFunc, Expr, PlanNode};
+use qc_target::Isa;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn all_backends() -> Vec<Box<dyn qc_backend::Backend>> {
+    let mut v = backends::all_for(Isa::Tx64);
+    v.extend(backends::all_for(Isa::Ta64));
+    v
+}
+
+#[test]
+fn hlike_queries_agree_across_all_backends() {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    // A representative subset across operator shapes (full suites run in
+    // the bench harness).
+    let suite = qc_workloads::hlike_suite();
+    let picks = [0usize, 2, 4, 5, 12, 16, 21];
+    for &i in &picks {
+        let q = &suite[i];
+        let expected = reference::execute(&q.plan, &db).expect("reference");
+        let expected_norm = reference::normalize(&expected);
+        for backend in all_backends() {
+            let got = engine
+                .run(&q.plan, backend.as_ref())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", backend.name(), q.name));
+            assert_eq!(
+                reference::normalize(&got.rows),
+                expected_norm,
+                "{} disagrees on {}",
+                backend.name(),
+                q.name
+            );
+        }
+    }
+}
+
+#[test]
+fn dslike_queries_agree_across_all_backends() {
+    let db = qc_storage::gen_dslike(0.05);
+    let engine = Engine::new(&db);
+    let suite = qc_workloads::dslike_suite();
+    for q in suite.iter().step_by(17) {
+        let expected = reference::execute(&q.plan, &db).expect("reference");
+        let expected_norm = reference::normalize(&expected);
+        for backend in all_backends() {
+            let got = engine
+                .run(&q.plan, backend.as_ref())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", backend.name(), q.name));
+            assert_eq!(
+                reference::normalize(&got.rows),
+                expected_norm,
+                "{} disagrees on {}",
+                backend.name(),
+                q.name
+            );
+        }
+    }
+}
+
+/// Random plan generator over the H-like schema.
+fn random_plan(rng: &mut StdRng) -> PlanNode {
+    let mut plan = PlanNode::scan(
+        "lineitem",
+        &["l_orderkey", "l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipdate"],
+    );
+    for _ in 0..rng.gen_range(0..3u32) {
+        let pred: Expr = match rng.gen_range(0..4u32) {
+            0 => col("l_quantity").lt(lit_dec(rng.gen_range(100..5000), 2)),
+            1 => col("l_shipdate").ge(lit_i32(rng.gen_range(8000..10500))),
+            2 => col("l_orderkey").gt(lit_i64(rng.gen_range(0..500))),
+            _ => col("l_discount").le(lit_dec(rng.gen_range(0..10), 2)),
+        };
+        plan = plan.filter(pred);
+    }
+    if rng.gen_bool(0.6) {
+        plan = plan.hash_join(
+            PlanNode::scan("part", &["p_partkey", "p_size"]),
+            &["l_partkey"],
+            &["p_partkey"],
+            &["p_size"],
+        );
+    }
+    if rng.gen_bool(0.5) {
+        plan = plan.map(vec![(
+            "rev",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )]);
+    }
+    if rng.gen_bool(0.7) {
+        let mut aggs = vec![("n", AggFunc::CountStar)];
+        if rng.gen_bool(0.7) {
+            aggs.push(("q", AggFunc::Sum(col("l_quantity"))));
+        }
+        if rng.gen_bool(0.4) {
+            aggs.push(("hi", AggFunc::Max(col("l_orderkey"))));
+        }
+        plan = plan.group_by(&["l_shipdate"], aggs);
+        if rng.gen_bool(0.5) {
+            plan = plan.sort(&[("n", false), ("l_shipdate", true)], Some(11));
+        }
+    }
+    plan
+}
+
+#[test]
+fn randomized_plans_agree_across_all_backends() {
+    let db = qc_storage::gen_hlike(0.03);
+    let engine = Engine::new(&db);
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for case in 0..12 {
+        let plan = random_plan(&mut rng);
+        let expected = reference::execute(&plan, &db).expect("reference");
+        let checksum = reference::checksum(&expected);
+        for backend in all_backends() {
+            let got = engine
+                .run(&plan, backend.as_ref())
+                .unwrap_or_else(|e| panic!("case {case}, {}: {e}", backend.name()));
+            assert_eq!(
+                reference::checksum(&got.rows),
+                checksum,
+                "case {case}: {} checksum mismatch",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn overflow_traps_surface_identically() {
+    let db = qc_storage::gen_hlike(0.02);
+    let engine = Engine::new(&db);
+    // Force a decimal overflow in every back-end.
+    let plan = PlanNode::scan("lineitem", &["l_extendedprice"]).map(vec![(
+        "boom",
+        col("l_extendedprice").mul(lit_dec(i128::MAX / 100_000, 0)),
+    )]);
+    assert!(reference::execute(&plan, &db).is_err());
+    for backend in all_backends() {
+        let r = engine.run(&plan, backend.as_ref());
+        assert!(r.is_err(), "{} did not trap", backend.name());
+    }
+}

@@ -1,0 +1,131 @@
+//! Dense entity references: typed `u32` indices into function arenas.
+
+use std::fmt;
+
+macro_rules! entity {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates a reference from a raw index.
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index < u32::MAX as usize);
+                $name(index as u32)
+            }
+
+            /// The raw index, usable to address plain side arrays.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity! {
+    /// An SSA value: a function parameter or an instruction result.
+    Value, "%"
+}
+entity! {
+    /// A basic block within a function.
+    Block, "b"
+}
+entity! {
+    /// An instruction within a function.
+    Inst, "i"
+}
+entity! {
+    /// A function within a module.
+    FuncId, "fn"
+}
+entity! {
+    /// A declared external (runtime) function within a module.
+    ExtFuncId, "ext"
+}
+entity! {
+    /// A stack slot declared on a function, outside the instruction stream.
+    StackSlot, "ss"
+}
+
+/// A dense secondary map from an entity to a value, backed by a `Vec`.
+///
+/// This is the "free variable slot" idiom the paper highlights for
+/// DirectEmit (Sec. VII-A2): because entities are linearly increasing
+/// integers, per-entity side data lives in arrays, avoiding hash tables.
+#[derive(Debug, Clone)]
+pub struct EntityMap<V> {
+    items: Vec<V>,
+}
+
+impl<V: Clone + Default> EntityMap<V> {
+    /// Creates a map with `len` default-initialized entries.
+    pub fn with_len(len: usize) -> Self {
+        EntityMap { items: vec![V::default(); len] }
+    }
+}
+
+impl<V> EntityMap<V> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Immutable access by raw index.
+    pub fn get(&self, index: usize) -> &V {
+        &self.items[index]
+    }
+
+    /// Mutable access by raw index.
+    pub fn get_mut(&mut self, index: usize) -> &mut V {
+        &mut self.items[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_roundtrip_and_display() {
+        let v = Value::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(format!("{v}"), "%7");
+        assert_eq!(format!("{:?}", Block::new(3)), "b3");
+        assert_eq!(format!("{}", Inst::new(0)), "i0");
+        assert_eq!(format!("{}", StackSlot::new(2)), "ss2");
+    }
+
+    #[test]
+    fn entity_ordering_follows_index() {
+        assert!(Value::new(1) < Value::new(2));
+        assert_eq!(Value::new(5), Value::new(5));
+    }
+
+    #[test]
+    fn entity_map_defaults_and_mutation() {
+        let mut m: EntityMap<u64> = EntityMap::with_len(4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(*m.get(2), 0);
+        *m.get_mut(2) = 42;
+        assert_eq!(*m.get(2), 42);
+        assert!(!m.is_empty());
+    }
+}

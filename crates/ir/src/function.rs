@@ -1,0 +1,395 @@
+//! Functions, modules, and their dense storage.
+
+use crate::entities::{Block, ExtFuncId, FuncId, Inst, StackSlot, Value};
+use crate::instr::{CastOp, InstData};
+use crate::types::Type;
+
+/// A function signature: parameter types and a single return type
+/// (`void` for no return value; two-register types like `i128`/`string`
+/// are allowed and returned in a register pair).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Parameter types, in order.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+}
+
+impl Signature {
+    /// Creates a signature.
+    pub fn new(params: Vec<Type>, ret: Type) -> Self {
+        Signature { params, ret }
+    }
+}
+
+/// Declaration of an external (runtime) function referenced by generated
+/// code. The actual address is resolved at link time through the symbol
+/// name (LLVM back-end) or hard-wired (Cranelift back-end) — both handled
+/// by the back-ends, not the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtFuncDecl {
+    /// Symbol name, e.g. `"rt_hashtable_insert"`.
+    pub name: String,
+    /// Call signature.
+    pub sig: Signature,
+}
+
+/// A stack slot declared on the function, allocated outside the
+/// instruction stream (addressed via [`InstData::StackAddr`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackSlotData {
+    /// Slot size in bytes.
+    pub size: u32,
+    /// Required alignment in bytes (power of two).
+    pub align: u32,
+}
+
+/// How a value is defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The `n`-th function parameter.
+    Param(u32),
+    /// The result of an instruction.
+    Inst(Inst),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ValueData {
+    ty: Type,
+    def: ValueDef,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BlockData {
+    pub(crate) insts: Vec<Inst>,
+}
+
+/// A function in SSA form.
+///
+/// All storage is dense and append-only: blocks, instructions and values
+/// are `u32` entities indexing flat vectors,
+/// matching the paper's description of Umbra IR as "optimized for fast
+/// generation and linear traversal".
+///
+/// Use [`crate::FunctionBuilder`] to construct functions.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name (unique within its module).
+    pub name: String,
+    /// Signature.
+    pub sig: Signature,
+    pub(crate) params: Vec<Value>,
+    pub(crate) blocks: Vec<BlockData>,
+    pub(crate) insts: Vec<InstData>,
+    pub(crate) results: Vec<Option<Value>>,
+    pub(crate) values: Vec<ValueData>,
+    pub(crate) stack_slots: Vec<StackSlotData>,
+    pub(crate) ext_funcs: Vec<ExtFuncDecl>,
+}
+
+impl Function {
+    pub(crate) fn with_signature(name: &str, sig: Signature) -> Self {
+        let mut f = Function {
+            name: name.to_string(),
+            sig,
+            params: Vec::new(),
+            blocks: vec![BlockData::default()],
+            insts: Vec::new(),
+            results: Vec::new(),
+            values: Vec::new(),
+            stack_slots: Vec::new(),
+            ext_funcs: Vec::new(),
+        };
+        for (i, &ty) in f.sig.params.clone().iter().enumerate() {
+            let v = Value::new(f.values.len());
+            f.values.push(ValueData { ty, def: ValueDef::Param(i as u32) });
+            f.params.push(v);
+        }
+        f
+    }
+
+    /// The entry block (always block 0).
+    pub fn entry_block(&self) -> Block {
+        Block::new(0)
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of instructions.
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of SSA values (parameters + instruction results).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over all blocks in layout order.
+    pub fn blocks(&self) -> impl Iterator<Item = Block> + '_ {
+        (0..self.blocks.len()).map(Block::new)
+    }
+
+    /// Instructions of `block` in order.
+    pub fn block_insts(&self, block: Block) -> &[Inst] {
+        &self.blocks[block.index()].insts
+    }
+
+    /// Instruction data.
+    pub fn inst(&self, inst: Inst) -> &InstData {
+        &self.insts[inst.index()]
+    }
+
+    /// Result value of an instruction, if it produces one.
+    pub fn inst_result(&self, inst: Inst) -> Option<Value> {
+        self.results[inst.index()]
+    }
+
+    /// Parameter values, in order.
+    pub fn params(&self) -> &[Value] {
+        &self.params
+    }
+
+    /// The type of a value.
+    pub fn value_type(&self, value: Value) -> Type {
+        self.values[value.index()].ty
+    }
+
+    /// How a value is defined.
+    pub fn value_def(&self, value: Value) -> ValueDef {
+        self.values[value.index()].def
+    }
+
+    /// Declared stack slots.
+    pub fn stack_slots(&self) -> &[StackSlotData] {
+        &self.stack_slots
+    }
+
+    /// One stack slot.
+    pub fn stack_slot(&self, slot: StackSlot) -> StackSlotData {
+        self.stack_slots[slot.index()]
+    }
+
+    /// Declared external functions.
+    pub fn ext_funcs(&self) -> &[ExtFuncDecl] {
+        &self.ext_funcs
+    }
+
+    /// One external function declaration.
+    pub fn ext_func(&self, id: ExtFuncId) -> &ExtFuncDecl {
+        &self.ext_funcs[id.index()]
+    }
+
+    /// The terminator instruction of `block`.
+    ///
+    /// # Panics
+    /// Panics if the block is empty (unterminated blocks are rejected by
+    /// the verifier).
+    pub fn terminator(&self, block: Block) -> Inst {
+        *self.blocks[block.index()]
+            .insts
+            .last()
+            .expect("block has no terminator")
+    }
+
+    /// The result type an instruction produces (`void` for none).
+    pub fn inst_result_type(&self, data: &InstData) -> Type {
+        match data {
+            InstData::IConst { ty, .. } => *ty,
+            InstData::FConst { .. } => Type::F64,
+            InstData::Binary { op, ty, .. } => {
+                if op.produces_flag() {
+                    Type::Bool
+                } else {
+                    *ty
+                }
+            }
+            InstData::Cmp { .. } | InstData::FCmp { .. } => Type::Bool,
+            InstData::Cast { op, to, .. } => match op {
+                CastOp::SiToF => Type::F64,
+                _ => *to,
+            },
+            InstData::Crc32 { .. } | InstData::LongMulFold { .. } => Type::I64,
+            InstData::Select { ty, .. } => *ty,
+            InstData::Load { ty, .. } => *ty,
+            InstData::Gep { .. } | InstData::StackAddr { .. } | InstData::FuncAddr { .. } => {
+                Type::Ptr
+            }
+            InstData::Call { callee, .. } => self.ext_funcs[callee.index()].sig.ret,
+            InstData::Phi { ty, .. } => *ty,
+            InstData::Store { .. }
+            | InstData::Jump { .. }
+            | InstData::Branch { .. }
+            | InstData::Return { .. }
+            | InstData::Unreachable => Type::Void,
+        }
+    }
+
+    /// Appends an instruction to a block, creating its result value.
+    /// Used by the builder; back-ends treat functions as immutable.
+    pub(crate) fn append_inst(&mut self, block: Block, data: InstData) -> (Inst, Option<Value>) {
+        let ty = self.inst_result_type(&data);
+        let inst = Inst::new(self.insts.len());
+        self.insts.push(data);
+        let result = if ty == Type::Void {
+            None
+        } else {
+            let v = Value::new(self.values.len());
+            self.values.push(ValueData { ty, def: ValueDef::Inst(inst) });
+            Some(v)
+        };
+        self.results.push(result);
+        self.blocks[block.index()].insts.push(inst);
+        (inst, result)
+    }
+
+    pub(crate) fn add_block(&mut self) -> Block {
+        let b = Block::new(self.blocks.len());
+        self.blocks.push(BlockData::default());
+        b
+    }
+
+    pub(crate) fn add_stack_slot(&mut self, data: StackSlotData) -> StackSlot {
+        let s = StackSlot::new(self.stack_slots.len());
+        self.stack_slots.push(data);
+        s
+    }
+
+    pub(crate) fn declare_ext_func(&mut self, decl: ExtFuncDecl) -> ExtFuncId {
+        if let Some(pos) = self.ext_funcs.iter().position(|d| *d == decl) {
+            return ExtFuncId::new(pos);
+        }
+        let id = ExtFuncId::new(self.ext_funcs.len());
+        self.ext_funcs.push(decl);
+        id
+    }
+}
+
+/// A module: an ordered collection of functions compiled together.
+///
+/// In the database, one module corresponds to one query pipeline plus its
+/// small setup/cleanup helpers (paper Sec. III: "compiling a pipeline also
+/// involves some other small functions").
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// Module name (e.g. `"q17_pipeline3"`).
+    pub name: String,
+    functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: &str) -> Self {
+        Module { name: name.to_string(), functions: Vec::new() }
+    }
+
+    /// Appends a function, returning its module-level id.
+    pub fn push_function(&mut self, func: Function) -> FuncId {
+        let id = FuncId::new(self.functions.len());
+        self.functions.push(func);
+        id
+    }
+
+    /// All functions in order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// One function.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId::new(i), f))
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the module has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn sample() -> Function {
+        let sig = Signature::new(vec![Type::I64, Type::I64], Type::I64);
+        let mut b = FunctionBuilder::new("f", sig);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let x = b.param(0);
+        let y = b.param(1);
+        let s = b.add(Type::I64, x, y);
+        b.ret(Some(s));
+        b.finish()
+    }
+
+    #[test]
+    fn params_are_values_with_types() {
+        let f = sample();
+        assert_eq!(f.params().len(), 2);
+        assert_eq!(f.value_type(f.params()[0]), Type::I64);
+        assert_eq!(f.value_def(f.params()[1]), ValueDef::Param(1));
+    }
+
+    #[test]
+    fn instruction_results_are_typed() {
+        let f = sample();
+        let insts = f.block_insts(f.entry_block());
+        assert_eq!(insts.len(), 2);
+        let add = insts[0];
+        let res = f.inst_result(add).unwrap();
+        assert_eq!(f.value_type(res), Type::I64);
+        assert_eq!(f.value_def(res), ValueDef::Inst(add));
+        assert!(f.inst_result(insts[1]).is_none());
+    }
+
+    #[test]
+    fn terminator_is_last_inst() {
+        let f = sample();
+        let t = f.terminator(f.entry_block());
+        assert!(f.inst(t).is_terminator());
+    }
+
+    #[test]
+    fn ext_func_declarations_dedupe() {
+        let sig = Signature::new(vec![], Type::Void);
+        let mut b = FunctionBuilder::new("f", sig);
+        let d = ExtFuncDecl {
+            name: "rt_x".into(),
+            sig: Signature::new(vec![Type::I64], Type::I64),
+        };
+        let a = b.declare_ext_func(d.clone());
+        let c = b.declare_ext_func(d);
+        assert_eq!(a, c);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        b.ret(None);
+        assert_eq!(b.finish().ext_funcs().len(), 1);
+    }
+
+    #[test]
+    fn module_lookup_by_name() {
+        let mut m = Module::new("m");
+        let id = m.push_function(sample());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.function_by_name("f").unwrap().0, id);
+        assert!(m.function_by_name("g").is_none());
+    }
+}

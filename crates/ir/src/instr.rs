@@ -1,0 +1,698 @@
+//! Instruction definitions.
+
+use crate::entities::{Block, ExtFuncId, FuncId, StackSlot, Value};
+use crate::types::Type;
+use std::fmt;
+
+/// Comparison predicate for [`InstData::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    SLt,
+    /// Signed less-or-equal.
+    SLe,
+    /// Signed greater-than.
+    SGt,
+    /// Signed greater-or-equal.
+    SGe,
+    /// Unsigned less-than.
+    ULt,
+    /// Unsigned less-or-equal.
+    ULe,
+    /// Unsigned greater-than.
+    UGt,
+    /// Unsigned greater-or-equal.
+    UGe,
+}
+
+impl CmpOp {
+    /// The predicate with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::SLt => CmpOp::SGt,
+            CmpOp::SLe => CmpOp::SGe,
+            CmpOp::SGt => CmpOp::SLt,
+            CmpOp::SGe => CmpOp::SLe,
+            CmpOp::ULt => CmpOp::UGt,
+            CmpOp::ULe => CmpOp::UGe,
+            CmpOp::UGt => CmpOp::ULt,
+            CmpOp::UGe => CmpOp::ULe,
+        }
+    }
+
+    /// The negated predicate (`!(a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::SLt => CmpOp::SGe,
+            CmpOp::SLe => CmpOp::SGt,
+            CmpOp::SGt => CmpOp::SLe,
+            CmpOp::SGe => CmpOp::SLt,
+            CmpOp::ULt => CmpOp::UGe,
+            CmpOp::ULe => CmpOp::UGt,
+            CmpOp::UGt => CmpOp::ULe,
+            CmpOp::UGe => CmpOp::ULt,
+        }
+    }
+
+    /// Textual mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::SLt => "slt",
+            CmpOp::SLe => "sle",
+            CmpOp::SGt => "sgt",
+            CmpOp::SGe => "sge",
+            CmpOp::ULt => "ult",
+            CmpOp::ULe => "ule",
+            CmpOp::UGt => "ugt",
+            CmpOp::UGe => "uge",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`CmpOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "slt" => CmpOp::SLt,
+            "sle" => CmpOp::SLe,
+            "sgt" => CmpOp::SGt,
+            "sge" => CmpOp::SGe,
+            "ult" => CmpOp::ULt,
+            "ule" => CmpOp::ULe,
+            "ugt" => CmpOp::UGt,
+            "uge" => CmpOp::UGe,
+            _ => return None,
+        })
+    }
+
+    /// All predicates, for exhaustive tests.
+    pub fn all() -> [CmpOp; 10] {
+        [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::SLt,
+            CmpOp::SLe,
+            CmpOp::SGt,
+            CmpOp::SGe,
+            CmpOp::ULt,
+            CmpOp::ULe,
+            CmpOp::UGt,
+            CmpOp::UGe,
+        ]
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Binary operator kinds used by [`InstData::Binary`].
+///
+/// The `*Trap` variants are the paper's overflow-checked arithmetic
+/// (Listing 2, `ssubtrap`): on signed overflow they transfer control to the
+/// runtime's overflow trap — control flow that is *implicit* in the IR.
+/// The `*Ovf` variants instead produce the overflow flag as a `bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division; traps on division by zero or `MIN / -1`.
+    SDiv,
+    /// Unsigned division; traps on division by zero.
+    UDiv,
+    /// Signed remainder; traps on division by zero.
+    SRem,
+    /// Unsigned remainder; traps on division by zero.
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (amount masked to the type width).
+    Shl,
+    /// Logical shift right (amount masked to the type width).
+    LShr,
+    /// Arithmetic shift right (amount masked to the type width).
+    AShr,
+    /// Rotate right (paper Listing 2, `rotr`).
+    RotR,
+    /// Signed addition, trapping on overflow.
+    SAddTrap,
+    /// Signed subtraction, trapping on overflow.
+    SSubTrap,
+    /// Signed multiplication, trapping on overflow.
+    SMulTrap,
+    /// Signed addition overflow flag (result type `bool`).
+    SAddOvf,
+    /// Signed subtraction overflow flag (result type `bool`).
+    SSubOvf,
+    /// Signed multiplication overflow flag (result type `bool`).
+    SMulOvf,
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float division.
+    FDiv,
+}
+
+impl Opcode {
+    /// Whether the operator is one of the float ops (`ty` must be `f64`).
+    pub fn is_float(self) -> bool {
+        matches!(self, Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv)
+    }
+
+    /// Whether the operator may trap (overflow traps, division traps).
+    pub fn can_trap(self) -> bool {
+        matches!(
+            self,
+            Opcode::SDiv
+                | Opcode::UDiv
+                | Opcode::SRem
+                | Opcode::URem
+                | Opcode::SAddTrap
+                | Opcode::SSubTrap
+                | Opcode::SMulTrap
+        )
+    }
+
+    /// Whether the result type is `bool` rather than the operand type.
+    pub fn produces_flag(self) -> bool {
+        matches!(self, Opcode::SAddOvf | Opcode::SSubOvf | Opcode::SMulOvf)
+    }
+
+    /// Whether the operation is commutative.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Mul
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::SAddTrap
+                | Opcode::SMulTrap
+                | Opcode::SAddOvf
+                | Opcode::SMulOvf
+                | Opcode::FAdd
+                | Opcode::FMul
+        )
+    }
+
+    /// Textual mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::SDiv => "sdiv",
+            Opcode::UDiv => "udiv",
+            Opcode::SRem => "srem",
+            Opcode::URem => "urem",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Shl => "shl",
+            Opcode::LShr => "lshr",
+            Opcode::AShr => "ashr",
+            Opcode::RotR => "rotr",
+            Opcode::SAddTrap => "saddtrap",
+            Opcode::SSubTrap => "ssubtrap",
+            Opcode::SMulTrap => "smultrap",
+            Opcode::SAddOvf => "saddovf",
+            Opcode::SSubOvf => "ssubovf",
+            Opcode::SMulOvf => "smulovf",
+            Opcode::FAdd => "fadd",
+            Opcode::FSub => "fsub",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`Opcode::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Opcode::all().into_iter().find(|op| op.mnemonic() == s)
+    }
+
+    /// All binary operators, for exhaustive tests.
+    pub fn all() -> [Opcode; 24] {
+        [
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Mul,
+            Opcode::SDiv,
+            Opcode::UDiv,
+            Opcode::SRem,
+            Opcode::URem,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Shl,
+            Opcode::LShr,
+            Opcode::AShr,
+            Opcode::RotR,
+            Opcode::SAddTrap,
+            Opcode::SSubTrap,
+            Opcode::SMulTrap,
+            Opcode::SAddOvf,
+            Opcode::SSubOvf,
+            Opcode::SMulOvf,
+            Opcode::FAdd,
+            Opcode::FSub,
+            Opcode::FMul,
+            Opcode::FDiv,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Cast kinds used by [`InstData::Cast`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastOp {
+    /// Zero extension to a wider integer type.
+    Zext,
+    /// Sign extension to a wider integer type.
+    Sext,
+    /// Truncation to a narrower integer type.
+    Trunc,
+    /// Signed integer to float.
+    SiToF,
+    /// Float to signed integer (traps if unrepresentable).
+    FToSi,
+}
+
+impl CastOp {
+    /// Textual mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastOp::Zext => "zext",
+            CastOp::Sext => "sext",
+            CastOp::Trunc => "trunc",
+            CastOp::SiToF => "sitof",
+            CastOp::FToSi => "ftosi",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`CastOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<CastOp> {
+        Some(match s {
+            "zext" => CastOp::Zext,
+            "sext" => CastOp::Sext,
+            "trunc" => CastOp::Trunc,
+            "sitof" => CastOp::SiToF,
+            "ftosi" => CastOp::FToSi,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CastOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One IR instruction.
+///
+/// Instruction storage is append-only within a [`crate::Function`];
+/// operands are [`Value`] references, constants are materialized by
+/// [`InstData::IConst`]/[`InstData::FConst`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstData {
+    /// Integer/bool/pointer constant. `imm` is sign-agnostic raw bits,
+    /// stored sign-extended to 128 bits.
+    IConst {
+        /// Result type.
+        ty: Type,
+        /// Constant bits (two's complement, sign-extended).
+        imm: i128,
+    },
+    /// Float constant.
+    FConst {
+        /// Constant value.
+        imm: f64,
+    },
+    /// Binary operation; `ty` is the operand type.
+    Binary {
+        /// Operator.
+        op: Opcode,
+        /// Operand type.
+        ty: Type,
+        /// Left and right operands.
+        args: [Value; 2],
+    },
+    /// Integer comparison producing a `bool`; `ty` is the operand type.
+    Cmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Operand type.
+        ty: Type,
+        /// Left and right operands.
+        args: [Value; 2],
+    },
+    /// Float comparison producing a `bool` (ordered semantics).
+    FCmp {
+        /// Predicate (signed predicates act as ordered float predicates).
+        op: CmpOp,
+        /// Left and right operands.
+        args: [Value; 2],
+    },
+    /// Integer/float conversion.
+    Cast {
+        /// Conversion kind.
+        op: CastOp,
+        /// Result type.
+        to: Type,
+        /// Source value.
+        arg: Value,
+    },
+    /// CRC-32 step: `crc32(acc, data)` over a 64-bit lane (paper Listing 2).
+    Crc32 {
+        /// Accumulator and data operands, both `i64`.
+        args: [Value; 2],
+    },
+    /// Hash combiner: 64×64→128-bit multiply, then XOR of low and high
+    /// halves ("long-mul-fold", paper Sec. III-A).
+    LongMulFold {
+        /// Multiplicands, both `i64`.
+        args: [Value; 2],
+    },
+    /// Conditional select: `cond ? if_true : if_false`.
+    Select {
+        /// Result/operand type.
+        ty: Type,
+        /// `bool` condition.
+        cond: Value,
+        /// Value when true.
+        if_true: Value,
+        /// Value when false.
+        if_false: Value,
+    },
+    /// Memory load of `ty` from `ptr + offset`.
+    Load {
+        /// Loaded type.
+        ty: Type,
+        /// Base pointer.
+        ptr: Value,
+        /// Constant byte offset.
+        offset: i32,
+    },
+    /// Memory store of `value` (of type `ty`) to `ptr + offset`.
+    Store {
+        /// Stored type.
+        ty: Type,
+        /// Base pointer.
+        ptr: Value,
+        /// Stored value.
+        value: Value,
+        /// Constant byte offset.
+        offset: i32,
+    },
+    /// Address arithmetic: `base + offset + index * scale`
+    /// (paper Listing 2, `getelementptr`).
+    Gep {
+        /// Base pointer.
+        base: Value,
+        /// Constant byte offset.
+        offset: i64,
+        /// Optional dynamic index (`i64`).
+        index: Option<Value>,
+        /// Scale applied to `index` (1, 2, 4, 8, or 16).
+        scale: u8,
+    },
+    /// Address of a declared stack slot.
+    StackAddr {
+        /// The slot.
+        slot: StackSlot,
+    },
+    /// Call to an external runtime function.
+    Call {
+        /// Callee declaration within the function.
+        callee: ExtFuncId,
+        /// Argument values.
+        args: Vec<Value>,
+    },
+    /// Address of another generated function (used e.g. to pass sort
+    /// comparators to the runtime).
+    FuncAddr {
+        /// Module-level function reference.
+        func: FuncId,
+    },
+    /// SSA Φ-node; must appear at the start of a block.
+    Phi {
+        /// Result type.
+        ty: Type,
+        /// `(predecessor, value)` pairs, one per predecessor.
+        pairs: Vec<(Block, Value)>,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Destination block.
+        dest: Block,
+    },
+    /// Conditional branch on a `bool`.
+    Branch {
+        /// Condition.
+        cond: Value,
+        /// Destination when true.
+        then_dest: Block,
+        /// Destination when false.
+        else_dest: Block,
+    },
+    /// Function return.
+    Return {
+        /// Returned value, absent for `void` functions.
+        value: Option<Value>,
+    },
+    /// Marks unreachable control flow (e.g. after a runtime call that
+    /// always throws).
+    Unreachable,
+}
+
+impl InstData {
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            InstData::Jump { .. }
+                | InstData::Branch { .. }
+                | InstData::Return { .. }
+                | InstData::Unreachable
+        )
+    }
+
+    /// Whether the instruction has side effects (memory, calls, traps) and
+    /// must not be removed or duplicated.
+    pub fn has_side_effects(&self) -> bool {
+        match self {
+            InstData::Store { .. } | InstData::Call { .. } => true,
+            InstData::Binary { op, .. } => op.can_trap(),
+            InstData::Cast { op: CastOp::FToSi, .. } => true,
+            _ => self.is_terminator(),
+        }
+    }
+
+    /// Invokes `f` for every value operand, in order.
+    pub fn for_each_arg(&self, mut f: impl FnMut(Value)) {
+        match self {
+            InstData::IConst { .. }
+            | InstData::FConst { .. }
+            | InstData::StackAddr { .. }
+            | InstData::FuncAddr { .. }
+            | InstData::Jump { .. }
+            | InstData::Unreachable => {}
+            InstData::Binary { args, .. }
+            | InstData::Cmp { args, .. }
+            | InstData::FCmp { args, .. }
+            | InstData::Crc32 { args }
+            | InstData::LongMulFold { args } => {
+                f(args[0]);
+                f(args[1]);
+            }
+            InstData::Cast { arg, .. } => f(*arg),
+            InstData::Select { cond, if_true, if_false, .. } => {
+                f(*cond);
+                f(*if_true);
+                f(*if_false);
+            }
+            InstData::Load { ptr, .. } => f(*ptr),
+            InstData::Store { ptr, value, .. } => {
+                f(*ptr);
+                f(*value);
+            }
+            InstData::Gep { base, index, .. } => {
+                f(*base);
+                if let Some(i) = index {
+                    f(*i);
+                }
+            }
+            InstData::Call { args, .. } => args.iter().copied().for_each(f),
+            InstData::Phi { pairs, .. } => pairs.iter().for_each(|&(_, v)| f(v)),
+            InstData::Branch { cond, .. } => f(*cond),
+            InstData::Return { value } => {
+                if let Some(v) = value {
+                    f(*v);
+                }
+            }
+        }
+    }
+
+    /// Collects all value operands into a vector.
+    pub fn args(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.for_each_arg(|v| out.push(v));
+        out
+    }
+
+    /// Successor blocks of a terminator (empty for non-terminators,
+    /// returns, and `unreachable`).
+    pub fn successors(&self) -> Vec<Block> {
+        match self {
+            InstData::Jump { dest } => vec![*dest],
+            InstData::Branch { then_dest, else_dest, .. } => vec![*then_dest, *else_dest],
+            _ => Vec::new(),
+        }
+    }
+
+    /// A short mnemonic identifying the instruction kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InstData::IConst { .. } => "iconst",
+            InstData::FConst { .. } => "fconst",
+            InstData::Binary { op, .. } => op.mnemonic(),
+            InstData::Cmp { .. } => "cmp",
+            InstData::FCmp { .. } => "fcmp",
+            InstData::Cast { op, .. } => op.mnemonic(),
+            InstData::Crc32 { .. } => "crc32",
+            InstData::LongMulFold { .. } => "lmulfold",
+            InstData::Select { .. } => "select",
+            InstData::Load { .. } => "load",
+            InstData::Store { .. } => "store",
+            InstData::Gep { .. } => "gep",
+            InstData::StackAddr { .. } => "stackaddr",
+            InstData::Call { .. } => "call",
+            InstData::FuncAddr { .. } => "funcaddr",
+            InstData::Phi { .. } => "phi",
+            InstData::Jump { .. } => "jump",
+            InstData::Branch { .. } => "br",
+            InstData::Return { .. } => "ret",
+            InstData::Unreachable => "unreachable",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_swap_and_negate_are_involutions() {
+        for op in CmpOp::all() {
+            assert_eq!(op.swapped().swapped(), op);
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_mnemonics_roundtrip() {
+        for op in CmpOp::all() {
+            assert_eq!(CmpOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn opcode_mnemonics_roundtrip() {
+        for op in Opcode::all() {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn opcode_classification() {
+        assert!(Opcode::SAddTrap.can_trap());
+        assert!(Opcode::SDiv.can_trap());
+        assert!(!Opcode::Add.can_trap());
+        assert!(Opcode::SMulOvf.produces_flag());
+        assert!(!Opcode::SMulTrap.produces_flag());
+        assert!(Opcode::FAdd.is_float());
+        assert!(Opcode::Add.is_commutative());
+        assert!(!Opcode::Sub.is_commutative());
+    }
+
+    #[test]
+    fn terminator_and_side_effect_classification() {
+        let jump = InstData::Jump { dest: Block::new(0) };
+        assert!(jump.is_terminator());
+        let store = InstData::Store {
+            ty: Type::I64,
+            ptr: Value::new(0),
+            value: Value::new(1),
+            offset: 0,
+        };
+        assert!(store.has_side_effects());
+        assert!(!store.is_terminator());
+        let add = InstData::Binary {
+            op: Opcode::Add,
+            ty: Type::I64,
+            args: [Value::new(0), Value::new(1)],
+        };
+        assert!(!add.has_side_effects());
+        let trap = InstData::Binary {
+            op: Opcode::SSubTrap,
+            ty: Type::I32,
+            args: [Value::new(0), Value::new(1)],
+        };
+        assert!(trap.has_side_effects());
+    }
+
+    #[test]
+    fn operand_visiting() {
+        let sel = InstData::Select {
+            ty: Type::I64,
+            cond: Value::new(0),
+            if_true: Value::new(1),
+            if_false: Value::new(2),
+        };
+        assert_eq!(sel.args(), vec![Value::new(0), Value::new(1), Value::new(2)]);
+        let gep = InstData::Gep { base: Value::new(4), offset: 8, index: None, scale: 1 };
+        assert_eq!(gep.args(), vec![Value::new(4)]);
+    }
+
+    #[test]
+    fn successors_of_terminators() {
+        let br = InstData::Branch {
+            cond: Value::new(0),
+            then_dest: Block::new(1),
+            else_dest: Block::new(2),
+        };
+        assert_eq!(br.successors(), vec![Block::new(1), Block::new(2)]);
+        assert!(InstData::Return { value: None }.successors().is_empty());
+        assert!(InstData::Unreachable.successors().is_empty());
+    }
+}

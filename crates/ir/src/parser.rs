@@ -1,0 +1,520 @@
+//! Parser for the textual IR form produced by [`crate::print_function`].
+//!
+//! The parser exists for tests and tooling; it assumes the printer's dense
+//! value numbering (parameters first, then instruction results in order)
+//! and validates that assumption while parsing.
+
+use crate::entities::{Block, ExtFuncId, FuncId, StackSlot, Value};
+use crate::function::{ExtFuncDecl, Function, Module, Signature, StackSlotData};
+use crate::instr::{CastOp, CmpOp, InstData, Opcode};
+use crate::types::Type;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing textual IR fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a module printed by [`crate::print_module`].
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first offending line.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut lines = text.lines().enumerate().peekable();
+    let (ln, first) = lines
+        .next()
+        .ok_or_else(|| err(1, "empty input"))?;
+    let name = first
+        .trim()
+        .strip_prefix("module ")
+        .ok_or_else(|| err(ln + 1, "expected `module <name>`"))?;
+    let mut module = Module::new(name.trim());
+    let mut chunk = String::new();
+    let mut chunk_start = 0;
+    for (ln, line) in lines {
+        if line.trim_start().starts_with("define ") && !chunk.trim().is_empty() {
+            module.push_function(parse_function_at(&chunk, chunk_start)?);
+            chunk.clear();
+        }
+        if chunk.trim().is_empty() && !line.trim().is_empty() {
+            chunk_start = ln;
+        }
+        chunk.push_str(line);
+        chunk.push('\n');
+    }
+    if !chunk.trim().is_empty() {
+        module.push_function(parse_function_at(&chunk, chunk_start)?);
+    }
+    Ok(module)
+}
+
+/// Parses a single function printed by [`crate::print_function`].
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first offending line.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    parse_function_at(text, 0)
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_type(tok: &str, line: usize) -> Result<Type, ParseError> {
+    Type::from_name(tok).ok_or_else(|| err(line, format!("unknown type `{tok}`")))
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<Value, ParseError> {
+    let n = tok
+        .strip_prefix('%')
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| err(line, format!("expected value, got `{tok}`")))?;
+    Ok(Value::new(n))
+}
+
+fn parse_block(tok: &str, line: usize) -> Result<Block, ParseError> {
+    let n = tok
+        .strip_prefix('b')
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| err(line, format!("expected block, got `{tok}`")))?;
+    Ok(Block::new(n))
+}
+
+fn parse_function_at(text: &str, line_offset: usize) -> Result<Function, ParseError> {
+    let mut func: Option<Function> = None;
+    let mut current: Option<Block> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let ln = line_offset + i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line == "}" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("define ") {
+            func = Some(parse_header(rest, ln)?);
+            continue;
+        }
+        let f = func.as_mut().ok_or_else(|| err(ln, "instruction before `define`"))?;
+        if let Some(rest) = line.strip_prefix("stackslot ") {
+            // `ss0, size 32, align 16`
+            let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+            let size = parts
+                .iter()
+                .find_map(|p| p.strip_prefix("size "))
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(ln, "stackslot missing size"))?;
+            let align = parts
+                .iter()
+                .find_map(|p| p.strip_prefix("align "))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(16);
+            f.add_stack_slot(StackSlotData { size, align });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("extfunc ") {
+            // `ext0 @name(i64, ptr) -> i64`
+            let at = rest.find('@').ok_or_else(|| err(ln, "extfunc missing @name"))?;
+            let open = rest.find('(').ok_or_else(|| err(ln, "extfunc missing ("))?;
+            let close = rest.rfind(')').ok_or_else(|| err(ln, "extfunc missing )"))?;
+            let name = rest[at + 1..open].to_string();
+            let params: Vec<Type> = rest[open + 1..close]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| parse_type(s, ln))
+                .collect::<Result<_, _>>()?;
+            let ret = rest[close + 1..]
+                .trim()
+                .strip_prefix("->")
+                .map(str::trim)
+                .ok_or_else(|| err(ln, "extfunc missing return type"))?;
+            let ret = parse_type(ret, ln)?;
+            f.declare_ext_func(ExtFuncDecl { name, sig: Signature::new(params, ret) });
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let block = parse_block(label, ln)?;
+            while f.num_blocks() <= block.index() {
+                f.add_block();
+            }
+            current = Some(block);
+            continue;
+        }
+        let block = current.ok_or_else(|| err(ln, "instruction outside a block"))?;
+        let (result_txt, inst_txt) = match line.split_once(" = ") {
+            Some((lhs, rhs)) if lhs.starts_with('%') => (Some(lhs.trim()), rhs.trim()),
+            _ => (None, line),
+        };
+        let data = parse_inst(f, inst_txt, ln)?;
+        let (_, res) = f.append_inst(block, data);
+        match (result_txt, res) {
+            (Some(txt), Some(v)) => {
+                let expected = parse_value(txt, ln)?;
+                if expected != v {
+                    return Err(err(
+                        ln,
+                        format!("non-dense value numbering: expected {v}, got {expected}"),
+                    ));
+                }
+            }
+            (None, None) => {}
+            (Some(_), None) => return Err(err(ln, "result assigned to void instruction")),
+            (None, Some(_)) => return Err(err(ln, "missing result binding")),
+        }
+    }
+    func.ok_or_else(|| err(line_offset + 1, "no `define` found"))
+}
+
+fn parse_header(rest: &str, ln: usize) -> Result<Function, ParseError> {
+    // `<ret> @<name>(<ty> %N, ...) {`
+    let rest = rest.trim_end_matches('{').trim();
+    let at = rest.find('@').ok_or_else(|| err(ln, "define missing @name"))?;
+    let ret = parse_type(rest[..at].trim(), ln)?;
+    let open = rest.find('(').ok_or_else(|| err(ln, "define missing ("))?;
+    let close = rest.rfind(')').ok_or_else(|| err(ln, "define missing )"))?;
+    let name = rest[at + 1..open].to_string();
+    let mut params = Vec::new();
+    for part in rest[open + 1..close].split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let ty_tok = part.split_whitespace().next().unwrap_or("");
+        params.push(parse_type(ty_tok, ln)?);
+    }
+    Ok(Function::with_signature(&name, Signature::new(params, ret)))
+}
+
+fn split_args(s: &str) -> Vec<&str> {
+    s.split(',').map(str::trim).filter(|t| !t.is_empty()).collect()
+}
+
+fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseError> {
+    let (op, rest) = match text.split_once(' ') {
+        Some((op, rest)) => (op, rest.trim()),
+        None => (text, ""),
+    };
+    let _ = f;
+    match op {
+        "iconst" => {
+            let (ty, imm) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(ln, "iconst needs type and value"))?;
+            Ok(InstData::IConst {
+                ty: parse_type(ty, ln)?,
+                imm: imm
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(ln, format!("bad integer `{imm}`")))?,
+            })
+        }
+        "fconst" => Ok(InstData::FConst {
+            imm: rest.parse().map_err(|_| err(ln, format!("bad float `{rest}`")))?,
+        }),
+        "cmp" => {
+            let mut it = rest.split_whitespace();
+            let pred = it.next().ok_or_else(|| err(ln, "cmp needs predicate"))?;
+            let ty = it.next().ok_or_else(|| err(ln, "cmp needs type"))?;
+            let args_txt: String = it.collect::<Vec<_>>().join(" ");
+            let args = split_args(&args_txt);
+            if args.len() != 2 {
+                return Err(err(ln, "cmp needs two operands"));
+            }
+            Ok(InstData::Cmp {
+                op: CmpOp::from_mnemonic(pred)
+                    .ok_or_else(|| err(ln, format!("bad predicate `{pred}`")))?,
+                ty: parse_type(ty, ln)?,
+                args: [parse_value(args[0], ln)?, parse_value(args[1], ln)?],
+            })
+        }
+        "fcmp" => {
+            let mut it = rest.splitn(2, ' ');
+            let pred = it.next().ok_or_else(|| err(ln, "fcmp needs predicate"))?;
+            let args = split_args(it.next().unwrap_or(""));
+            if args.len() != 2 {
+                return Err(err(ln, "fcmp needs two operands"));
+            }
+            Ok(InstData::FCmp {
+                op: CmpOp::from_mnemonic(pred)
+                    .ok_or_else(|| err(ln, format!("bad predicate `{pred}`")))?,
+                args: [parse_value(args[0], ln)?, parse_value(args[1], ln)?],
+            })
+        }
+        "crc32" | "lmulfold" => {
+            let args = split_args(rest);
+            if args.len() != 2 {
+                return Err(err(ln, "expected two operands"));
+            }
+            let args = [parse_value(args[0], ln)?, parse_value(args[1], ln)?];
+            Ok(if op == "crc32" {
+                InstData::Crc32 { args }
+            } else {
+                InstData::LongMulFold { args }
+            })
+        }
+        "select" => {
+            let (ty, rest) =
+                rest.split_once(' ').ok_or_else(|| err(ln, "select needs type"))?;
+            let args = split_args(rest);
+            if args.len() != 3 {
+                return Err(err(ln, "select needs three operands"));
+            }
+            Ok(InstData::Select {
+                ty: parse_type(ty, ln)?,
+                cond: parse_value(args[0], ln)?,
+                if_true: parse_value(args[1], ln)?,
+                if_false: parse_value(args[2], ln)?,
+            })
+        }
+        "load" => {
+            let (ty, rest) = rest.split_once(' ').ok_or_else(|| err(ln, "load needs type"))?;
+            let args = split_args(rest);
+            let offset = args
+                .iter()
+                .find_map(|a| a.strip_prefix("offset "))
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(ln, "load needs offset"))?;
+            Ok(InstData::Load {
+                ty: parse_type(ty, ln)?,
+                ptr: parse_value(args[0], ln)?,
+                offset,
+            })
+        }
+        "store" => {
+            let (ty, rest) = rest.split_once(' ').ok_or_else(|| err(ln, "store needs type"))?;
+            let args = split_args(rest);
+            if args.len() != 3 {
+                return Err(err(ln, "store needs ptr, value, offset"));
+            }
+            let offset = args[2]
+                .strip_prefix("offset ")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(ln, "store needs offset"))?;
+            Ok(InstData::Store {
+                ty: parse_type(ty, ln)?,
+                ptr: parse_value(args[0], ln)?,
+                value: parse_value(args[1], ln)?,
+                offset,
+            })
+        }
+        "gep" => {
+            let args = split_args(rest);
+            let base = parse_value(args[0], ln)?;
+            let offset = args
+                .iter()
+                .find_map(|a| a.strip_prefix("offset "))
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(ln, "gep needs offset"))?;
+            let index = args
+                .iter()
+                .find_map(|a| a.strip_prefix("index "))
+                .map(|s| parse_value(s, ln))
+                .transpose()?;
+            let scale = args
+                .iter()
+                .find_map(|a| a.strip_prefix("scale "))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1);
+            Ok(InstData::Gep { base, offset, index, scale })
+        }
+        "stackaddr" => {
+            let n = rest
+                .strip_prefix("ss")
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| err(ln, "stackaddr needs slot"))?;
+            Ok(InstData::StackAddr { slot: StackSlot::new(n) })
+        }
+        "call" => {
+            let open = rest.find('(').ok_or_else(|| err(ln, "call missing ("))?;
+            let close = rest.rfind(')').ok_or_else(|| err(ln, "call missing )"))?;
+            let callee = rest[..open]
+                .trim()
+                .strip_prefix("ext")
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| err(ln, "call needs extN callee"))?;
+            let args: Vec<Value> = split_args(&rest[open + 1..close])
+                .into_iter()
+                .map(|a| parse_value(a, ln))
+                .collect::<Result<_, _>>()?;
+            Ok(InstData::Call { callee: ExtFuncId::new(callee), args })
+        }
+        "funcaddr" => {
+            let n = rest
+                .strip_prefix("fn")
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| err(ln, "funcaddr needs fnN"))?;
+            Ok(InstData::FuncAddr { func: FuncId::new(n) })
+        }
+        "phi" => {
+            let (ty, rest) = rest.split_once(' ').ok_or_else(|| err(ln, "phi needs type"))?;
+            let mut pairs = Vec::new();
+            for part in split_args(rest) {
+                let inner = part
+                    .strip_prefix('[')
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| err(ln, "phi pair needs [block value]"))?;
+                let (b, v) = inner
+                    .trim()
+                    .split_once(' ')
+                    .ok_or_else(|| err(ln, "phi pair needs block and value"))?;
+                pairs.push((parse_block(b.trim(), ln)?, parse_value(v.trim(), ln)?));
+            }
+            Ok(InstData::Phi { ty: parse_type(ty, ln)?, pairs })
+        }
+        "jump" => Ok(InstData::Jump { dest: parse_block(rest, ln)? }),
+        "br" => {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() != 3 {
+                return Err(err(ln, "br needs cond and two blocks"));
+            }
+            Ok(InstData::Branch {
+                cond: parse_value(toks[0], ln)?,
+                then_dest: parse_block(toks[1], ln)?,
+                else_dest: parse_block(toks[2], ln)?,
+            })
+        }
+        "ret" => Ok(InstData::Return {
+            value: if rest.is_empty() { None } else { Some(parse_value(rest, ln)?) },
+        }),
+        "unreachable" => Ok(InstData::Unreachable),
+        _ => {
+            // Binary ops and casts share the `<op> <ty> <args>` shape.
+            if let Some(bop) = Opcode::from_mnemonic(op) {
+                let (ty, rest) =
+                    rest.split_once(' ').ok_or_else(|| err(ln, "binary op needs type"))?;
+                let args = split_args(rest);
+                if args.len() != 2 {
+                    return Err(err(ln, "binary op needs two operands"));
+                }
+                return Ok(InstData::Binary {
+                    op: bop,
+                    ty: parse_type(ty, ln)?,
+                    args: [parse_value(args[0], ln)?, parse_value(args[1], ln)?],
+                });
+            }
+            if let Some(cop) = CastOp::from_mnemonic(op) {
+                let (ty, arg) =
+                    rest.split_once(' ').ok_or_else(|| err(ln, "cast needs type and arg"))?;
+                return Ok(InstData::Cast {
+                    op: cop,
+                    to: parse_type(ty, ln)?,
+                    arg: parse_value(arg.trim(), ln)?,
+                });
+            }
+            Err(err(ln, format!("unknown instruction `{op}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::printer::{print_function, print_module};
+    use crate::verify::verify_function;
+
+    fn roundtrip(func: &Function) {
+        let text = print_function(func);
+        let parsed = parse_function(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(print_function(&parsed), text);
+        verify_function(&parsed).unwrap();
+    }
+
+    #[test]
+    fn roundtrips_loop_function() {
+        let mut b = FunctionBuilder::new("sum", Signature::new(vec![Type::I64], Type::I64));
+        let entry = b.entry_block();
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        let zero = b.iconst(Type::I64, 0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let n = b.param(0);
+        let c = b.icmp(CmpOp::SLt, Type::I64, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.iconst(Type::I64, 1);
+        let i2 = b.binary(Opcode::SAddTrap, Type::I64, i, one);
+        b.phi_add_incoming(i, body, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        roundtrip(&b.finish());
+    }
+
+    #[test]
+    fn roundtrips_memory_calls_and_specials() {
+        let mut b = FunctionBuilder::new("mix", Signature::new(vec![Type::Ptr], Type::I64));
+        let slot = b.stack_slot(64);
+        let ext = b.declare_ext_func(ExtFuncDecl {
+            name: "rt_hash_insert".into(),
+            sig: Signature::new(vec![Type::Ptr, Type::I64], Type::Ptr),
+        });
+        let e = b.entry_block();
+        b.switch_to(e);
+        let p = b.param(0);
+        let v = b.load(Type::I64, p, 8);
+        let h = b.crc32(v, v);
+        let h2 = b.long_mul_fold(h, v);
+        let addr = b.stack_addr(slot);
+        b.store(Type::I64, addr, h2, 16);
+        let dest = b.call(ext, vec![addr, h2]).unwrap();
+        let g = b.gep_indexed(dest, 4, v, 8);
+        let x = b.load(Type::I64, g, 0);
+        let c = b.icmp(CmpOp::UGt, Type::I64, x, v);
+        let s = b.select(Type::I64, c, x, v);
+        b.ret(Some(s));
+        roundtrip(&b.finish());
+    }
+
+    #[test]
+    fn roundtrips_floats_and_casts() {
+        let mut b = FunctionBuilder::new("fc", Signature::new(vec![Type::F64], Type::I32));
+        let e = b.entry_block();
+        b.switch_to(e);
+        let x = b.param(0);
+        let half = b.fconst(0.5);
+        let y = b.binary(Opcode::FMul, Type::F64, x, half);
+        let c = b.fcmp(CmpOp::SLt, y, x);
+        let w = b.zext(Type::I32, c);
+        let i = b.cast(CastOp::FToSi, Type::I64, y);
+        let t = b.trunc(Type::I32, i);
+        let r = b.add(Type::I32, w, t);
+        b.ret(Some(r));
+        roundtrip(&b.finish());
+    }
+
+    #[test]
+    fn roundtrips_module() {
+        let mut m = Module::new("mod1");
+        for name in ["a", "b"] {
+            let mut b = FunctionBuilder::new(name, Signature::new(vec![], Type::Void));
+            let e = b.entry_block();
+            b.switch_to(e);
+            b.ret(None);
+            m.push_function(b.finish());
+        }
+        let text = print_module(&m);
+        let parsed = parse_module(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(print_module(&parsed), text);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_function("define i64 @f() {\nb0:\n  %0 = frobnicate\n}").is_err());
+        assert!(parse_function("nonsense").is_err());
+        assert!(parse_module("not a module").is_err());
+    }
+}

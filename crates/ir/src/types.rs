@@ -1,0 +1,187 @@
+//! Value types of the IR.
+
+use std::fmt;
+
+/// The type of an SSA value.
+///
+/// The set mirrors the needs of compiled query code (paper Sec. III-A):
+/// scalar integers up to 128 bits (SQL decimals are `I128`), double-precision
+/// floats, raw pointers, and the 16-byte by-value `String` descriptor that is
+/// "passed very frequently by-value to and from runtime functions".
+///
+/// `I128` and `String` occupy two 64-bit machine registers; this is exactly
+/// the property that makes them awkward for fast instruction selectors (the
+/// paper's FastISel falls back to SelectionDAG on them, Sec. V-B3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Type {
+    /// A boolean, stored as one byte in memory.
+    Bool,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 128-bit integer (SQL decimal representation).
+    I128,
+    /// 64-bit IEEE float.
+    F64,
+    /// An untyped pointer into the runtime address space.
+    Ptr,
+    /// A 16-byte string descriptor (length + prefix + pointer), by value.
+    String,
+    /// The absence of a value; only valid as a function return type.
+    Void,
+}
+
+impl Type {
+    /// Size of the type in memory, in bytes.
+    ///
+    /// # Panics
+    /// Panics for [`Type::Void`], which has no size.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Type::Bool | Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+            Type::I128 | Type::String => 16,
+            Type::Void => panic!("void has no size"),
+        }
+    }
+
+    /// Number of 64-bit machine registers a value of this type occupies.
+    pub fn reg_count(self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::I128 | Type::String => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is an integer type (including [`Type::Bool`] and
+    /// [`Type::Ptr`], which all back-ends treat as integers).
+    pub fn is_int(self) -> bool {
+        !matches!(self, Type::F64 | Type::Void)
+    }
+
+    /// Whether the type is a scalar integer of at most 64 bits, i.e. fits
+    /// a single machine register ("register-sized" in FastISel terms).
+    pub fn is_reg_sized_int(self) -> bool {
+        self.is_int() && self.reg_count() == 1
+    }
+
+    /// Bit width for integer types.
+    ///
+    /// # Panics
+    /// Panics for non-integer types.
+    pub fn bits(self) -> u32 {
+        assert!(self.is_int(), "bits() on non-integer type {self}");
+        if self == Type::Bool {
+            1
+        } else {
+            self.bytes() * 8
+        }
+    }
+
+    /// All types, for exhaustive property tests.
+    pub fn all() -> [Type; 10] {
+        [
+            Type::Bool,
+            Type::I8,
+            Type::I16,
+            Type::I32,
+            Type::I64,
+            Type::I128,
+            Type::F64,
+            Type::Ptr,
+            Type::String,
+            Type::Void,
+        ]
+    }
+
+    /// Parses the textual name used by the printer.
+    pub fn from_name(s: &str) -> Option<Type> {
+        Some(match s {
+            "bool" => Type::Bool,
+            "i8" => Type::I8,
+            "i16" => Type::I16,
+            "i32" => Type::I32,
+            "i64" => Type::I64,
+            "i128" => Type::I128,
+            "f64" => Type::F64,
+            "ptr" => Type::Ptr,
+            "string" => Type::String,
+            "void" => Type::Void,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Bool => "bool",
+            Type::I8 => "i8",
+            Type::I16 => "i16",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::I128 => "i128",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+            Type::String => "string",
+            Type::Void => "void",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_register_counts() {
+        assert_eq!(Type::I32.bytes(), 4);
+        assert_eq!(Type::I128.bytes(), 16);
+        assert_eq!(Type::String.bytes(), 16);
+        assert_eq!(Type::I64.reg_count(), 1);
+        assert_eq!(Type::I128.reg_count(), 2);
+        assert_eq!(Type::String.reg_count(), 2);
+        assert_eq!(Type::Void.reg_count(), 0);
+    }
+
+    #[test]
+    fn int_classification() {
+        assert!(Type::Bool.is_int());
+        assert!(Type::Ptr.is_int());
+        assert!(!Type::F64.is_int());
+        assert!(!Type::Void.is_int());
+        assert!(Type::I64.is_reg_sized_int());
+        assert!(!Type::I128.is_reg_sized_int());
+        assert!(!Type::String.is_reg_sized_int());
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(Type::Bool.bits(), 1);
+        assert_eq!(Type::I8.bits(), 8);
+        assert_eq!(Type::I128.bits(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "void has no size")]
+    fn void_has_no_size() {
+        let _ = Type::Void.bytes();
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for ty in Type::all() {
+            assert_eq!(Type::from_name(&ty.to_string()), Some(ty));
+        }
+        assert_eq!(Type::from_name("i7"), None);
+    }
+}

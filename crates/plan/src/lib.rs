@@ -1,0 +1,27 @@
+//! Logical query plans, pipeline decomposition, and a reference evaluator.
+//!
+//! The paper's engine follows the data-centric model (Sec. II): an
+//! optimized plan is split into **linear pipelines**; within a pipeline,
+//! tuples stay in registers, and pipeline breakers (hash-join builds,
+//! aggregations, sorts) materialize. This crate provides:
+//!
+//! * [`Expr`] / [`PlanNode`] — typed expressions and logical operators with
+//!   schema inference,
+//! * [`PhysicalPlan`] — the pipeline decomposition consumed by the code
+//!   generator, including materialized-row layouts and the query-context
+//!   slot map through which generated functions reach runtime handles and
+//!   column base addresses,
+//! * [`mod@reference`] — a direct Rust evaluator over columnar storage, used
+//!   as a back-end-independent oracle in differential tests.
+
+mod expr;
+mod layout;
+mod node;
+mod physical;
+pub mod reference;
+
+pub use expr::{lit_bool, lit_date, lit_dec, lit_f64, lit_i32, lit_i64, lit_str};
+pub use expr::{col, ArithOp, CmpKind, Expr};
+pub use layout::{RowField, RowLayout};
+pub use node::{AggFunc, CatalogFn, PlanError, PlanNode, TableSchema};
+pub use physical::{CtxEntry, PhysicalPlan, Pipeline, Sink, Source, StreamOp};

@@ -1,0 +1,99 @@
+//! Bump allocation with stable addresses.
+
+/// A chunked bump allocator.
+///
+/// Allocations are 16-byte aligned and their addresses remain stable for
+/// the arena's lifetime (chunks are never reallocated), which is required
+/// because generated code holds raw pointers into them.
+#[derive(Debug, Default)]
+pub struct Arena {
+    chunks: Vec<Box<[u8]>>,
+    /// Offset into the last chunk.
+    used: usize,
+    total: usize,
+}
+
+const CHUNK_SIZE: usize = 1 << 20;
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `size` zeroed bytes, returning a stable address.
+    pub fn alloc(&mut self, size: usize) -> u64 {
+        let size = (size + 15) & !15;
+        let need_new = match self.chunks.last() {
+            None => true,
+            Some(c) => self.used + size > c.len(),
+        };
+        if need_new {
+            let cap = CHUNK_SIZE.max(size);
+            self.chunks.push(vec![0u8; cap].into_boxed_slice());
+            self.used = 0;
+        }
+        let chunk = self.chunks.last_mut().expect("chunk exists");
+        let addr = chunk.as_ptr() as u64 + self.used as u64;
+        self.used += size;
+        self.total += size;
+        addr
+    }
+
+    /// Copies `bytes` into the arena, returning their address.
+    pub fn alloc_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let addr = self.alloc(bytes.len());
+        // SAFETY: `addr` points at freshly allocated arena memory of at
+        // least `bytes.len()` bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), addr as *mut u8, bytes.len());
+        }
+        addr
+    }
+
+    /// Total bytes allocated so far (after alignment).
+    pub fn allocated(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_aligned_and_zeroed() {
+        let mut a = Arena::new();
+        let p1 = a.alloc(10);
+        let p2 = a.alloc(1);
+        assert_eq!(p1 % 16, 0);
+        assert_eq!(p2 % 16, 0);
+        assert_eq!(p2 - p1, 16);
+        // SAFETY: both pointers reference live arena memory.
+        unsafe {
+            assert_eq!(std::ptr::read(p1 as *const u64), 0);
+        }
+    }
+
+    #[test]
+    fn addresses_stay_stable_across_chunk_growth() {
+        let mut a = Arena::new();
+        let first = a.alloc_bytes(b"hello");
+        for _ in 0..100 {
+            a.alloc(CHUNK_SIZE / 4);
+        }
+        // SAFETY: `first` is still valid arena memory.
+        let back = unsafe { std::slice::from_raw_parts(first as *const u8, 5) };
+        assert_eq!(back, b"hello");
+        assert!(a.allocated() > CHUNK_SIZE);
+    }
+
+    #[test]
+    fn oversized_allocations_get_their_own_chunk() {
+        let mut a = Arena::new();
+        let p = a.alloc(3 * CHUNK_SIZE);
+        assert_ne!(p, 0);
+        let q = a.alloc(8);
+        assert_ne!(q, 0);
+    }
+}

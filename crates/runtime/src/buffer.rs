@@ -1,0 +1,122 @@
+//! Tuple materialization buffers.
+
+use crate::arena::Arena;
+
+/// A buffer of fixed-size rows, used at pipeline ends: query output,
+/// temporary materialization between pipelines, and sort input.
+///
+/// Rows live in the arena (stable addresses); the buffer itself only keeps
+/// the row pointers, which makes sorting a pointer permutation — the row
+/// bytes never move while generated code may hold references to them.
+#[derive(Debug)]
+pub struct TupleBuffer {
+    row_size: usize,
+    rows: Vec<u64>,
+}
+
+impl TupleBuffer {
+    /// Creates an empty buffer for rows of `row_size` bytes.
+    pub fn new(row_size: usize) -> Self {
+        TupleBuffer { row_size, rows: Vec::new() }
+    }
+
+    /// Row size in bytes.
+    pub fn row_size(&self) -> usize {
+        self.row_size
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the buffer has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Allocates one zeroed row and returns its address.
+    pub fn alloc_row(&mut self, arena: &mut Arena) -> u64 {
+        let addr = arena.alloc(self.row_size);
+        self.rows.push(addr);
+        addr
+    }
+
+    /// Address of row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    pub fn row(&self, i: usize) -> u64 {
+        self.rows[i]
+    }
+
+    /// Takes the row-pointer array out for sorting (see
+    /// [`TupleBuffer::put_back`]).
+    pub fn take_rows(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.rows)
+    }
+
+    /// Restores the (possibly permuted) row-pointer array.
+    pub fn put_back(&mut self, rows: Vec<u64>) {
+        self.rows = rows;
+    }
+
+    /// Copies row `i` out as bytes (for result decoding and tests).
+    pub fn row_bytes(&self, i: usize) -> Vec<u8> {
+        let addr = self.rows[i];
+        // SAFETY: rows are live arena allocations of `row_size` bytes.
+        unsafe { std::slice::from_raw_parts(addr as *const u8, self.row_size).to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_u64(addr: u64, v: u64) {
+        // SAFETY: test-local arena row.
+        unsafe { std::ptr::write_unaligned(addr as *mut u64, v) }
+    }
+
+    #[test]
+    fn rows_are_stable_and_readable() {
+        let mut arena = Arena::new();
+        let mut buf = TupleBuffer::new(16);
+        for i in 0..100u64 {
+            let r = buf.alloc_row(&mut arena);
+            write_u64(r, i);
+            write_u64(r + 8, i * 2);
+        }
+        assert_eq!(buf.len(), 100);
+        let bytes = buf.row_bytes(7);
+        assert_eq!(u64::from_le_bytes(bytes[0..8].try_into().unwrap()), 7);
+        assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 14);
+    }
+
+    #[test]
+    fn sorting_permutes_pointers_without_moving_rows() {
+        let mut arena = Arena::new();
+        let mut buf = TupleBuffer::new(8);
+        for i in [3u64, 1, 2] {
+            let r = buf.alloc_row(&mut arena);
+            write_u64(r, i);
+        }
+        let before: Vec<u64> = (0..3).map(|i| buf.row(i)).collect();
+        let mut rows = buf.take_rows();
+        rows.sort_by_key(|&addr| {
+            // SAFETY: live rows.
+            unsafe { std::ptr::read_unaligned(addr as *const u64) }
+        });
+        buf.put_back(rows);
+        let keys: Vec<u64> = (0..3)
+            .map(|i| u64::from_le_bytes(buf.row_bytes(i)[0..8].try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        // Same addresses, different order.
+        let mut after: Vec<u64> = (0..3).map(|i| buf.row(i)).collect();
+        after.sort_unstable();
+        let mut before_sorted = before;
+        before_sorted.sort_unstable();
+        assert_eq!(after, before_sorted);
+    }
+}

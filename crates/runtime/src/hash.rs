@@ -1,0 +1,90 @@
+//! Hash functions used by joins and aggregations.
+//!
+//! Umbra's hash function uses CRC-32 when the hardware supports it and a
+//! `64×64→128`-bit multiply whose halves are folded with XOR otherwise
+//! ("long-mul-fold", paper Sec. III-A). Generated code inlines the same
+//! sequence (Listing 2); these Rust versions exist for the runtime side
+//! (string hashing, hash-table management) and must produce identical bits.
+
+use crate::strings::RtString;
+use qc_target::crc32c_u64;
+
+/// First CRC seed used by the paper's Listing 2.
+pub const HASH_SEED1: u64 = 0x0845_f017_ffbc_4390;
+/// Second CRC seed used by the paper's Listing 2.
+pub const HASH_SEED2: u64 = 0xb993_5cc9_7ab5_b272;
+
+/// Hashes one 64-bit value the way generated code does: two CRC-32 steps
+/// with different seeds, combined into 64 bits.
+pub fn hash_u64(value: u64) -> u64 {
+    let a = crc32c_u64(HASH_SEED1, value);
+    let b = crc32c_u64(HASH_SEED2, value);
+    a | (b << 32)
+}
+
+/// The long-mul-fold combiner: full 64×64 multiply, XOR of both halves.
+pub fn long_mul_fold(a: u64, b: u64) -> u64 {
+    let p = (a as u128).wrapping_mul(b as u128);
+    (p as u64) ^ ((p >> 64) as u64)
+}
+
+/// Hashes a string's contents (length-prefixed, 8 bytes at a time).
+pub fn hash_string(s: &RtString) -> u64 {
+    let bytes = s.as_slice();
+    let mut h = hash_u64(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut lane = [0u8; 8];
+        lane[..chunk.len()].copy_from_slice(chunk);
+        h = crc32c_u64(h, u64::from_le_bytes(lane)) | (h << 32);
+    }
+    // Final avalanche through long-mul-fold.
+    long_mul_fold(h, HASH_SEED2 | 1)
+}
+
+/// Combines two hash values (for multi-column keys).
+pub fn hash_combine(a: u64, b: u64) -> u64 {
+    long_mul_fold(a.wrapping_mul(3).wrapping_add(b.rotate_right(17)), HASH_SEED1 | 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::Arena;
+
+    #[test]
+    fn hash_u64_is_deterministic_and_spreads() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_ne!(hash_u64(42), hash_u64(43));
+        // Low bits must differ for consecutive keys (bucket selection).
+        let mask = 0xFFFF;
+        let h: std::collections::HashSet<u64> =
+            (0..1000u64).map(|i| hash_u64(i) & mask).collect();
+        assert!(h.len() > 800, "poor low-bit dispersion: {}", h.len());
+    }
+
+    #[test]
+    fn long_mul_fold_matches_definition() {
+        let (a, b) = (0x0123_4567_89ab_cdef_u64, 0xfedc_ba98_7654_3210_u64);
+        let p = (a as u128) * (b as u128);
+        assert_eq!(long_mul_fold(a, b), (p as u64) ^ ((p >> 64) as u64));
+        assert_eq!(long_mul_fold(0, b), 0);
+    }
+
+    #[test]
+    fn string_hash_depends_on_content_not_storage() {
+        let mut arena = Arena::new();
+        let short = RtString::new("abc", &mut arena);
+        let short2 = RtString::new("abc", &mut arena);
+        assert_eq!(hash_string(&short), hash_string(&short2));
+        let long1 = RtString::new("the same long string value!", &mut arena);
+        let long2 = RtString::new("the same long string value!", &mut arena);
+        assert_eq!(hash_string(&long1), hash_string(&long2));
+        assert_ne!(hash_string(&short), hash_string(&long1));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let (a, b) = (hash_u64(1), hash_u64(2));
+        assert_ne!(hash_combine(a, b), hash_combine(b, a));
+    }
+}

@@ -1,0 +1,194 @@
+//! Chained hash table with arena-resident entries.
+
+use crate::arena::Arena;
+
+/// Entry header layout (all offsets in bytes from the entry base):
+/// `[0..8) next` — address of the next entry in the same bucket (0 = end),
+/// `[8..16) hash` — the full 64-bit hash,
+/// `[16..) payload` — key and value columns, laid out by the code
+/// generator.
+pub const ENTRY_NEXT_OFFSET: i32 = 0;
+/// Offset of the hash field within an entry.
+pub const ENTRY_HASH_OFFSET: i32 = 8;
+/// Offset of the payload within an entry.
+pub const ENTRY_PAYLOAD_OFFSET: i32 = 16;
+
+/// A chained hash table whose entries live in the runtime [`Arena`].
+///
+/// Generated code interacts with it through three runtime calls —
+/// `rt_ht_insert`, `rt_ht_build`, `rt_ht_probe` — and then walks bucket
+/// chains with plain loads (the `next` and `hash` header fields), exactly
+/// like the engine described in the paper. The table grows by rehashing
+/// the chain heads; entry payloads never move.
+#[derive(Debug)]
+pub struct HashTable {
+    buckets: Vec<u64>,
+    count: usize,
+    mask: u64,
+}
+
+fn read_u64(addr: u64) -> u64 {
+    // SAFETY: addresses come from this table's own arena entries.
+    unsafe { std::ptr::read_unaligned(addr as *const u64) }
+}
+
+fn write_u64(addr: u64, v: u64) {
+    // SAFETY: see `read_u64`.
+    unsafe { std::ptr::write_unaligned(addr as *mut u64, v) }
+}
+
+impl HashTable {
+    /// Creates a table sized for roughly `estimate` entries.
+    pub fn new(estimate: usize) -> Self {
+        let cap = estimate.next_power_of_two().max(16);
+        HashTable { buckets: vec![0; cap], count: 0, mask: cap as u64 - 1 }
+    }
+
+    /// Number of inserted entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Inserts a new entry with `hash` and a zeroed payload of
+    /// `payload_size` bytes; returns the payload address.
+    pub fn insert(&mut self, arena: &mut Arena, hash: u64, payload_size: usize) -> u64 {
+        if self.count + 1 > self.buckets.len() * 2 {
+            self.grow();
+        }
+        let entry = arena.alloc(ENTRY_PAYLOAD_OFFSET as usize + payload_size);
+        let bucket = (hash & self.mask) as usize;
+        write_u64(entry, self.buckets[bucket]); // next
+        write_u64(entry + 8, hash);
+        self.buckets[bucket] = entry;
+        self.count += 1;
+        entry + ENTRY_PAYLOAD_OFFSET as u64
+    }
+
+    /// Finalizes the build side (chains are maintained incrementally, so
+    /// this only exists to model the build step's cost envelope).
+    pub fn build(&mut self) {}
+
+    /// Returns the head of the bucket chain for `hash` (0 when empty).
+    pub fn probe(&self, hash: u64) -> u64 {
+        self.buckets[(hash & self.mask) as usize]
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.buckets.len() * 4;
+        let new_mask = new_cap as u64 - 1;
+        let mut new_buckets = vec![0u64; new_cap];
+        for &head in &self.buckets {
+            let mut entry = head;
+            while entry != 0 {
+                let next = read_u64(entry);
+                let hash = read_u64(entry + 8);
+                let b = (hash & new_mask) as usize;
+                write_u64(entry, new_buckets[b]);
+                new_buckets[b] = entry;
+                entry = next;
+            }
+        }
+        self.buckets = new_buckets;
+        self.mask = new_mask;
+    }
+
+    /// Walks the chain for `hash` and returns entries whose stored hash
+    /// matches exactly (test helper; generated code does this inline).
+    pub fn matching_entries(&self, hash: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut e = self.probe(hash);
+        while e != 0 {
+            if read_u64(e + 8) == hash {
+                out.push(e + ENTRY_PAYLOAD_OFFSET as u64);
+            }
+            e = read_u64(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_u64;
+
+    #[test]
+    fn insert_then_probe_finds_payload() {
+        let mut arena = Arena::new();
+        let mut ht = HashTable::new(4);
+        let h = hash_u64(7);
+        let payload = ht.insert(&mut arena, h, 16);
+        write_u64(payload, 777);
+        let found = ht.matching_entries(h);
+        assert_eq!(found.len(), 1);
+        assert_eq!(read_u64(found[0]), 777);
+        assert!(ht.matching_entries(hash_u64(8)).is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_all_entries() {
+        let mut arena = Arena::new();
+        let mut ht = HashTable::new(4);
+        let n = 10_000u64;
+        for i in 0..n {
+            let p = ht.insert(&mut arena, hash_u64(i), 8);
+            write_u64(p, i);
+        }
+        assert_eq!(ht.len(), n as usize);
+        for i in 0..n {
+            let found = ht.matching_entries(hash_u64(i));
+            assert!(
+                found.iter().any(|&p| read_u64(p) == i),
+                "lost key {i} after growth"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_hashes_chain() {
+        let mut arena = Arena::new();
+        let mut ht = HashTable::new(16);
+        let h = hash_u64(1);
+        for v in 0..5u64 {
+            let p = ht.insert(&mut arena, h, 8);
+            write_u64(p, v);
+        }
+        let found = ht.matching_entries(h);
+        assert_eq!(found.len(), 5);
+        let mut values: Vec<u64> = found.iter().map(|&p| read_u64(p)).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn behaves_like_std_multimap() {
+        use std::collections::HashMap;
+        let mut arena = Arena::new();
+        let mut ht = HashTable::new(4);
+        let mut reference: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut x = 123456789u64;
+        for i in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = x % 300;
+            let p = ht.insert(&mut arena, hash_u64(key), 8);
+            write_u64(p, i);
+            reference.entry(key).or_default().push(i);
+        }
+        for (key, vals) in &reference {
+            let mut got: Vec<u64> = ht
+                .matching_entries(hash_u64(*key))
+                .iter()
+                .map(|&p| read_u64(p))
+                .collect();
+            got.sort_unstable();
+            let mut want = vals.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "key {key}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Database runtime for compiled queries.
+//!
+//! Generated query code is deliberately thin: everything non-trivial —
+//! memory management, hash tables, tuple buffers, sorting, string
+//! operations, overflow reporting — is a call into this runtime (paper
+//! Sec. III-A). The runtime owns all dynamic memory in real host buffers,
+//! which is what allows the emulated code to address it directly.
+//!
+//! Key pieces:
+//!
+//! * [`RtString`] — the paper's 16-byte string descriptor with small-string
+//!   optimization and a 4-byte prefix, passed *by value* in two registers.
+//! * [`Arena`] — bump allocation with stable addresses.
+//! * [`HashTable`] — chained hash table whose entries live in the arena, so
+//!   generated code walks chains with plain loads.
+//! * [`TupleBuffer`] — materialization buffers (pipeline outputs); sorting
+//!   re-enters generated comparator code.
+//! * [`RuntimeState`] — the function registry: a fixed index space of
+//!   runtime entry points with per-call cycle costs, dispatched from the
+//!   emulator (via [`qc_target::RuntimeDispatch`]) or directly from the
+//!   bytecode interpreter.
+
+mod arena;
+mod buffer;
+mod hash;
+mod hashtable;
+mod state;
+mod strings;
+mod values;
+
+pub use arena::Arena;
+pub use buffer::TupleBuffer;
+pub use hash::{hash_combine, hash_string, hash_u64, long_mul_fold, HASH_SEED1, HASH_SEED2};
+pub use hashtable::{HashTable, ENTRY_HASH_OFFSET, ENTRY_NEXT_OFFSET, ENTRY_PAYLOAD_OFFSET};
+pub use state::{resolve_runtime, rt_index, rtfn, EmuHost, RuntimeState};
+pub use strings::RtString;
+pub use values::SqlValue;

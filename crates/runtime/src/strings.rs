@@ -1,0 +1,178 @@
+//! The 16-byte by-value string descriptor.
+
+use crate::arena::Arena;
+
+/// A database string value in the paper's layout (Sec. III-A):
+///
+/// * bytes 0–3: length,
+/// * if `len <= 12`: bytes 4–15 hold the entire string ("small string"),
+/// * otherwise: bytes 4–7 hold the first four characters (the *prefix*,
+///   enabling quick comparisons) and bytes 8–15 a pointer to the data.
+///
+/// The descriptor is passed by value to and from runtime functions as two
+/// 64-bit register halves (`lo` = bytes 0–7, `hi` = bytes 8–15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct RtString {
+    /// Bytes 0–7: length + prefix/first data bytes.
+    pub lo: u64,
+    /// Bytes 8–15: pointer or remaining data bytes.
+    pub hi: u64,
+}
+
+impl RtString {
+    /// Maximum length stored inline.
+    pub const INLINE_LEN: usize = 12;
+
+    /// Creates a descriptor for `s`, spilling long strings into `arena`.
+    pub fn new(s: &str, arena: &mut Arena) -> Self {
+        let bytes = s.as_bytes();
+        let len = bytes.len() as u32;
+        let mut buf = [0u8; 16];
+        buf[0..4].copy_from_slice(&len.to_le_bytes());
+        if bytes.len() <= Self::INLINE_LEN {
+            buf[4..4 + bytes.len()].copy_from_slice(bytes);
+        } else {
+            let ptr = arena.alloc_bytes(bytes);
+            buf[4..8].copy_from_slice(&bytes[0..4]);
+            buf[8..16].copy_from_slice(&ptr.to_le_bytes());
+        }
+        Self::from_bytes(buf)
+    }
+
+    /// Reassembles a descriptor from its 16 raw bytes.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        RtString {
+            lo: u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")),
+            hi: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+        }
+    }
+
+    /// Reassembles a descriptor from its two register halves.
+    pub fn from_parts(lo: u64, hi: u64) -> Self {
+        RtString { lo, hi }
+    }
+
+    /// The 16 raw bytes.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[0..8].copy_from_slice(&self.lo.to_le_bytes());
+        b[8..16].copy_from_slice(&self.hi.to_le_bytes());
+        b
+    }
+
+    /// String length in bytes.
+    pub fn len(self) -> usize {
+        (self.lo as u32) as usize
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// The 4-byte prefix (zero-padded for short strings).
+    pub fn prefix(self) -> u32 {
+        (self.lo >> 32) as u32
+    }
+
+    /// Returns the string contents.
+    ///
+    /// # Safety-relevant invariant
+    /// For long strings the embedded pointer must still be live (arena
+    /// memory is never freed while the runtime exists).
+    pub fn as_slice(&self) -> &[u8] {
+        let len = self.len();
+        let bytes_ptr: *const u8 = if len <= Self::INLINE_LEN {
+            // Inline: bytes 4..16 of the descriptor itself.
+            (self as *const RtString as *const u8).wrapping_add(4)
+        } else {
+            self.hi as *const u8
+        };
+        // SAFETY: inline data lives inside `self`; long data lives in the
+        // arena which outlives all descriptors (see invariant above).
+        unsafe { std::slice::from_raw_parts(bytes_ptr, len) }
+    }
+
+    /// Equality by content. Uses the length and prefix as cheap filters
+    /// before touching the data, like the engine the paper describes.
+    pub fn eq_content(&self, other: &RtString) -> bool {
+        if self.len() != other.len() || self.prefix() != other.prefix() {
+            return false;
+        }
+        self.as_slice() == other.as_slice()
+    }
+
+    /// Lexicographic comparison by content.
+    pub fn cmp_content(&self, other: &RtString) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+
+    /// Whether the string starts with `prefix` (used for `LIKE 'x%'`).
+    pub fn starts_with(&self, prefix: &RtString) -> bool {
+        let p = prefix.as_slice();
+        self.len() >= p.len() && &self.as_slice()[..p.len()] == p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_strings_are_inline() {
+        let mut a = Arena::new();
+        let before = a.allocated();
+        let s = RtString::new("hello", &mut a);
+        assert_eq!(a.allocated(), before, "no arena allocation for short strings");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.as_slice(), b"hello");
+    }
+
+    #[test]
+    fn twelve_bytes_still_inline_thirteen_spills() {
+        let mut a = Arena::new();
+        let s12 = RtString::new("abcdefghijkl", &mut a);
+        assert_eq!(a.allocated(), 0);
+        assert_eq!(s12.as_slice(), b"abcdefghijkl");
+        let s13 = RtString::new("abcdefghijklm", &mut a);
+        assert!(a.allocated() > 0);
+        assert_eq!(s13.as_slice(), b"abcdefghijklm");
+        assert_eq!(s13.prefix(), u32::from_le_bytes(*b"abcd"));
+    }
+
+    #[test]
+    fn content_comparisons() {
+        let mut a = Arena::new();
+        let x = RtString::new("analytical_database", &mut a);
+        let y = RtString::new("analytical_database", &mut a);
+        let z = RtString::new("analytical_databasf", &mut a);
+        assert!(x.eq_content(&y));
+        assert!(!x.eq_content(&z));
+        assert_eq!(x.cmp_content(&z), std::cmp::Ordering::Less);
+        let pre = RtString::new("analytical", &mut a);
+        assert!(x.starts_with(&pre));
+        assert!(!pre.starts_with(&x));
+    }
+
+    #[test]
+    fn prefix_filter_rejects_without_data_access() {
+        let mut a = Arena::new();
+        let x = RtString::new("aaaa_long_string_x", &mut a);
+        let y = RtString::new("bbbb_long_string_x", &mut a);
+        assert_ne!(x.prefix(), y.prefix());
+        assert!(!x.eq_content(&y));
+    }
+
+    #[test]
+    fn roundtrips_register_halves() {
+        let mut a = Arena::new();
+        for text in ["", "hi", "exactly_12ch", "a significantly longer string value"] {
+            let s = RtString::new(text, &mut a);
+            let r = RtString::from_parts(s.lo, s.hi);
+            assert_eq!(r.as_slice(), text.as_bytes());
+            let b = RtString::from_bytes(s.to_bytes());
+            assert_eq!(b.as_slice(), text.as_bytes());
+        }
+    }
+}

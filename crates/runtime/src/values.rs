@@ -1,0 +1,100 @@
+//! Result values, used for cross-back-end differential testing.
+
+use std::fmt;
+
+/// One decoded SQL value.
+///
+/// The engine decodes output-buffer rows into these for display and for
+/// checksums that must agree bit-for-bit across all back-ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 128-bit decimal with its scale (number of fractional digits).
+    Decimal(i128, u8),
+    /// Double-precision float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl SqlValue {
+    /// A stable 64-bit checksum contribution for differential tests.
+    /// Floats are quantized to 6 decimal digits to absorb association
+    /// differences.
+    pub fn checksum(&self) -> u64 {
+        match self {
+            SqlValue::I32(v) => 0x1000 ^ *v as u64,
+            SqlValue::I64(v) => 0x2000 ^ *v as u64,
+            SqlValue::Decimal(v, s) => 0x3000 ^ (*v as u64) ^ ((*v >> 64) as u64) ^ (*s as u64),
+            SqlValue::F64(v) => {
+                let q = (v * 1e6).round() as i64;
+                0x4000 ^ q as u64
+            }
+            SqlValue::Bool(v) => 0x5000 ^ *v as u64,
+            SqlValue::Str(s) => {
+                let mut h = 0x6000u64;
+                for b in s.bytes() {
+                    h = h.wrapping_mul(31).wrapping_add(b as u64);
+                }
+                h
+            }
+            SqlValue::Null => 0x7000,
+        }
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::I32(v) => write!(f, "{v}"),
+            SqlValue::I64(v) => write!(f, "{v}"),
+            SqlValue::Decimal(v, scale) => {
+                if *scale == 0 {
+                    return write!(f, "{v}");
+                }
+                let div = 10i128.pow(*scale as u32);
+                let (int, frac) = (v / div, (v % div).abs());
+                write!(f, "{int}.{frac:0width$}", width = *scale as usize)
+            }
+            SqlValue::F64(v) => write!(f, "{v:.6}"),
+            SqlValue::Bool(v) => write!(f, "{v}"),
+            SqlValue::Str(s) => write!(f, "{s}"),
+            SqlValue::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_formatting() {
+        assert_eq!(SqlValue::Decimal(123456, 2).to_string(), "1234.56");
+        assert_eq!(SqlValue::Decimal(-1050, 2).to_string(), "-10.50");
+        assert_eq!(SqlValue::Decimal(7, 0).to_string(), "7");
+        assert_eq!(SqlValue::Decimal(5, 3).to_string(), "0.005");
+    }
+
+    #[test]
+    fn checksums_distinguish_values_and_types() {
+        assert_ne!(SqlValue::I64(1).checksum(), SqlValue::I64(2).checksum());
+        assert_ne!(SqlValue::I64(1).checksum(), SqlValue::I32(1).checksum());
+        assert_ne!(SqlValue::Str("a".into()).checksum(), SqlValue::Str("b".into()).checksum());
+        assert_eq!(SqlValue::Null.checksum(), SqlValue::Null.checksum());
+    }
+
+    #[test]
+    fn float_checksum_absorbs_tiny_noise() {
+        let a = SqlValue::F64(1.000000001);
+        let b = SqlValue::F64(1.0000000011);
+        assert_eq!(a.checksum(), b.checksum());
+    }
+}

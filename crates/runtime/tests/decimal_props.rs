@@ -1,0 +1,93 @@
+//! Property tests for runtime semantics: 128-bit checked arithmetic,
+//! string layout, and hash agreement between runtime and generated-code
+//! sequences.
+
+use proptest::prelude::*;
+use qc_runtime::{hash_u64, long_mul_fold, rtfn, RtString, RuntimeState};
+use qc_target::{crc32c_u64, Trap};
+
+fn no_cb() -> impl FnMut(&mut RuntimeState, u64, &[u64]) -> Result<u64, Trap> {
+    |_, _, _| Err(Trap::Runtime(9))
+}
+
+fn parts(v: i128) -> [u64; 2] {
+    [v as u64, ((v as u128) >> 64) as u64]
+}
+
+proptest! {
+    #[test]
+    fn mul128_matches_checked_semantics(a in any::<i128>(), b in any::<i128>()) {
+        let mut st = RuntimeState::new();
+        let (pa, pb) = (parts(a), parts(b));
+        let r = st.invoke(rtfn::MUL128_OVF, &[pa[0], pa[1], pb[0], pb[1]], &mut no_cb());
+        match a.checked_mul(b) {
+            Some(p) => prop_assert_eq!(r, Ok(parts(p))),
+            None => prop_assert_eq!(r, Err(Trap::Overflow)),
+        }
+    }
+
+    #[test]
+    fn div128_matches_checked_semantics(a in any::<i128>(), b in any::<i128>()) {
+        let mut st = RuntimeState::new();
+        let (pa, pb) = (parts(a), parts(b));
+        let r = st.invoke(rtfn::I128_DIV, &[pa[0], pa[1], pb[0], pb[1]], &mut no_cb());
+        if b == 0 {
+            prop_assert_eq!(r, Err(Trap::DivByZero));
+        } else if a == i128::MIN && b == -1 {
+            prop_assert_eq!(r, Err(Trap::Overflow));
+        } else {
+            prop_assert_eq!(r, Ok(parts(a / b)));
+        }
+    }
+
+    #[test]
+    fn string_layout_roundtrips(s in "[ -~]{0,40}") {
+        let mut st = RuntimeState::new();
+        let r = st.intern_string(&s);
+        prop_assert_eq!(r.len(), s.len());
+        prop_assert_eq!(r.as_slice(), s.as_bytes());
+        // Small-string boundary: ≤ 12 bytes inline.
+        if s.len() <= RtString::INLINE_LEN {
+            let copy = RtString::from_parts(r.lo, r.hi);
+            prop_assert_eq!(copy.as_slice(), s.as_bytes());
+        }
+        // Equality through the runtime call interface.
+        let r2 = st.intern_string(&s);
+        let eq = st
+            .invoke(rtfn::STR_EQ, &[r.lo, r.hi, r2.lo, r2.hi], &mut no_cb())
+            .expect("eq");
+        prop_assert_eq!(eq[0], 1);
+    }
+
+    #[test]
+    fn hash_matches_generated_sequence(x in any::<u64>()) {
+        // hash_u64 must equal the crc32-based sequence that codegen
+        // inlines (Listing 2): two seeded crc32 steps combined.
+        let a = crc32c_u64(qc_runtime::HASH_SEED1, x);
+        let b = crc32c_u64(qc_runtime::HASH_SEED2, x);
+        prop_assert_eq!(hash_u64(x), a | (b << 32));
+    }
+
+    #[test]
+    fn long_mul_fold_is_symmetric_in_magnitude(a in any::<u64>(), b in any::<u64>()) {
+        // lmf(a,b) == lmf(b,a): multiplication commutes.
+        prop_assert_eq!(long_mul_fold(a, b), long_mul_fold(b, a));
+    }
+
+    #[test]
+    fn helper_arith_matches_native(a in any::<i64>(), b in any::<i64>()) {
+        // The Table II helper calls must trap exactly when the native
+        // instructions trap.
+        let mut st = RuntimeState::new();
+        let add = st.invoke(rtfn::SADD_OVF, &[a as u64, b as u64], &mut no_cb());
+        match a.checked_add(b) {
+            Some(r) => prop_assert_eq!(add, Ok([r as u64, 0])),
+            None => prop_assert_eq!(add, Err(Trap::Overflow)),
+        }
+        let mul = st.invoke(rtfn::SMUL_OVF, &[a as u64, b as u64], &mut no_cb());
+        match a.checked_mul(b) {
+            Some(r) => prop_assert_eq!(mul, Ok([r as u64, 0])),
+            None => prop_assert_eq!(mul, Err(Trap::Overflow)),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! TPC-DS-shaped synthetic data generator.
+//!
+//! Same substitution rationale as [`crate::gen_hlike`]: three sales fact
+//! tables (store/catalog/web) sharing dimension tables (`date_dim`,
+//! `item`, `customer_ds`, `store`, `promotion`), decimals for money
+//! columns, and low-cardinality category strings — the column mix that
+//! drives the 103-query DS-like suite.
+
+use crate::schema::{ColumnType, Schema};
+use crate::table::{Column, Database, Table};
+use qc_runtime::RtString;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Names of the generated TPC-DS-like tables.
+pub const DS_TABLES: [&str; 8] = [
+    "store_sales",
+    "catalog_sales",
+    "web_sales",
+    "date_dim",
+    "item",
+    "customer_ds",
+    "store",
+    "promotion",
+];
+
+const CATEGORIES: [&str; 10] = [
+    "Books",
+    "Electronics",
+    "Home",
+    "Jewelry",
+    "Men",
+    "Music",
+    "Shoes",
+    "Sports",
+    "Children",
+    "Women",
+];
+const CLASSES: [&str; 6] =
+    ["accent", "classical", "portable", "fragrance", "athletic", "reference"];
+const STATES: [&str; 8] = ["TN", "CA", "TX", "NY", "WA", "GA", "OH", "IL"];
+const CHANNELS: [&str; 2] = ["Y", "N"];
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+fn strs(db: &mut Database, values: Vec<String>) -> Column {
+    Column::Str(values.iter().map(|s| RtString::new(s, &mut db.string_arena)).collect())
+}
+
+fn sales_table(
+    db: &mut Database,
+    name: &str,
+    prefix: &str,
+    rows: usize,
+    seed: u64,
+    dims: &Dims,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut item = Vec::with_capacity(rows);
+    let mut cust = Vec::with_capacity(rows);
+    let mut store = Vec::with_capacity(rows);
+    let mut date = Vec::with_capacity(rows);
+    let mut promo = Vec::with_capacity(rows);
+    let mut qty = Vec::with_capacity(rows);
+    let mut price = Vec::with_capacity(rows);
+    let mut ext = Vec::with_capacity(rows);
+    let mut cost = Vec::with_capacity(rows);
+    let mut profit = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        item.push(rng.gen_range(0..dims.items as i64));
+        cust.push(rng.gen_range(0..dims.customers as i64));
+        store.push(rng.gen_range(0..dims.stores as i64));
+        date.push(rng.gen_range(0..dims.dates as i64));
+        promo.push(rng.gen_range(0..dims.promos as i64));
+        let q = rng.gen_range(1..100i32);
+        qty.push(q);
+        let p: i128 = rng.gen_range(100..30_000);
+        price.push(p);
+        ext.push(p * q as i128);
+        let c: i128 = rng.gen_range(50..(p).max(51));
+        cost.push(c);
+        profit.push((p - c) * q as i128);
+    }
+    let col = |n: &str| format!("{prefix}_{n}");
+    db.add_table(Table::new(
+        name,
+        Schema::new(vec![
+            (&col("item_sk"), ColumnType::I64),
+            (&col("customer_sk"), ColumnType::I64),
+            (&col("store_sk"), ColumnType::I64),
+            (&col("sold_date_sk"), ColumnType::I64),
+            (&col("promo_sk"), ColumnType::I64),
+            (&col("quantity"), ColumnType::I32),
+            (&col("sales_price"), ColumnType::Decimal(2)),
+            (&col("ext_sales_price"), ColumnType::Decimal(2)),
+            (&col("wholesale_cost"), ColumnType::Decimal(2)),
+            (&col("net_profit"), ColumnType::Decimal(2)),
+        ]),
+        vec![
+            Column::I64(item),
+            Column::I64(cust),
+            Column::I64(store),
+            Column::I64(date),
+            Column::I64(promo),
+            Column::I32(qty),
+            Column::Decimal(price),
+            Column::Decimal(ext),
+            Column::Decimal(cost),
+            Column::Decimal(profit),
+        ],
+    ));
+}
+
+struct Dims {
+    items: usize,
+    customers: usize,
+    stores: usize,
+    dates: usize,
+    promos: usize,
+}
+
+/// Generates all TPC-DS-like tables at scale factor `sf` (deterministic).
+/// `sf=1` produces 6000 `store_sales` rows (scaled 1:480 versus real
+/// TPC-DS sf=1, keeping emulated execution tractable).
+pub fn gen_dslike(sf: f64) -> Database {
+    let mut db = Database::new();
+    let n_ss = (6000.0 * sf).max(60.0) as usize;
+    let dims = Dims {
+        items: (n_ss / 20).clamp(16, 4000),
+        customers: (n_ss / 10).clamp(16, 8000),
+        stores: 20,
+        dates: 2192, // six years of days
+        promos: 50,
+    };
+
+    // date_dim: consecutive days starting at day 7300 (year 0 = "1998").
+    let d_sk: Vec<i64> = (0..dims.dates as i64).collect();
+    let d_date: Vec<i32> = (0..dims.dates as i32).map(|i| 7300 + i).collect();
+    let d_year: Vec<i32> = (0..dims.dates as i32).map(|i| 1998 + i / 365).collect();
+    let d_moy: Vec<i32> = (0..dims.dates as i32).map(|i| (i % 365) / 31 + 1).collect();
+    db.add_table(Table::new(
+        "date_dim",
+        Schema::new(vec![
+            ("d_date_sk", ColumnType::I64),
+            ("d_date", ColumnType::Date),
+            ("d_year", ColumnType::I32),
+            ("d_moy", ColumnType::I32),
+        ]),
+        vec![Column::I64(d_sk), Column::Date(d_date), Column::I32(d_year), Column::I32(d_moy)],
+    ));
+
+    // item
+    let mut rng = StdRng::seed_from_u64(0x4954_454d);
+    let i_cat: Vec<String> =
+        (0..dims.items).map(|_| pick(&mut rng, &CATEGORIES).to_string()).collect();
+    let i_class: Vec<String> =
+        (0..dims.items).map(|_| pick(&mut rng, &CLASSES).to_string()).collect();
+    let i_brand: Vec<String> = (0..dims.items)
+        .map(|_| format!("corpbrand #{}", rng.gen_range(1..20)))
+        .collect();
+    let i_price: Vec<i128> = (0..dims.items).map(|_| rng.gen_range(99..9_999)).collect();
+    let __strcol1 = strs(&mut db, i_cat);
+    let __strcol2 = strs(&mut db, i_class);
+    let __strcol3 = strs(&mut db, i_brand);
+    db.add_table(Table::new(
+        "item",
+        Schema::new(vec![
+            ("i_item_sk", ColumnType::I64),
+            ("i_current_price", ColumnType::Decimal(2)),
+            ("i_category", ColumnType::Str),
+            ("i_class", ColumnType::Str),
+            ("i_brand", ColumnType::Str),
+        ]),
+        vec![
+            Column::I64((0..dims.items as i64).collect()),
+            Column::Decimal(i_price),
+            __strcol1,
+            __strcol2,
+            __strcol3,
+        ],
+    ));
+
+    // customer_ds
+    let mut rng = StdRng::seed_from_u64(0x4344_5343);
+    let c_birth: Vec<i32> = (0..dims.customers).map(|_| rng.gen_range(1930..2000)).collect();
+    let c_pref: Vec<u8> = (0..dims.customers).map(|_| rng.gen_range(0..2)).collect();
+    db.add_table(Table::new(
+        "customer_ds",
+        Schema::new(vec![
+            ("c_customer_sk", ColumnType::I64),
+            ("c_birth_year", ColumnType::I32),
+            ("c_preferred", ColumnType::Bool),
+        ]),
+        vec![
+            Column::I64((0..dims.customers as i64).collect()),
+            Column::I32(c_birth),
+            Column::Bool(c_pref),
+        ],
+    ));
+
+    // store
+    let mut rng = StdRng::seed_from_u64(0x5354_4f52);
+    let s_state: Vec<String> =
+        (0..dims.stores).map(|_| pick(&mut rng, &STATES).to_string()).collect();
+    let __strcol4 = strs(&mut db, s_state);
+    db.add_table(Table::new(
+        "store",
+        Schema::new(vec![("s_store_sk", ColumnType::I64), ("s_state", ColumnType::Str)]),
+        vec![Column::I64((0..dims.stores as i64).collect()), __strcol4],
+    ));
+
+    // promotion
+    let mut rng = StdRng::seed_from_u64(0x5052_4f4d);
+    let p_email: Vec<String> =
+        (0..dims.promos).map(|_| pick(&mut rng, &CHANNELS).to_string()).collect();
+    let __strcol5 = strs(&mut db, p_email);
+    db.add_table(Table::new(
+        "promotion",
+        Schema::new(vec![
+            ("p_promo_sk", ColumnType::I64),
+            ("p_channel_email", ColumnType::Str),
+        ]),
+        vec![Column::I64((0..dims.promos as i64).collect()), __strcol5],
+    ));
+
+    sales_table(&mut db, "store_sales", "ss", n_ss, 0x5353_0001, &dims);
+    sales_table(&mut db, "catalog_sales", "cs", n_ss / 2, 0x4353_0002, &dims);
+    sales_table(&mut db, "web_sales", "ws", n_ss / 4, 0x5753_0003, &dims);
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_tables() {
+        let db = gen_dslike(0.1);
+        for t in DS_TABLES {
+            assert!(db.table(t).is_some(), "missing {t}");
+        }
+        assert_eq!(
+            db.table("catalog_sales").unwrap().row_count(),
+            db.table("store_sales").unwrap().row_count() / 2
+        );
+    }
+
+    #[test]
+    fn foreign_keys_stay_in_range() {
+        let db = gen_dslike(0.1);
+        let ss = db.table("store_sales").unwrap();
+        let items = db.table("item").unwrap().row_count() as i64;
+        if let Column::I64(keys) = ss.column_by_name("ss_item_sk") {
+            assert!(keys.iter().all(|&k| k < items && k >= 0));
+        } else {
+            panic!("wrong column type");
+        }
+    }
+
+    #[test]
+    fn ext_price_is_quantity_times_price() {
+        let db = gen_dslike(0.05);
+        let ss = db.table("store_sales").unwrap();
+        let (Column::I32(q), Column::Decimal(p), Column::Decimal(e)) = (
+            ss.column_by_name("ss_quantity"),
+            ss.column_by_name("ss_sales_price"),
+            ss.column_by_name("ss_ext_sales_price"),
+        ) else {
+            panic!("wrong column types");
+        };
+        for i in 0..ss.row_count() {
+            assert_eq!(e[i], p[i] * q[i] as i128);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! TPC-H-shaped synthetic data generator.
+//!
+//! Not TPC-H (the specification and dbgen are licensed); a synthetic
+//! workload with the same structural properties: a large fact table
+//! (`lineitem`) with decimals, dates and flag strings; `orders` →
+//! `customer` and `part`/`supplier` dimension chains; foreign keys
+//! distributed so joins have realistic hit rates. Scale factor `sf=1`
+//! produces 6000 lineitem rows (scaled 1:1000 versus real TPC-H so the
+//! emulated execution stays tractable; the compile-time side is unaffected
+//! by data size).
+
+use crate::schema::{ColumnType, Schema};
+use crate::table::{Column, Database, Table};
+use qc_runtime::RtString;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Names of the generated TPC-H-like tables.
+pub const H_TABLES: [&str; 7] =
+    ["lineitem", "orders", "customer", "part", "supplier", "nation", "region"];
+
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+const LINE_STATUS: [&str; 2] = ["O", "F"];
+const SHIP_MODES: [&str; 7] = ["AIR", "SHIP", "TRUCK", "MAIL", "RAIL", "REG AIR", "FOB"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
+const TYPES: [&str; 6] = [
+    "STANDARD BRASS",
+    "SMALL PLATED",
+    "MEDIUM ANODIZED",
+    "LARGE BURNISHED",
+    "ECONOMY POLISHED",
+    "PROMO BRUSHED",
+];
+const CONTAINERS: [&str; 4] = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG"];
+const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+fn strs(db: &mut Database, values: Vec<String>) -> Column {
+    Column::Str(values.iter().map(|s| RtString::new(s, &mut db.string_arena)).collect())
+}
+
+/// Generates all TPC-H-like tables at scale factor `sf` into a fresh
+/// [`Database`]. Deterministic for a given `sf`.
+pub fn gen_hlike(sf: f64) -> Database {
+    let mut db = Database::new();
+    let n_lineitem = (6000.0 * sf).max(60.0) as usize;
+    let n_orders = (n_lineitem / 4).max(16);
+    let n_customer = (n_orders / 10).max(8);
+    let n_part = (n_lineitem / 30).max(8);
+    let n_supplier = (n_part / 10).max(4);
+
+    // region / nation
+    let __strcol1 = strs(&mut db, REGIONS.iter().map(|s| s.to_string()).collect());
+    db.add_table(Table::new(
+        "region",
+        Schema::new(vec![("r_regionkey", ColumnType::I64), ("r_name", ColumnType::Str)]),
+        vec![Column::I64((0..5).collect()), __strcol1],
+    ));
+    let mut rng = StdRng::seed_from_u64(0x4e41_5449);
+    let n_region: Vec<i64> = (0..25).map(|_| rng.gen_range(0..5)).collect();
+    let __strcol2 = strs(&mut db, NATIONS.iter().map(|s| s.to_string()).collect());
+    db.add_table(Table::new(
+        "nation",
+        Schema::new(vec![
+            ("n_nationkey", ColumnType::I64),
+            ("n_regionkey", ColumnType::I64),
+            ("n_name", ColumnType::Str),
+        ]),
+        vec![Column::I64((0..25).collect()), Column::I64(n_region), __strcol2],
+    ));
+
+    // supplier
+    let mut rng = StdRng::seed_from_u64(0x5355_5050);
+    let s_nation: Vec<i64> = (0..n_supplier).map(|_| rng.gen_range(0..25)).collect();
+    let s_bal: Vec<i128> = (0..n_supplier).map(|_| rng.gen_range(-99_999..999_999)).collect();
+    let s_names: Vec<String> = (0..n_supplier).map(|i| format!("Supplier#{i:09}")).collect();
+    let __strcol3 = strs(&mut db, s_names);
+    db.add_table(Table::new(
+        "supplier",
+        Schema::new(vec![
+            ("s_suppkey", ColumnType::I64),
+            ("s_nationkey", ColumnType::I64),
+            ("s_acctbal", ColumnType::Decimal(2)),
+            ("s_name", ColumnType::Str),
+        ]),
+        vec![
+            Column::I64((0..n_supplier as i64).collect()),
+            Column::I64(s_nation),
+            Column::Decimal(s_bal),
+            __strcol3,
+        ],
+    ));
+
+    // part
+    let mut rng = StdRng::seed_from_u64(0x5041_5254);
+    let p_size: Vec<i32> = (0..n_part).map(|_| rng.gen_range(1..=50)).collect();
+    let p_retail: Vec<i128> = (0..n_part).map(|_| rng.gen_range(90_000..200_000)).collect();
+    let p_brand: Vec<String> = (0..n_part).map(|_| pick(&mut rng, &BRANDS).to_string()).collect();
+    let p_type: Vec<String> = (0..n_part).map(|_| pick(&mut rng, &TYPES).to_string()).collect();
+    let p_container: Vec<String> =
+        (0..n_part).map(|_| pick(&mut rng, &CONTAINERS).to_string()).collect();
+    let p_name: Vec<String> = (0..n_part)
+        .map(|i| format!("part {} {}", i, pick(&mut rng, &["olive", "misty", "navy", "hot"])))
+        .collect();
+    let __strcol4 = strs(&mut db, p_brand);
+    let __strcol5 = strs(&mut db, p_type);
+    let __strcol6 = strs(&mut db, p_container);
+    let __strcol7 = strs(&mut db, p_name);
+    db.add_table(Table::new(
+        "part",
+        Schema::new(vec![
+            ("p_partkey", ColumnType::I64),
+            ("p_size", ColumnType::I32),
+            ("p_retailprice", ColumnType::Decimal(2)),
+            ("p_brand", ColumnType::Str),
+            ("p_type", ColumnType::Str),
+            ("p_container", ColumnType::Str),
+            ("p_name", ColumnType::Str),
+        ]),
+        vec![
+            Column::I64((0..n_part as i64).collect()),
+            Column::I32(p_size),
+            Column::Decimal(p_retail),
+            __strcol4,
+            __strcol5,
+            __strcol6,
+            __strcol7,
+        ],
+    ));
+
+    // customer
+    let mut rng = StdRng::seed_from_u64(0x4355_5354);
+    let c_nation: Vec<i64> = (0..n_customer).map(|_| rng.gen_range(0..25)).collect();
+    let c_bal: Vec<i128> = (0..n_customer).map(|_| rng.gen_range(-99_999..999_999)).collect();
+    let c_seg: Vec<String> =
+        (0..n_customer).map(|_| pick(&mut rng, &SEGMENTS).to_string()).collect();
+    let c_name: Vec<String> = (0..n_customer).map(|i| format!("Customer#{i:09}")).collect();
+    let __strcol8 = strs(&mut db, c_seg);
+    let __strcol9 = strs(&mut db, c_name);
+    db.add_table(Table::new(
+        "customer",
+        Schema::new(vec![
+            ("c_custkey", ColumnType::I64),
+            ("c_nationkey", ColumnType::I64),
+            ("c_acctbal", ColumnType::Decimal(2)),
+            ("c_mktsegment", ColumnType::Str),
+            ("c_name", ColumnType::Str),
+        ]),
+        vec![
+            Column::I64((0..n_customer as i64).collect()),
+            Column::I64(c_nation),
+            Column::Decimal(c_bal),
+            __strcol8,
+            __strcol9,
+        ],
+    ));
+
+    // orders
+    let mut rng = StdRng::seed_from_u64(0x4f52_4445);
+    let o_cust: Vec<i64> = (0..n_orders).map(|_| rng.gen_range(0..n_customer as i64)).collect();
+    let o_total: Vec<i128> = (0..n_orders).map(|_| rng.gen_range(100_000..40_000_000)).collect();
+    let o_date: Vec<i32> = (0..n_orders).map(|_| rng.gen_range(8000..10400)).collect();
+    let o_status: Vec<String> =
+        (0..n_orders).map(|_| pick(&mut rng, &["O", "F", "P"]).to_string()).collect();
+    let o_prio: Vec<String> =
+        (0..n_orders).map(|_| pick(&mut rng, &PRIORITIES).to_string()).collect();
+    let o_ship: Vec<i32> = (0..n_orders).map(|_| rng.gen_range(0..2)).collect();
+    let __strcol10 = strs(&mut db, o_status);
+    let __strcol11 = strs(&mut db, o_prio);
+    db.add_table(Table::new(
+        "orders",
+        Schema::new(vec![
+            ("o_orderkey", ColumnType::I64),
+            ("o_custkey", ColumnType::I64),
+            ("o_totalprice", ColumnType::Decimal(2)),
+            ("o_orderdate", ColumnType::Date),
+            ("o_orderstatus", ColumnType::Str),
+            ("o_orderpriority", ColumnType::Str),
+            ("o_shippriority", ColumnType::I32),
+        ]),
+        vec![
+            Column::I64((0..n_orders as i64).collect()),
+            Column::I64(o_cust),
+            Column::Decimal(o_total),
+            Column::Date(o_date),
+            __strcol10,
+            __strcol11,
+            Column::I32(o_ship),
+        ],
+    ));
+
+    // lineitem
+    let mut rng = StdRng::seed_from_u64(0x4c49_4e45);
+    let mut l_order = Vec::with_capacity(n_lineitem);
+    let mut l_part = Vec::with_capacity(n_lineitem);
+    let mut l_supp = Vec::with_capacity(n_lineitem);
+    let mut l_qty = Vec::with_capacity(n_lineitem);
+    let mut l_price = Vec::with_capacity(n_lineitem);
+    let mut l_disc = Vec::with_capacity(n_lineitem);
+    let mut l_tax = Vec::with_capacity(n_lineitem);
+    let mut l_ship = Vec::with_capacity(n_lineitem);
+    let mut l_commit = Vec::with_capacity(n_lineitem);
+    let mut l_receipt = Vec::with_capacity(n_lineitem);
+    let mut l_rflag = Vec::with_capacity(n_lineitem);
+    let mut l_status = Vec::with_capacity(n_lineitem);
+    let mut l_mode = Vec::with_capacity(n_lineitem);
+    for _ in 0..n_lineitem {
+        l_order.push(rng.gen_range(0..n_orders as i64));
+        l_part.push(rng.gen_range(0..n_part as i64));
+        l_supp.push(rng.gen_range(0..n_supplier as i64));
+        l_qty.push(rng.gen_range(100i128..5000)); // 1.00 .. 50.00
+        l_price.push(rng.gen_range(90_000i128..10_500_000));
+        l_disc.push(rng.gen_range(0i128..=10)); // 0.00 .. 0.10
+        l_tax.push(rng.gen_range(0i128..=8));
+        let ship = rng.gen_range(8000..10500);
+        l_ship.push(ship);
+        l_commit.push(ship + rng.gen_range(-30..60));
+        l_receipt.push(ship + rng.gen_range(1..30));
+        l_rflag.push(pick(&mut rng, &RETURN_FLAGS).to_string());
+        l_status.push(pick(&mut rng, &LINE_STATUS).to_string());
+        l_mode.push(pick(&mut rng, &SHIP_MODES).to_string());
+    }
+    let __strcol12 = strs(&mut db, l_rflag);
+    let __strcol13 = strs(&mut db, l_status);
+    let __strcol14 = strs(&mut db, l_mode);
+    db.add_table(Table::new(
+        "lineitem",
+        Schema::new(vec![
+            ("l_orderkey", ColumnType::I64),
+            ("l_partkey", ColumnType::I64),
+            ("l_suppkey", ColumnType::I64),
+            ("l_quantity", ColumnType::Decimal(2)),
+            ("l_extendedprice", ColumnType::Decimal(2)),
+            ("l_discount", ColumnType::Decimal(2)),
+            ("l_tax", ColumnType::Decimal(2)),
+            ("l_shipdate", ColumnType::Date),
+            ("l_commitdate", ColumnType::Date),
+            ("l_receiptdate", ColumnType::Date),
+            ("l_returnflag", ColumnType::Str),
+            ("l_linestatus", ColumnType::Str),
+            ("l_shipmode", ColumnType::Str),
+        ]),
+        vec![
+            Column::I64(l_order),
+            Column::I64(l_part),
+            Column::I64(l_supp),
+            Column::Decimal(l_qty),
+            Column::Decimal(l_price),
+            Column::Decimal(l_disc),
+            Column::Decimal(l_tax),
+            Column::Date(l_ship),
+            Column::Date(l_commit),
+            Column::Date(l_receipt),
+            __strcol12,
+            __strcol13,
+            __strcol14,
+        ],
+    ));
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_tables_with_consistent_keys() {
+        let db = gen_hlike(0.1);
+        for t in H_TABLES {
+            assert!(db.table(t).is_some(), "missing {t}");
+        }
+        let li = db.table("lineitem").unwrap();
+        let orders = db.table("orders").unwrap();
+        assert!(li.row_count() >= 60);
+        // Foreign keys land inside the referenced table.
+        if let Column::I64(keys) = li.column_by_name("l_orderkey") {
+            assert!(keys.iter().all(|&k| (k as usize) < orders.row_count()));
+        } else {
+            panic!("wrong column type");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_hlike(0.05);
+        let b = gen_hlike(0.05);
+        let (ta, tb) = (a.table("lineitem").unwrap(), b.table("lineitem").unwrap());
+        assert_eq!(ta.row_count(), tb.row_count());
+        if let (Column::Decimal(x), Column::Decimal(y)) =
+            (ta.column_by_name("l_extendedprice"), tb.column_by_name("l_extendedprice"))
+        {
+            assert_eq!(x, y);
+        } else {
+            panic!("wrong column type");
+        }
+    }
+
+    #[test]
+    fn scale_factor_scales_fact_table() {
+        let small = gen_hlike(0.05);
+        let large = gen_hlike(0.5);
+        assert!(
+            large.table("lineitem").unwrap().row_count()
+                > 5 * small.table("lineitem").unwrap().row_count()
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Columnar storage and synthetic benchmark data.
+//!
+//! The paper evaluates on TPC-H and TPC-DS. Those generators and query
+//! sets are license-encumbered, so this crate provides synthetic
+//! *shape-compatible* substitutes (see DESIGN.md): schemas with the same
+//! column-type mix (64-bit keys, 128-bit decimals, dates, low-cardinality
+//! flag strings, free-form strings), seeded deterministic generation, and
+//! scale factors that control row counts the same way.
+//!
+//! Tables are plain columnar arrays. Generated query code receives raw
+//! column base addresses and operates on them directly; rows are
+//! identified by index ("morsel-driven" ranges, paper Sec. II).
+
+mod datagen_ds;
+mod datagen_h;
+mod schema;
+mod table;
+
+pub use datagen_ds::{gen_dslike, DS_TABLES};
+pub use datagen_h::{gen_hlike, H_TABLES};
+pub use schema::{ColumnType, Schema};
+pub use table::{Column, Database, Morsel, Table};

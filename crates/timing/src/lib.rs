@@ -1,0 +1,48 @@
+//! Hierarchical phase timing for compile-time analysis.
+//!
+//! This crate is the reproduction's analog of the instrumentation the paper
+//! relies on: GCC's `-ftime-report`, LLVM's time-trace infrastructure, and
+//! the custom phase timers added to Cranelift and DirectEmit. Every back-end
+//! in this workspace reports where its compile time goes through a
+//! [`TimeTrace`], and the benchmark harness aggregates those traces into the
+//! per-phase breakdowns of Table I and Figures 2–5.
+//!
+//! # Example
+//!
+//! ```
+//! use qc_timing::TimeTrace;
+//!
+//! let trace = TimeTrace::new();
+//! {
+//!     let _isel = trace.scope("isel");
+//!     // ... do instruction selection ...
+//! }
+//! {
+//!     let _ra = trace.scope("regalloc");
+//! }
+//! let report = trace.report();
+//! assert!(report.total("isel").is_some());
+//! ```
+
+mod report;
+mod trace;
+
+pub use report::{PhaseRow, Report};
+pub use trace::{PhaseGuard, TimeTrace};
+
+use std::time::Duration;
+
+/// Formats a [`Duration`] with millisecond precision for harness output.
+///
+/// # Example
+/// ```
+/// use std::time::Duration;
+/// assert_eq!(qc_timing::fmt_duration(Duration::from_micros(1500)), "1.500ms");
+/// ```
+pub fn fmt_duration(d: Duration) -> String {
+    if d >= Duration::from_secs(1) {
+        format!("{:.3}s", d.as_secs_f64())
+    } else {
+        format!("{:.3}ms", d.as_secs_f64() * 1e3)
+    }
+}

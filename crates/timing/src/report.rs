@@ -1,0 +1,200 @@
+//! Immutable snapshots of recorded phase timings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// One row of a [`Report`]: a phase path with its accumulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Slash-separated phase path, e.g. `"regalloc/liveness"`.
+    pub path: String,
+    /// Total time accumulated across all entries of this phase.
+    pub total: Duration,
+    /// Number of times the phase was entered.
+    pub count: u64,
+}
+
+impl PhaseRow {
+    /// Depth of the phase in the hierarchy (0 for top-level phases).
+    pub fn depth(&self) -> usize {
+        self.path.matches('/').count()
+    }
+
+    /// Last path component, e.g. `"liveness"` for `"regalloc/liveness"`.
+    pub fn leaf(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+/// An immutable, sorted snapshot of phase timings.
+///
+/// Produced by [`crate::TimeTrace::report`]. Rows are sorted by path, so
+/// children directly follow their parent.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    rows: BTreeMap<String, (Duration, u64)>,
+}
+
+impl Report {
+    pub(crate) fn from_phases(phases: Vec<(String, Duration, u64)>) -> Self {
+        let mut rows = BTreeMap::new();
+        for (path, d, n) in phases {
+            let e = rows.entry(path).or_insert((Duration::ZERO, 0));
+            e.0 += d;
+            e.1 += n;
+        }
+        Report { rows }
+    }
+
+    /// All rows, sorted by path.
+    pub fn rows(&self) -> Vec<PhaseRow> {
+        self.rows
+            .iter()
+            .map(|(path, &(total, count))| PhaseRow { path: path.clone(), total, count })
+            .collect()
+    }
+
+    /// Total time of one phase path, if recorded.
+    pub fn total(&self, path: &str) -> Option<Duration> {
+        self.rows.get(path).map(|&(d, _)| d)
+    }
+
+    /// Entry count of one phase path (0 if never recorded).
+    pub fn count(&self, path: &str) -> u64 {
+        self.rows.get(path).map(|&(_, n)| n).unwrap_or(0)
+    }
+
+    /// Sum of all *top-level* phases. Nested phases are already contained in
+    /// their parents' time and therefore not added again.
+    pub fn grand_total(&self) -> Duration {
+        self.rows
+            .iter()
+            .filter(|(p, _)| !p.contains('/'))
+            .map(|(_, &(d, _))| d)
+            .sum()
+    }
+
+    /// Fraction of [`Report::grand_total`] spent in `path` (0.0 if unknown
+    /// or the report is empty).
+    pub fn fraction(&self, path: &str) -> f64 {
+        let total = self.grand_total().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.total(path).map(|d| d.as_secs_f64() / total).unwrap_or(0.0)
+    }
+
+    /// Returns a new report containing only rows below `prefix` (exclusive),
+    /// with the prefix stripped. Useful to zoom into e.g. `"regalloc"`.
+    pub fn subtree(&self, prefix: &str) -> Report {
+        let mut rows = BTreeMap::new();
+        let pfx = format!("{prefix}/");
+        for (path, &v) in &self.rows {
+            if let Some(rest) = path.strip_prefix(&pfx) {
+                rows.insert(rest.to_string(), v);
+            }
+        }
+        Report { rows }
+    }
+
+    /// Renders the report as an indented text table with percentages of the
+    /// grand total, suitable for harness output.
+    pub fn render(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.grand_total();
+        writeln!(f, "{:<44} {:>12} {:>8} {:>8}", "phase", "total", "count", "%")?;
+        for row in self.rows() {
+            let pct = if total.is_zero() {
+                0.0
+            } else {
+                100.0 * row.total.as_secs_f64() / total.as_secs_f64()
+            };
+            let indent = "  ".repeat(row.depth());
+            writeln!(
+                f,
+                "{:<44} {:>12} {:>8} {:>7.1}%",
+                format!("{indent}{}", row.leaf()),
+                crate::fmt_duration(row.total),
+                row.count,
+                pct
+            )?;
+        }
+        writeln!(f, "{:<44} {:>12}", "TOTAL", crate::fmt_duration(total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        Report::from_phases(vec![
+            ("isel".into(), Duration::from_millis(30), 3),
+            ("regalloc".into(), Duration::from_millis(60), 3),
+            ("regalloc/liveness".into(), Duration::from_millis(20), 3),
+            ("regalloc/assign".into(), Duration::from_millis(35), 3),
+        ])
+    }
+
+    #[test]
+    fn grand_total_counts_only_top_level() {
+        assert_eq!(report().grand_total(), Duration::from_millis(90));
+    }
+
+    #[test]
+    fn fraction_of_total() {
+        let r = report();
+        let f = r.fraction("regalloc");
+        assert!((f - 60.0 / 90.0).abs() < 1e-9, "{f}");
+        assert_eq!(r.fraction("missing"), 0.0);
+    }
+
+    #[test]
+    fn subtree_strips_prefix() {
+        let sub = report().subtree("regalloc");
+        assert_eq!(sub.total("liveness").unwrap(), Duration::from_millis(20));
+        assert_eq!(sub.total("assign").unwrap(), Duration::from_millis(35));
+        assert!(sub.total("regalloc").is_none());
+        assert_eq!(sub.grand_total(), Duration::from_millis(55));
+    }
+
+    #[test]
+    fn rows_are_sorted_and_describe_depth() {
+        let rows = report().rows();
+        let paths: Vec<_> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["isel", "regalloc", "regalloc/assign", "regalloc/liveness"]);
+        assert_eq!(rows[3].depth(), 1);
+        assert_eq!(rows[3].leaf(), "liveness");
+    }
+
+    #[test]
+    fn render_contains_phases_and_percent() {
+        let s = report().render();
+        assert!(s.contains("liveness"));
+        assert!(s.contains('%'));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = Report::default();
+        assert_eq!(r.grand_total(), Duration::ZERO);
+        assert!(r.render().contains("TOTAL"));
+    }
+
+    #[test]
+    fn from_phases_merges_duplicates() {
+        let r = Report::from_phases(vec![
+            ("a".into(), Duration::from_millis(1), 1),
+            ("a".into(), Duration::from_millis(2), 2),
+        ]);
+        assert_eq!(r.total("a").unwrap(), Duration::from_millis(3));
+        assert_eq!(r.count("a"), 3);
+    }
+}

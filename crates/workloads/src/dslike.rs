@@ -1,0 +1,164 @@
+//! The 103-query TPC-DS-shaped suite (procedurally generated).
+
+use crate::BenchQuery;
+use qc_plan::{col, lit_dec, lit_i32, lit_i64, lit_str, AggFunc, Expr, PlanNode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CATEGORIES: [&str; 10] = [
+    "Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Children",
+    "Women",
+];
+const STATES: [&str; 8] = ["TN", "CA", "TX", "NY", "WA", "GA", "OH", "IL"];
+
+struct Fact {
+    table: &'static str,
+    prefix: &'static str,
+}
+
+const FACTS: [Fact; 3] = [
+    Fact { table: "store_sales", prefix: "ss" },
+    Fact { table: "catalog_sales", prefix: "cs" },
+    Fact { table: "web_sales", prefix: "ws" },
+];
+
+/// Builds the 103 deterministic TPC-DS-shaped queries.
+pub fn dslike_suite() -> Vec<BenchQuery> {
+    (0..103).map(|i| BenchQuery { name: format!("DS{i:03}"), plan: gen_query(i) }).collect()
+}
+
+#[allow(clippy::too_many_lines)]
+fn gen_query(index: usize) -> PlanNode {
+    let mut rng = StdRng::seed_from_u64(0xD5_0000 + index as u64);
+    let fact = &FACTS[rng.gen_range(0..FACTS.len())];
+    let c = |n: &str| format!("{}_{n}", fact.prefix);
+
+    // Fact columns always loaded.
+    let item_sk = c("item_sk");
+    let cust_sk = c("customer_sk");
+    let store_sk = c("store_sk");
+    let date_sk = c("sold_date_sk");
+    let promo_sk = c("promo_sk");
+    let qty = c("quantity");
+    let price = c("sales_price");
+    let ext = c("ext_sales_price");
+    let cost = c("wholesale_cost");
+    let profit = c("net_profit");
+    let all_cols: Vec<&str> = vec![
+        &item_sk, &cust_sk, &store_sk, &date_sk, &promo_sk, &qty, &price, &ext, &cost, &profit,
+    ];
+
+    // Fact predicates (0–3).
+    let mut preds: Vec<Expr> = Vec::new();
+    for _ in 0..rng.gen_range(0..=3u32) {
+        preds.push(match rng.gen_range(0..4u32) {
+            0 => col(&qty).gt(lit_i32(rng.gen_range(5..60))),
+            1 => col(&price).lt(lit_dec(rng.gen_range(5_000..28_000), 2)),
+            2 => col(&profit).gt(lit_dec(rng.gen_range(0..100_000), 2)),
+            _ => col(&cost).le(lit_dec(rng.gen_range(2_000..25_000), 2)),
+        });
+    }
+    let filter = preds.into_iter().reduce(Expr::and);
+    let mut plan = match filter {
+        Some(f) => PlanNode::scan_filtered(fact.table, &all_cols, f),
+        None => PlanNode::scan(fact.table, &all_cols),
+    };
+
+    // Dimension joins (1–3 distinct dimensions).
+    let mut group_candidates: Vec<String> = Vec::new();
+    let mut dims: Vec<u32> = (0..5u32).collect();
+    for _ in 0..rng.gen_range(1..=3u32) {
+        let pick = dims.remove(rng.gen_range(0..dims.len()));
+        match pick {
+            0 => {
+                let mut dim = PlanNode::scan("item", &["i_item_sk", "i_category", "i_current_price"]);
+                if rng.gen_bool(0.5) {
+                    let cat = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+                    dim = dim.filter(col("i_category").eq(lit_str(cat)));
+                }
+                plan = plan.hash_join(dim, &[&item_sk], &["i_item_sk"], &["i_category"]);
+                group_candidates.push("i_category".into());
+            }
+            1 => {
+                let mut dim = PlanNode::scan("date_dim", &["d_date_sk", "d_year", "d_moy"]);
+                if rng.gen_bool(0.6) {
+                    let y = rng.gen_range(1998..2003);
+                    dim = dim.filter(col("d_year").eq(lit_i32(y)));
+                }
+                plan = plan.hash_join(dim, &[&date_sk], &["d_date_sk"], &["d_year", "d_moy"]);
+                group_candidates.push("d_moy".into());
+            }
+            2 => {
+                let dim = PlanNode::scan("store", &["s_store_sk", "s_state"]);
+                plan = plan.hash_join(dim, &[&store_sk], &["s_store_sk"], &["s_state"]);
+                group_candidates.push("s_state".into());
+            }
+            3 => {
+                let mut dim =
+                    PlanNode::scan("customer_ds", &["c_customer_sk", "c_birth_year", "c_preferred"]);
+                if rng.gen_bool(0.4) {
+                    dim = dim.filter(col("c_birth_year").lt(lit_i32(1975)));
+                }
+                plan = plan.hash_join(
+                    dim,
+                    &[&cust_sk],
+                    &["c_customer_sk"],
+                    &["c_birth_year"],
+                );
+                group_candidates.push("c_birth_year".into());
+            }
+            _ => {
+                let dim = PlanNode::scan("promotion", &["p_promo_sk", "p_channel_email"])
+                    .filter(col("p_channel_email").eq(lit_str(STATES[0])).or(col(
+                        "p_channel_email",
+                    )
+                    .eq(lit_str("Y"))));
+                plan = plan.hash_join(dim, &[&promo_sk], &["p_promo_sk"], &["p_channel_email"]);
+                group_candidates.push("p_channel_email".into());
+            }
+        }
+    }
+
+    // Computed revenue column (decimal arithmetic with overflow checks).
+    plan = plan.map(vec![(
+        "margin",
+        col(&ext).mul(lit_dec(100, 2)).sub(col(&cost).mul(lit_dec(100, 2))),
+    )]);
+
+    // Aggregation.
+    let nkeys = rng.gen_range(1..=group_candidates.len().min(2));
+    let keys: Vec<&str> = group_candidates.iter().take(nkeys).map(String::as_str).collect();
+    let mut aggs: Vec<(&str, AggFunc)> = vec![("n", AggFunc::CountStar)];
+    if rng.gen_bool(0.9) {
+        aggs.push(("total_ext", AggFunc::Sum(col(&ext))));
+    }
+    if rng.gen_bool(0.6) {
+        aggs.push(("total_margin", AggFunc::Sum(col("margin"))));
+    }
+    if rng.gen_bool(0.5) {
+        aggs.push(("max_profit", AggFunc::Max(col(&profit))));
+    }
+    if rng.gen_bool(0.4) {
+        aggs.push(("avg_qty", AggFunc::Avg(col(&qty))));
+    }
+    if rng.gen_bool(0.3) {
+        aggs.push(("min_price", AggFunc::Min(col(&price))));
+    }
+    plan = plan.group_by(&keys, aggs);
+
+    // Optional top-k sort (ties broken by the group keys for determinism).
+    if rng.gen_bool(0.7) {
+        let mut sort_keys: Vec<(&str, bool)> = vec![("n", false)];
+        for k in &keys {
+            sort_keys.push((k, true));
+        }
+        let limit = if rng.gen_bool(0.5) { Some(rng.gen_range(5..50)) } else { None };
+        plan = plan.sort(&sort_keys, limit);
+    }
+
+    // Occasionally a post-aggregation filter (HAVING).
+    if rng.gen_bool(0.25) {
+        plan = plan.filter(col("n").gt(lit_i64(1)));
+    }
+    plan
+}

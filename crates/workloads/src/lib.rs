@@ -1,0 +1,87 @@
+//! Benchmark query suites.
+//!
+//! Two suites, mirroring the paper's workloads:
+//!
+//! * [`hlike_suite`] — 22 queries shaped after TPC-H: scan-heavy decimal
+//!   aggregation, selective filters, join chains through the dimension
+//!   tables, group-bys and top-k sorts.
+//! * [`dslike_suite`] — 103 procedurally generated queries shaped after
+//!   TPC-DS: three sales fact tables joined against shared dimensions,
+//!   with seeded-random predicate/aggregation/sort structure. The
+//!   generator is deterministic, so "query 17" is the same plan on every
+//!   run.
+//!
+//! Both suites only reference the schemas produced by
+//! [`qc_storage::gen_hlike`] / [`qc_storage::gen_dslike`].
+
+mod dslike;
+mod hlike;
+
+pub use dslike::dslike_suite;
+pub use hlike::hlike_suite;
+
+use qc_plan::PlanNode;
+
+/// A named benchmark query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Display name (e.g. `"H01"` or `"DS042"`).
+    pub name: String,
+    /// The logical plan.
+    pub plan: PlanNode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_plan::reference;
+    use qc_storage::{gen_dslike, gen_hlike};
+
+    #[test]
+    fn hlike_suite_has_22_valid_queries() {
+        let db = gen_hlike(0.02);
+        let suite = hlike_suite();
+        assert_eq!(suite.len(), 22);
+        for q in &suite {
+            let catalog = |t: &str| {
+                db.table(t)
+                    .map(|t| t.schema.iter().map(|(n, ty)| (n.to_string(), ty)).collect())
+            };
+            q.plan
+                .schema(&catalog)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        }
+    }
+
+    #[test]
+    fn dslike_suite_has_103_valid_executable_queries() {
+        let db = gen_dslike(0.02);
+        let suite = dslike_suite();
+        assert_eq!(suite.len(), 103);
+        for q in &suite {
+            let rows = reference::execute(&q.plan, &db)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            let _ = rows;
+        }
+    }
+
+    #[test]
+    fn dslike_suite_is_deterministic() {
+        let a = dslike_suite();
+        let b = dslike_suite();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(format!("{:?}", x.plan), format!("{:?}", y.plan));
+        }
+    }
+
+    #[test]
+    fn suites_cover_all_operator_kinds() {
+        let suite = dslike_suite();
+        let debug: Vec<String> = suite.iter().map(|q| format!("{:?}", q.plan)).collect();
+        assert!(debug.iter().any(|d| d.contains("HashJoin")));
+        assert!(debug.iter().any(|d| d.contains("GroupBy")));
+        assert!(debug.iter().any(|d| d.contains("Sort")));
+        assert!(debug.iter().any(|d| d.contains("LitStr")));
+    }
+}

@@ -1,0 +1,41 @@
+//! Back-end tour: compile the same query with every back-end on both
+//! target ISAs and print the paper's core tradeoff — compile time versus
+//! generated-code quality (execution cycles) versus code size.
+//!
+//! Run with: `cargo run --release --example backend_tour`
+
+use qc_engine::{backends, Engine};
+use qc_target::Isa;
+
+fn main() {
+    let db = qc_storage::gen_hlike(0.5);
+    let engine = Engine::new(&db);
+    let query = qc_workloads::hlike_suite().remove(2); // H03: joins + group + top-k
+    let prepared = engine.prepare(&query.plan, &query.name).expect("prepare");
+    println!(
+        "query {} → {} pipelines, {} IR instructions\n",
+        query.name,
+        prepared.plan.pipelines.len(),
+        prepared.ir_size()
+    );
+    println!(
+        "{:<14} {:<6} {:>12} {:>14} {:>10}",
+        "back-end", "isa", "compile", "exec cycles", "code bytes"
+    );
+    for isa in [Isa::Tx64, Isa::Ta64] {
+        for backend in backends::all_for(isa) {
+            let mut compiled = engine
+                .compile(&prepared, backend.as_ref(), &qc_timing::TimeTrace::disabled())
+                .expect("compile");
+            let result = engine.execute(&prepared, &mut compiled).expect("execute");
+            println!(
+                "{:<14} {:<6} {:>12?} {:>14} {:>10}",
+                backend.name(),
+                isa.name(),
+                compiled.compile_time,
+                result.exec_stats.cycles,
+                compiled.compile_stats.code_bytes
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Compile-time tracing: the instrumentation behind the paper's
+//! breakdowns. Prints the full phase tree for the LLVM-analog in
+//! optimized mode and for the Cranelift-analog.
+//!
+//! Run with: `cargo run --release --example compile_trace`
+
+use qc_engine::{backends, Engine};
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+
+fn main() {
+    let db = qc_storage::gen_hlike(0.2);
+    let engine = Engine::new(&db);
+    let query = qc_workloads::hlike_suite().remove(4); // H05: long join chain
+    let prepared = engine.prepare(&query.plan, &query.name).expect("prepare");
+
+    for backend in [backends::lvm_opt(Isa::Tx64), backends::clift(Isa::Tx64)] {
+        let trace = TimeTrace::new();
+        let _ = engine.compile(&prepared, backend.as_ref(), &trace).expect("compile");
+        println!("== {} phase breakdown for {} ==", backend.name(), query.name);
+        print!("{}", trace.report().render());
+        println!("(measurement events: {})\n", trace.event_count());
+    }
+}

@@ -1,0 +1,23 @@
+//! Facade over the full query-compilation reproduction.
+//!
+//! Each subsystem lives in its own crate under `crates/`; this root package
+//! re-exports them under one roof so integration tests in `tests/` (and
+//! downstream experiments) can depend on a single crate. See `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for the per-table and
+//! per-figure reproduction results.
+
+pub use qc_backend as backend;
+pub use qc_cgen as cgen;
+pub use qc_clift as clift;
+pub use qc_codegen as codegen;
+pub use qc_direct as direct;
+pub use qc_engine as engine;
+pub use qc_interp as interp;
+pub use qc_ir as ir;
+pub use qc_lvm as lvm;
+pub use qc_plan as plan;
+pub use qc_runtime as runtime;
+pub use qc_storage as storage;
+pub use qc_target as target;
+pub use qc_timing as timing;
+pub use qc_workloads as workloads;

@@ -1,0 +1,119 @@
+//! Determinism and cross-ISA invariants: the cycle model must be exactly
+//! reproducible run-to-run, results must be ISA-independent, and the
+//! relative execution-cost ordering the paper's run-time numbers rest on
+//! must hold on representative queries.
+
+use qc_engine::{backends, Engine};
+use qc_plan::reference;
+use qc_target::Isa;
+
+#[test]
+fn repeated_runs_are_cycle_identical() {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let suite = qc_workloads::hlike_suite();
+    for &i in &[0usize, 4, 12] {
+        let q = &suite[i];
+        let backend = backends::clift(Isa::Tx64);
+        let a = engine.run(&q.plan, backend.as_ref()).expect("first run");
+        let b = engine.run(&q.plan, backend.as_ref()).expect("second run");
+        assert_eq!(
+            a.exec_stats.cycles, b.exec_stats.cycles,
+            "{}: cycle count is not deterministic",
+            q.name
+        );
+        assert_eq!(
+            reference::normalize(&a.rows),
+            reference::normalize(&b.rows),
+            "{}: results differ between runs",
+            q.name
+        );
+    }
+}
+
+#[test]
+fn results_are_isa_independent() {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let suite = qc_workloads::hlike_suite();
+    for &i in &[2usize, 5, 16] {
+        let q = &suite[i];
+        for make in [backends::clift, backends::lvm_cheap, backends::lvm_opt, backends::cgen] {
+            let tx = engine.run(&q.plan, make(Isa::Tx64).as_ref()).expect("tx64");
+            let ta = engine.run(&q.plan, make(Isa::Ta64).as_ref()).expect("ta64");
+            assert_eq!(
+                reference::normalize(&tx.rows),
+                reference::normalize(&ta.rows),
+                "{} on {}: TX64 and TA64 disagree",
+                make(Isa::Tx64).name(),
+                q.name
+            );
+        }
+    }
+}
+
+#[test]
+fn interpreter_costs_more_cycles_than_compiled_code() {
+    // The paper's Table III: the interpreter is a multiple of every
+    // compiling back-end at execution time. Check the per-query cycle
+    // ordering on a scan-heavy query where dispatch dominates.
+    let db = qc_storage::gen_hlike(0.1);
+    let engine = Engine::new(&db);
+    let suite = qc_workloads::hlike_suite();
+    let q = &suite[0]; // H01 shape: big scan + aggregation
+    let interp = engine.run(&q.plan, backends::interpreter().as_ref()).expect("interp");
+    let direct = engine.run(&q.plan, backends::direct_emit().as_ref()).expect("direct");
+    let clift = engine.run(&q.plan, backends::clift(Isa::Tx64).as_ref()).expect("clift");
+    assert!(
+        interp.exec_stats.cycles > direct.exec_stats.cycles,
+        "interpreter ({}) not slower than DirectEmit ({})",
+        interp.exec_stats.cycles,
+        direct.exec_stats.cycles
+    );
+    assert!(
+        interp.exec_stats.cycles > clift.exec_stats.cycles,
+        "interpreter ({}) not slower than Clift ({})",
+        interp.exec_stats.cycles,
+        clift.exec_stats.cycles
+    );
+}
+
+#[test]
+fn optimized_code_is_never_slower_than_unoptimized_lvm() {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let suite = qc_workloads::hlike_suite();
+    let mut cheap_total = 0u64;
+    let mut opt_total = 0u64;
+    for &i in &[0usize, 2, 5, 12] {
+        let q = &suite[i];
+        cheap_total += engine
+            .run(&q.plan, backends::lvm_cheap(Isa::Tx64).as_ref())
+            .expect("cheap")
+            .exec_stats
+            .cycles;
+        opt_total += engine
+            .run(&q.plan, backends::lvm_opt(Isa::Tx64).as_ref())
+            .expect("opt")
+            .exec_stats
+            .cycles;
+    }
+    assert!(
+        opt_total < cheap_total,
+        "-O2 total cycles {opt_total} not below -O0 total {cheap_total}"
+    );
+}
+
+#[test]
+fn data_generators_are_seed_stable() {
+    let a = qc_storage::gen_hlike(0.03);
+    let b = qc_storage::gen_hlike(0.03);
+    let engine_a = Engine::new(&a);
+    let engine_b = Engine::new(&b);
+    let suite = qc_workloads::hlike_suite();
+    let q = &suite[5];
+    let backend = backends::interpreter();
+    let ra = engine_a.run(&q.plan, backend.as_ref()).expect("a");
+    let rb = engine_b.run(&q.plan, backend.as_ref()).expect("b");
+    assert_eq!(reference::normalize(&ra.rows), reference::normalize(&rb.rows));
+}

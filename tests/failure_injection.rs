@@ -1,0 +1,224 @@
+//! Failure-injection tests spanning the whole stack: planning errors,
+//! runtime traps on every back-end, emulator guards, and link errors.
+
+use qc_backend::Backend;
+use qc_engine::{backends, Engine, EngineError};
+use qc_ir::{FunctionBuilder, Module, Opcode, Signature, Type};
+use qc_plan::{col, lit_i64, PlanNode};
+use qc_runtime::RuntimeState;
+use qc_target::{
+    new_masm, EmuOptions, Emulator, ImageBuilder, Isa, Reentry, RuntimeDispatch, SymbolRef, Trap,
+};
+use qc_timing::TimeTrace;
+
+/// Host with no runtime functions (generated code must not call out).
+struct NoRuntime;
+impl RuntimeDispatch for NoRuntime {
+    fn arg_slots(&self, _: usize) -> usize {
+        0
+    }
+    fn runtime_cost(&self, _: usize, _: &[u64]) -> u64 {
+        0
+    }
+    fn call_runtime(&mut self, _: usize, _: &[u64], _: Reentry<'_>) -> Result<[u64; 2], Trap> {
+        Err(Trap::Runtime(0))
+    }
+}
+
+fn all_backends() -> Vec<Box<dyn Backend>> {
+    let mut v = backends::all_for(Isa::Tx64);
+    v.extend(backends::all_for(Isa::Ta64));
+    v
+}
+
+/// Builds `fn f(x, y) -> i64` whose body is a single binary op.
+fn binop_module(op: Opcode) -> Module {
+    let sig = Signature::new(vec![Type::I64, Type::I64], Type::I64);
+    let mut b = FunctionBuilder::new("f", sig);
+    let e = b.entry_block();
+    b.switch_to(e);
+    let x = b.param(0);
+    let y = b.param(1);
+    let r = b.binary(op, Type::I64, x, y);
+    b.ret(Some(r));
+    let mut m = Module::new("m");
+    m.push_function(b.finish());
+    m
+}
+
+fn call_on(backend: &dyn Backend, m: &Module, x: i64, y: i64) -> Result<u64, Trap> {
+    let mut exe = backend.compile(m, &TimeTrace::disabled()).expect("compile");
+    let mut state = RuntimeState::new();
+    exe.call(&mut state, "f", &[x as u64, y as u64]).map(|r| r[0])
+}
+
+#[test]
+fn unknown_table_is_a_plan_error() {
+    let db = qc_storage::gen_hlike(0.01);
+    let engine = Engine::new(&db);
+    let plan = PlanNode::scan("no_such_table", &["x"]);
+    match engine.prepare(&plan, "q") {
+        Err(EngineError::Plan(_)) => {}
+        other => panic!("expected plan error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_column_is_a_plan_error() {
+    let db = qc_storage::gen_hlike(0.01);
+    let engine = Engine::new(&db);
+    let plan = PlanNode::scan("lineitem", &["l_orderkey"])
+        .filter(col("no_such_column").gt(lit_i64(0)));
+    match engine.prepare(&plan, "q") {
+        Err(EngineError::Plan(_)) => {}
+        other => panic!("expected plan error, got {other:?}"),
+    }
+}
+
+#[test]
+fn signed_overflow_traps_on_every_backend() {
+    let m = binop_module(Opcode::SAddTrap);
+    for backend in all_backends() {
+        let r = call_on(backend.as_ref(), &m, i64::MAX, 1);
+        assert!(r.is_err(), "{}: expected overflow trap, got {r:?}", backend.name());
+        // Non-overflowing inputs must still succeed.
+        let ok = call_on(backend.as_ref(), &m, 40, 2);
+        assert_eq!(ok, Ok(42), "{}", backend.name());
+    }
+}
+
+#[test]
+fn signed_mul_overflow_traps_on_every_backend() {
+    let m = binop_module(Opcode::SMulTrap);
+    for backend in all_backends() {
+        let r = call_on(backend.as_ref(), &m, i64::MAX / 2, 3);
+        assert!(r.is_err(), "{}: expected overflow trap, got {r:?}", backend.name());
+        assert_eq!(call_on(backend.as_ref(), &m, -6, -7), Ok(42), "{}", backend.name());
+    }
+}
+
+#[test]
+fn division_by_zero_traps_on_every_backend() {
+    let m = binop_module(Opcode::SDiv);
+    for backend in all_backends() {
+        let r = call_on(backend.as_ref(), &m, 42, 0);
+        assert!(r.is_err(), "{}: expected div-by-zero trap, got {r:?}", backend.name());
+        assert_eq!(call_on(backend.as_ref(), &m, -84, -2), Ok(42), "{}", backend.name());
+    }
+}
+
+#[test]
+fn int_min_division_overflow_traps_on_every_backend() {
+    // i64::MIN / -1 overflows; the paper's IR traps rather than wrapping.
+    let m = binop_module(Opcode::SDiv);
+    for backend in all_backends() {
+        let r = call_on(backend.as_ref(), &m, i64::MIN, -1);
+        assert!(r.is_err(), "{}: expected overflow trap, got {r:?}", backend.name());
+    }
+}
+
+#[test]
+fn fuel_guard_stops_runaway_code_on_both_isas() {
+    for isa in [Isa::Tx64, Isa::Ta64] {
+        let mut masm = new_masm(isa);
+        let spin = masm.new_label();
+        masm.bind(spin);
+        masm.jmp(spin);
+        masm.ret(); // unreachable; keeps the image well formed
+        let (code, relocs) = masm.finish();
+        let mut ib = ImageBuilder::new(isa);
+        ib.add_function("spin", code, relocs);
+        let image = ib.link(&|_| None).expect("link");
+        let mut emu =
+            Emulator::with_options(image, EmuOptions { fuel: 1_000, stack_size: 1 << 16 });
+        match emu.call(&mut NoRuntime, "spin", &[]) {
+            Err(Trap::Fuel) => {}
+            other => panic!("{isa:?}: expected fuel trap, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn calling_an_unknown_symbol_is_a_bad_jump() {
+    let mut masm = new_masm(Isa::Tx64);
+    masm.ret();
+    let (code, relocs) = masm.finish();
+    let mut ib = ImageBuilder::new(Isa::Tx64);
+    ib.add_function("f", code, relocs);
+    let image = ib.link(&|_| None).expect("link");
+    let mut emu = Emulator::new(image);
+    match emu.call(&mut NoRuntime, "nonexistent", &[]) {
+        Err(Trap::BadJump(_)) => {}
+        other => panic!("expected bad-jump trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn unresolved_call_target_is_a_link_error_naming_the_symbol() {
+    for isa in [Isa::Tx64, Isa::Ta64] {
+        let mut masm = new_masm(isa);
+        masm.call_sym(SymbolRef::named("missing_helper"));
+        masm.ret();
+        let (code, relocs) = masm.finish();
+        let mut ib = ImageBuilder::new(isa);
+        ib.add_function("f", code, relocs);
+        let err = ib.link(&|_| None).expect_err("link must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("missing_helper"), "{isa:?}: {msg}");
+    }
+}
+
+#[test]
+fn unreachable_marker_traps_on_every_backend() {
+    let sig = Signature::new(vec![Type::I64, Type::I64], Type::I64);
+    let mut b = FunctionBuilder::new("f", sig);
+    let e = b.entry_block();
+    b.switch_to(e);
+    b.unreachable();
+    let mut m = Module::new("m");
+    m.push_function(b.finish());
+    for backend in all_backends() {
+        let r = call_on(backend.as_ref(), &m, 0, 0);
+        assert!(r.is_err(), "{}: expected trap, got {r:?}", backend.name());
+    }
+}
+
+#[test]
+fn verifier_rejects_type_mismatch() {
+    // add i64 of an i128 operand must not verify.
+    let sig = Signature::new(vec![Type::I64], Type::I64);
+    let mut b = FunctionBuilder::new("f", sig);
+    let e = b.entry_block();
+    b.switch_to(e);
+    let x = b.param(0);
+    let wide = b.sext(Type::I128, x);
+    let bad = b.add(Type::I64, wide, x);
+    b.ret(Some(bad));
+    let mut m = Module::new("m");
+    m.push_function(b.finish());
+    assert!(qc_ir::verify_module(&m).is_err());
+}
+
+#[test]
+fn trap_surfaces_through_the_engine_as_engine_error() {
+    // quantity * extendedprice * extendedprice overflows a 128-bit decimal
+    // eventually? Keep it deterministic instead: big literal multiply.
+    let db = qc_storage::gen_hlike(0.02);
+    let engine = Engine::new(&db);
+    let plan = PlanNode::scan("lineitem", &["l_orderkey"]).map(vec![(
+        "boom",
+        col("l_orderkey")
+            .add(lit_i64(i64::MAX - 1))
+            .mul(lit_i64(i64::MAX - 1)),
+    )]);
+    for backend in [backends::interpreter(), backends::clift(Isa::Tx64)] {
+        match engine.run(&plan, backend.as_ref()) {
+            Err(EngineError::Trap(_)) => {}
+            other => panic!(
+                "{}: expected overflow trap through engine, got {:?}",
+                backend.name(),
+                other.map(|r| r.rows.len())
+            ),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end linker tests: cross-function calls through symbolic
+//! relocations must execute correctly even when the callee is out of
+//! direct branch range and the linker has to synthesize a thunk
+//! (TA64's ±1 MiB branch range — AArch64 veneer territory).
+
+use qc_target::{
+    new_masm, Emulator, ImageBuilder, Isa, Reentry, RuntimeDispatch, SymbolRef, Trap,
+};
+
+struct NoRuntime;
+impl RuntimeDispatch for NoRuntime {
+    fn arg_slots(&self, _: usize) -> usize {
+        0
+    }
+    fn runtime_cost(&self, _: usize, _: &[u64]) -> u64 {
+        0
+    }
+    fn call_runtime(&mut self, _: usize, _: &[u64], _: Reentry<'_>) -> Result<[u64; 2], Trap> {
+        Err(Trap::Runtime(0))
+    }
+}
+
+fn ret_const(isa: Isa, value: i64) -> (Vec<u8>, Vec<qc_target::Reloc>) {
+    let mut m = new_masm(isa);
+    m.mov_ri(qc_target::Reg(0), value);
+    m.ret();
+    m.finish()
+}
+
+fn call_and_ret(isa: Isa, callee: &str) -> (Vec<u8>, Vec<qc_target::Reloc>) {
+    let mut m = new_masm(isa);
+    m.call_sym(SymbolRef::named(callee));
+    m.ret();
+    m.finish()
+}
+
+fn run(image: qc_target::CodeImage, entry: &str) -> u64 {
+    let mut emu = Emulator::new(image);
+    emu.call(&mut NoRuntime, entry, &[]).expect("execute")[0]
+}
+
+#[test]
+fn near_cross_function_call_executes() {
+    for isa in [Isa::Tx64, Isa::Ta64] {
+        let mut ib = ImageBuilder::new(isa);
+        let (code, relocs) = call_and_ret(isa, "callee");
+        ib.add_function("caller", code, relocs);
+        let (code, relocs) = ret_const(isa, 42);
+        ib.add_function("callee", code, relocs);
+        let image = ib.link(&|_| None).expect("link");
+        assert_eq!(run(image, "caller"), 42, "{isa:?}");
+    }
+}
+
+#[test]
+fn far_call_goes_through_a_synthesized_veneer() {
+    // 2 MiB of padding pushes the callee beyond TA64's ±1 MiB direct
+    // branch range; the linker must insert a thunk. TX64's rel32 reaches
+    // ±2 GiB, so the same layout links thunk-free there — both must run.
+    for isa in [Isa::Tx64, Isa::Ta64] {
+        let mut ib = ImageBuilder::new(isa);
+        let (code, relocs) = call_and_ret(isa, "callee");
+        ib.add_function("caller", code, relocs);
+        let before = {
+            let (code, _) = call_and_ret(isa, "callee");
+            code.len()
+        };
+        ib.add_data("pad", vec![0u8; 2 << 20], 16, vec![]);
+        let (code, relocs) = ret_const(isa, 4242);
+        ib.add_function("callee", code, relocs);
+        let image = ib.link(&|_| None).expect("link");
+        // The linked image must be at least pad + both functions; on TA64
+        // the thunk adds code beyond the original functions.
+        assert!(image.len() >= (2 << 20) + before, "{isa:?}: image too small");
+        assert_eq!(run(image, "caller"), 4242, "{isa:?}");
+    }
+}
+
+#[test]
+fn far_call_in_both_directions() {
+    // Backward far call: the callee comes *first*, the caller 2 MiB later.
+    for isa in [Isa::Tx64, Isa::Ta64] {
+        let mut ib = ImageBuilder::new(isa);
+        let (code, relocs) = ret_const(isa, 7);
+        ib.add_function("callee", code, relocs);
+        ib.add_data("pad", vec![0u8; 2 << 20], 16, vec![]);
+        let (code, relocs) = call_and_ret(isa, "callee");
+        ib.add_function("caller", code, relocs);
+        let image = ib.link(&|_| None).expect("link");
+        assert_eq!(run(image, "caller"), 7, "{isa:?}");
+    }
+}
+
+#[test]
+fn chain_of_cross_function_calls() {
+    // f3 -> f2 -> f1, with padding spreading them across veneer range.
+    for isa in [Isa::Tx64, Isa::Ta64] {
+        let mut ib = ImageBuilder::new(isa);
+        let (code, relocs) = ret_const(isa, 99);
+        ib.add_function("f1", code, relocs);
+        ib.add_data("pad1", vec![0u8; 2 << 20], 16, vec![]);
+        let (code, relocs) = call_and_ret(isa, "f1");
+        ib.add_function("f2", code, relocs);
+        ib.add_data("pad2", vec![0u8; 2 << 20], 16, vec![]);
+        let (code, relocs) = call_and_ret(isa, "f2");
+        ib.add_function("f3", code, relocs);
+        let image = ib.link(&|_| None).expect("link");
+        assert_eq!(run(image, "f3"), 99, "{isa:?}");
+    }
+}
