@@ -28,7 +28,9 @@ pub struct BackendError {
 impl BackendError {
     /// Creates an error from a message.
     pub fn new(message: impl Into<String>) -> Self {
-        BackendError { message: message.into() }
+        BackendError {
+            message: message.into(),
+        }
     }
 }
 
@@ -101,8 +103,11 @@ pub trait Backend {
     /// # Errors
     /// Returns [`BackendError`] for unsupported inputs (e.g. DirectEmit on
     /// irreducible control flow or a non-TX64 target).
-    fn compile(&self, module: &Module, trace: &TimeTrace)
-        -> Result<Box<dyn Executable>, BackendError>;
+    fn compile(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Box<dyn Executable>, BackendError>;
 }
 
 /// [`Executable`] backed by emulated machine code (all compiling
@@ -125,7 +130,10 @@ impl NativeExecutable {
     pub fn new(image: CodeImage, stats: CompileStats) -> Self {
         let mut unwind = UnwindRegistry::new();
         unwind.register_image(&image);
-        NativeExecutable { emu: Emulator::new(image), stats }
+        NativeExecutable {
+            emu: Emulator::new(image),
+            stats,
+        }
     }
 
     /// The underlying image.
@@ -162,9 +170,17 @@ mod tests {
 
     #[test]
     fn compile_stats_merge_and_bump() {
-        let mut a = CompileStats { functions: 1, code_bytes: 100, ..Default::default() };
+        let mut a = CompileStats {
+            functions: 1,
+            code_bytes: 100,
+            ..Default::default()
+        };
         a.bump("fallbacks", 2);
-        let mut b = CompileStats { functions: 2, code_bytes: 50, ..Default::default() };
+        let mut b = CompileStats {
+            functions: 2,
+            code_bytes: 50,
+            ..Default::default()
+        };
         b.bump("fallbacks", 3);
         b.bump("other", 1);
         a.merge(&b);

@@ -60,13 +60,19 @@ impl<'a> MirEmitter<'a> {
     pub fn prologue(&mut self, params: &[u32]) {
         let sp = self.isa.abi().sp;
         let frame = self.frame as i64;
-        self.masm.alu_rri(AluOp::Sub, Width::W64, false, sp, sp, frame);
+        self.masm
+            .alu_rri(AluOp::Sub, Width::W64, false, sp, sp, frame);
         let nreg = self.isa.abi().arg_regs.len();
         let moves: Vec<(Loc, Loc)> = params
             .iter()
             .take(nreg)
             .enumerate()
-            .map(|(i, &p)| (Loc::R(self.isa.abi().arg_regs[i]), self.alloc.locs[p as usize]))
+            .map(|(i, &p)| {
+                (
+                    Loc::R(self.isa.abi().arg_regs[i]),
+                    self.alloc.locs[p as usize],
+                )
+            })
             .collect();
         self.par_move(moves);
         for (i, &p) in params.iter().enumerate().skip(nreg) {
@@ -179,15 +185,14 @@ impl<'a> MirEmitter<'a> {
 
     /// Parallel move between locations (block params, call setup).
     fn par_move(&mut self, moves: Vec<(Loc, Loc)>) {
-        let mut pending: Vec<(Loc, Loc)> =
-            moves.into_iter().filter(|(s, d)| s != d).collect();
+        let mut pending: Vec<(Loc, Loc)> = moves.into_iter().filter(|(s, d)| s != d).collect();
         let (es1, es2) = emission_scratches(self.isa);
         let fs = self.isa.abi().fscratch;
         while !pending.is_empty() {
             // A move whose destination is no other pending move's source.
-            let idx = pending.iter().position(|&(_, d)| {
-                !pending.iter().any(|&(s, _)| s == d)
-            });
+            let idx = pending
+                .iter()
+                .position(|&(_, d)| !pending.iter().any(|&(s, _)| s == d));
             match idx {
                 Some(i) => {
                     let (s, d) = pending.remove(i);
@@ -264,14 +269,28 @@ impl<'a> MirEmitter<'a> {
                 self.masm.mov_ri(dr, *imm);
                 self.wb(*d);
             }
-            MInst::Alu { op, w, sf, d, s1, s2 } => {
+            MInst::Alu {
+                op,
+                w,
+                sf,
+                d,
+                s1,
+                s2,
+            } => {
                 let a = self.rd(*s1, 0);
                 let b = self.rd(*s2, 1);
                 let dr = self.wd(*d);
                 self.masm.alu_rrr(*op, *w, *sf, dr, a, b);
                 self.wb(*d);
             }
-            MInst::AluImm { op, w, sf, d, s1, imm } => {
+            MInst::AluImm {
+                op,
+                w,
+                sf,
+                d,
+                s1,
+                imm,
+            } => {
                 let a = self.rd(*s1, 0);
                 let dr = self.wd(*d);
                 self.masm.alu_rri(*op, *w, *sf, dr, a, *imm);
@@ -321,7 +340,14 @@ impl<'a> MirEmitter<'a> {
                 self.masm.crc32(dr, a, b);
                 self.wb(*d);
             }
-            MInst::Div { signed, rem, w, d, a, b } => {
+            MInst::Div {
+                signed,
+                rem,
+                w,
+                d,
+                a,
+                b,
+            } => {
                 let ra = self.rd(*a, 0);
                 let rb = self.rd(*b, 1);
                 let dr = self.wd(*d);
@@ -334,7 +360,12 @@ impl<'a> MirEmitter<'a> {
                 self.masm.sext(*from, dr, rs);
                 self.wb(*d);
             }
-            MInst::Lea { d, base, index, disp } => {
+            MInst::Lea {
+                d,
+                base,
+                index,
+                disp,
+            } => {
                 let rb = self.rd(*base, 1);
                 let idx = index.as_ref().map(|(i, scale)| (self.rd(*i, 0), *scale));
                 let dr = self.wd(*d);
@@ -539,9 +570,7 @@ impl<'a> MirEmitter<'a> {
             }
             MInst::Ret { vals } => {
                 let abi = self.isa.abi();
-                if vals.len() == 1
-                    && matches!(self.alloc.locs[vals[0] as usize], Loc::F(_) )
-                {
+                if vals.len() == 1 && matches!(self.alloc.locs[vals[0] as usize], Loc::F(_)) {
                     let f = self.frd(vals[0]);
                     self.masm.fmov_to_gpr(abi.ret, f);
                 } else {
@@ -554,7 +583,8 @@ impl<'a> MirEmitter<'a> {
                     self.par_move(moves);
                 }
                 let sp = self.sp();
-                self.masm.alu_rri(AluOp::Add, Width::W64, false, sp, sp, self.frame as i64);
+                self.masm
+                    .alu_rri(AluOp::Add, Width::W64, false, sp, sp, self.frame as i64);
                 self.masm.ret();
             }
         }

@@ -5,7 +5,7 @@
 //! allocator and emission pipeline, which is where the paper's compile-time
 //! differences live.
 
-use qc_target::{AluOp, Cond, FaluOp, FReg, Reg, Width};
+use qc_target::{AluOp, Cond, FReg, FaluOp, Reg, Width};
 
 /// Call target of a runtime call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,23 +39,64 @@ pub enum MInst {
     /// Immediate.
     MovRI { d: VReg, imm: i64 },
     /// Three-address ALU.
-    Alu { op: AluOp, w: Width, sf: bool, d: VReg, s1: VReg, s2: VReg },
+    Alu {
+        op: AluOp,
+        w: Width,
+        sf: bool,
+        d: VReg,
+        s1: VReg,
+        s2: VReg,
+    },
     /// ALU with immediate.
-    AluImm { op: AluOp, w: Width, sf: bool, d: VReg, s1: VReg, imm: i64 },
+    AluImm {
+        op: AluOp,
+        w: Width,
+        sf: bool,
+        d: VReg,
+        s1: VReg,
+        imm: i64,
+    },
     /// Full multiply.
-    MulFull { dlo: VReg, dhi: VReg, a: VReg, b: VReg },
+    MulFull {
+        dlo: VReg,
+        dhi: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// CRC-32.
     Crc32 { d: VReg, acc: VReg, data: VReg },
     /// Division.
-    Div { signed: bool, rem: bool, w: Width, d: VReg, a: VReg, b: VReg },
+    Div {
+        signed: bool,
+        rem: bool,
+        w: Width,
+        d: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Sign extension.
     Sext { from: Width, d: VReg, s: VReg },
     /// Address computation (`base + index * scale + disp`).
-    Lea { d: VReg, base: VReg, index: Option<(VReg, u8)>, disp: i32 },
+    Lea {
+        d: VReg,
+        base: VReg,
+        index: Option<(VReg, u8)>,
+        disp: i32,
+    },
     /// Load.
-    Load { w: Width, d: VReg, base: VReg, disp: i32 },
+    Load {
+        w: Width,
+        d: VReg,
+        base: VReg,
+        disp: i32,
+    },
     /// Store.
-    Store { w: Width, s: VReg, base: VReg, disp: i32 },
+    Store {
+        w: Width,
+        s: VReg,
+        base: VReg,
+        disp: i32,
+    },
     /// Float load/store.
     FLoad { d: VReg, base: VReg, disp: i32 },
     /// Float store.
@@ -71,21 +112,40 @@ pub enum MInst {
     /// Unconditional trap.
     Trap { code: u8 },
     /// Select on a materialized bool.
-    Select { cond: VReg, d: VReg, t: VReg, f: VReg },
+    Select {
+        cond: VReg,
+        d: VReg,
+        t: VReg,
+        f: VReg,
+    },
     /// Float select.
-    FSelect { cond: VReg, d: VReg, t: VReg, f: VReg },
+    FSelect {
+        cond: VReg,
+        d: VReg,
+        t: VReg,
+        f: VReg,
+    },
     /// Conditional branch (flags set by a preceding Cmp).
     Jcc { cond: Cond, target: usize },
     /// Jump.
     Jmp { target: usize },
     /// Runtime call.
-    CallRt { target: CallTarget, args: Vec<VReg>, ret: Vec<VReg> },
+    CallRt {
+        target: CallTarget,
+        args: Vec<VReg>,
+        ret: Vec<VReg>,
+    },
     /// Local function address (fixup at finish).
     FuncAddr { d: VReg, func: usize },
     /// Address of a frame-local slot (`sp + user_area + off`).
     FrameAddr { d: VReg, off: u32 },
     /// Float ALU.
-    Falu { op: FaluOp, d: VReg, a: VReg, b: VReg },
+    Falu {
+        op: FaluOp,
+        d: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Float compare (sets flags).
     FCmpM { a: VReg, b: VReg },
     /// Float register move.
@@ -122,7 +182,10 @@ impl MInst {
                 f(*s2);
             }
             MInst::AluImm { s1, .. } => f(*s1),
-            MInst::MulFull { a, b, .. } | MInst::Crc32 { acc: a, data: b, .. } => {
+            MInst::MulFull { a, b, .. }
+            | MInst::Crc32 {
+                acc: a, data: b, ..
+            } => {
                 f(*a);
                 f(*b);
             }
@@ -226,7 +289,6 @@ pub struct VCode {
     /// Lowering statistics: (fused icmp-brif, folded constants).
     pub fusions: (u64, u64),
 }
-
 
 /// Where a vreg lives after register allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -121,26 +121,30 @@ fn hash_loop_module() -> Module {
     m
 }
 
-fn run_module(
-    make: fn() -> Module,
-    group_name: &str,
-    args: &[u64],
-    c: &mut Criterion,
-) {
+fn run_module(make: fn() -> Module, group_name: &str, args: &[u64], c: &mut Criterion) {
     let m = make();
     let mut group = c.benchmark_group(group_name);
     let mut entries: Vec<(&str, Box<dyn Backend>)> = vec![
         ("Interpreter", Box::new(qc_interp::InterpBackend::new())),
         ("DirectEmit", Box::new(qc_direct::DirectBackend::new())),
-        ("Clift-tx64", Box::new(qc_clift::CliftBackend::new(Isa::Tx64))),
-        ("Clift-ta64", Box::new(qc_clift::CliftBackend::new(Isa::Ta64))),
+        (
+            "Clift-tx64",
+            Box::new(qc_clift::CliftBackend::new(Isa::Tx64)),
+        ),
+        (
+            "Clift-ta64",
+            Box::new(qc_clift::CliftBackend::new(Isa::Ta64)),
+        ),
     ];
     for (name, backend) in entries.drain(..) {
-        let mut exe = backend.compile(&m, &TimeTrace::disabled()).expect("compile");
+        let mut exe = backend
+            .compile(&m, &TimeTrace::disabled())
+            .expect("compile");
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut state = RuntimeState::new();
-                exe.call(&mut state, "f", std::hint::black_box(args)).expect("run")
+                exe.call(&mut state, "f", std::hint::black_box(args))
+                    .expect("run")
             });
         });
     }
@@ -159,5 +163,10 @@ fn bench_hash_sequence(c: &mut Criterion) {
     run_module(hash_loop_module, "hash_sequence_1k", &[42, 1000], c);
 }
 
-criterion_group!(benches, bench_alu_dispatch, bench_rt_dispatch, bench_hash_sequence);
+criterion_group!(
+    benches,
+    bench_alu_dispatch,
+    bench_rt_dispatch,
+    bench_hash_sequence
+);
 criterion_main!(benches);

@@ -18,6 +18,10 @@ fn main() {
         let trace = TimeTrace::new();
         let (total, _) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
         let tm = trace.report().total("targetmachine").unwrap_or_default();
-        println!("  cached={cached}: compile {} (targetmachine {})", secs(total), secs(tm));
+        println!(
+            "  cached={cached}: compile {} (targetmachine {})",
+            secs(total),
+            secs(tm)
+        );
     }
 }

@@ -12,15 +12,22 @@ fn main() {
     let suite = env_suite(qc_workloads::dslike_suite());
     for (label, backend) in [
         ("cheap (-O0, FastISel)", backends::lvm_cheap(Isa::Tx64)),
-        ("optimized (-O2, SelectionDAG)", backends::lvm_opt(Isa::Tx64)),
+        (
+            "optimized (-O2, SelectionDAG)",
+            backends::lvm_opt(Isa::Tx64),
+        ),
     ] {
         let trace = TimeTrace::new();
-        let (total, stats) =
-            compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+        let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
         let report = trace.report();
         print_breakdown(&format!("Figure 2: LVM {label} on TX64"), &report);
         println!("total: {}  (functions: {})", secs(total), stats.functions);
-        for key in ["fallback_calls", "fallback_i128", "fallback_struct", "fallback_intrinsic"] {
+        for key in [
+            "fallback_calls",
+            "fallback_i128",
+            "fallback_struct",
+            "fallback_intrinsic",
+        ] {
             if let Some(v) = stats.counters.get(key) {
                 println!("  {key}: {v}");
             }

@@ -37,17 +37,25 @@ fn main() {
         let mut isels = Vec::new();
         for _ in 0..REPS {
             let trace = TimeTrace::new();
-            let (total, _) =
-                compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+            let (total, _) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
             totals.push(total);
             isels.push(trace.report().total("isel").unwrap_or_default());
         }
         let (total, isel) = (median(totals), median(isels));
-        println!("{label:<22} total {:>9}  isel {:>9}", secs(total), secs(isel));
+        println!(
+            "{label:<22} total {:>9}  isel {:>9}",
+            secs(total),
+            secs(isel)
+        );
         rows.push((label, total, isel));
     }
-    let isel_of =
-        |l: &str| rows.iter().find(|(n, ..)| *n == l).expect("row").2.as_secs_f64();
+    let isel_of = |l: &str| {
+        rows.iter()
+            .find(|(n, ..)| *n == l)
+            .expect("row")
+            .2
+            .as_secs_f64()
+    };
     println!();
     println!(
         "ISel phase: GlobalISel-cheap / FastISel-cheap = {:.2}x   (paper: ~2.7x slower)",

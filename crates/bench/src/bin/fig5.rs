@@ -12,9 +12,15 @@ fn main() {
     let backend = backends::direct_emit();
     let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
     let report = trace.report();
-    print_breakdown("Figure 5: DirectEmit compile-time breakdown (TX64)", &report);
+    print_breakdown(
+        "Figure 5: DirectEmit compile-time breakdown (TX64)",
+        &report,
+    );
     println!("total: {}  functions: {}", secs(total), stats.functions);
     let analysis = report.subtree("analysis");
     let live = analysis.fraction("liveness");
-    println!("liveness share of analysis: {:.1}%   (paper: ~75%)", 100.0 * live);
+    println!(
+        "liveness share of analysis: {:.1}%   (paper: ~75%)",
+        100.0 * live
+    );
 }

@@ -33,7 +33,10 @@ fn main() {
                 compiles.sort_unstable_by(|a, b| a.partial_cmp(b).expect("ordered"));
                 let compile = compiles[compiles.len() / 2];
                 let cycles = reps[0].queries[qi].cycles;
-                slot.1.push((backend.name().to_string(), compile + cycles as f64 / MODEL_HZ));
+                slot.1.push((
+                    backend.name().to_string(),
+                    compile + cycles as f64 / MODEL_HZ,
+                ));
             }
         }
         println!("== Figure 7 ({label}): best back-end per query (compile+run) ==");

@@ -12,7 +12,10 @@ fn main() {
     let backend = backends::cgen(qc_target::Isa::Tx64);
     let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
     let report = trace.report();
-    print_breakdown("Table I: GCC/C compile-time breakdown (TX64, DS-like suite)", &report);
+    print_breakdown(
+        "Table I: GCC/C compile-time breakdown (TX64, DS-like suite)",
+        &report,
+    );
     println!("\ntotal wall-clock compile time: {}", secs(total));
     println!("functions compiled: {}", stats.functions);
     let cc1: f64 = ["cc1_parse", "cc1_gimplify", "cc1_optimize", "cc1_codegen"]
@@ -20,7 +23,16 @@ fn main() {
         .map(|p| report.fraction(p))
         .sum();
     println!("compiler-proper share: {:.1}%", 100.0 * cc1);
-    println!("parse share:           {:.1}%  (paper: ~13%)", 100.0 * report.fraction("cc1_parse"));
-    println!("assembler share:       {:.1}%", 100.0 * report.fraction("as"));
-    println!("linker share:          {:.1}%", 100.0 * report.fraction("ld"));
+    println!(
+        "parse share:           {:.1}%  (paper: ~13%)",
+        100.0 * report.fraction("cc1_parse")
+    );
+    println!(
+        "assembler share:       {:.1}%",
+        100.0 * report.fraction("as")
+    );
+    println!(
+        "linker share:          {:.1}%",
+        100.0 * report.fraction("ld")
+    );
 }

@@ -3,8 +3,8 @@
 //! average and maximum speedup across the DS-like suite.
 
 use qc_bench::{env_sf, env_suite, run_suite};
-use qc_engine::backends;
 use qc_clift::CliftExtensions;
+use qc_engine::backends;
 use qc_target::Isa;
 use qc_timing::TimeTrace;
 
@@ -22,9 +22,27 @@ fn main() {
     println!("Table II: run-time speedup of CIR extension instructions (TX64)");
     println!("{:<22} {:>10} {:>10}", "disabled instruction", "avg", "max");
     for (label, ext) in [
-        ("crc32", CliftExtensions { crc32: false, ..Default::default() }),
-        ("overflow arithmetic", CliftExtensions { overflow_arith: false, ..Default::default() }),
-        ("mul with full result", CliftExtensions { mulfull: false, ..Default::default() }),
+        (
+            "crc32",
+            CliftExtensions {
+                crc32: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "overflow arithmetic",
+            CliftExtensions {
+                overflow_arith: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "mul with full result",
+            CliftExtensions {
+                mulfull: false,
+                ..Default::default()
+            },
+        ),
     ] {
         let without = run_suite(
             &db,

@@ -15,7 +15,14 @@ fn main() {
         "{:<14} {:>12} {:>14} {:>12} {:>14}",
         "back-end", "tx64 comp", "tx64 exec[mc]", "ta64 comp", "ta64 exec[mc]"
     );
-    for backend_name in ["Interpreter", "DirectEmit", "Clift", "LVM-cheap", "LVM-opt", "GCC/C"] {
+    for backend_name in [
+        "Interpreter",
+        "DirectEmit",
+        "Clift",
+        "LVM-cheap",
+        "LVM-opt",
+        "GCC/C",
+    ] {
         let mut cells = Vec::new();
         for isa in [Isa::Tx64, Isa::Ta64] {
             let backend = match (backend_name, isa) {
@@ -32,7 +39,10 @@ fn main() {
             match backend {
                 Some(b) => {
                     let r = run_suite(&db, &suite, b.as_ref(), &trace).expect(backend_name);
-                    cells.push((secs(r.total_compile()), format!("{:.3}s", r.total_exec_secs())));
+                    cells.push((
+                        secs(r.total_compile()),
+                        format!("{:.3}s", r.total_exec_secs()),
+                    ));
                 }
                 None => cells.push(("—".into(), "—".into())),
             }

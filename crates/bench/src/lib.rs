@@ -123,12 +123,18 @@ pub fn secs(d: Duration) -> String {
 /// from environment variables so CI can shrink them:
 /// `QC_SF` (default 1.0), `QC_QUERIES` (default: full suite).
 pub fn env_sf(default: f64) -> f64 {
-    std::env::var("QC_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("QC_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Truncates a suite according to `QC_QUERIES`.
 pub fn env_suite(mut suite: Vec<BenchQuery>) -> Vec<BenchQuery> {
-    if let Some(n) = std::env::var("QC_QUERIES").ok().and_then(|v| v.parse::<usize>().ok()) {
+    if let Some(n) = std::env::var("QC_QUERIES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         suite.truncate(n);
     }
     suite

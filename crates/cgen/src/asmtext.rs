@@ -10,7 +10,7 @@
 
 use qc_backend::BackendError;
 use qc_target::{
-    decode_inst, new_masm, AluOp, Cond, DecodedInst, FaluOp, FReg, Isa, MLabel, Reg, Reloc,
+    decode_inst, new_masm, AluOp, Cond, DecodedInst, FReg, FaluOp, Isa, MLabel, Reg, Reloc,
     RelocKind, Width,
 };
 use std::collections::HashMap;
@@ -166,10 +166,12 @@ pub fn disassemble(
                     // TX64: MOV_RI64 starts one/two bytes earlier.
                     let reg = match isa {
                         Isa::Tx64 => code[r.offset - 1],
-                        Isa::Ta64 => ((u32::from_le_bytes(
-                            code[r.offset..r.offset + 4].try_into().expect("word"),
-                        ) >> 16)
-                            & 31) as u8,
+                        Isa::Ta64 => {
+                            ((u32::from_le_bytes(
+                                code[r.offset..r.offset + 4].try_into().expect("word"),
+                            ) >> 16)
+                                & 31) as u8
+                        }
                     };
                     writeln!(out, "  movabs r{}, @{}", reg, r.sym.name).unwrap();
                 }
@@ -199,7 +201,11 @@ fn reloc_covering<'r>(
         Isa::Tx64 => reloc_at
             .get(&(off + 1))
             .filter(|r| r.kind == RelocKind::Rel32)
-            .or_else(|| reloc_at.get(&(off + 2)).filter(|r| r.kind == RelocKind::Abs64))
+            .or_else(|| {
+                reloc_at
+                    .get(&(off + 2))
+                    .filter(|r| r.kind == RelocKind::Abs64)
+            })
             .copied(),
         Isa::Ta64 => reloc_at.get(&off).copied(),
     }
@@ -207,9 +213,9 @@ fn reloc_covering<'r>(
 
 fn reloc_len(kind: RelocKind, isa: Isa) -> usize {
     match (kind, isa) {
-        (RelocKind::Rel32, _) => 5,       // CALL rel32
-        (RelocKind::Abs64, _) => 10,      // MOV_RI64
-        (RelocKind::Rel24Words, _) => 4,  // BL
+        (RelocKind::Rel32, _) => 5,        // CALL rel32
+        (RelocKind::Abs64, _) => 10,       // MOV_RI64
+        (RelocKind::Rel24Words, _) => 4,   // BL
         (RelocKind::MovSeqAbs64, _) => 16, // movz + 3×movk
     }
 }
@@ -228,7 +234,14 @@ fn print_inst(
         I::MovK { dst, imm16, shift } => {
             writeln!(out, "  movk r{}, {}, {}", dst.num(), imm16, shift).unwrap()
         }
-        I::Alu { op, width, set_flags, dst, src1, src2 } => {
+        I::Alu {
+            op,
+            width,
+            set_flags,
+            dst,
+            src1,
+            src2,
+        } => {
             writeln!(
                 out,
                 "  alu {} {} {} r{}, r{}, r{}",
@@ -241,7 +254,14 @@ fn print_inst(
             )
             .unwrap();
         }
-        I::AluImm { op, width, set_flags, dst, src1, imm } => {
+        I::AluImm {
+            op,
+            width,
+            set_flags,
+            dst,
+            src1,
+            imm,
+        } => {
             writeln!(
                 out,
                 "  alui {} {} {} r{}, r{}, {}",
@@ -254,14 +274,33 @@ fn print_inst(
             )
             .unwrap();
         }
-        I::MulFull { dst_lo, dst_hi, a, b } => {
-            writeln!(out, "  mulf r{}, r{}, r{}, r{}", dst_lo.num(), dst_hi.num(), a.num(), b.num())
-                .unwrap();
+        I::MulFull {
+            dst_lo,
+            dst_hi,
+            a,
+            b,
+        } => {
+            writeln!(
+                out,
+                "  mulf r{}, r{}, r{}, r{}",
+                dst_lo.num(),
+                dst_hi.num(),
+                a.num(),
+                b.num()
+            )
+            .unwrap();
         }
         I::Crc32 { dst, acc, data } => {
             writeln!(out, "  crc r{}, r{}, r{}", dst.num(), acc.num(), data.num()).unwrap();
         }
-        I::Div { signed, rem, width, dst, a, b } => {
+        I::Div {
+            signed,
+            rem,
+            width,
+            dst,
+            a,
+            b,
+        } => {
             writeln!(
                 out,
                 "  div {} {} {} r{}, r{}, r{}",
@@ -278,16 +317,33 @@ fn print_inst(
             writeln!(out, "  sext {} r{}, r{}", wname(from), dst.num(), src.num()).unwrap();
         }
         I::Load { width, dst, mem } => {
-            writeln!(out, "  ld {} r{}, {}", wname(width), dst.num(), mem_str(mem.base, mem.index, mem.disp))
-                .unwrap();
+            writeln!(
+                out,
+                "  ld {} r{}, {}",
+                wname(width),
+                dst.num(),
+                mem_str(mem.base, mem.index, mem.disp)
+            )
+            .unwrap();
         }
         I::Store { width, src, mem } => {
-            writeln!(out, "  st {} r{}, {}", wname(width), src.num(), mem_str(mem.base, mem.index, mem.disp))
-                .unwrap();
+            writeln!(
+                out,
+                "  st {} r{}, {}",
+                wname(width),
+                src.num(),
+                mem_str(mem.base, mem.index, mem.disp)
+            )
+            .unwrap();
         }
         I::Lea { dst, mem } => {
-            writeln!(out, "  lea r{}, {}", dst.num(), mem_str(mem.base, mem.index, mem.disp))
-                .unwrap();
+            writeln!(
+                out,
+                "  lea r{}, {}",
+                dst.num(),
+                mem_str(mem.base, mem.index, mem.disp)
+            )
+            .unwrap();
         }
         I::Cmp { width, a, b } => {
             writeln!(out, "  cmp {} r{}, r{}", wname(width), a.num(), b.num()).unwrap();
@@ -341,14 +397,20 @@ fn print_inst(
         I::CvtFToSi { dst, src } => {
             writeln!(out, "  cvtfs r{}, f{}", dst.num(), src.num()).unwrap()
         }
-        I::FLoad { dst, mem } => {
-            writeln!(out, "  fld f{}, {}", dst.num(), mem_str(mem.base, mem.index, mem.disp))
-                .unwrap()
-        }
-        I::FStore { src, mem } => {
-            writeln!(out, "  fst f{}, {}", src.num(), mem_str(mem.base, mem.index, mem.disp))
-                .unwrap()
-        }
+        I::FLoad { dst, mem } => writeln!(
+            out,
+            "  fld f{}, {}",
+            dst.num(),
+            mem_str(mem.base, mem.index, mem.disp)
+        )
+        .unwrap(),
+        I::FStore { src, mem } => writeln!(
+            out,
+            "  fst f{}, {}",
+            src.num(),
+            mem_str(mem.base, mem.index, mem.disp)
+        )
+        .unwrap(),
         I::Trap { code } => writeln!(out, "  trap {code}").unwrap(),
     }
     Ok(())
@@ -372,9 +434,8 @@ pub fn assemble(text: &str, isa: Isa) -> Result<Vec<AssembledFn>, BackendError> 
     let mut name = String::new();
     let mut labels: HashMap<String, MLabel> = HashMap::new();
 
-    let err = |line: &str, what: &str| {
-        BackendError::new(format!("minias: {what} in line `{line}`"))
-    };
+    let err =
+        |line: &str, what: &str| BackendError::new(format!("minias: {what} in line `{line}`"));
     let reg = |t: &str, line: &str| -> Result<Reg, BackendError> {
         t.trim_end_matches(',')
             .strip_prefix('r')
@@ -432,12 +493,16 @@ pub fn assemble(text: &str, isa: Isa) -> Result<Vec<AssembledFn>, BackendError> 
             continue;
         }
         if line == "endfunc" {
-            let m = masm.take().ok_or_else(|| err(line, "endfunc without func"))?;
+            let m = masm
+                .take()
+                .ok_or_else(|| err(line, "endfunc without func"))?;
             let (bytes, relocs) = m.finish();
             out.push((std::mem::take(&mut name), bytes, relocs));
             continue;
         }
-        let m = masm.as_mut().ok_or_else(|| err(line, "instruction outside func"))?;
+        let m = masm
+            .as_mut()
+            .ok_or_else(|| err(line, "instruction outside func"))?;
         if let Some(label) = line.strip_suffix(':') {
             let l = *labels
                 .entry(label.to_string())
@@ -449,7 +514,9 @@ pub fn assemble(text: &str, isa: Isa) -> Result<Vec<AssembledFn>, BackendError> 
         let get_label = |labels: &mut HashMap<String, MLabel>,
                          m: &mut Box<dyn qc_target::MacroAssembler>,
                          name: &str| {
-            *labels.entry(name.to_string()).or_insert_with(|| m.new_label())
+            *labels
+                .entry(name.to_string())
+                .or_insert_with(|| m.new_label())
         };
         match toks[0] {
             "nop" => {}
@@ -472,13 +539,27 @@ pub fn assemble(text: &str, isa: Isa) -> Result<Vec<AssembledFn>, BackendError> 
                 let op = parse_alu(toks[1]).ok_or_else(|| err(line, "bad alu op"))?;
                 let w = parse_w(toks[2]).ok_or_else(|| err(line, "bad width"))?;
                 let sf = toks[3] == "sf";
-                m.alu_rrr(op, w, sf, reg(toks[4], line)?, reg(toks[5], line)?, reg(toks[6], line)?);
+                m.alu_rrr(
+                    op,
+                    w,
+                    sf,
+                    reg(toks[4], line)?,
+                    reg(toks[5], line)?,
+                    reg(toks[6], line)?,
+                );
             }
             "alui" => {
                 let op = parse_alu(toks[1]).ok_or_else(|| err(line, "bad alu op"))?;
                 let w = parse_w(toks[2]).ok_or_else(|| err(line, "bad width"))?;
                 let sf = toks[3] == "sf";
-                m.alu_rri(op, w, sf, reg(toks[4], line)?, reg(toks[5], line)?, imm(toks[6], line)?);
+                m.alu_rri(
+                    op,
+                    w,
+                    sf,
+                    reg(toks[4], line)?,
+                    reg(toks[5], line)?,
+                    imm(toks[6], line)?,
+                );
             }
             "mulf" => m.mulfull(
                 reg(toks[1], line)?,
@@ -486,12 +567,23 @@ pub fn assemble(text: &str, isa: Isa) -> Result<Vec<AssembledFn>, BackendError> 
                 reg(toks[3], line)?,
                 reg(toks[4], line)?,
             ),
-            "crc" => m.crc32(reg(toks[1], line)?, reg(toks[2], line)?, reg(toks[3], line)?),
+            "crc" => m.crc32(
+                reg(toks[1], line)?,
+                reg(toks[2], line)?,
+                reg(toks[3], line)?,
+            ),
             "div" => {
                 let signed = toks[1] == "s";
                 let rem = toks[2] == "r";
                 let w = parse_w(toks[3]).ok_or_else(|| err(line, "bad width"))?;
-                m.div(signed, rem, w, reg(toks[4], line)?, reg(toks[5], line)?, reg(toks[6], line)?);
+                m.div(
+                    signed,
+                    rem,
+                    w,
+                    reg(toks[4], line)?,
+                    reg(toks[5], line)?,
+                    reg(toks[6], line)?,
+                );
             }
             "sext" => {
                 let w = parse_w(toks[1]).ok_or_else(|| err(line, "bad width"))?;
@@ -562,7 +654,12 @@ pub fn assemble(text: &str, isa: Isa) -> Result<Vec<AssembledFn>, BackendError> 
                     "div" => FaluOp::Div,
                     _ => return Err(err(line, "bad falu op")),
                 };
-                m.falu(op, freg(toks[2], line)?, freg(toks[3], line)?, freg(toks[4], line)?);
+                m.falu(
+                    op,
+                    freg(toks[2], line)?,
+                    freg(toks[3], line)?,
+                    freg(toks[4], line)?,
+                );
             }
             "fcmp" => m.fcmp(freg(toks[1], line)?, freg(toks[2], line)?),
             "fmov" => m.fmov(freg(toks[1], line)?, freg(toks[2], line)?),

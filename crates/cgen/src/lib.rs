@@ -40,7 +40,10 @@ pub struct CgenBackend {
 impl CgenBackend {
     /// Creates the back-end.
     pub fn new(isa: Isa) -> Self {
-        CgenBackend { isa, use_temp_files: true }
+        CgenBackend {
+            isa,
+            use_temp_files: true,
+        }
     }
 }
 
@@ -110,8 +113,11 @@ impl Backend for CgenBackend {
         };
 
         // --- cc1: code generation to textual assembly. ---
-        let func_names: Vec<String> =
-            optimized.functions().iter().map(|f| f.name.clone()).collect();
+        let func_names: Vec<String> = optimized
+            .functions()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
         let mut asm_text = String::new();
         let mut frames: Vec<(String, u32)> = Vec::new();
         {
@@ -204,8 +210,8 @@ mod tests {
         let pair = sig.ret.reg_count() == 2;
         let mut out = None;
         for isa in [Isa::Tx64, Isa::Ta64] {
-            let mut r = run_on(isa, build, sig.clone(), args)
-                .unwrap_or_else(|t| panic!("{isa}: {t}"));
+            let mut r =
+                run_on(isa, build, sig.clone(), args).unwrap_or_else(|t| panic!("{isa}: {t}"));
             if !pair {
                 r[1] = 0;
             }
@@ -327,7 +333,9 @@ mod tests {
         let mut backend = CgenBackend::new(Isa::Tx64);
         backend.use_temp_files = false;
         let mut exe = backend.compile(&m, &TimeTrace::disabled()).unwrap();
-        let r = exe.call(&mut state, "f", &[s1.lo, s1.hi, s2.lo, s2.hi]).unwrap();
+        let r = exe
+            .call(&mut state, "f", &[s1.lo, s1.hi, s2.lo, s2.hi])
+            .unwrap();
         assert_eq!(r[0], 1);
     }
 
@@ -367,9 +375,16 @@ mod tests {
         let trace = TimeTrace::new();
         let _ = CgenBackend::new(Isa::Tx64).compile(&m, &trace).unwrap();
         let report = trace.report();
-        for phase in
-            ["cgen", "io", "cc1_parse", "cc1_gimplify", "cc1_optimize", "cc1_codegen", "as", "ld"]
-        {
+        for phase in [
+            "cgen",
+            "io",
+            "cc1_parse",
+            "cc1_gimplify",
+            "cc1_optimize",
+            "cc1_codegen",
+            "as",
+            "ld",
+        ] {
             assert!(report.total(phase).is_some(), "missing phase {phase}");
         }
     }

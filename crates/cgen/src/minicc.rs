@@ -10,8 +10,7 @@
 
 use qc_backend::BackendError;
 use qc_ir::{
-    CastOp, CmpOp, ExtFuncDecl, Function, FunctionBuilder, Module, Opcode, Signature, Type,
-    Value,
+    CastOp, CmpOp, ExtFuncDecl, Function, FunctionBuilder, Module, Opcode, Signature, Type, Value,
 };
 use std::collections::HashMap;
 
@@ -25,8 +24,9 @@ enum Tok {
     Eof,
 }
 
-const KEYWORDS: [&str; 9] =
-    ["extern", "void", "i64", "i128", "f64", "u8", "u16", "u32", "goto"];
+const KEYWORDS: [&str; 9] = [
+    "extern", "void", "i64", "i128", "f64", "u8", "u16", "u32", "goto",
+];
 const KW2: [&str; 3] = ["if", "else", "return"];
 
 struct Lexer<'s> {
@@ -70,7 +70,9 @@ impl Lexer<'_> {
             }
             return Ok(Tok::Ident(s.to_string()));
         }
-        if c.is_ascii_digit() || (c == b'-' && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit)) {
+        if c.is_ascii_digit()
+            || (c == b'-' && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit))
+        {
             let start = self.pos;
             self.pos += 1;
             while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
@@ -82,8 +84,8 @@ impl Lexer<'_> {
             })?));
         }
         for p in [
-            "<<", ">>", "<=", ">=", "==", "!=", "(", ")", "{", "}", ";", ",", "=", "+", "-",
-            "*", "/", "%", "&", "|", "^", "<", ">", "?", ":",
+            "<<", ">>", "<=", ">=", "==", "!=", "(", ")", "{", "}", ";", ",", "=", "+", "-", "*",
+            "/", "%", "&", "|", "^", "<", ">", "?", ":",
         ] {
             if self.src[self.pos..].starts_with(p.as_bytes()) {
                 self.pos += p.len();
@@ -98,7 +100,10 @@ impl Lexer<'_> {
 }
 
 fn lex(src: &str) -> Result<Vec<Tok>, BackendError> {
-    let mut l = Lexer { src: src.as_bytes(), pos: 0 };
+    let mut l = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let mut out = Vec::new();
     loop {
         let t = l.next_tok()?;
@@ -190,7 +195,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, BackendError> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(BackendError::new(format!("expected identifier, got {other:?}"))),
+            other => Err(BackendError::new(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -204,7 +211,10 @@ impl Parser {
     }
 
     fn parse_unit(&mut self) -> Result<ParsedUnit, BackendError> {
-        let mut unit = ParsedUnit { externs: HashMap::new(), funcs: Vec::new() };
+        let mut unit = ParsedUnit {
+            externs: HashMap::new(),
+            funcs: Vec::new(),
+        };
         loop {
             match self.peek() {
                 Tok::Eof => return Ok(unit),
@@ -275,8 +285,8 @@ impl Parser {
         let mut labels: HashMap<String, usize> = HashMap::new();
         let mut cur = 0usize;
         let label_of = |labels: &mut HashMap<String, usize>,
-                            blocks: &mut Vec<BlockData>,
-                            name: &str|
+                        blocks: &mut Vec<BlockData>,
+                        name: &str|
          -> usize {
             *labels.entry(name.to_string()).or_insert_with(|| {
                 blocks.push(BlockData::default());
@@ -309,9 +319,10 @@ impl Parser {
                     }
                 }
                 _ => {
-                    let (stmt, term) = self.parse_stmt(&mut |n: &str, bl: &mut Vec<BlockData>| {
-                        label_of(&mut labels, bl, n)
-                    }, &mut blocks)?;
+                    let (stmt, term) = self.parse_stmt(
+                        &mut |n: &str, bl: &mut Vec<BlockData>| label_of(&mut labels, bl, n),
+                        &mut blocks,
+                    )?;
                     if let Some(s) = stmt {
                         blocks[cur].stmts.push(s);
                     }
@@ -323,7 +334,13 @@ impl Parser {
                 }
             }
         }
-        Ok(ParsedFunc { name, ret, params, decls, blocks })
+        Ok(ParsedFunc {
+            name,
+            ret,
+            params,
+            decls,
+            blocks,
+        })
     }
 
     /// Parses one statement; returns (plain stmt, terminator).
@@ -542,7 +559,9 @@ impl Parser {
                     Ok(Expr::Var(name))
                 }
             }
-            other => Err(BackendError::new(format!("unexpected token {other:?} in expr"))),
+            other => Err(BackendError::new(format!(
+                "unexpected token {other:?} in expr"
+            ))),
         }
     }
 }
@@ -596,12 +615,20 @@ fn gimplify(
 ) -> Result<Function, BackendError> {
     let sig = Signature::new(
         f.params.iter().map(|(_, t)| qty(t)).collect(),
-        if f.ret == "void" { Type::Void } else { qty(f.ret) },
+        if f.ret == "void" {
+            Type::Void
+        } else {
+            qty(f.ret)
+        },
     );
     let nb = f.blocks.len();
     // Per-block variable liveness (over C variable names).
-    let var_ids: HashMap<&str, usize> =
-        f.decls.keys().enumerate().map(|(i, k)| (k.as_str(), i)).collect();
+    let var_ids: HashMap<&str, usize> = f
+        .decls
+        .keys()
+        .enumerate()
+        .map(|(i, k)| (k.as_str(), i))
+        .collect();
     let nv = var_ids.len();
     let words = nv.div_ceil(64).max(1);
     let mut uses = vec![vec![0u64; words]; nb];
@@ -710,9 +737,9 @@ fn gimplify(
     let id_to_name: HashMap<usize, &str> = var_ids.iter().map(|(n, i)| (*i, *n)).collect();
     let mut end_maps: Vec<HashMap<String, Value>> = vec![HashMap::new(); nb];
     let mut phi_fixups: Vec<(usize, String, Value)> = Vec::new(); // (block, var, phi)
-    // Emission order: a single-predecessor block needs its predecessor's
-    // variable map first (label ids are assigned by first reference, so
-    // plain index order is not sufficient).
+                                                                  // Emission order: a single-predecessor block needs its predecessor's
+                                                                  // variable map first (label ids are assigned by first reference, so
+                                                                  // plain index order is not sufficient).
     let order = {
         let mut emitted = vec![false; nb];
         let mut order = Vec::with_capacity(nb);
@@ -723,9 +750,7 @@ fn gimplify(
                 if emitted[bi] {
                     continue;
                 }
-                let ready = bi == 0
-                    || preds[bi].len() != 1
-                    || emitted[preds[bi][0]];
+                let ready = bi == 0 || preds[bi].len() != 1 || emitted[preds[bi][0]];
                 if ready {
                     emitted[bi] = true;
                     order.push(bi);
@@ -832,11 +857,10 @@ impl Gim<'_> {
     fn stmt(&mut self, s: &Stmt) -> Result<(), BackendError> {
         match s {
             Stmt::Assign(name, e) => {
-                let want = qty(
-                    self.decls
-                        .get(name)
-                        .ok_or_else(|| BackendError::new(format!("undeclared `{name}`")))?,
-                );
+                let want = qty(self
+                    .decls
+                    .get(name)
+                    .ok_or_else(|| BackendError::new(format!("undeclared `{name}`")))?);
                 let v = self.expr(e)?;
                 let v = self.coerce(v, want)?;
                 self.vars.insert(name.clone(), v);
@@ -868,7 +892,9 @@ impl Gim<'_> {
                 Ok(self.b.zext(Type::I64, v))
             }
             (Type::Ptr, Type::I64) | (Type::I64, Type::Ptr) => Ok(v), // same register class
-            other => Err(BackendError::new(format!("type mismatch in assignment: {other:?}"))),
+            other => Err(BackendError::new(format!(
+                "type mismatch in assignment: {other:?}"
+            ))),
         }
     }
 
@@ -877,7 +903,9 @@ impl Gim<'_> {
         if got == sty || (sty.is_int() && got == Type::I64) || sty == Type::Ptr {
             Ok(v)
         } else {
-            Err(BackendError::new(format!("store type mismatch {got} vs {sty}")))
+            Err(BackendError::new(format!(
+                "store type mismatch {got} vs {sty}"
+            )))
         }
     }
 
@@ -995,20 +1023,19 @@ impl Gim<'_> {
                     ">=" => cmp(self, CmpOp::SGe, av, bv),
                     "==" => cmp(self, CmpOp::Eq, av, bv),
                     "!=" => cmp(self, CmpOp::Ne, av, bv),
-                    other => {
-                        return Err(BackendError::new(format!("unknown operator `{other}`")))
-                    }
+                    other => return Err(BackendError::new(format!("unknown operator `{other}`"))),
                 })
             }
         }
     }
 
     fn builtin_or_call(&mut self, name: &str, args: &[Expr]) -> Result<Value, BackendError> {
-        let bin = |g: &mut Self, op: Opcode, ty: Type, args: &[Expr]| -> Result<Value, BackendError> {
-            let a = g.expr(&args[0])?;
-            let b = g.expr(&args[1])?;
-            Ok(g.b.binary(op, ty, a, b))
-        };
+        let bin =
+            |g: &mut Self, op: Opcode, ty: Type, args: &[Expr]| -> Result<Value, BackendError> {
+                let a = g.expr(&args[0])?;
+                let b = g.expr(&args[1])?;
+                Ok(g.b.binary(op, ty, a, b))
+            };
         match name {
             "__i128" => {
                 let (Expr::Int(lo), Expr::Int(hi)) = (&args[0], &args[1]) else {

@@ -247,7 +247,10 @@ impl CInst {
     /// Whether this terminates a block.
     #[allow(dead_code)]
     pub fn is_terminator(&self) -> bool {
-        matches!(self, CInst::Jump { .. } | CInst::Brif { .. } | CInst::Ret { .. } | CInst::Trap { .. })
+        matches!(
+            self,
+            CInst::Jump { .. } | CInst::Brif { .. } | CInst::Ret { .. } | CInst::Trap { .. }
+        )
     }
 
     /// Visits value operands.
@@ -377,9 +380,17 @@ impl CirFunc {
 
     /// Successor blocks of `block`.
     pub fn succs(&self, block: CBlock) -> Vec<CBlock> {
-        match self.block_iter(block).last().map(|i| &self.insts[i as usize]) {
+        match self
+            .block_iter(block)
+            .last()
+            .map(|i| &self.insts[i as usize])
+        {
             Some(CInst::Jump { dest, .. }) => vec![*dest],
-            Some(CInst::Brif { then_dest, else_dest, .. }) => vec![*then_dest, *else_dest],
+            Some(CInst::Brif {
+                then_dest,
+                else_dest,
+                ..
+            }) => vec![*then_dest, *else_dest],
             _ => Vec::new(),
         }
     }
@@ -480,7 +491,12 @@ pub fn translate(func: &qir::Function, ext: ExtFlags) -> Result<CirFunc, Backend
     }
 
     // Pass 2: translate bodies.
-    let mut tr = Translator { cir, map, ext, func };
+    let mut tr = Translator {
+        cir,
+        map,
+        ext,
+        func,
+    };
     for block in func.blocks() {
         for &inst in func.block_insts(block) {
             tr.translate_inst(block.index() as CBlock, inst)?;
@@ -544,7 +560,14 @@ impl Translator<'_> {
         }
         // Critical-edge split: trampoline block carrying the args.
         let t = self.cir.new_block();
-        self.cir.push(t, CInst::Jump { dest: dest.index() as CBlock, args }, None);
+        self.cir.push(
+            t,
+            CInst::Jump {
+                dest: dest.index() as CBlock,
+                args,
+            },
+            None,
+        );
         t
     }
 
@@ -562,7 +585,10 @@ impl Translator<'_> {
                 self.map.insert(result.expect("result"), Mapped::One(v));
             }
             InstData::FConst { imm } => {
-                let v = self.cir.push(cb, CInst::Fconst { imm }, Some(CTy::F64)).expect("value");
+                let v = self
+                    .cir
+                    .push(cb, CInst::Fconst { imm }, Some(CTy::F64))
+                    .expect("value");
                 self.map.insert(result.expect("result"), Mapped::One(v));
             }
             InstData::Binary { op, ty, args } => {
@@ -608,7 +634,10 @@ impl Translator<'_> {
                     .cir
                     .push(
                         cb,
-                        CInst::Icmp { cond: op, args: [self.one(args[0]), self.one(args[1])] },
+                        CInst::Icmp {
+                            cond: op,
+                            args: [self.one(args[0]), self.one(args[1])],
+                        },
                         Some(CTy::I8),
                     )
                     .expect("value");
@@ -620,7 +649,10 @@ impl Translator<'_> {
                     .cir
                     .push(
                         cb,
-                        CInst::Fcmp { cond: op, args: [self.one(args[0]), self.one(args[1])] },
+                        CInst::Fcmp {
+                            cond: op,
+                            args: [self.one(args[0]), self.one(args[1])],
+                        },
                         Some(CTy::I8),
                     )
                     .expect("value");
@@ -635,23 +667,33 @@ impl Translator<'_> {
                     }
                     (CastOp::Zext, _) => {
                         let a = self.one(arg);
-                        self.cir.push(cb, CInst::Uext { arg: a }, Some(cty(to))).expect("v")
+                        self.cir
+                            .push(cb, CInst::Uext { arg: a }, Some(cty(to)))
+                            .expect("v")
                     }
                     (CastOp::Sext, _) => {
                         let a = self.one(arg);
-                        self.cir.push(cb, CInst::Sext { arg: a }, Some(cty(to))).expect("v")
+                        self.cir
+                            .push(cb, CInst::Sext { arg: a }, Some(cty(to)))
+                            .expect("v")
                     }
                     (CastOp::Trunc, _) => {
                         let a = self.one(arg);
-                        self.cir.push(cb, CInst::Ireduce { arg: a }, Some(cty(to))).expect("v")
+                        self.cir
+                            .push(cb, CInst::Ireduce { arg: a }, Some(cty(to)))
+                            .expect("v")
                     }
                     (CastOp::SiToF, _) => {
                         let a = self.one(arg);
-                        self.cir.push(cb, CInst::SiToF { arg: a }, Some(CTy::F64)).expect("v")
+                        self.cir
+                            .push(cb, CInst::SiToF { arg: a }, Some(CTy::F64))
+                            .expect("v")
                     }
                     (CastOp::FToSi, _) => {
                         let a = self.one(arg);
-                        self.cir.push(cb, CInst::FToSi { arg: a }, Some(cty(to))).expect("v")
+                        self.cir
+                            .push(cb, CInst::FToSi { arg: a }, Some(cty(to)))
+                            .expect("v")
                     }
                 };
                 self.map.insert(r, Mapped::One(v));
@@ -660,7 +702,9 @@ impl Translator<'_> {
                 let r = result.expect("result");
                 let (a, b) = (self.one(args[0]), self.one(args[1]));
                 let v = if self.ext.crc32 {
-                    self.cir.push(cb, CInst::Crc32 { args: [a, b] }, Some(CTy::I64)).expect("v")
+                    self.cir
+                        .push(cb, CInst::Crc32 { args: [a, b] }, Some(CTy::I64))
+                        .expect("v")
                 } else {
                     self.call_rt(cb, "rt_crc32", vec![a, b], Some(CTy::I64))?
                 };
@@ -684,7 +728,12 @@ impl Translator<'_> {
                 };
                 self.map.insert(r, Mapped::One(v));
             }
-            InstData::Select { ty, cond, if_true, if_false } => {
+            InstData::Select {
+                ty,
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let r = result.expect("result");
                 let c = self.one(cond);
                 match ty {
@@ -693,11 +742,25 @@ impl Translator<'_> {
                         let (fl, fh) = self.pair(if_false);
                         let lo = self
                             .cir
-                            .push(cb, CInst::Select { cond: c, args: [tl, fl] }, Some(CTy::I64))
+                            .push(
+                                cb,
+                                CInst::Select {
+                                    cond: c,
+                                    args: [tl, fl],
+                                },
+                                Some(CTy::I64),
+                            )
                             .expect("v");
                         let hi = self
                             .cir
-                            .push(cb, CInst::Select { cond: c, args: [th, fh] }, Some(CTy::I64))
+                            .push(
+                                cb,
+                                CInst::Select {
+                                    cond: c,
+                                    args: [th, fh],
+                                },
+                                Some(CTy::I64),
+                            )
                             .expect("v");
                         self.map.insert(r, Mapped::Pair(lo, hi));
                     }
@@ -705,7 +768,14 @@ impl Translator<'_> {
                         let (a, b) = (self.one(if_true), self.one(if_false));
                         let v = self
                             .cir
-                            .push(cb, CInst::Select { cond: c, args: [a, b] }, Some(cty(t)))
+                            .push(
+                                cb,
+                                CInst::Select {
+                                    cond: c,
+                                    args: [a, b],
+                                },
+                                Some(cty(t)),
+                            )
                             .expect("v");
                         self.map.insert(r, Mapped::One(v));
                     }
@@ -718,36 +788,72 @@ impl Translator<'_> {
                     qir::Type::String => {
                         let lo = self
                             .cir
-                            .push(cb, CInst::Load { addr: a, off: offset }, Some(CTy::I64))
+                            .push(
+                                cb,
+                                CInst::Load {
+                                    addr: a,
+                                    off: offset,
+                                },
+                                Some(CTy::I64),
+                            )
                             .expect("v");
                         let hi = self
                             .cir
-                            .push(cb, CInst::Load { addr: a, off: offset + 8 }, Some(CTy::I64))
+                            .push(
+                                cb,
+                                CInst::Load {
+                                    addr: a,
+                                    off: offset + 8,
+                                },
+                                Some(CTy::I64),
+                            )
                             .expect("v");
                         self.map.insert(r, Mapped::Pair(lo, hi));
                     }
                     t => {
                         let v = self
                             .cir
-                            .push(cb, CInst::Load { addr: a, off: offset }, Some(cty(t)))
+                            .push(
+                                cb,
+                                CInst::Load {
+                                    addr: a,
+                                    off: offset,
+                                },
+                                Some(cty(t)),
+                            )
                             .expect("v");
                         self.map.insert(r, Mapped::One(v));
                     }
                 }
             }
-            InstData::Store { ty, ptr, value, offset } => {
+            InstData::Store {
+                ty,
+                ptr,
+                value,
+                offset,
+            } => {
                 let a = self.one(ptr);
                 match ty {
                     qir::Type::String => {
                         let (lo, hi) = self.pair(value);
                         self.cir.push(
                             cb,
-                            CInst::Store { ty: CTy::I64, addr: a, val: lo, off: offset },
+                            CInst::Store {
+                                ty: CTy::I64,
+                                addr: a,
+                                val: lo,
+                                off: offset,
+                            },
                             None,
                         );
                         self.cir.push(
                             cb,
-                            CInst::Store { ty: CTy::I64, addr: a, val: hi, off: offset + 8 },
+                            CInst::Store {
+                                ty: CTy::I64,
+                                addr: a,
+                                val: hi,
+                                off: offset + 8,
+                            },
                             None,
                         );
                     }
@@ -755,13 +861,23 @@ impl Translator<'_> {
                         let v = self.one(value);
                         self.cir.push(
                             cb,
-                            CInst::Store { ty: cty(t), addr: a, val: v, off: offset },
+                            CInst::Store {
+                                ty: cty(t),
+                                addr: a,
+                                val: v,
+                                off: offset,
+                            },
                             None,
                         );
                     }
                 }
             }
-            InstData::Gep { base, offset, index, scale } => {
+            InstData::Gep {
+                base,
+                offset,
+                index,
+                scale,
+            } => {
                 // No pointers in CIR: plain integer arithmetic.
                 let r = result.expect("result");
                 let mut cur = self.one(base);
@@ -777,7 +893,13 @@ impl Translator<'_> {
                 if offset != 0 {
                     let oc = self
                         .cir
-                        .push(cb, CInst::Iconst { imm: offset as i128 }, Some(CTy::I64))
+                        .push(
+                            cb,
+                            CInst::Iconst {
+                                imm: offset as i128,
+                            },
+                            Some(CTy::I64),
+                        )
                         .expect("v");
                     cur = self.bin(cb, CBinOp::Iadd, cur, oc, CTy::I64);
                 }
@@ -804,7 +926,15 @@ impl Translator<'_> {
                 }
                 match decl.sig.ret {
                     qir::Type::Void => {
-                        self.cir.push(cb, CInst::Call { addr, args: flat, ret: None }, None);
+                        self.cir.push(
+                            cb,
+                            CInst::Call {
+                                addr,
+                                args: flat,
+                                ret: None,
+                            },
+                            None,
+                        );
                     }
                     qir::Type::String => {
                         return Err(BackendError::new("clift: string-returning runtime call"));
@@ -813,7 +943,15 @@ impl Translator<'_> {
                         let ct = cty(t);
                         let v = self
                             .cir
-                            .push(cb, CInst::Call { addr, args: flat, ret: Some(ct) }, Some(ct))
+                            .push(
+                                cb,
+                                CInst::Call {
+                                    addr,
+                                    args: flat,
+                                    ret: Some(ct),
+                                },
+                                Some(ct),
+                            )
                             .expect("v");
                         self.map.insert(result.expect("result"), Mapped::One(v));
                     }
@@ -828,14 +966,33 @@ impl Translator<'_> {
             }
             InstData::Jump { dest } => {
                 let args = self.edge_args(qir::Block::new(cb as usize), dest);
-                self.cir.push(cb, CInst::Jump { dest: dest.index() as CBlock, args }, None);
+                self.cir.push(
+                    cb,
+                    CInst::Jump {
+                        dest: dest.index() as CBlock,
+                        args,
+                    },
+                    None,
+                );
             }
-            InstData::Branch { cond, then_dest, else_dest } => {
+            InstData::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 let c = self.one(cond);
                 let pred = qir::Block::new(cb as usize);
                 let t = self.branch_target(pred, then_dest);
                 let f = self.branch_target(pred, else_dest);
-                self.cir.push(cb, CInst::Brif { cond: c, then_dest: t, else_dest: f }, None);
+                self.cir.push(
+                    cb,
+                    CInst::Brif {
+                        cond: c,
+                        then_dest: t,
+                        else_dest: f,
+                    },
+                    None,
+                );
             }
             InstData::Return { value } => {
                 let vals = match value {
@@ -858,7 +1015,9 @@ impl Translator<'_> {
     }
 
     fn bin(&mut self, cb: CBlock, op: CBinOp, a: CVal, b: CVal, ty: CTy) -> CVal {
-        self.cir.push(cb, CInst::Bin { op, args: [a, b] }, Some(ty)).expect("value")
+        self.cir
+            .push(cb, CInst::Bin { op, args: [a, b] }, Some(ty))
+            .expect("value")
     }
 
     fn call_rt(

@@ -33,7 +33,11 @@ pub fn compile_function_parts(
     func_names: &[String],
     isa: Isa,
 ) -> Result<(Vec<u8>, Vec<qc_target::Reloc>, u32), BackendError> {
-    let flags = ExtFlags { crc32: true, overflow_arith: true, mulfull: true };
+    let flags = ExtFlags {
+        crc32: true,
+        overflow_arith: true,
+        mulfull: true,
+    };
     let cir = cir::translate(func, flags)?;
     let vcode = lower::lower(&cir, true)?;
     let alloc = regalloc::allocate(&vcode, isa);
@@ -63,7 +67,11 @@ pub struct CliftExtensions {
 
 impl Default for CliftExtensions {
     fn default() -> Self {
-        CliftExtensions { crc32: true, overflow_arith: true, mulfull: true }
+        CliftExtensions {
+            crc32: true,
+            overflow_arith: true,
+            mulfull: true,
+        }
     }
 }
 
@@ -102,8 +110,7 @@ impl Backend for CliftBackend {
     ) -> Result<Box<dyn Executable>, BackendError> {
         let mut image = ImageBuilder::new(self.isa);
         let mut stats = CompileStats::default();
-        let func_names: Vec<String> =
-            module.functions().iter().map(|f| f.name.clone()).collect();
+        let func_names: Vec<String> = module.functions().iter().map(|f| f.name.clone()).collect();
         let flags = ExtFlags {
             crc32: self.ext.crc32,
             overflow_arith: self.ext.overflow_arith,
@@ -186,7 +193,12 @@ impl Backend for CliftBackend {
             // wrapper does not produce it).
             image.add_unwind(
                 off,
-                UnwindEntry { start: 0, end: len, frame_size: frame, synchronous_only: false },
+                UnwindEntry {
+                    start: 0,
+                    end: len,
+                    frame_size: frame,
+                    synchronous_only: false,
+                },
             );
         }
         // 7. Finish: relocations applied after all functions are compiled.
@@ -313,7 +325,10 @@ mod tests {
         };
         let expected = qc_target::crc32c_u64(3, 12345);
         for crc32 in [true, false] {
-            let ext = CliftExtensions { crc32, ..Default::default() };
+            let ext = CliftExtensions {
+                crc32,
+                ..Default::default()
+            };
             let r = run_on(Isa::Tx64, ext, build, sig.clone(), &[3, 12345]).unwrap();
             assert_eq!(r[0], expected, "crc32 ext={crc32}");
         }
@@ -330,7 +345,10 @@ mod tests {
             b.ret(Some(s));
         };
         for ovf in [true, false] {
-            let ext = CliftExtensions { overflow_arith: ovf, ..Default::default() };
+            let ext = CliftExtensions {
+                overflow_arith: ovf,
+                ..Default::default()
+            };
             let ok = run_on(Isa::Tx64, ext, build, sig.clone(), &[40, 2]).unwrap();
             assert_eq!(ok[0], 42);
             let trap = run_on(Isa::Tx64, ext, build, sig.clone(), &[i64::MAX as u64, 1]);
@@ -350,9 +368,18 @@ mod tests {
         };
         let expected = qc_runtime::long_mul_fold(0xDEADBEEF, 0x12345678);
         for mf in [true, false] {
-            let ext = CliftExtensions { mulfull: mf, ..Default::default() };
-            let r = run_on(Isa::Tx64, ext, build, sig.clone(), &[0xDEADBEEF, 0x12345678])
-                .unwrap();
+            let ext = CliftExtensions {
+                mulfull: mf,
+                ..Default::default()
+            };
+            let r = run_on(
+                Isa::Tx64,
+                ext,
+                build,
+                sig.clone(),
+                &[0xDEADBEEF, 0x12345678],
+            )
+            .unwrap();
             assert_eq!(r[0], expected, "mulfull={mf}");
         }
     }
@@ -397,8 +424,12 @@ mod tests {
         let mut m = Module::new("m");
         m.push_function(bld.finish());
         for isa in [Isa::Tx64, Isa::Ta64] {
-            let mut exe = CliftBackend::new(isa).compile(&m, &TimeTrace::disabled()).unwrap();
-            let r = exe.call(&mut state, "f", &[a.lo, a.hi, b2.lo, b2.hi]).unwrap();
+            let mut exe = CliftBackend::new(isa)
+                .compile(&m, &TimeTrace::disabled())
+                .unwrap();
+            let r = exe
+                .call(&mut state, "f", &[a.lo, a.hi, b2.lo, b2.hi])
+                .unwrap();
             assert_eq!(r[0], 1, "{isa}");
         }
     }
@@ -446,7 +477,14 @@ mod tests {
         let trace = TimeTrace::new();
         let _ = CliftBackend::new(Isa::Tx64).compile(&m, &trace).unwrap();
         let report = trace.report();
-        for phase in ["irgen", "irpasses", "iselprep_isel", "regalloc", "emit", "finish"] {
+        for phase in [
+            "irgen",
+            "irpasses",
+            "iselprep_isel",
+            "regalloc",
+            "emit",
+            "finish",
+        ] {
             assert!(report.total(phase).is_some(), "missing phase {phase}");
         }
     }

@@ -67,7 +67,13 @@ pub fn prepare(cir: &CirFunc) -> PrepInfo {
             val_def[r as usize] = i as u32;
         }
     }
-    PrepInfo { val_regs, classes, groups, use_counts, val_def }
+    PrepInfo {
+        val_regs,
+        classes,
+        groups,
+        use_counts,
+        val_def,
+    }
 }
 
 struct Lowerer<'c> {
@@ -257,9 +263,17 @@ impl Lowerer<'_> {
         };
         let w = self.width(args[0]);
         if let Some(imm) = self.as_folded_imm(args[1]) {
-            self.cur.push(MInst::CmpImm { w, a: self.lo(args[0]), imm });
+            self.cur.push(MInst::CmpImm {
+                w,
+                a: self.lo(args[0]),
+                imm,
+            });
         } else {
-            self.cur.push(MInst::Cmp { w, a: self.lo(args[0]), b: self.lo(args[1]) });
+            self.cur.push(MInst::Cmp {
+                w,
+                a: self.lo(args[0]),
+                b: self.lo(args[1]),
+            });
         }
         Self::cond_of(cond)
     }
@@ -295,7 +309,10 @@ impl Lowerer<'_> {
                     s1: t1,
                     s2: t2,
                 });
-                self.cur.push(MInst::SetCc { cond: Self::cond_of(cond), d: dst });
+                self.cur.push(MInst::SetCc {
+                    cond: Self::cond_of(cond),
+                    d: dst,
+                });
             }
             _ => {
                 let (x, y, c) = match cond {
@@ -345,8 +362,14 @@ impl Lowerer<'_> {
         match inst {
             CInst::Iconst { imm } => {
                 if self.ty_of(res) == CTy::I128 {
-                    self.cur.push(MInst::MovRI { d: self.lo(res), imm: imm as i64 });
-                    self.cur.push(MInst::MovRI { d: self.hi(res), imm: (imm >> 64) as i64 });
+                    self.cur.push(MInst::MovRI {
+                        d: self.lo(res),
+                        imm: imm as i64,
+                    });
+                    self.cur.push(MInst::MovRI {
+                        d: self.hi(res),
+                        imm: (imm >> 64) as i64,
+                    });
                 } else {
                     // Canonical (zero-extended-at-width) materialization.
                     let canon = match self.ty_of(res) {
@@ -355,13 +378,22 @@ impl Lowerer<'_> {
                         CTy::I32 => (imm as u64) & 0xFFFF_FFFF,
                         _ => imm as u64,
                     };
-                    self.cur.push(MInst::MovRI { d: self.lo(res), imm: canon as i64 });
+                    self.cur.push(MInst::MovRI {
+                        d: self.lo(res),
+                        imm: canon as i64,
+                    });
                 }
             }
             CInst::Fconst { imm } => {
                 let bits = self.new_vreg(RegClass::Int);
-                self.cur.push(MInst::MovRI { d: bits, imm: imm.to_bits() as i64 });
-                self.cur.push(MInst::FMovFromGpr { d: self.lo(res), s: bits });
+                self.cur.push(MInst::MovRI {
+                    d: bits,
+                    imm: imm.to_bits() as i64,
+                });
+                self.cur.push(MInst::FMovFromGpr {
+                    d: self.lo(res),
+                    s: bits,
+                });
             }
             CInst::Bin { op, args } => self.lower_bin(idx, op, args, res)?,
             CInst::Icmp { args, .. } => {
@@ -372,12 +404,21 @@ impl Lowerer<'_> {
                     self.emit_cmp128(cond, args, self.lo(res));
                 } else {
                     let c = self.emit_icmp_flags(idx);
-                    self.cur.push(MInst::SetCc { cond: c, d: self.lo(res) });
+                    self.cur.push(MInst::SetCc {
+                        cond: c,
+                        d: self.lo(res),
+                    });
                 }
             }
             CInst::Fcmp { cond, args } => {
-                self.cur.push(MInst::FCmpM { a: self.lo(args[0]), b: self.lo(args[1]) });
-                self.cur.push(MInst::SetCc { cond: Self::fcond_of(cond), d: self.lo(res) });
+                self.cur.push(MInst::FCmpM {
+                    a: self.lo(args[0]),
+                    b: self.lo(args[1]),
+                });
+                self.cur.push(MInst::SetCc {
+                    cond: Self::fcond_of(cond),
+                    d: self.lo(res),
+                });
             }
             CInst::Select { cond, args } => {
                 let c = self.lo(cond);
@@ -411,9 +452,11 @@ impl Lowerer<'_> {
                 }
             }
             CInst::Load { addr, off } => match self.ty_of(res) {
-                CTy::F64 => {
-                    self.cur.push(MInst::FLoad { d: self.lo(res), base: self.lo(addr), disp: off })
-                }
+                CTy::F64 => self.cur.push(MInst::FLoad {
+                    d: self.lo(res),
+                    base: self.lo(addr),
+                    disp: off,
+                }),
                 CTy::I128 => {
                     self.cur.push(MInst::Load {
                         w: Width::W64,
@@ -436,9 +479,11 @@ impl Lowerer<'_> {
                 }),
             },
             CInst::Store { ty, addr, val, off } => match ty {
-                CTy::F64 => {
-                    self.cur.push(MInst::FStore { s: self.lo(val), base: self.lo(addr), disp: off })
-                }
+                CTy::F64 => self.cur.push(MInst::FStore {
+                    s: self.lo(val),
+                    base: self.lo(addr),
+                    disp: off,
+                }),
                 CTy::I128 => {
                     self.cur.push(MInst::Store {
                         w: Width::W64,
@@ -479,11 +524,21 @@ impl Lowerer<'_> {
                 };
                 if to == CTy::I128 {
                     if from == CTy::I64 {
-                        self.cur.push(MInst::MovRR { d: self.lo(res), s: self.lo(arg) });
+                        self.cur.push(MInst::MovRR {
+                            d: self.lo(res),
+                            s: self.lo(arg),
+                        });
                     } else {
-                        self.cur.push(MInst::Sext { from: fw, d: self.lo(res), s: self.lo(arg) });
+                        self.cur.push(MInst::Sext {
+                            from: fw,
+                            d: self.lo(res),
+                            s: self.lo(arg),
+                        });
                     }
-                    self.cur.push(MInst::MovRR { d: self.hi(res), s: self.lo(res) });
+                    self.cur.push(MInst::MovRR {
+                        d: self.hi(res),
+                        s: self.lo(res),
+                    });
                     self.cur.push(MInst::AluImm {
                         op: AluOp::Sar,
                         w: Width::W64,
@@ -493,19 +548,35 @@ impl Lowerer<'_> {
                         imm: 63,
                     });
                 } else if from == CTy::I64 {
-                    self.cur.push(MInst::MovRR { d: self.lo(res), s: self.lo(arg) });
+                    self.cur.push(MInst::MovRR {
+                        d: self.lo(res),
+                        s: self.lo(arg),
+                    });
                 } else {
-                    self.cur.push(MInst::Sext { from: fw, d: self.lo(res), s: self.lo(arg) });
+                    self.cur.push(MInst::Sext {
+                        from: fw,
+                        d: self.lo(res),
+                        s: self.lo(arg),
+                    });
                 }
             }
             CInst::Uext { arg } => {
-                self.cur.push(MInst::MovRR { d: self.lo(res), s: self.lo(arg) });
+                self.cur.push(MInst::MovRR {
+                    d: self.lo(res),
+                    s: self.lo(arg),
+                });
                 if self.ty_of(res) == CTy::I128 {
-                    self.cur.push(MInst::MovRI { d: self.hi(res), imm: 0 });
+                    self.cur.push(MInst::MovRI {
+                        d: self.hi(res),
+                        imm: 0,
+                    });
                 }
             }
             CInst::Ireduce { arg } => {
-                self.cur.push(MInst::MovRR { d: self.lo(res), s: self.lo(arg) });
+                self.cur.push(MInst::MovRR {
+                    d: self.lo(res),
+                    s: self.lo(arg),
+                });
                 let mask: i64 = match self.ty_of(res) {
                     CTy::I8 => 0xFF,
                     CTy::I16 => 0xFFFF,
@@ -532,13 +603,23 @@ impl Lowerer<'_> {
                 } else {
                     let t = self.new_vreg(RegClass::Int);
                     let fw = self.width(arg);
-                    self.cur.push(MInst::Sext { from: fw, d: t, s: self.lo(arg) });
+                    self.cur.push(MInst::Sext {
+                        from: fw,
+                        d: t,
+                        s: self.lo(arg),
+                    });
                     t
                 };
-                self.cur.push(MInst::CvtSiToF { d: self.lo(res), s: src });
+                self.cur.push(MInst::CvtSiToF {
+                    d: self.lo(res),
+                    s: src,
+                });
             }
             CInst::FToSi { arg } => {
-                self.cur.push(MInst::CvtFToSi { d: self.lo(res), s: self.lo(arg) });
+                self.cur.push(MInst::CvtFToSi {
+                    d: self.lo(res),
+                    s: self.lo(arg),
+                });
             }
             CInst::Crc32 { args } => {
                 self.cur.push(MInst::Crc32 {
@@ -560,10 +641,17 @@ impl Lowerer<'_> {
                     Some(CTy::I128) => vec![self.lo(res), self.hi(res)],
                     Some(_) => vec![self.lo(res)],
                 };
-                self.cur.push(MInst::CallRt { target: CallTarget::Abs(addr), args: flat, ret: ret_regs });
+                self.cur.push(MInst::CallRt {
+                    target: CallTarget::Abs(addr),
+                    args: flat,
+                    ret: ret_regs,
+                });
             }
             CInst::FuncAddr { func } => {
-                self.cur.push(MInst::FuncAddr { d: self.lo(res), func });
+                self.cur.push(MInst::FuncAddr {
+                    d: self.lo(res),
+                    func,
+                });
             }
             CInst::Jump { dest, args } => {
                 if !args.is_empty() {
@@ -589,23 +677,42 @@ impl Lowerer<'_> {
                     }
                     self.cur.push(MInst::ParMove { moves });
                 }
-                self.cur.push(MInst::Jmp { target: dest as usize });
+                self.cur.push(MInst::Jmp {
+                    target: dest as usize,
+                });
             }
-            CInst::Brif { cond, then_dest, else_dest } => {
+            CInst::Brif {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 // Fused compare?
                 let c = if let Some(def) = self.def_of(cond) {
                     if self.fused[def as usize] {
                         self.emit_icmp_flags(def)
                     } else {
-                        self.cur.push(MInst::CmpImm { w: Width::W8, a: self.lo(cond), imm: 0 });
+                        self.cur.push(MInst::CmpImm {
+                            w: Width::W8,
+                            a: self.lo(cond),
+                            imm: 0,
+                        });
                         Cond::Ne
                     }
                 } else {
-                    self.cur.push(MInst::CmpImm { w: Width::W8, a: self.lo(cond), imm: 0 });
+                    self.cur.push(MInst::CmpImm {
+                        w: Width::W8,
+                        a: self.lo(cond),
+                        imm: 0,
+                    });
                     Cond::Ne
                 };
-                self.cur.push(MInst::Jcc { cond: c, target: then_dest as usize });
-                self.cur.push(MInst::Jmp { target: else_dest as usize });
+                self.cur.push(MInst::Jcc {
+                    cond: c,
+                    target: then_dest as usize,
+                });
+                self.cur.push(MInst::Jmp {
+                    target: else_dest as usize,
+                });
             }
             CInst::Ret { vals } => {
                 let mut flat = Vec::new();
@@ -673,7 +780,10 @@ impl Lowerer<'_> {
                 s2: self.hi(args[1]),
             });
             if trap {
-                self.cur.push(MInst::TrapIf { cond: Cond::O, code: 1 });
+                self.cur.push(MInst::TrapIf {
+                    cond: Cond::O,
+                    code: 1,
+                });
             }
             return Ok(());
         }
@@ -735,7 +845,10 @@ impl Lowerer<'_> {
                     s1: self.lo(args[0]),
                     s2: self.lo(args[1]),
                 });
-                self.cur.push(MInst::TrapIf { cond: Cond::O, code: 1 });
+                self.cur.push(MInst::TrapIf {
+                    cond: Cond::O,
+                    code: 1,
+                });
             }
             _ => {
                 let aop = match op {
@@ -782,9 +895,10 @@ impl Lowerer<'_> {
             return None;
         }
         match &self.cir.insts[idx as usize - 1] {
-            CInst::Bin { op: CBinOp::Imul, args: pargs } if *pargs == args => {
-                Some(self.cir.inst_result[idx as usize - 1])
-            }
+            CInst::Bin {
+                op: CBinOp::Imul,
+                args: pargs,
+            } if *pargs == args => Some(self.cir.inst_result[idx as usize - 1]),
             _ => None,
         }
     }
@@ -797,9 +911,10 @@ impl Lowerer<'_> {
 
     fn mulhi_result(&self, idx: u32, args: [u32; 2]) -> Option<u32> {
         match self.cir.insts.get(idx as usize + 1) {
-            Some(CInst::Bin { op: CBinOp::UMulHi, args: nargs }) if *nargs == args => {
-                Some(self.cir.inst_result[idx as usize + 1])
-            }
+            Some(CInst::Bin {
+                op: CBinOp::UMulHi,
+                args: nargs,
+            }) if *nargs == args => Some(self.cir.inst_result[idx as usize + 1]),
             _ => None,
         }
     }

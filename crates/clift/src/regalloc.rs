@@ -155,7 +155,9 @@ pub fn allocate(vcode: &VCode, isa: Isa) -> Allocation {
     }
 
     // --- Bundle merging: coalesce moves with disjoint intervals. ---
-    let mut uf = Uf { parent: (0..nv as u32).collect() };
+    let mut uf = Uf {
+        parent: (0..nv as u32).collect(),
+    };
     let overlap = |s1: u32, e1: u32, s2: u32, e2: u32| s1 < e2 && s2 < e1;
     let try_merge = |uf: &mut Uf, start: &mut [u32], end: &mut [u32], a: VReg, b: VReg| {
         let (ra, rb) = (uf.find(a), uf.find(b));
@@ -221,7 +223,10 @@ pub fn allocate(vcode: &VCode, isa: Isa) -> Allocation {
     let mut spill_slots = 0u32;
     let mut spills = 0u64;
     for &rep in &reps {
-        let (s, e) = (start[rep as usize], end[rep as usize].max(start[rep as usize] + 1));
+        let (s, e) = (
+            start[rep as usize],
+            end[rep as usize].max(start[rep as usize] + 1),
+        );
         let crosses_call = call_points.iter().any(|&c| c > s && c < e);
         let loc = match vcode.classes[rep as usize] {
             RegClass::Int => {
@@ -279,5 +284,9 @@ pub fn allocate(vcode: &VCode, isa: Isa) -> Allocation {
             };
         }
     }
-    Allocation { locs, spill_slots, spills }
+    Allocation {
+        locs,
+        spill_slots,
+        spills,
+    }
 }

@@ -28,7 +28,9 @@ fn straightline(picks: &[(usize, usize)]) -> VCode {
         });
         next += 1;
     }
-    insts.push(MInst::Ret { vals: vec![next - 1] });
+    insts.push(MInst::Ret {
+        vals: vec![next - 1],
+    });
     VCode {
         name: "f".to_string(),
         blocks: vec![insts],

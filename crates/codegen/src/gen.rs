@@ -4,10 +4,10 @@ use qc_ir::{
     Block, CastOp, CmpOp, ExtFuncDecl, FuncId, FunctionBuilder, Module, Opcode, Signature, Type,
     Value,
 };
+use qc_plan::AggFunc;
 use qc_plan::{
     ArithOp, CmpKind, CtxEntry, Expr, PhysicalPlan, Pipeline, RowLayout, Sink, Source, StreamOp,
 };
-use qc_plan::AggFunc;
 use qc_runtime::{HASH_SEED1, HASH_SEED2};
 use qc_storage::ColumnType;
 
@@ -45,8 +45,16 @@ fn generate_pipeline(plan: &PhysicalPlan, pipe: &Pipeline, query_name: &str) -> 
     let mut module = Module::new(&format!("{query_name}_p{}", pipe.id));
 
     // Sort comparator first so its FuncId is known to `finish`.
-    let cmp_id = if let Sink::SortMaterialize { sort_id, keys, layout } = &pipe.sink {
-        Some((gen_comparator(&mut module, *sort_id, keys, layout), *sort_id))
+    let cmp_id = if let Sink::SortMaterialize {
+        sort_id,
+        keys,
+        layout,
+    } = &pipe.sink
+    {
+        Some((
+            gen_comparator(&mut module, *sort_id, keys, layout),
+            *sort_id,
+        ))
     } else {
         None
     };
@@ -59,7 +67,7 @@ fn generate_pipeline(plan: &PhysicalPlan, pipe: &Pipeline, query_name: &str) -> 
 
 /// Declares a runtime function with its QIR signature.
 fn rt_decl(name: &str) -> ExtFuncDecl {
-    use Type::{Bool, String as Str, Void, I128, I64, Ptr};
+    use Type::{Bool, Ptr, String as Str, Void, I128, I64};
     let sig = match name {
         "rt_throw_overflow" => Signature::new(vec![], Void),
         "rt_ht_create" => Signature::new(vec![I64], I64),
@@ -80,7 +88,10 @@ fn rt_decl(name: &str) -> ExtFuncDecl {
         "rt_alloc" => Signature::new(vec![I64], Ptr),
         _ => panic!("unknown runtime function {name}"),
     };
-    ExtFuncDecl { name: name.to_string(), sig }
+    ExtFuncDecl {
+        name: name.to_string(),
+        sig,
+    }
 }
 
 /// One bound column value.
@@ -106,7 +117,13 @@ impl<'p> Gen<'p> {
     fn new(plan: &'p PhysicalPlan, name: &str, sig: Signature) -> Self {
         let b = FunctionBuilder::new(name, sig);
         let ctx = b.param(0);
-        Gen { b, plan, env: Vec::new(), str_consts: vec![None; plan.str_literals.len()], ctx }
+        Gen {
+            b,
+            plan,
+            env: Vec::new(),
+            str_consts: vec![None; plan.str_literals.len()],
+            ctx,
+        }
     }
 
     fn bind(&mut self, name: &str, value: Value, ty: ColumnType) {
@@ -144,7 +161,10 @@ impl<'p> Gen<'p> {
             return b;
         }
         let v = self.ctx_load(&CtxEntry::StrConst(idx), Type::String);
-        let b = Binding { value: v, ty: ColumnType::Str };
+        let b = Binding {
+            value: v,
+            ty: ColumnType::Str,
+        };
         self.str_consts[idx] = Some(b);
         b
     }
@@ -228,7 +248,9 @@ impl<'p> Gen<'p> {
 
     /// Loads a materialized-row field.
     fn load_field(&mut self, row: Value, layout: &RowLayout, name: &str) -> Binding {
-        let f = layout.field(name).unwrap_or_else(|| panic!("no field `{name}`"));
+        let f = layout
+            .field(name)
+            .unwrap_or_else(|| panic!("no field `{name}`"));
         let off = f.offset as i32;
         let value = match f.ty {
             ColumnType::Decimal(_) => self.b.load(Type::I128, row, off),
@@ -246,7 +268,9 @@ impl<'p> Gen<'p> {
 
     /// Stores a materialized-row field.
     fn store_field(&mut self, row: Value, layout: &RowLayout, name: &str, v: Binding) {
-        let f = layout.field(name).unwrap_or_else(|| panic!("no field `{name}`"));
+        let f = layout
+            .field(name)
+            .unwrap_or_else(|| panic!("no field `{name}`"));
         let off = f.offset as i32;
         match f.ty {
             ColumnType::Decimal(_) => self.b.store(Type::I128, row, v.value, off),
@@ -268,10 +292,7 @@ impl<'p> Gen<'p> {
                 .expect("returns bool"),
             ColumnType::Decimal(_) => self.b.icmp(CmpOp::Eq, Type::I128, a.value, b.value),
             ColumnType::Bool => self.b.icmp(CmpOp::Eq, Type::Bool, a.value, b.value),
-            ColumnType::F64 => {
-                
-                self.b.fcmp(CmpOp::Eq, a.value, b.value)
-            }
+            ColumnType::F64 => self.b.fcmp(CmpOp::Eq, a.value, b.value),
             _ => self.b.icmp(CmpOp::Eq, Type::I64, a.value, b.value),
         }
     }
@@ -282,27 +303,45 @@ impl<'p> Gen<'p> {
             Expr::Column(n) => self.lookup(n),
             Expr::LitI64(v) => {
                 let x = self.b.iconst(Type::I64, *v as i128);
-                Binding { value: x, ty: ColumnType::I64 }
+                Binding {
+                    value: x,
+                    ty: ColumnType::I64,
+                }
             }
             Expr::LitI32(v) => {
                 let x = self.b.iconst(Type::I64, *v as i128);
-                Binding { value: x, ty: ColumnType::I64 }
+                Binding {
+                    value: x,
+                    ty: ColumnType::I64,
+                }
             }
             Expr::LitDate(v) => {
                 let x = self.b.iconst(Type::I64, *v as i128);
-                Binding { value: x, ty: ColumnType::Date }
+                Binding {
+                    value: x,
+                    ty: ColumnType::Date,
+                }
             }
             Expr::LitDec(v, s) => {
                 let x = self.b.iconst(Type::I128, *v);
-                Binding { value: x, ty: ColumnType::Decimal(*s) }
+                Binding {
+                    value: x,
+                    ty: ColumnType::Decimal(*s),
+                }
             }
             Expr::LitF64(v) => {
                 let x = self.b.fconst(*v);
-                Binding { value: x, ty: ColumnType::F64 }
+                Binding {
+                    value: x,
+                    ty: ColumnType::F64,
+                }
             }
             Expr::LitBool(v) => {
                 let x = self.b.iconst(Type::Bool, *v as i128);
-                Binding { value: x, ty: ColumnType::Bool }
+                Binding {
+                    value: x,
+                    ty: ColumnType::Bool,
+                }
             }
             Expr::LitStr(s) => {
                 let idx = self.str_literal_index(s);
@@ -315,36 +354,54 @@ impl<'p> Gen<'p> {
             Expr::Cmp(op, a, b) => {
                 let (va, vb) = (self.eval(a), self.eval(b));
                 let v = self.compare(*op, va, vb);
-                Binding { value: v, ty: ColumnType::Bool }
+                Binding {
+                    value: v,
+                    ty: ColumnType::Bool,
+                }
             }
             Expr::And(a, b) => {
                 let (va, vb) = (self.eval(a), self.eval(b));
                 let v = self.bool_and(va.value, vb.value);
-                Binding { value: v, ty: ColumnType::Bool }
+                Binding {
+                    value: v,
+                    ty: ColumnType::Bool,
+                }
             }
             Expr::Or(a, b) => {
                 let (va, vb) = (self.eval(a), self.eval(b));
                 let v = self.bool_or(va.value, vb.value);
-                Binding { value: v, ty: ColumnType::Bool }
+                Binding {
+                    value: v,
+                    ty: ColumnType::Bool,
+                }
             }
             Expr::Not(a) => {
                 let va = self.eval(a);
                 let v = self.bool_not(va.value);
-                Binding { value: v, ty: ColumnType::Bool }
+                Binding {
+                    value: v,
+                    ty: ColumnType::Bool,
+                }
             }
             Expr::StrPrefix(a, b) => {
                 let (va, vb) = (self.eval(a), self.eval(b));
                 let v = self
                     .call_rt("rt_str_prefix", vec![va.value, vb.value])
                     .expect("returns bool");
-                Binding { value: v, ty: ColumnType::Bool }
+                Binding {
+                    value: v,
+                    ty: ColumnType::Bool,
+                }
             }
             Expr::StrContains(a, b) => {
                 let (va, vb) = (self.eval(a), self.eval(b));
                 let v = self
                     .call_rt("rt_str_contains", vec![va.value, vb.value])
                     .expect("returns bool");
-                Binding { value: v, ty: ColumnType::Bool }
+                Binding {
+                    value: v,
+                    ty: ColumnType::Bool,
+                }
             }
             Expr::CastF64(a) => {
                 let va = self.eval(a);
@@ -358,7 +415,10 @@ impl<'p> Gen<'p> {
                     }
                     _ => self.b.cast(CastOp::SiToF, Type::F64, va.value),
                 };
-                Binding { value: v, ty: ColumnType::F64 }
+                Binding {
+                    value: v,
+                    ty: ColumnType::F64,
+                }
             }
         }
     }
@@ -367,24 +427,31 @@ impl<'p> Gen<'p> {
         match (a.ty, b.ty) {
             (ColumnType::Decimal(s1), ColumnType::Decimal(s2)) => {
                 let (value, scale) = match op {
-                    ArithOp::Add => {
-                        (self.b.binary(Opcode::SAddTrap, Type::I128, a.value, b.value), s1)
-                    }
-                    ArithOp::Sub => {
-                        (self.b.binary(Opcode::SSubTrap, Type::I128, a.value, b.value), s1)
-                    }
+                    ArithOp::Add => (
+                        self.b
+                            .binary(Opcode::SAddTrap, Type::I128, a.value, b.value),
+                        s1,
+                    ),
+                    ArithOp::Sub => (
+                        self.b
+                            .binary(Opcode::SSubTrap, Type::I128, a.value, b.value),
+                        s1,
+                    ),
                     ArithOp::Mul => (
-                        self.b.binary(Opcode::SMulTrap, Type::I128, a.value, b.value),
+                        self.b
+                            .binary(Opcode::SMulTrap, Type::I128, a.value, b.value),
                         s1 + s2,
                     ),
                     ArithOp::Div => {
                         let scale = self.b.iconst(Type::I128, 10i128.pow(s2 as u32));
-                        let scaled =
-                            self.b.binary(Opcode::SMulTrap, Type::I128, a.value, scale);
+                        let scaled = self.b.binary(Opcode::SMulTrap, Type::I128, a.value, scale);
                         (self.b.binary(Opcode::SDiv, Type::I128, scaled, b.value), s1)
                     }
                 };
-                Binding { value, ty: ColumnType::Decimal(scale) }
+                Binding {
+                    value,
+                    ty: ColumnType::Decimal(scale),
+                }
             }
             (ColumnType::F64, ColumnType::F64) => {
                 let opc = match op {
@@ -456,9 +523,7 @@ impl<'p> Gen<'p> {
             (ColumnType::Decimal(_), ColumnType::Decimal(_)) => {
                 self.b.icmp(pred, Type::I128, a.value, b.value)
             }
-            (ColumnType::Bool, ColumnType::Bool) => {
-                self.b.icmp(pred, Type::Bool, a.value, b.value)
-            }
+            (ColumnType::Bool, ColumnType::Bool) => self.b.icmp(pred, Type::Bool, a.value, b.value),
             _ => self.b.icmp(pred, Type::I64, a.value, b.value),
         }
     }
@@ -487,7 +552,9 @@ fn gen_setup(module: &mut Module, plan: &PhysicalPlan, pipe: &Pipeline) {
             let groups = g.call_rt("rt_buf_create", vec![eight]).expect("handle");
             g.ctx_store(&CtxEntry::AggGroups(*agg_id), Type::I64, groups);
         }
-        Sink::SortMaterialize { sort_id, layout, .. } => {
+        Sink::SortMaterialize {
+            sort_id, layout, ..
+        } => {
             let size = g.b.iconst(Type::I64, layout.size.max(8) as i128);
             let buf = g.call_rt("rt_buf_create", vec![size]).expect("handle");
             g.ctx_store(&CtxEntry::SortBuf(*sort_id), Type::I64, buf);
@@ -561,7 +628,11 @@ fn gen_comparator(
     for (key, asc) in keys {
         let va = g.load_field(pa, layout, key);
         let vb = g.load_field(pb, layout, key);
-        let (first, second) = if *asc { (less, greater) } else { (greater, less) };
+        let (first, second) = if *asc {
+            (less, greater)
+        } else {
+            (greater, less)
+        };
         let next = g.b.create_block();
         let second_check = g.b.create_block();
         let lt = match va.ty {
@@ -602,27 +673,51 @@ fn gen_main(module: &mut Module, plan: &PhysicalPlan, pipe: &Pipeline) {
 
     // Hoist ctx loads: column bases or buffer handle, sink handles.
     enum Src {
-        Table { bases: Vec<(String, ColumnType, Value)>, filter: Option<Expr>, projected: Vec<String> },
-        Buffer { handle: Value, layout: RowLayout, deref: bool },
+        Table {
+            bases: Vec<(String, ColumnType, Value)>,
+            filter: Option<Expr>,
+            projected: Vec<String>,
+        },
+        Buffer {
+            handle: Value,
+            layout: RowLayout,
+            deref: bool,
+        },
     }
     let src = match &pipe.source {
-        Source::Table { name, columns, projected, filter } => {
+        Source::Table {
+            name,
+            columns,
+            projected,
+            filter,
+        } => {
             let bases = columns
                 .iter()
                 .map(|(c, ty)| {
                     let base = g.ctx_load(
-                        &CtxEntry::ColumnBase { table: name.clone(), column: c.clone() },
+                        &CtxEntry::ColumnBase {
+                            table: name.clone(),
+                            column: c.clone(),
+                        },
                         Type::Ptr,
                     );
                     (c.clone(), *ty, base)
                 })
                 .collect();
-            Src::Table { bases, filter: filter.clone(), projected: projected.clone() }
+            Src::Table {
+                bases,
+                filter: filter.clone(),
+                projected: projected.clone(),
+            }
         }
         Source::Buffer { buffer, layout, .. } => {
             let handle = g.ctx_load(buffer, Type::I64);
             let deref = matches!(buffer, CtxEntry::AggGroups(_));
-            Src::Buffer { handle, layout: layout.clone(), deref }
+            Src::Buffer {
+                handle,
+                layout: layout.clone(),
+                deref,
+            }
         }
     };
     let sink_handles: Vec<Value> = match &pipe.sink {
@@ -678,7 +773,11 @@ fn gen_main(module: &mut Module, plan: &PhysicalPlan, pipe: &Pipeline) {
     // Body: bind source columns.
     g.b.switch_to(body);
     match &src {
-        Src::Table { bases, filter, projected } => {
+        Src::Table {
+            bases,
+            filter,
+            projected,
+        } => {
             for (name, ty, base) in bases {
                 let value = match ty {
                     ColumnType::I32 | ColumnType::Date => {
@@ -718,11 +817,19 @@ fn gen_main(module: &mut Module, plan: &PhysicalPlan, pipe: &Pipeline) {
             // Non-projected (filter-only) columns stay bound; harmless.
             let _ = projected;
         }
-        Src::Buffer { handle, layout, deref } => {
+        Src::Buffer {
+            handle,
+            layout,
+            deref,
+        } => {
             let cell = g
                 .call_rt("rt_buf_row", vec![*handle, i])
                 .expect("row pointer");
-            let row = if *deref { g.b.load(Type::Ptr, cell, 0) } else { cell };
+            let row = if *deref {
+                g.b.load(Type::Ptr, cell, 0)
+            } else {
+                cell
+            };
             for f in layout.fields.clone() {
                 let b = g.load_field(row, layout, &f.name);
                 g.bind(&f.name, b.value, b.ty);
@@ -747,14 +854,18 @@ fn gen_main(module: &mut Module, plan: &PhysicalPlan, pipe: &Pipeline) {
                     g.bind(name, v.value, *ty);
                 }
             }
-            StreamOp::Probe { join_id, probe_keys, build_layout, carry } => {
+            StreamOp::Probe {
+                join_id,
+                probe_keys,
+                build_layout,
+                carry,
+            } => {
                 let ht = probe_handles
                     .iter()
                     .find(|(id, _)| id == join_id)
                     .map(|&(_, h)| h)
                     .expect("hoisted probe handle");
-                let keys: Vec<Binding> =
-                    probe_keys.iter().map(|k| g.lookup(k)).collect();
+                let keys: Vec<Binding> = probe_keys.iter().map(|k| g.lookup(k)).collect();
                 let h = g.hash_keys(&keys);
                 let e0 = g.call_rt("rt_ht_probe", vec![ht, h]).expect("entry ptr");
 
@@ -832,7 +943,9 @@ fn gen_main(module: &mut Module, plan: &PhysicalPlan, pipe: &Pipeline) {
                 g.store_field(payload, layout, &f.name, v);
             }
         }
-        Sink::AggBuild { keys, aggs, layout, .. } => {
+        Sink::AggBuild {
+            keys, aggs, layout, ..
+        } => {
             gen_agg_sink(&mut g, &sink_handles, keys, aggs, layout, continue_target);
             // gen_agg_sink terminates all its blocks itself.
             module.push_function(g.b.finish());
@@ -906,7 +1019,15 @@ fn gen_agg_sink(
                 let cur = g.load_field(payload, layout, &state);
                 let one = g.b.iconst(Type::I64, 1);
                 let n = g.b.add(Type::I64, cur.value, one);
-                g.store_field(payload, layout, &state, Binding { value: n, ty: cur.ty });
+                g.store_field(
+                    payload,
+                    layout,
+                    &state,
+                    Binding {
+                        value: n,
+                        ty: cur.ty,
+                    },
+                );
             }
             AggFunc::Sum(_) => {
                 let v = input.expect("sum input");
@@ -930,7 +1051,15 @@ fn gen_agg_sink(
                 let cnt = g.load_field(payload, layout, &cnt_name);
                 let one = g.b.iconst(Type::I64, 1);
                 let n = g.b.add(Type::I64, cnt.value, one);
-                g.store_field(payload, layout, &cnt_name, Binding { value: n, ty: cnt.ty });
+                g.store_field(
+                    payload,
+                    layout,
+                    &cnt_name,
+                    Binding {
+                        value: n,
+                        ty: cnt.ty,
+                    },
+                );
             }
         }
     }
@@ -939,7 +1068,9 @@ fn gen_agg_sink(
     // Create path.
     g.b.switch_to(create);
     let size = g.b.iconst(Type::I64, layout.size as i128);
-    let np = g.call_rt("rt_ht_insert", vec![ht, h, size]).expect("payload");
+    let np = g
+        .call_rt("rt_ht_insert", vec![ht, h, size])
+        .expect("payload");
     for (key, kv) in keys.iter().zip(&kb) {
         g.store_field(np, layout, key, *kv);
     }
@@ -948,7 +1079,15 @@ fn gen_agg_sink(
         match agg {
             AggFunc::CountStar => {
                 let one = g.b.iconst(Type::I64, 1);
-                g.store_field(np, layout, &state, Binding { value: one, ty: ColumnType::I64 });
+                g.store_field(
+                    np,
+                    layout,
+                    &state,
+                    Binding {
+                        value: one,
+                        ty: ColumnType::I64,
+                    },
+                );
             }
             AggFunc::Sum(_) | AggFunc::Min(_) | AggFunc::Max(_) => {
                 let v = input.expect("agg input");
@@ -964,7 +1103,10 @@ fn gen_agg_sink(
                     np,
                     layout,
                     &format!("#{name}_cnt"),
-                    Binding { value: one, ty: ColumnType::I64 },
+                    Binding {
+                        value: one,
+                        ty: ColumnType::I64,
+                    },
                 );
             }
         }
@@ -979,9 +1121,16 @@ fn gen_agg_sink(
 /// state); env values are already widened, so this is a no-op guard.
 fn widen_to_state(g: &mut Gen, v: Binding, layout: &RowLayout, state: &str) -> Binding {
     let f = layout.field(state).expect("state field");
-    debug_assert_eq!(ir_type(v.ty), ir_type(f.ty), "state width mismatch for {state}");
+    debug_assert_eq!(
+        ir_type(v.ty),
+        ir_type(f.ty),
+        "state width mismatch for {state}"
+    );
     let _ = g;
-    Binding { value: v.value, ty: f.ty }
+    Binding {
+        value: v.value,
+        ty: f.ty,
+    }
 }
 
 fn sum_update(g: &mut Gen, cur: Binding, v: Binding) -> Binding {
@@ -996,9 +1145,7 @@ fn sum_update(g: &mut Gen, cur: Binding, v: Binding) -> Binding {
 fn minmax_update(g: &mut Gen, cur: Binding, v: Binding, is_min: bool) -> Binding {
     let pred = if is_min { CmpOp::SLt } else { CmpOp::SGt };
     let (cond, ty) = match cur.ty {
-        ColumnType::Decimal(_) => {
-            (g.b.icmp(pred, Type::I128, v.value, cur.value), Type::I128)
-        }
+        ColumnType::Decimal(_) => (g.b.icmp(pred, Type::I128, v.value, cur.value), Type::I128),
         ColumnType::F64 => (g.b.fcmp(pred, v.value, cur.value), Type::F64),
         _ => (g.b.icmp(pred, Type::I64, v.value, cur.value), Type::I64),
     };

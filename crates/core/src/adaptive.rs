@@ -32,7 +32,10 @@ pub struct AdaptiveExecution {
 
 impl Default for AdaptiveExecution {
     fn default() -> Self {
-        AdaptiveExecution { expected_executions: 1, benefit_threshold: 20_000 }
+        AdaptiveExecution {
+            expected_executions: 1,
+            benefit_threshold: 20_000,
+        }
     }
 }
 
@@ -94,7 +97,10 @@ mod tests {
         // Same query, huge work: tier up.
         assert!(policy.should_tier_up(1000, 100_000_000));
         // Many expected repetitions shift the tradeoff.
-        let hot = AdaptiveExecution { expected_executions: 1000, ..Default::default() };
+        let hot = AdaptiveExecution {
+            expected_executions: 1000,
+            ..Default::default()
+        };
         assert!(hot.should_tier_up(1000, 100_000));
     }
 }

@@ -122,7 +122,10 @@ pub struct Engine<'db> {
 impl<'db> Engine<'db> {
     /// Creates an engine over `db`.
     pub fn new(db: &'db Database) -> Self {
-        Engine { db, morsel_size: 2048 }
+        Engine {
+            db,
+            morsel_size: 2048,
+        }
     }
 
     /// The underlying database.
@@ -142,7 +145,11 @@ impl<'db> Engine<'db> {
         };
         let phys = PhysicalPlan::decompose(plan, &catalog)?;
         let ir = generate(&phys, name);
-        Ok(PreparedQuery { name: name.to_string(), plan: phys, ir })
+        Ok(PreparedQuery {
+            name: name.to_string(),
+            plan: phys,
+            ir,
+        })
     }
 
     /// Compiles a prepared query with `backend`, measuring wall-clock time.
@@ -206,8 +213,16 @@ impl<'db> Engine<'db> {
         }
         let ctx_addr = ctx.as_ptr() as u64;
 
-        let exec_before: u64 = compiled.executables.iter().map(|e| e.exec_stats().cycles).sum();
-        let insts_before: u64 = compiled.executables.iter().map(|e| e.exec_stats().insts).sum();
+        let exec_before: u64 = compiled
+            .executables
+            .iter()
+            .map(|e| e.exec_stats().cycles)
+            .sum();
+        let insts_before: u64 = compiled
+            .executables
+            .iter()
+            .map(|e| e.exec_stats().insts)
+            .sum();
 
         for (pipe, exe) in plan.pipelines.iter().zip(compiled.executables.iter_mut()) {
             exe.call(&mut state, "setup", &[ctx_addr])?;
@@ -223,8 +238,7 @@ impl<'db> Engine<'db> {
                 }
                 Source::Buffer { buffer, limit, .. } => {
                     let off = plan.ctx_offset(buffer) as usize;
-                    let handle =
-                        u64::from_le_bytes(ctx[off..off + 8].try_into().expect("8 bytes"));
+                    let handle = u64::from_le_bytes(ctx[off..off + 8].try_into().expect("8 bytes"));
                     let len = state.buffer(handle).len() as u64;
                     let len = match limit {
                         Some(l) => len.min(*l as u64),
@@ -244,12 +258,19 @@ impl<'db> Engine<'db> {
 
         // Decode the output buffer.
         let out_off = plan.ctx_offset(&CtxEntry::OutputBuf) as usize;
-        let out_handle =
-            u64::from_le_bytes(ctx[out_off..out_off + 8].try_into().expect("8 bytes"));
+        let out_handle = u64::from_le_bytes(ctx[out_off..out_off + 8].try_into().expect("8 bytes"));
         let rows = decode_rows(&state, out_handle, &plan.output);
 
-        let exec_after: u64 = compiled.executables.iter().map(|e| e.exec_stats().cycles).sum();
-        let insts_after: u64 = compiled.executables.iter().map(|e| e.exec_stats().insts).sum();
+        let exec_after: u64 = compiled
+            .executables
+            .iter()
+            .map(|e| e.exec_stats().cycles)
+            .sum();
+        let insts_after: u64 = compiled
+            .executables
+            .iter()
+            .map(|e| e.exec_stats().insts)
+            .sum();
         Ok(ExecutionResult {
             rows,
             exec_stats: ExecStats {
@@ -286,31 +307,27 @@ fn decode_rows(state: &RuntimeState, buf: u64, layout: &RowLayout) -> Vec<Vec<Sq
             let off = f.offset as usize;
             let v = match f.ty {
                 ColumnType::I32 | ColumnType::Date => {
-                    let raw =
-                        i64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+                    let raw = i64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
                     SqlValue::I32(raw as i32)
                 }
                 ColumnType::I64 => SqlValue::I64(i64::from_le_bytes(
                     bytes[off..off + 8].try_into().expect("8 bytes"),
                 )),
                 ColumnType::Decimal(s) => {
-                    let raw = i128::from_le_bytes(
-                        bytes[off..off + 16].try_into().expect("16 bytes"),
-                    );
+                    let raw =
+                        i128::from_le_bytes(bytes[off..off + 16].try_into().expect("16 bytes"));
                     SqlValue::Decimal(raw, s)
                 }
                 ColumnType::F64 => SqlValue::F64(f64::from_le_bytes(
                     bytes[off..off + 8].try_into().expect("8 bytes"),
                 )),
                 ColumnType::Bool => {
-                    let raw =
-                        u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+                    let raw = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
                     SqlValue::Bool(raw != 0)
                 }
                 ColumnType::Str => {
-                    let s = RtString::from_bytes(
-                        bytes[off..off + 16].try_into().expect("16 bytes"),
-                    );
+                    let s =
+                        RtString::from_bytes(bytes[off..off + 16].try_into().expect("16 bytes"));
                     SqlValue::Str(String::from_utf8_lossy(s.as_slice()).into_owned())
                 }
             };
@@ -344,7 +361,9 @@ mod tests {
             backends::cgen(qc_target::Isa::Ta64),
         ];
         for backend in all {
-            let got = engine.run(plan, backend.as_ref()).expect("engine execution");
+            let got = engine
+                .run(plan, backend.as_ref())
+                .expect("engine execution");
             assert_eq!(
                 reference::normalize(&got.rows),
                 reference::normalize(&expected),
@@ -460,8 +479,8 @@ mod tests {
     #[test]
     fn empty_result_is_ok() {
         let db = qc_storage::gen_hlike(0.02);
-        let plan = PlanNode::scan("orders", &["o_orderkey"])
-            .filter(col("o_orderkey").lt(lit_i64(-1)));
+        let plan =
+            PlanNode::scan("orders", &["o_orderkey"]).filter(col("o_orderkey").lt(lit_i64(-1)));
         let engine = Engine::new(&db);
         let backend = backends::interpreter();
         let got = engine.run(&plan, backend.as_ref()).unwrap();

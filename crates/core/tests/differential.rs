@@ -69,7 +69,14 @@ fn dslike_queries_agree_across_all_backends() {
 fn random_plan(rng: &mut StdRng) -> PlanNode {
     let mut plan = PlanNode::scan(
         "lineitem",
-        &["l_orderkey", "l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipdate"],
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipdate",
+        ],
     );
     for _ in 0..rng.gen_range(0..3u32) {
         let pred: Expr = match rng.gen_range(0..4u32) {

@@ -462,8 +462,7 @@ impl<'a> Emit<'a> {
                 let r = self.use_half(src, half);
                 let mem = MemArg::base_disp(
                     SP,
-                    (self.phi_tmp_off + (i as u32) * 16 + 8 * half as u32) as i32
-                        + self.sp_adjust,
+                    (self.phi_tmp_off + (i as u32) * 16 + 8 * half as u32) as i32 + self.sp_adjust,
                 );
                 self.asm.store(Width::W64, r, mem);
             }
@@ -474,8 +473,7 @@ impl<'a> Emit<'a> {
             for half in 0..regs as u8 {
                 let tmp = MemArg::base_disp(
                     SP,
-                    (self.phi_tmp_off + (i as u32) * 16 + 8 * half as u32) as i32
-                        + self.sp_adjust,
+                    (self.phi_tmp_off + (i as u32) * 16 + 8 * half as u32) as i32 + self.sp_adjust,
                 );
                 self.asm.load(Width::W64, SCRATCH, tmp);
                 let mem = self.home_mem(dst, half);
@@ -485,7 +483,8 @@ impl<'a> Emit<'a> {
     }
 
     fn epilogue(&mut self) {
-        self.asm.alu_ri32(AluOp::Add, Width::W64, false, SP, self.frame as i32);
+        self.asm
+            .alu_ri32(AluOp::Add, Width::W64, false, SP, self.frame as i32);
         self.asm.ret();
     }
 }
@@ -617,7 +616,8 @@ pub fn emit_function(
     }
 
     // Prologue: allocate the frame, store parameters to their homes.
-    e.asm.alu_ri32(AluOp::Sub, Width::W64, false, SP, frame as i32);
+    e.asm
+        .alu_ri32(AluOp::Sub, Width::W64, false, SP, frame as i32);
     let mut slot = 0usize;
     for &p in func.params() {
         let regs = func.value_type(p).reg_count();
@@ -663,10 +663,7 @@ pub fn emit_function(
         }
     }
 
-    let code_len = {
-        
-        e.asm.offset()
-    };
+    let code_len = { e.asm.offset() };
     let has_calls = e.has_calls;
     let (code, relocs) = e.asm.finish();
     stats.bump("machine_insts_bytes", code.len() as u64);
@@ -674,7 +671,12 @@ pub fn emit_function(
     if has_calls {
         image.add_unwind(
             off,
-            UnwindEntry { start: 0, end: code_len, frame_size: frame, synchronous_only: true },
+            UnwindEntry {
+                start: 0,
+                end: code_len,
+                frame_size: frame,
+                synchronous_only: true,
+            },
         );
     }
     Ok(())
@@ -761,7 +763,12 @@ fn emit_inst(e: &mut Emit, block: Block, inst: qc_ir::Inst) -> Result<(), Backen
             e.consume(args[1]);
             e.def_half(v, 0, dst);
         }
-        InstData::Select { ty, cond, if_true, if_false } => {
+        InstData::Select {
+            ty,
+            cond,
+            if_true,
+            if_false,
+        } => {
             let v = result.expect("select result");
             if ty == Type::F64 {
                 let c = e.use_half(cond, 0);
@@ -831,7 +838,12 @@ fn emit_inst(e: &mut Emit, block: Block, inst: qc_ir::Inst) -> Result<(), Backen
                 }
             }
         }
-        InstData::Store { ty, ptr, value, offset } => {
+        InstData::Store {
+            ty,
+            ptr,
+            value,
+            offset,
+        } => {
             let p = e.use_half(ptr, 0);
             match ty {
                 Type::F64 => {
@@ -842,7 +854,8 @@ fn emit_inst(e: &mut Emit, block: Block, inst: qc_ir::Inst) -> Result<(), Backen
                     let lo = e.use_half(value, 0);
                     e.asm.store(Width::W64, lo, MemArg::base_disp(p, offset));
                     let hi = e.use_half(value, 1);
-                    e.asm.store(Width::W64, hi, MemArg::base_disp(p, offset + 8));
+                    e.asm
+                        .store(Width::W64, hi, MemArg::base_disp(p, offset + 8));
                 }
                 _ => {
                     let s = e.use_half(value, 0);
@@ -852,14 +865,23 @@ fn emit_inst(e: &mut Emit, block: Block, inst: qc_ir::Inst) -> Result<(), Backen
             e.consume(ptr);
             e.consume(value);
         }
-        InstData::Gep { base, offset, index, scale } => {
+        InstData::Gep {
+            base,
+            offset,
+            index,
+            scale,
+        } => {
             let v = result.expect("gep result");
             let b = e.use_half(base, 0);
             let mem = match index {
                 Some(i) => {
                     let ir = e.use_half(i, 0);
                     e.consume(i);
-                    MemArg { base: b, index: Some((ir, scale)), disp: offset as i32 }
+                    MemArg {
+                        base: b,
+                        index: Some((ir, scale)),
+                        disp: offset as i32,
+                    }
                 }
                 None => MemArg::base_disp(b, offset as i32),
             };
@@ -902,7 +924,11 @@ fn emit_inst(e: &mut Emit, block: Block, inst: qc_ir::Inst) -> Result<(), Backen
             let l = e.labels[dest.index()];
             e.asm.jmp(l);
         }
-        InstData::Branch { cond, then_dest, else_dest } => {
+        InstData::Branch {
+            cond,
+            then_dest,
+            else_dest,
+        } => {
             e.flush_dirty();
             let c = e.use_half(cond, 0);
             e.consume(cond);
@@ -1055,16 +1081,14 @@ fn emit_binary128(
             Ok(())
         }
         Opcode::SMulTrap => {
-            let flat =
-                vec![(args[0], 0), (args[0], 1), (args[1], 0), (args[1], 1)];
+            let flat = vec![(args[0], 0), (args[0], 1), (args[1], 0), (args[1], 1)];
             e.emit_call("rt_mul128_ovf", &flat, Some(v));
             e.consume(args[0]);
             e.consume(args[1]);
             Ok(())
         }
         Opcode::SDiv => {
-            let flat =
-                vec![(args[0], 0), (args[0], 1), (args[1], 0), (args[1], 1)];
+            let flat = vec![(args[0], 0), (args[0], 1), (args[1], 0), (args[1], 1)];
             e.emit_call("rt_i128_div", &flat, Some(v));
             e.consume(args[0]);
             e.consume(args[1]);
@@ -1127,13 +1151,7 @@ fn emit_cmp128(e: &mut Emit, op: CmpOp, args: [Value; 2], v: Value) {
     }
 }
 
-fn emit_cast(
-    e: &mut Emit,
-    op: CastOp,
-    to: Type,
-    arg: Value,
-    v: Value,
-) -> Result<(), BackendError> {
+fn emit_cast(e: &mut Emit, op: CastOp, to: Type, arg: Value, v: Value) -> Result<(), BackendError> {
     let from = e.func.value_type(arg);
     match op {
         CastOp::Zext => {

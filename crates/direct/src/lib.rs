@@ -84,7 +84,12 @@ impl Backend for DirectBackend {
                     Liveness::compute(func, &cfg)
                 };
                 let _ = dt;
-                codegen::Analysis { cfg, rpo, loops, live }
+                codegen::Analysis {
+                    cfg,
+                    rpo,
+                    loops,
+                    live,
+                }
             };
 
             // --- Code generation pass ---
@@ -121,7 +126,9 @@ mod tests {
         qc_ir::verify_function(&f).unwrap();
         let mut m = Module::new("m");
         m.push_function(f);
-        let mut exe = DirectBackend::new().compile(&m, &TimeTrace::disabled()).unwrap();
+        let mut exe = DirectBackend::new()
+            .compile(&m, &TimeTrace::disabled())
+            .unwrap();
         let mut state = RuntimeState::new();
         exe.call(&mut state, "f", args)
     }

@@ -65,7 +65,9 @@ fn compile_func(func: &Function) -> Result<BcFunc, BackendError> {
         let pc = c.block_pc[block.index()].expect("block compiled");
         match &mut c.code[at] {
             BcOp::Jump { target } => *target = pc,
-            BcOp::BrIf { then_pc, else_pc, .. } => {
+            BcOp::BrIf {
+                then_pc, else_pc, ..
+            } => {
                 if is_else {
                     *else_pc = pc;
                 } else {
@@ -75,8 +77,7 @@ fn compile_func(func: &Function) -> Result<BcFunc, BackendError> {
             _ => unreachable!("fixup on non-branch"),
         }
     }
-    let param_slots: usize =
-        func.sig.params.iter().map(|t| t.reg_count() as usize).sum();
+    let param_slots: usize = func.sig.params.iter().map(|t| t.reg_count() as usize).sum();
     Ok(BcFunc {
         name: func.name.clone(),
         code: c.code,
@@ -99,7 +100,11 @@ impl FuncCompiler<'_> {
     fn edge_copies(&self, pred: Block, succ: Block) -> Vec<(Slot, Slot, u8)> {
         let mut pairs = Vec::new();
         for &inst in self.func.block_insts(succ) {
-            if let InstData::Phi { pairs: phi_pairs, ty } = self.func.inst(inst) {
+            if let InstData::Phi {
+                pairs: phi_pairs,
+                ty,
+            } = self.func.inst(inst)
+            {
                 if let Some(&(_, src)) = phi_pairs.iter().find(|&&(b, _)| b == pred) {
                     pairs.push((self.slot(src), self.res_slot(inst), regs_of(*ty)));
                 }
@@ -143,12 +148,17 @@ impl FuncCompiler<'_> {
                     } else {
                         (1u64 << ty.bits()) - 1
                     };
-                    self.code.push(BcOp::ConstI { dst, val: (imm as u64) & mask });
+                    self.code.push(BcOp::ConstI {
+                        dst,
+                        val: (imm as u64) & mask,
+                    });
                 }
             }
             InstData::FConst { imm } => {
-                self.code
-                    .push(BcOp::ConstI { dst: self.res_slot(inst), val: imm.to_bits() });
+                self.code.push(BcOp::ConstI {
+                    dst: self.res_slot(inst),
+                    val: imm.to_bits(),
+                });
             }
             InstData::Binary { op, ty, args } => {
                 self.code.push(BcOp::Bin {
@@ -199,7 +209,12 @@ impl FuncCompiler<'_> {
                     b: self.slot(args[1]),
                 });
             }
-            InstData::Select { ty, cond, if_true, if_false } => {
+            InstData::Select {
+                ty,
+                cond,
+                if_true,
+                if_false,
+            } => {
                 self.code.push(BcOp::Select {
                     dst: self.res_slot(inst),
                     cond: self.slot(cond),
@@ -216,7 +231,12 @@ impl FuncCompiler<'_> {
                     off: offset,
                 });
             }
-            InstData::Store { ty, ptr, value, offset } => {
+            InstData::Store {
+                ty,
+                ptr,
+                value,
+                offset,
+            } => {
                 self.code.push(BcOp::Store {
                     ty,
                     ptr: self.slot(ptr),
@@ -224,7 +244,12 @@ impl FuncCompiler<'_> {
                     off: offset,
                 });
             }
-            InstData::Gep { base, offset, index, scale } => {
+            InstData::Gep {
+                base,
+                offset,
+                index,
+                scale,
+            } => {
                 self.code.push(BcOp::Gep {
                     dst: self.res_slot(inst),
                     base: self.slot(base),
@@ -255,21 +280,35 @@ impl FuncCompiler<'_> {
                     .func
                     .inst_result(inst)
                     .map(|r| (self.slot(r), regs_of(self.func.value_type(r))));
-                self.code.push(BcOp::Call { rt_index: rt, args: flat, dst });
+                self.code.push(BcOp::Call {
+                    rt_index: rt,
+                    args: flat,
+                    dst,
+                });
             }
             InstData::FuncAddr { func } => {
-                self.code
-                    .push(BcOp::FuncAddr { dst: self.res_slot(inst), func: func.index() });
+                self.code.push(BcOp::FuncAddr {
+                    dst: self.res_slot(inst),
+                    func: func.index(),
+                });
             }
             InstData::Jump { dest } => {
                 self.emit_edge(block, dest);
             }
-            InstData::Branch { cond, then_dest, else_dest } => {
+            InstData::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 let cond_slot = self.slot(cond);
                 let then_copies = self.edge_copies(block, then_dest);
                 let else_copies = self.edge_copies(block, else_dest);
                 let brif_at = self.code.len();
-                self.code.push(BcOp::BrIf { cond: cond_slot, then_pc: 0, else_pc: 0 });
+                self.code.push(BcOp::BrIf {
+                    cond: cond_slot,
+                    then_pc: 0,
+                    else_pc: 0,
+                });
                 // Then side.
                 if then_copies.is_empty() {
                     self.fixups.push((brif_at, then_dest, false));

@@ -151,7 +151,13 @@ pub fn run(
                 };
                 regs[*dst as usize] = r as u64;
             }
-            BcOp::Cast { op, from, to, dst, src } => {
+            BcOp::Cast {
+                op,
+                from,
+                to,
+                dst,
+                src,
+            } => {
                 cast(*op, *from, *to, *dst, *src, &mut regs)?;
             }
             BcOp::Crc32 { dst, acc, data } => {
@@ -161,7 +167,13 @@ pub fn run(
                 let p = (regs[*a as usize] as u128).wrapping_mul(regs[*b as usize] as u128);
                 regs[*dst as usize] = (p as u64) ^ ((p >> 64) as u64);
             }
-            BcOp::Select { dst, cond, a, b, regs: n } => {
+            BcOp::Select {
+                dst,
+                cond,
+                a,
+                b,
+                regs: n,
+            } => {
                 let src = if regs[*cond as usize] != 0 { *a } else { *b };
                 for k in 0..*n as usize {
                     regs[*dst as usize + k] = regs[src as usize + k];
@@ -187,34 +199,40 @@ pub fn run(
                     _ => write_mem(addr, *ty, regs[*src as usize])?,
                 }
             }
-            BcOp::Gep { dst, base, off, index } => {
+            BcOp::Gep {
+                dst,
+                base,
+                off,
+                index,
+            } => {
                 let mut addr = regs[*base as usize].wrapping_add(*off as u64);
                 if let Some((i, scale)) = index {
-                    addr =
-                        addr.wrapping_add(regs[*i as usize].wrapping_mul(*scale as u64));
+                    addr = addr.wrapping_add(regs[*i as usize].wrapping_mul(*scale as u64));
                 }
                 regs[*dst as usize] = addr;
             }
             BcOp::StackAddr { dst, frame_off } => {
                 regs[*dst as usize] = frame_base + *frame_off as u64;
             }
-            BcOp::Call { rt_index, args: arg_slots, dst } => {
+            BcOp::Call {
+                rt_index,
+                args: arg_slots,
+                dst,
+            } => {
                 let vals: Vec<u64> = arg_slots.iter().map(|&s| regs[s as usize]).collect();
                 stats.cycles += CALL_DISPATCH_COST + state.cost(*rt_index, &vals);
-                let mut cb = |st: &mut RuntimeState,
-                              addr: u64,
-                              cargs: &[u64]|
-                 -> Result<u64, Trap> {
-                    if addr >= BYTECODE_BASE {
-                        let idx = (addr - BYTECODE_BASE) as usize;
-                        if idx >= program.funcs.len() {
-                            return Err(Trap::BadJump(addr));
+                let mut cb =
+                    |st: &mut RuntimeState, addr: u64, cargs: &[u64]| -> Result<u64, Trap> {
+                        if addr >= BYTECODE_BASE {
+                            let idx = (addr - BYTECODE_BASE) as usize;
+                            if idx >= program.funcs.len() {
+                                return Err(Trap::BadJump(addr));
+                            }
+                            Ok(run(program, st, idx, cargs, stats)?[0])
+                        } else {
+                            Err(Trap::BadJump(addr))
                         }
-                        Ok(run(program, st, idx, cargs, stats)?[0])
-                    } else {
-                        Err(Trap::BadJump(addr))
-                    }
-                };
+                    };
                 let r = state.invoke(*rt_index, &vals, &mut cb)?;
                 if let Some((d, n)) = dst {
                     regs[*d as usize] = r[0];
@@ -231,7 +249,10 @@ pub fn run(
                 let snapshot: Vec<[u64; 2]> = pairs
                     .iter()
                     .map(|&(s, _, n)| {
-                        [regs[s as usize], if n == 2 { regs[s as usize + 1] } else { 0 }]
+                        [
+                            regs[s as usize],
+                            if n == 2 { regs[s as usize + 1] } else { 0 },
+                        ]
                     })
                     .collect();
                 for (&(_, d, n), vals) in pairs.iter().zip(snapshot) {
@@ -242,7 +263,11 @@ pub fn run(
                 }
             }
             BcOp::Jump { target } => pc = *target as usize,
-            BcOp::BrIf { cond, then_pc, else_pc } => {
+            BcOp::BrIf {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
                 pc = if regs[*cond as usize] != 0 {
                     *then_pc as usize
                 } else {

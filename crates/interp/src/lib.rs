@@ -84,10 +84,7 @@ impl Executable for InterpExecutable {
         name: &str,
         args: &[u64],
     ) -> Result<[u64; 2], Trap> {
-        let fidx = self
-            .program
-            .func_index(name)
-            .ok_or(Trap::BadJump(0))?;
+        let fidx = self.program.func_index(name).ok_or(Trap::BadJump(0))?;
         let mut stats = self.exec.borrow_mut();
         exec::run(&self.program, state, fidx, args, &mut stats)
     }
@@ -291,8 +288,12 @@ mod tests {
         bld.ret(Some(r));
         let mut m = Module::new("m");
         m.push_function(bld.finish());
-        let mut exe = InterpBackend::new().compile(&m, &TimeTrace::disabled()).unwrap();
-        let r = exe.call(&mut state, "f", &[a.lo, a.hi, b2.lo, b2.hi]).unwrap();
+        let mut exe = InterpBackend::new()
+            .compile(&m, &TimeTrace::disabled())
+            .unwrap();
+        let r = exe
+            .call(&mut state, "f", &[a.lo, a.hi, b2.lo, b2.hi])
+            .unwrap();
         assert_eq!(r[0], 1);
         assert!(exe.exec_stats().cycles > 0);
     }

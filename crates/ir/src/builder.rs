@@ -38,7 +38,10 @@ impl FunctionBuilder {
     /// Starts building a function with the given name and signature. The
     /// entry block exists from the start.
     pub fn new(name: &str, sig: Signature) -> Self {
-        FunctionBuilder { func: Function::with_signature(name, sig), current: None }
+        FunctionBuilder {
+            func: Function::with_signature(name, sig),
+            current: None,
+        }
     }
 
     /// The entry block.
@@ -113,7 +116,11 @@ impl FunctionBuilder {
 
     /// Generic binary operation.
     pub fn binary(&mut self, op: Opcode, ty: Type, a: Value, b: Value) -> Value {
-        self.value_inst(InstData::Binary { op, ty, args: [a, b] })
+        self.value_inst(InstData::Binary {
+            op,
+            ty,
+            args: [a, b],
+        })
     }
 
     /// Wrapping addition.
@@ -133,7 +140,11 @@ impl FunctionBuilder {
 
     /// Integer comparison.
     pub fn icmp(&mut self, op: CmpOp, ty: Type, a: Value, b: Value) -> Value {
-        self.value_inst(InstData::Cmp { op, ty, args: [a, b] })
+        self.value_inst(InstData::Cmp {
+            op,
+            ty,
+            args: [a, b],
+        })
     }
 
     /// Float comparison.
@@ -173,7 +184,12 @@ impl FunctionBuilder {
 
     /// Conditional select.
     pub fn select(&mut self, ty: Type, cond: Value, if_true: Value, if_false: Value) -> Value {
-        self.value_inst(InstData::Select { ty, cond, if_true, if_false })
+        self.value_inst(InstData::Select {
+            ty,
+            cond,
+            if_true,
+            if_false,
+        })
     }
 
     /// Memory load.
@@ -183,17 +199,32 @@ impl FunctionBuilder {
 
     /// Memory store.
     pub fn store(&mut self, ty: Type, ptr: Value, value: Value, offset: i32) {
-        self.append(InstData::Store { ty, ptr, value, offset });
+        self.append(InstData::Store {
+            ty,
+            ptr,
+            value,
+            offset,
+        });
     }
 
     /// Address arithmetic without a dynamic index.
     pub fn gep(&mut self, base: Value, offset: i64) -> Value {
-        self.value_inst(InstData::Gep { base, offset, index: None, scale: 1 })
+        self.value_inst(InstData::Gep {
+            base,
+            offset,
+            index: None,
+            scale: 1,
+        })
     }
 
     /// Address arithmetic with a dynamic scaled index.
     pub fn gep_indexed(&mut self, base: Value, offset: i64, index: Value, scale: u8) -> Value {
-        self.value_inst(InstData::Gep { base, offset, index: Some(index), scale })
+        self.value_inst(InstData::Gep {
+            base,
+            offset,
+            index: Some(index),
+            scale,
+        })
     }
 
     /// Address of a stack slot.
@@ -241,7 +272,11 @@ impl FunctionBuilder {
 
     /// Conditional branch.
     pub fn branch(&mut self, cond: Value, then_dest: Block, else_dest: Block) {
-        self.append(InstData::Branch { cond, then_dest, else_dest });
+        self.append(InstData::Branch {
+            cond,
+            then_dest,
+            else_dest,
+        });
     }
 
     /// Return.

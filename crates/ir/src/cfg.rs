@@ -90,7 +90,10 @@ impl ReversePostorder {
         for (i, &b) in postorder.iter().enumerate() {
             position[b.index()] = i;
         }
-        ReversePostorder { order: postorder, position }
+        ReversePostorder {
+            order: postorder,
+            position,
+        }
     }
 
     /// Blocks in reverse post-order (entry first).
@@ -149,8 +152,7 @@ mod tests {
     fn preds_and_succs() {
         let f = diamond();
         let cfg = Cfg::compute(&f);
-        let (entry, t, e, merge) =
-            (Block::new(0), Block::new(1), Block::new(2), Block::new(3));
+        let (entry, t, e, merge) = (Block::new(0), Block::new(1), Block::new(2), Block::new(3));
         assert_eq!(cfg.succs(entry), &[t, e]);
         assert_eq!(cfg.preds(merge), &[t, e]);
         assert_eq!(cfg.preds(entry), &[] as &[Block]);

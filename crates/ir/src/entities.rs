@@ -73,7 +73,9 @@ pub struct EntityMap<V> {
 impl<V: Clone + Default> EntityMap<V> {
     /// Creates a map with `len` default-initialized entries.
     pub fn with_len(len: usize) -> Self {
-        EntityMap { items: vec![V::default(); len] }
+        EntityMap {
+            items: vec![V::default(); len],
+        }
     }
 }
 

@@ -102,7 +102,10 @@ impl Function {
         };
         for (i, &ty) in f.sig.params.clone().iter().enumerate() {
             let v = Value::new(f.values.len());
-            f.values.push(ValueData { ty, def: ValueDef::Param(i as u32) });
+            f.values.push(ValueData {
+                ty,
+                def: ValueDef::Param(i as u32),
+            });
             f.params.push(v);
         }
         f
@@ -238,7 +241,10 @@ impl Function {
             None
         } else {
             let v = Value::new(self.values.len());
-            self.values.push(ValueData { ty, def: ValueDef::Inst(inst) });
+            self.values.push(ValueData {
+                ty,
+                def: ValueDef::Inst(inst),
+            });
             Some(v)
         };
         self.results.push(result);
@@ -283,7 +289,10 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new(name: &str) -> Self {
-        Module { name: name.to_string(), functions: Vec::new() }
+        Module {
+            name: name.to_string(),
+            functions: Vec::new(),
+        }
     }
 
     /// Appends a function, returning its module-level id.

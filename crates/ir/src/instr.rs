@@ -179,7 +179,10 @@ pub enum Opcode {
 impl Opcode {
     /// Whether the operator is one of the float ops (`ty` must be `f64`).
     pub fn is_float(self) -> bool {
-        matches!(self, Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv)
+        matches!(
+            self,
+            Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv
+        )
     }
 
     /// Whether the operator may trap (overflow traps, division traps).
@@ -512,7 +515,9 @@ impl InstData {
         match self {
             InstData::Store { .. } | InstData::Call { .. } => true,
             InstData::Binary { op, .. } => op.can_trap(),
-            InstData::Cast { op: CastOp::FToSi, .. } => true,
+            InstData::Cast {
+                op: CastOp::FToSi, ..
+            } => true,
             _ => self.is_terminator(),
         }
     }
@@ -535,7 +540,12 @@ impl InstData {
                 f(args[1]);
             }
             InstData::Cast { arg, .. } => f(*arg),
-            InstData::Select { cond, if_true, if_false, .. } => {
+            InstData::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
                 f(*cond);
                 f(*if_true);
                 f(*if_false);
@@ -574,7 +584,11 @@ impl InstData {
     pub fn successors(&self) -> Vec<Block> {
         match self {
             InstData::Jump { dest } => vec![*dest],
-            InstData::Branch { then_dest, else_dest, .. } => vec![*then_dest, *else_dest],
+            InstData::Branch {
+                then_dest,
+                else_dest,
+                ..
+            } => vec![*then_dest, *else_dest],
             _ => Vec::new(),
         }
     }
@@ -647,7 +661,9 @@ mod tests {
 
     #[test]
     fn terminator_and_side_effect_classification() {
-        let jump = InstData::Jump { dest: Block::new(0) };
+        let jump = InstData::Jump {
+            dest: Block::new(0),
+        };
         assert!(jump.is_terminator());
         let store = InstData::Store {
             ty: Type::I64,
@@ -679,8 +695,16 @@ mod tests {
             if_true: Value::new(1),
             if_false: Value::new(2),
         };
-        assert_eq!(sel.args(), vec![Value::new(0), Value::new(1), Value::new(2)]);
-        let gep = InstData::Gep { base: Value::new(4), offset: 8, index: None, scale: 1 };
+        assert_eq!(
+            sel.args(),
+            vec![Value::new(0), Value::new(1), Value::new(2)]
+        );
+        let gep = InstData::Gep {
+            base: Value::new(4),
+            offset: 8,
+            index: None,
+            scale: 1,
+        };
         assert_eq!(gep.args(), vec![Value::new(4)]);
     }
 

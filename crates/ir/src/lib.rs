@@ -48,8 +48,8 @@ mod entities;
 mod function;
 mod instr;
 mod liveness;
-pub mod opt;
 mod loops;
+pub mod opt;
 mod parser;
 mod printer;
 mod types;

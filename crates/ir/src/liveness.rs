@@ -14,7 +14,9 @@ pub struct ValueSet {
 impl ValueSet {
     /// Creates an empty set for `n` values.
     pub fn new(n: usize) -> Self {
-        ValueSet { words: vec![0; n.div_ceil(64)] }
+        ValueSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Inserts a value; returns whether it was newly inserted.
@@ -51,7 +53,9 @@ impl ValueSet {
     /// Iterates over the members in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| Value::new(wi * 64 + b))
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| Value::new(wi * 64 + b))
         })
     }
 

@@ -76,14 +76,15 @@ impl Loops {
                 body.dedup();
                 // Merge with an existing loop of the same header (multiple
                 // back edges to one header form one loop).
-                if let Some(existing) =
-                    loops.iter_mut().find(|l| l.header == header)
-                {
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == header) {
                     existing.blocks.extend_from_slice(&body);
                     existing.blocks.sort_unstable();
                     existing.blocks.dedup();
                 } else {
-                    loops.push(LoopInfo { header, blocks: body });
+                    loops.push(LoopInfo {
+                        header,
+                        blocks: body,
+                    });
                 }
             }
         }
@@ -92,7 +93,11 @@ impl Loops {
                 depth[b.index()] += 1;
             }
         }
-        Loops { loops, depth, irreducible }
+        Loops {
+            loops,
+            depth,
+            irreducible,
+        }
     }
 
     /// All detected loops, outermost-first by header RPO position.

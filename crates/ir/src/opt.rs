@@ -109,42 +109,90 @@ fn remap_with(
     match data.clone() {
         InstData::IConst { ty, imm } => InstData::IConst { ty, imm },
         InstData::FConst { imm } => InstData::FConst { imm },
-        InstData::Binary { op, ty, args } => {
-            InstData::Binary { op, ty, args: [m(args[0]), m(args[1])] }
-        }
-        InstData::Cmp { op, ty, args } => {
-            InstData::Cmp { op, ty, args: [m(args[0]), m(args[1])] }
-        }
-        InstData::FCmp { op, args } => InstData::FCmp { op, args: [m(args[0]), m(args[1])] },
-        InstData::Cast { op, to, arg } => InstData::Cast { op, to, arg: m(arg) },
-        InstData::Crc32 { args } => InstData::Crc32 { args: [m(args[0]), m(args[1])] },
-        InstData::LongMulFold { args } => {
-            InstData::LongMulFold { args: [m(args[0]), m(args[1])] }
-        }
-        InstData::Select { ty, cond, if_true, if_false } => InstData::Select {
+        InstData::Binary { op, ty, args } => InstData::Binary {
+            op,
+            ty,
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::Cmp { op, ty, args } => InstData::Cmp {
+            op,
+            ty,
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::FCmp { op, args } => InstData::FCmp {
+            op,
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::Cast { op, to, arg } => InstData::Cast {
+            op,
+            to,
+            arg: m(arg),
+        },
+        InstData::Crc32 { args } => InstData::Crc32 {
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::LongMulFold { args } => InstData::LongMulFold {
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::Select {
+            ty,
+            cond,
+            if_true,
+            if_false,
+        } => InstData::Select {
             ty,
             cond: m(cond),
             if_true: m(if_true),
             if_false: m(if_false),
         },
-        InstData::Load { ty, ptr, offset } => InstData::Load { ty, ptr: m(ptr), offset },
-        InstData::Store { ty, ptr, value, offset } => {
-            InstData::Store { ty, ptr: m(ptr), value: m(value), offset }
-        }
-        InstData::Gep { base, offset, index, scale } => {
-            InstData::Gep { base: m(base), offset, index: index.map(&mut m), scale }
-        }
-        InstData::StackAddr { slot } => InstData::StackAddr { slot: slot_map[slot.index()] },
+        InstData::Load { ty, ptr, offset } => InstData::Load {
+            ty,
+            ptr: m(ptr),
+            offset,
+        },
+        InstData::Store {
+            ty,
+            ptr,
+            value,
+            offset,
+        } => InstData::Store {
+            ty,
+            ptr: m(ptr),
+            value: m(value),
+            offset,
+        },
+        InstData::Gep {
+            base,
+            offset,
+            index,
+            scale,
+        } => InstData::Gep {
+            base: m(base),
+            offset,
+            index: index.map(&mut m),
+            scale,
+        },
+        InstData::StackAddr { slot } => InstData::StackAddr {
+            slot: slot_map[slot.index()],
+        },
         InstData::Call { callee, args } => InstData::Call {
             callee: ext_map[callee.index()],
             args: args.into_iter().map(m).collect(),
         },
         InstData::FuncAddr { func } => InstData::FuncAddr { func },
         InstData::Jump { dest } => InstData::Jump { dest },
-        InstData::Branch { cond, then_dest, else_dest } => {
-            InstData::Branch { cond: m(cond), then_dest, else_dest }
-        }
-        InstData::Return { value } => InstData::Return { value: value.map(m) },
+        InstData::Branch {
+            cond,
+            then_dest,
+            else_dest,
+        } => InstData::Branch {
+            cond: m(cond),
+            then_dest,
+            else_dest,
+        },
+        InstData::Return { value } => InstData::Return {
+            value: value.map(m),
+        },
         InstData::Unreachable => InstData::Unreachable,
         InstData::Phi { .. } => unreachable!(),
     }
@@ -167,11 +215,16 @@ fn pure_key(data: &InstData) -> Option<String> {
 pub fn pass_phi_prune(func: &Function) -> Function {
     let mut cur = func.clone();
     loop {
-        let mut rw = Rewrite { drop: vec![false; cur.num_insts()], subst: HashMap::new() };
+        let mut rw = Rewrite {
+            drop: vec![false; cur.num_insts()],
+            subst: HashMap::new(),
+        };
         let mut any = false;
         for block in cur.blocks() {
             for &inst in cur.block_insts(block) {
-                let InstData::Phi { pairs, .. } = cur.inst(inst) else { continue };
+                let InstData::Phi { pairs, .. } = cur.inst(inst) else {
+                    continue;
+                };
                 let res = cur.inst_result(inst).expect("phi result");
                 let mut unique: Option<Value> = None;
                 let mut trivial = true;
@@ -209,7 +262,10 @@ pub fn pass_cse(func: &Function) -> Function {
     let cfg = Cfg::compute(func);
     let rpo = ReversePostorder::compute(func, &cfg);
     let dt = DomTree::compute(func, &cfg, &rpo);
-    let mut rw = Rewrite { drop: vec![false; func.num_insts()], subst: HashMap::new() };
+    let mut rw = Rewrite {
+        drop: vec![false; func.num_insts()],
+        subst: HashMap::new(),
+    };
     // Available expressions per key: (block, value); valid if the def
     // block dominates the current block.
     let mut avail: HashMap<String, Vec<(Block, Value)>> = HashMap::new();
@@ -219,7 +275,9 @@ pub fn pass_cse(func: &Function) -> Function {
             if matches!(data, InstData::Phi { .. }) {
                 continue;
             }
-            let Some(res) = func.inst_result(inst) else { continue };
+            let Some(res) = func.inst_result(inst) else {
+                continue;
+            };
             // Keys must be computed against already-substituted operands.
             let data = remap_with(
                 data,
@@ -230,8 +288,12 @@ pub fn pass_cse(func: &Function) -> Function {
                     }
                     v
                 },
-                &(0..func.stack_slots().len()).map(crate::StackSlot::new).collect::<Vec<_>>(),
-                &(0..func.ext_funcs().len()).map(crate::ExtFuncId::new).collect::<Vec<_>>(),
+                &(0..func.stack_slots().len())
+                    .map(crate::StackSlot::new)
+                    .collect::<Vec<_>>(),
+                &(0..func.ext_funcs().len())
+                    .map(crate::ExtFuncId::new)
+                    .collect::<Vec<_>>(),
             );
             let Some(key) = pure_key(&data) else { continue };
             let hits = avail.entry(key).or_default();
@@ -248,7 +310,10 @@ pub fn pass_cse(func: &Function) -> Function {
 
 /// Instruction combining: strength reduction and identity folds.
 pub fn pass_instcombine(func: &Function) -> Function {
-    let mut rw = Rewrite { drop: vec![false; func.num_insts()], subst: HashMap::new() };
+    let mut rw = Rewrite {
+        drop: vec![false; func.num_insts()],
+        subst: HashMap::new(),
+    };
     let const_of = |v: Value| -> Option<i128> {
         match func.value_def(v) {
             ValueDef::Inst(i) => match func.inst(i) {
@@ -260,7 +325,9 @@ pub fn pass_instcombine(func: &Function) -> Function {
     };
     for block in func.blocks() {
         for &inst in func.block_insts(block) {
-            let Some(res) = func.inst_result(inst) else { continue };
+            let Some(res) = func.inst_result(inst) else {
+                continue;
+            };
             if let InstData::Binary { op, args, .. } = func.inst(inst) {
                 let identity = match op {
                     Opcode::Add | Opcode::Or | Opcode::Xor | Opcode::Shl | Opcode::LShr => 0,
@@ -285,7 +352,10 @@ pub fn pass_dce(func: &Function) -> Function {
             func.inst(inst).for_each_arg(|v| used[v.index()] += 1);
         }
     }
-    let mut rw = Rewrite { drop: vec![false; func.num_insts()], subst: HashMap::new() };
+    let mut rw = Rewrite {
+        drop: vec![false; func.num_insts()],
+        subst: HashMap::new(),
+    };
     // Iterate to a fixpoint (dropping one instruction may kill another).
     let mut changed = true;
     while changed {
@@ -420,8 +490,7 @@ pub fn pass_licm(func: &Function) -> Function {
                 if let Some(hoisted) = hoisted_per_block.get(&block) {
                     for &h in hoisted {
                         let data = func.inst(h).clone();
-                        let remapped =
-                            remap_with(&data, |v| map[&v], &slot_map, &ext_map);
+                        let remapped = remap_with(&data, |v| map[&v], &slot_map, &ext_map);
                         let (_, r) = b.append(remapped);
                         if let (Some(orig), Some(new)) = (func.inst_result(h), r) {
                             map.insert(orig, new);
@@ -454,4 +523,3 @@ pub fn pass_licm(func: &Function) -> Function {
     }
     b.finish()
 }
-

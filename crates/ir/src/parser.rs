@@ -34,9 +34,7 @@ impl Error for ParseError {}
 /// Returns a [`ParseError`] describing the first offending line.
 pub fn parse_module(text: &str) -> Result<Module, ParseError> {
     let mut lines = text.lines().enumerate().peekable();
-    let (ln, first) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty input"))?;
+    let (ln, first) = lines.next().ok_or_else(|| err(1, "empty input"))?;
     let name = first
         .trim()
         .strip_prefix("module ")
@@ -70,7 +68,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_type(tok: &str, line: usize) -> Result<Type, ParseError> {
@@ -106,7 +107,9 @@ fn parse_function_at(text: &str, line_offset: usize) -> Result<Function, ParseEr
             func = Some(parse_header(rest, ln)?);
             continue;
         }
-        let f = func.as_mut().ok_or_else(|| err(ln, "instruction before `define`"))?;
+        let f = func
+            .as_mut()
+            .ok_or_else(|| err(ln, "instruction before `define`"))?;
         if let Some(rest) = line.strip_prefix("stackslot ") {
             // `ss0, size 32, align 16`
             let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
@@ -125,9 +128,13 @@ fn parse_function_at(text: &str, line_offset: usize) -> Result<Function, ParseEr
         }
         if let Some(rest) = line.strip_prefix("extfunc ") {
             // `ext0 @name(i64, ptr) -> i64`
-            let at = rest.find('@').ok_or_else(|| err(ln, "extfunc missing @name"))?;
+            let at = rest
+                .find('@')
+                .ok_or_else(|| err(ln, "extfunc missing @name"))?;
             let open = rest.find('(').ok_or_else(|| err(ln, "extfunc missing ("))?;
-            let close = rest.rfind(')').ok_or_else(|| err(ln, "extfunc missing )"))?;
+            let close = rest
+                .rfind(')')
+                .ok_or_else(|| err(ln, "extfunc missing )"))?;
             let name = rest[at + 1..open].to_string();
             let params: Vec<Type> = rest[open + 1..close]
                 .split(',')
@@ -141,7 +148,10 @@ fn parse_function_at(text: &str, line_offset: usize) -> Result<Function, ParseEr
                 .map(str::trim)
                 .ok_or_else(|| err(ln, "extfunc missing return type"))?;
             let ret = parse_type(ret, ln)?;
-            f.declare_ext_func(ExtFuncDecl { name, sig: Signature::new(params, ret) });
+            f.declare_ext_func(ExtFuncDecl {
+                name,
+                sig: Signature::new(params, ret),
+            });
             continue;
         }
         if let Some(label) = line.strip_suffix(':') {
@@ -180,13 +190,19 @@ fn parse_function_at(text: &str, line_offset: usize) -> Result<Function, ParseEr
 fn parse_header(rest: &str, ln: usize) -> Result<Function, ParseError> {
     // `<ret> @<name>(<ty> %N, ...) {`
     let rest = rest.trim_end_matches('{').trim();
-    let at = rest.find('@').ok_or_else(|| err(ln, "define missing @name"))?;
+    let at = rest
+        .find('@')
+        .ok_or_else(|| err(ln, "define missing @name"))?;
     let ret = parse_type(rest[..at].trim(), ln)?;
     let open = rest.find('(').ok_or_else(|| err(ln, "define missing ("))?;
     let close = rest.rfind(')').ok_or_else(|| err(ln, "define missing )"))?;
     let name = rest[at + 1..open].to_string();
     let mut params = Vec::new();
-    for part in rest[open + 1..close].split(',').map(str::trim).filter(|s| !s.is_empty()) {
+    for part in rest[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
         let ty_tok = part.split_whitespace().next().unwrap_or("");
         params.push(parse_type(ty_tok, ln)?);
     }
@@ -194,7 +210,10 @@ fn parse_header(rest: &str, ln: usize) -> Result<Function, ParseError> {
 }
 
 fn split_args(s: &str) -> Vec<&str> {
-    s.split(',').map(str::trim).filter(|t| !t.is_empty()).collect()
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect()
 }
 
 fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseError> {
@@ -217,7 +236,9 @@ fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseErro
             })
         }
         "fconst" => Ok(InstData::FConst {
-            imm: rest.parse().map_err(|_| err(ln, format!("bad float `{rest}`")))?,
+            imm: rest
+                .parse()
+                .map_err(|_| err(ln, format!("bad float `{rest}`")))?,
         }),
         "cmp" => {
             let mut it = rest.split_whitespace();
@@ -261,8 +282,9 @@ fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseErro
             })
         }
         "select" => {
-            let (ty, rest) =
-                rest.split_once(' ').ok_or_else(|| err(ln, "select needs type"))?;
+            let (ty, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(ln, "select needs type"))?;
             let args = split_args(rest);
             if args.len() != 3 {
                 return Err(err(ln, "select needs three operands"));
@@ -275,7 +297,9 @@ fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseErro
             })
         }
         "load" => {
-            let (ty, rest) = rest.split_once(' ').ok_or_else(|| err(ln, "load needs type"))?;
+            let (ty, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(ln, "load needs type"))?;
             let args = split_args(rest);
             let offset = args
                 .iter()
@@ -289,7 +313,9 @@ fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseErro
             })
         }
         "store" => {
-            let (ty, rest) = rest.split_once(' ').ok_or_else(|| err(ln, "store needs type"))?;
+            let (ty, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(ln, "store needs type"))?;
             let args = split_args(rest);
             if args.len() != 3 {
                 return Err(err(ln, "store needs ptr, value, offset"));
@@ -323,14 +349,21 @@ fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseErro
                 .find_map(|a| a.strip_prefix("scale "))
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1);
-            Ok(InstData::Gep { base, offset, index, scale })
+            Ok(InstData::Gep {
+                base,
+                offset,
+                index,
+                scale,
+            })
         }
         "stackaddr" => {
             let n = rest
                 .strip_prefix("ss")
                 .and_then(|s| s.parse::<usize>().ok())
                 .ok_or_else(|| err(ln, "stackaddr needs slot"))?;
-            Ok(InstData::StackAddr { slot: StackSlot::new(n) })
+            Ok(InstData::StackAddr {
+                slot: StackSlot::new(n),
+            })
         }
         "call" => {
             let open = rest.find('(').ok_or_else(|| err(ln, "call missing ("))?;
@@ -344,17 +377,24 @@ fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseErro
                 .into_iter()
                 .map(|a| parse_value(a, ln))
                 .collect::<Result<_, _>>()?;
-            Ok(InstData::Call { callee: ExtFuncId::new(callee), args })
+            Ok(InstData::Call {
+                callee: ExtFuncId::new(callee),
+                args,
+            })
         }
         "funcaddr" => {
             let n = rest
                 .strip_prefix("fn")
                 .and_then(|s| s.parse::<usize>().ok())
                 .ok_or_else(|| err(ln, "funcaddr needs fnN"))?;
-            Ok(InstData::FuncAddr { func: FuncId::new(n) })
+            Ok(InstData::FuncAddr {
+                func: FuncId::new(n),
+            })
         }
         "phi" => {
-            let (ty, rest) = rest.split_once(' ').ok_or_else(|| err(ln, "phi needs type"))?;
+            let (ty, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(ln, "phi needs type"))?;
             let mut pairs = Vec::new();
             for part in split_args(rest) {
                 let inner = part
@@ -367,9 +407,14 @@ fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseErro
                     .ok_or_else(|| err(ln, "phi pair needs block and value"))?;
                 pairs.push((parse_block(b.trim(), ln)?, parse_value(v.trim(), ln)?));
             }
-            Ok(InstData::Phi { ty: parse_type(ty, ln)?, pairs })
+            Ok(InstData::Phi {
+                ty: parse_type(ty, ln)?,
+                pairs,
+            })
         }
-        "jump" => Ok(InstData::Jump { dest: parse_block(rest, ln)? }),
+        "jump" => Ok(InstData::Jump {
+            dest: parse_block(rest, ln)?,
+        }),
         "br" => {
             let toks: Vec<&str> = rest.split_whitespace().collect();
             if toks.len() != 3 {
@@ -382,14 +427,19 @@ fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseErro
             })
         }
         "ret" => Ok(InstData::Return {
-            value: if rest.is_empty() { None } else { Some(parse_value(rest, ln)?) },
+            value: if rest.is_empty() {
+                None
+            } else {
+                Some(parse_value(rest, ln)?)
+            },
         }),
         "unreachable" => Ok(InstData::Unreachable),
         _ => {
             // Binary ops and casts share the `<op> <ty> <args>` shape.
             if let Some(bop) = Opcode::from_mnemonic(op) {
-                let (ty, rest) =
-                    rest.split_once(' ').ok_or_else(|| err(ln, "binary op needs type"))?;
+                let (ty, rest) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(ln, "binary op needs type"))?;
                 let args = split_args(rest);
                 if args.len() != 2 {
                     return Err(err(ln, "binary op needs two operands"));
@@ -401,8 +451,9 @@ fn parse_inst(f: &Function, text: &str, ln: usize) -> Result<InstData, ParseErro
                 });
             }
             if let Some(cop) = CastOp::from_mnemonic(op) {
-                let (ty, arg) =
-                    rest.split_once(' ').ok_or_else(|| err(ln, "cast needs type and arg"))?;
+                let (ty, arg) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(ln, "cast needs type and arg"))?;
                 return Ok(InstData::Cast {
                     op: cop,
                     to: parse_type(ty, ln)?,

@@ -25,14 +25,33 @@ pub fn print_function(func: &Function) -> String {
         .iter()
         .map(|&v| format!("{} {}", func.value_type(v), v))
         .collect();
-    writeln!(out, "define {} @{}({}) {{", func.sig.ret, func.name, params.join(", ")).unwrap();
+    writeln!(
+        out,
+        "define {} @{}({}) {{",
+        func.sig.ret,
+        func.name,
+        params.join(", ")
+    )
+    .unwrap();
     for (i, slot) in func.stack_slots().iter().enumerate() {
-        writeln!(out, "  stackslot ss{}, size {}, align {}", i, slot.size, slot.align).unwrap();
+        writeln!(
+            out,
+            "  stackslot ss{}, size {}, align {}",
+            i, slot.size, slot.align
+        )
+        .unwrap();
     }
     for (i, ext) in func.ext_funcs().iter().enumerate() {
         let tys: Vec<String> = ext.sig.params.iter().map(|t| t.to_string()).collect();
-        writeln!(out, "  extfunc ext{} @{}({}) -> {}", i, ext.name, tys.join(", "), ext.sig.ret)
-            .unwrap();
+        writeln!(
+            out,
+            "  extfunc ext{} @{}({}) -> {}",
+            i,
+            ext.name,
+            tys.join(", "),
+            ext.sig.ret
+        )
+        .unwrap();
     }
     for block in func.blocks() {
         writeln!(out, "{block}:").unwrap();
@@ -72,19 +91,28 @@ fn print_inst(out: &mut String, data: &InstData) {
         InstData::FCmp { op, args } => write!(out, "fcmp {op} {}, {}", args[0], args[1]).unwrap(),
         InstData::Cast { op, to, arg } => write!(out, "{op} {to} {arg}").unwrap(),
         InstData::Crc32 { args } => write!(out, "crc32 {}, {}", args[0], args[1]).unwrap(),
-        InstData::LongMulFold { args } => {
-            write!(out, "lmulfold {}, {}", args[0], args[1]).unwrap()
-        }
-        InstData::Select { ty, cond, if_true, if_false } => {
-            write!(out, "select {ty} {cond}, {if_true}, {if_false}").unwrap()
-        }
+        InstData::LongMulFold { args } => write!(out, "lmulfold {}, {}", args[0], args[1]).unwrap(),
+        InstData::Select {
+            ty,
+            cond,
+            if_true,
+            if_false,
+        } => write!(out, "select {ty} {cond}, {if_true}, {if_false}").unwrap(),
         InstData::Load { ty, ptr, offset } => {
             write!(out, "load {ty} {ptr}, offset {offset}").unwrap()
         }
-        InstData::Store { ty, ptr, value, offset } => {
-            write!(out, "store {ty} {ptr}, {value}, offset {offset}").unwrap()
-        }
-        InstData::Gep { base, offset, index, scale } => {
+        InstData::Store {
+            ty,
+            ptr,
+            value,
+            offset,
+        } => write!(out, "store {ty} {ptr}, {value}, offset {offset}").unwrap(),
+        InstData::Gep {
+            base,
+            offset,
+            index,
+            scale,
+        } => {
             write!(out, "gep {base}, offset {offset}").unwrap();
             if let Some(i) = index {
                 write!(out, ", index {i}, scale {scale}").unwrap();
@@ -104,9 +132,11 @@ fn print_inst(out: &mut String, data: &InstData) {
             }
         }
         InstData::Jump { dest } => write!(out, "jump {dest}").unwrap(),
-        InstData::Branch { cond, then_dest, else_dest } => {
-            write!(out, "br {cond} {then_dest} {else_dest}").unwrap()
-        }
+        InstData::Branch {
+            cond,
+            then_dest,
+            else_dest,
+        } => write!(out, "br {cond} {then_dest} {else_dest}").unwrap(),
         InstData::Return { value } => match value {
             Some(v) => write!(out, "ret {v}").unwrap(),
             None => out.push_str("ret"),
@@ -119,7 +149,10 @@ fn print_inst(out: &mut String, data: &InstData) {
 #[cfg(test)]
 pub(crate) fn assert_printed_contains(func: &Function, needle: &str) {
     let text = print_function(func);
-    assert!(text.contains(needle), "printed IR missing {needle:?}:\n{text}");
+    assert!(
+        text.contains(needle),
+        "printed IR missing {needle:?}:\n{text}"
+    );
 }
 
 #[cfg(test)]

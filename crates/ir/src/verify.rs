@@ -39,7 +39,10 @@ struct Verifier<'a> {
 
 impl<'a> Verifier<'a> {
     fn fail(&self, message: impl Into<String>) -> VerifyError {
-        VerifyError { func: self.func.name.clone(), message: message.into() }
+        VerifyError {
+            func: self.func.name.clone(),
+            message: message.into(),
+        }
     }
 
     fn check_structure(&mut self) -> Result<(), VerifyError> {
@@ -142,14 +145,16 @@ impl<'a> Verifier<'a> {
                 match op {
                     CastOp::Zext | CastOp::Sext => {
                         if !from.is_int() || !to.is_int() || to.bits() < from.bits() {
-                            return Err(self
-                                .fail(format!("{inst}: invalid extension {from} -> {to}")));
+                            return Err(
+                                self.fail(format!("{inst}: invalid extension {from} -> {to}"))
+                            );
                         }
                     }
                     CastOp::Trunc => {
                         if !from.is_int() || !to.is_int() || to.bits() > from.bits() {
-                            return Err(self
-                                .fail(format!("{inst}: invalid truncation {from} -> {to}")));
+                            return Err(
+                                self.fail(format!("{inst}: invalid truncation {from} -> {to}"))
+                            );
                         }
                     }
                     CastOp::SiToF => {
@@ -168,7 +173,12 @@ impl<'a> Verifier<'a> {
                 self.expect_ty(inst, args[0], Type::I64)?;
                 self.expect_ty(inst, args[1], Type::I64)?;
             }
-            InstData::Select { ty, cond, if_true, if_false } => {
+            InstData::Select {
+                ty,
+                cond,
+                if_true,
+                if_false,
+            } => {
                 self.expect_ty(inst, *cond, Type::Bool)?;
                 self.expect_ty(inst, *if_true, *ty)?;
                 self.expect_ty(inst, *if_false, *ty)?;
@@ -183,7 +193,9 @@ impl<'a> Verifier<'a> {
                 self.expect_ty(inst, *ptr, Type::Ptr)?;
                 self.expect_ty(inst, *value, *ty)?;
             }
-            InstData::Gep { base, index, scale, .. } => {
+            InstData::Gep {
+                base, index, scale, ..
+            } => {
                 self.expect_ty(inst, *base, Type::Ptr)?;
                 if let Some(i) = index {
                     self.expect_ty(inst, *i, Type::I64)?;
@@ -274,8 +286,9 @@ impl<'a> Verifier<'a> {
                 if let InstData::Phi { pairs, .. } = data {
                     for &(pred, v) in pairs {
                         let Some((db, _)) = self.def_site(v) else {
-                            return Err(self
-                                .fail(format!("{inst}: phi operand {v} defined in dead code")));
+                            return Err(
+                                self.fail(format!("{inst}: phi operand {v} defined in dead code"))
+                            );
                         };
                         if self.rpo.is_reachable(pred) && !self.dt.dominates(db, pred) {
                             return Err(self.fail(format!(

@@ -28,8 +28,7 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
     let leaf = (1u8..4).prop_map(Shape::Ops);
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Shape::If(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Shape::If(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|s| Shape::While(Box::new(s))),
             (inner.clone(), inner).prop_map(|(a, b)| Shape::Seq(Box::new(a), Box::new(b))),
         ]
@@ -96,10 +95,7 @@ impl Gen {
                 self.b.switch_to(join);
             }
             Shape::While(body) => {
-                let pre = self
-                    .b
-                    .current_block()
-                    .expect("positioned");
+                let pre = self.b.current_block().expect("positioned");
                 let zero = self.b.iconst(Type::I64, 0);
                 let n = self.b.iconst(Type::I64, i128::from(c % 5));
                 let header = self.b.create_block();
@@ -129,7 +125,11 @@ fn build(shape: &Shape) -> Function {
     let entry = b.entry_block();
     let p0 = b.param(0);
     let p1 = b.param(1);
-    let mut g = Gen { b, pool: vec![p0, p1], counter: 0 };
+    let mut g = Gen {
+        b,
+        pool: vec![p0, p1],
+        counter: 0,
+    };
     g.b.switch_to(entry);
     g.emit(shape);
     let r = g.pick(13);
@@ -140,7 +140,9 @@ fn build(shape: &Shape) -> Function {
 /// Naive dominance: iterative dataflow over full block sets.
 fn naive_dominators(func: &Function, cfg: &Cfg, rpo: &ReversePostorder) -> Vec<BTreeSet<usize>> {
     let nb = func.num_blocks();
-    let all: BTreeSet<usize> = (0..nb).filter(|&i| rpo.is_reachable(Block::new(i))).collect();
+    let all: BTreeSet<usize> = (0..nb)
+        .filter(|&i| rpo.is_reachable(Block::new(i)))
+        .collect();
     let mut dom: Vec<BTreeSet<usize>> = (0..nb).map(|_| all.clone()).collect();
     dom[0] = BTreeSet::from([0]);
     let mut changed = true;
@@ -207,8 +209,7 @@ fn naive_liveness(func: &Function, cfg: &Cfg) -> (Vec<BTreeSet<u32>>, Vec<BTreeS
             for &s in cfg.succs(Block::new(bi)) {
                 out.extend(live_in[s.index()].iter().copied());
             }
-            let mut inn: BTreeSet<u32> =
-                out.difference(&defs[bi]).copied().collect();
+            let mut inn: BTreeSet<u32> = out.difference(&defs[bi]).copied().collect();
             inn.extend(uses[bi].iter().copied());
             if out != live_out[bi] || inn != live_in[bi] {
                 live_out[bi] = out;

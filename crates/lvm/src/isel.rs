@@ -3,9 +3,7 @@
 
 use qc_backend::mir::{CallTarget, MInst, RegClass, VCode, VReg};
 use qc_backend::BackendError;
-use qc_ir::{
-    CastOp, CmpOp, Function, InstData, Opcode, Type, Value,
-};
+use qc_ir::{CastOp, CmpOp, Function, InstData, Opcode, Type, Value};
 use qc_target::{AluOp, Cond, FaluOp, Width};
 use std::collections::HashMap;
 
@@ -258,7 +256,10 @@ pub fn select(
     // PHIElimination: parallel moves at the end of predecessor blocks.
     phi_elimination(&mut ctx);
 
-    Ok(IselOutput { vcode: ctx.vcode, stats: ctx.stats })
+    Ok(IselOutput {
+        vcode: ctx.vcode,
+        stats: ctx.stats,
+    })
 }
 
 enum Support {
@@ -281,7 +282,11 @@ fn fastisel_supported(ctx: &Ctx, inst: qc_ir::Inst) -> Support {
     let mut bad: Option<Cause> = None;
     let mut check = |ty: Type| {
         if ty.reg_count() == 2 && bad.is_none() {
-            bad = Some(if ty == Type::String { Cause::Struct } else { Cause::I128 });
+            bad = Some(if ty == Type::String {
+                Cause::Struct
+            } else {
+                Cause::I128
+            });
         }
     };
     data.for_each_arg(|v| check(func.value_type(v)));
@@ -294,7 +299,10 @@ fn fastisel_supported(ctx: &Ctx, inst: qc_ir::Inst) -> Support {
         if !ctx.opts.small_pic {
             return Support::No(Cause::Call);
         }
-        let slots: usize = args.iter().map(|&a| func.value_type(a).reg_count() as usize).sum();
+        let slots: usize = args
+            .iter()
+            .map(|&a| func.value_type(a).reg_count() as usize)
+            .sum();
         if slots > 6 {
             return Support::No(Cause::Call);
         }
@@ -337,7 +345,11 @@ fn selection_dag(
         let mut args = Vec::new();
         data.for_each_arg(|v| {
             let id = *value_node.entry(v).or_insert_with(|| {
-                nodes.push(Node { op: 0 /* CopyFromReg */, args: Vec::new(), wide: false });
+                nodes.push(Node {
+                    op: 0, /* CopyFromReg */
+                    args: Vec::new(),
+                    wide: false,
+                });
                 (nodes.len() - 1) as u32
             });
             args.push(id);
@@ -347,7 +359,11 @@ fn selection_dag(
             .inst_result(inst)
             .map(|r| ctx.func.value_type(r).reg_count() == 2)
             .unwrap_or(false);
-        nodes.push(Node { op: discriminant_of(data), args, wide });
+        nodes.push(Node {
+            op: discriminant_of(data),
+            args,
+            wide,
+        });
         if let Some(r) = ctx.func.inst_result(inst) {
             value_node.insert(r, (nodes.len() - 1) as u32);
         }
@@ -357,7 +373,7 @@ fn selection_dag(
     // Combine: recursive known-bits over the DAG (the expensive part the
     // paper calls out: "determining whether any bits of the operation are
     // known, implemented as recursive traversal").
-    fn known_bits(nodes: &[ (u16, Vec<u32>) ], id: u32, depth: u32, queries: &mut u64) -> u64 {
+    fn known_bits(nodes: &[(u16, Vec<u32>)], id: u32, depth: u32, queries: &mut u64) -> u64 {
         *queries += 1;
         if depth == 0 {
             return 0;
@@ -373,8 +389,7 @@ fn selection_dag(
             known >> 1 // operations lose precision
         }
     }
-    let flat: Vec<(u16, Vec<u32>)> =
-        nodes.iter().map(|n| (n.op, n.args.clone())).collect();
+    let flat: Vec<(u16, Vec<u32>)> = nodes.iter().map(|n| (n.op, n.args.clone())).collect();
     let mut queries = 0u64;
     // LLVM runs DAGCombine three times: before legalization, after
     // legalization, and after selection.
@@ -442,10 +457,7 @@ fn global_isel_passes(ctx: &mut Ctx, selector: Selector) {
     }
     ctx.stats.gmir_insts += gmir.len() as u64;
     // Legalizer: rewrite wide operations (new buffer, full iteration).
-    let legalized: Vec<(u16, u8)> = gmir
-        .iter()
-        .map(|&(op, _)| (op, 1))
-        .collect();
+    let legalized: Vec<(u16, u8)> = gmir.iter().map(|&(op, _)| (op, 1)).collect();
     // Combiner (optimized mode only): another full scan.
     let combined: Vec<(u16, u8)> = if selector == Selector::GlobalOpt {
         legalized.iter().map(|&(op, f)| (op, f | 2)).collect()
@@ -474,9 +486,7 @@ fn phi_elimination(ctx: &mut Ctx) {
                 let (dlo, dhi) = ctx.val_reg[res.index()];
                 for &(pred, src) in pairs {
                     let (slo, shi) = ctx.val_reg[src.index()];
-                    let m = edge_moves
-                        .entry((pred.index(), block.index()))
-                        .or_default();
+                    let m = edge_moves.entry((pred.index(), block.index())).or_default();
                     m.push((slo, dlo));
                     if dhi != VNONE {
                         m.push((shi, dhi));
@@ -508,10 +518,9 @@ fn phi_elimination(ctx: &mut Ctx) {
         } else {
             // Split the edge: new trampoline block with the moves.
             let tramp = ctx.vcode.blocks.len();
-            ctx.vcode.blocks.push(vec![
-                MInst::ParMove { moves },
-                MInst::Jmp { target: succ },
-            ]);
+            ctx.vcode
+                .blocks
+                .push(vec![MInst::ParMove { moves }, MInst::Jmp { target: succ }]);
             ctx.vcode.succs.push(vec![succ]);
             for inst in ctx.vcode.blocks[pred].iter_mut() {
                 match inst {
@@ -573,22 +582,37 @@ fn emit_lir_inst(
             let r = res.expect("const");
             if ty.reg_count() == 2 {
                 let (l, h) = (lo(ctx, r), hi(ctx, r));
-                ctx.cur.push(MInst::MovRI { d: l, imm: imm as i64 });
-                ctx.cur.push(MInst::MovRI { d: h, imm: (imm >> 64) as i64 });
+                ctx.cur.push(MInst::MovRI {
+                    d: l,
+                    imm: imm as i64,
+                });
+                ctx.cur.push(MInst::MovRI {
+                    d: h,
+                    imm: (imm >> 64) as i64,
+                });
             } else {
                 let canon = if ty.bits() >= 64 {
                     imm as u64
                 } else {
                     (imm as u64) & ((1u64 << ty.bits()) - 1)
                 };
-                ctx.cur.push(MInst::MovRI { d: lo(ctx, r), imm: canon as i64 });
+                ctx.cur.push(MInst::MovRI {
+                    d: lo(ctx, r),
+                    imm: canon as i64,
+                });
             }
         }
         InstData::FConst { imm } => {
             let r = res.expect("const");
             let bits = new_vreg(ctx, RegClass::Int);
-            ctx.cur.push(MInst::MovRI { d: bits, imm: imm.to_bits() as i64 });
-            ctx.cur.push(MInst::FMovFromGpr { d: lo(ctx, r), s: bits });
+            ctx.cur.push(MInst::MovRI {
+                d: bits,
+                imm: imm.to_bits() as i64,
+            });
+            ctx.cur.push(MInst::FMovFromGpr {
+                d: lo(ctx, r),
+                s: bits,
+            });
         }
         InstData::Binary { op, ty, args } => {
             emit_binary(ctx, op, ty, args, res.expect("binary"))?;
@@ -600,36 +624,67 @@ fn emit_lir_inst(
             } else {
                 let w = width_of(ty);
                 if let Some(imm) = fold_imm(ctx, args[1]) {
-                    ctx.cur.push(MInst::CmpImm { w, a: lo(ctx, args[0]), imm });
+                    ctx.cur.push(MInst::CmpImm {
+                        w,
+                        a: lo(ctx, args[0]),
+                        imm,
+                    });
                 } else {
-                    ctx.cur
-                        .push(MInst::Cmp { w, a: lo(ctx, args[0]), b: lo(ctx, args[1]) });
+                    ctx.cur.push(MInst::Cmp {
+                        w,
+                        a: lo(ctx, args[0]),
+                        b: lo(ctx, args[1]),
+                    });
                 }
-                ctx.cur.push(MInst::SetCc { cond: cond_of(op), d: lo(ctx, r) });
+                ctx.cur.push(MInst::SetCc {
+                    cond: cond_of(op),
+                    d: lo(ctx, r),
+                });
             }
         }
         InstData::FCmp { op, args } => {
             let r = res.expect("fcmp");
-            ctx.cur.push(MInst::FCmpM { a: lo(ctx, args[0]), b: lo(ctx, args[1]) });
-            ctx.cur.push(MInst::SetCc { cond: fcond_of(op), d: lo(ctx, r) });
+            ctx.cur.push(MInst::FCmpM {
+                a: lo(ctx, args[0]),
+                b: lo(ctx, args[1]),
+            });
+            ctx.cur.push(MInst::SetCc {
+                cond: fcond_of(op),
+                d: lo(ctx, r),
+            });
         }
         InstData::Cast { op, to, arg } => {
             let r = res.expect("cast");
             let from = func.value_type(arg);
             match op {
                 CastOp::Zext => {
-                    ctx.cur.push(MInst::MovRR { d: lo(ctx, r), s: lo(ctx, arg) });
+                    ctx.cur.push(MInst::MovRR {
+                        d: lo(ctx, r),
+                        s: lo(ctx, arg),
+                    });
                     if to.reg_count() == 2 {
-                        ctx.cur.push(MInst::MovRI { d: hi(ctx, r), imm: 0 });
+                        ctx.cur.push(MInst::MovRI {
+                            d: hi(ctx, r),
+                            imm: 0,
+                        });
                     }
                 }
                 CastOp::Sext => {
                     if from.reg_count() == 2 {
-                        ctx.cur.push(MInst::MovRR { d: lo(ctx, r), s: lo(ctx, arg) });
-                        ctx.cur.push(MInst::MovRR { d: hi(ctx, r), s: hi(ctx, arg) });
+                        ctx.cur.push(MInst::MovRR {
+                            d: lo(ctx, r),
+                            s: lo(ctx, arg),
+                        });
+                        ctx.cur.push(MInst::MovRR {
+                            d: hi(ctx, r),
+                            s: hi(ctx, arg),
+                        });
                     } else {
                         if from == Type::I64 || from == Type::Ptr {
-                            ctx.cur.push(MInst::MovRR { d: lo(ctx, r), s: lo(ctx, arg) });
+                            ctx.cur.push(MInst::MovRR {
+                                d: lo(ctx, r),
+                                s: lo(ctx, arg),
+                            });
                         } else {
                             ctx.cur.push(MInst::Sext {
                                 from: width_of(from),
@@ -639,7 +694,10 @@ fn emit_lir_inst(
                         }
                         if to.reg_count() == 2 {
                             let h = hi(ctx, r);
-                            ctx.cur.push(MInst::MovRR { d: h, s: lo(ctx, r) });
+                            ctx.cur.push(MInst::MovRR {
+                                d: h,
+                                s: lo(ctx, r),
+                            });
                             ctx.cur.push(MInst::AluImm {
                                 op: AluOp::Sar,
                                 w: Width::W64,
@@ -652,7 +710,10 @@ fn emit_lir_inst(
                     }
                 }
                 CastOp::Trunc => {
-                    ctx.cur.push(MInst::MovRR { d: lo(ctx, r), s: lo(ctx, arg) });
+                    ctx.cur.push(MInst::MovRR {
+                        d: lo(ctx, r),
+                        s: lo(ctx, arg),
+                    });
                     let mask: i64 = match to {
                         Type::Bool | Type::I8 => 0xFF,
                         Type::I16 => 0xFFFF,
@@ -695,10 +756,16 @@ fn emit_lir_inst(
                         });
                         t
                     };
-                    ctx.cur.push(MInst::CvtSiToF { d: lo(ctx, r), s: src });
+                    ctx.cur.push(MInst::CvtSiToF {
+                        d: lo(ctx, r),
+                        s: src,
+                    });
                 }
                 CastOp::FToSi => {
-                    ctx.cur.push(MInst::CvtFToSi { d: lo(ctx, r), s: lo(ctx, arg) });
+                    ctx.cur.push(MInst::CvtFToSi {
+                        d: lo(ctx, r),
+                        s: lo(ctx, arg),
+                    });
                 }
             }
         }
@@ -728,7 +795,12 @@ fn emit_lir_inst(
                 s2: h,
             });
         }
-        InstData::Select { ty, cond, if_true, if_false } => {
+        InstData::Select {
+            ty,
+            cond,
+            if_true,
+            if_false,
+        } => {
             let r = res.expect("select");
             if ty == Type::F64 {
                 ctx.cur.push(MInst::FSelect {
@@ -784,7 +856,12 @@ fn emit_lir_inst(
                 }),
             }
         }
-        InstData::Store { ty, ptr, value, offset } => match ty {
+        InstData::Store {
+            ty,
+            ptr,
+            value,
+            offset,
+        } => match ty {
             Type::F64 => ctx.cur.push(MInst::FStore {
                 s: lo(ctx, value),
                 base: lo(ctx, ptr),
@@ -811,7 +888,12 @@ fn emit_lir_inst(
                 disp: offset,
             }),
         },
-        InstData::Gep { base, offset, index, scale } => {
+        InstData::Gep {
+            base,
+            offset,
+            index,
+            scale,
+        } => {
             let r = res.expect("gep");
             match index {
                 Some(i) if ctx.fold => {
@@ -826,7 +908,10 @@ fn emit_lir_inst(
                 Some(i) => {
                     // Naive expansion: mul + add + add.
                     let t = new_vreg(ctx, RegClass::Int);
-                    ctx.cur.push(MInst::MovRI { d: t, imm: scale as i64 });
+                    ctx.cur.push(MInst::MovRI {
+                        d: t,
+                        imm: scale as i64,
+                    });
                     ctx.cur.push(MInst::Alu {
                         op: AluOp::Mul,
                         w: Width::W64,
@@ -900,12 +985,21 @@ fn emit_lir_inst(
         }
         InstData::FuncAddr { func: fid } => {
             let r = res.expect("funcaddr");
-            ctx.cur.push(MInst::FuncAddr { d: lo(ctx, r), func: fid.index() });
+            ctx.cur.push(MInst::FuncAddr {
+                d: lo(ctx, r),
+                func: fid.index(),
+            });
         }
         InstData::Jump { dest } => {
-            ctx.cur.push(MInst::Jmp { target: dest.index() });
+            ctx.cur.push(MInst::Jmp {
+                target: dest.index(),
+            });
         }
-        InstData::Branch { cond, then_dest, else_dest } => {
+        InstData::Branch {
+            cond,
+            then_dest,
+            else_dest,
+        } => {
             // DAG fuses a single-use compare; FastISel re-tests the bool.
             let mut fused = false;
             if ctx.fold {
@@ -936,10 +1030,19 @@ fn emit_lir_inst(
                 }
             }
             if !fused {
-                ctx.cur.push(MInst::CmpImm { w: Width::W8, a: lo(ctx, cond), imm: 0 });
-                ctx.cur.push(MInst::Jcc { cond: Cond::Ne, target: then_dest.index() });
+                ctx.cur.push(MInst::CmpImm {
+                    w: Width::W8,
+                    a: lo(ctx, cond),
+                    imm: 0,
+                });
+                ctx.cur.push(MInst::Jcc {
+                    cond: Cond::Ne,
+                    target: then_dest.index(),
+                });
             }
-            ctx.cur.push(MInst::Jmp { target: else_dest.index() });
+            ctx.cur.push(MInst::Jmp {
+                target: else_dest.index(),
+            });
             let _ = block;
         }
         InstData::Return { value } => {
@@ -1005,7 +1108,10 @@ fn emit_binary(
                     s2: hi(ctx, args[1]),
                 });
                 if op.can_trap() {
-                    ctx.cur.push(MInst::TrapIf { cond: Cond::O, code: 1 });
+                    ctx.cur.push(MInst::TrapIf {
+                        cond: Cond::O,
+                        code: 1,
+                    });
                 }
             }
             Opcode::SMulTrap => {
@@ -1014,19 +1120,31 @@ fn emit_binary(
                 // fast path, otherwise the hand-optimized helper.
                 ctx.cur.push(MInst::CallRt {
                     target: CallTarget::Sym("rt_mul128_ovf".into()),
-                    args: vec![lo(ctx, args[0]), hi(ctx, args[0]), lo(ctx, args[1]), hi(ctx, args[1])],
+                    args: vec![
+                        lo(ctx, args[0]),
+                        hi(ctx, args[0]),
+                        lo(ctx, args[1]),
+                        hi(ctx, args[1]),
+                    ],
                     ret: vec![lo(ctx, r), hi(ctx, r)],
                 });
             }
             Opcode::SDiv => {
                 ctx.cur.push(MInst::CallRt {
                     target: CallTarget::Sym("rt_i128_div".into()),
-                    args: vec![lo(ctx, args[0]), hi(ctx, args[0]), lo(ctx, args[1]), hi(ctx, args[1])],
+                    args: vec![
+                        lo(ctx, args[0]),
+                        hi(ctx, args[0]),
+                        lo(ctx, args[1]),
+                        hi(ctx, args[1]),
+                    ],
                     ret: vec![lo(ctx, r), hi(ctx, r)],
                 });
             }
             other => {
-                return Err(BackendError::new(format!("lvm: {other} at i128 unsupported")));
+                return Err(BackendError::new(format!(
+                    "lvm: {other} at i128 unsupported"
+                )));
             }
         }
         return Ok(());
@@ -1058,7 +1176,10 @@ fn emit_binary(
                 s1: lo(ctx, args[0]),
                 s2: lo(ctx, args[1]),
             });
-            ctx.cur.push(MInst::SetCc { cond: Cond::O, d: lo(ctx, r) });
+            ctx.cur.push(MInst::SetCc {
+                cond: Cond::O,
+                d: lo(ctx, r),
+            });
         }
         _ => {
             let trapping = op.can_trap();
@@ -1110,7 +1231,10 @@ fn emit_binary(
                     s2: lo(ctx, args[1]),
                 });
                 if trapping {
-                    ctx.cur.push(MInst::TrapIf { cond: Cond::O, code: 1 });
+                    ctx.cur.push(MInst::TrapIf {
+                        cond: Cond::O,
+                        code: 1,
+                    });
                 }
             }
         }
@@ -1149,7 +1273,10 @@ fn emit_cmp_wide(ctx: &mut Ctx, op: CmpOp, args: [Value; 2], dst: VReg) {
                 s1: t1,
                 s2: t2,
             });
-            ctx.cur.push(MInst::SetCc { cond: cond_of(op), d: dst });
+            ctx.cur.push(MInst::SetCc {
+                cond: cond_of(op),
+                d: dst,
+            });
         }
         _ => {
             let (x, y, c) = match op {

@@ -198,22 +198,23 @@ impl Backend for LvmBackend {
         if o.mode == OptMode::Optimized {
             let _t = trace.scope("opt");
             let mut analyses: HashMap<&'static str, bool> = HashMap::new();
-            let mut run_pass = |name: &'static str,
-                                needs: &[&'static str],
-                                lir: &mut Module,
-                                f: &dyn Fn(&qc_ir::Function) -> qc_ir::Function| {
-                // Legacy pass-manager bookkeeping (Sec. V-B8: ~5% of time).
-                for n in needs {
-                    analyses.entry(n).or_insert(true);
-                }
-                let _t = trace.scope(name);
-                let mut out = Module::new(&lir.name);
-                for func in lir.functions() {
-                    out.push_function(f(func));
-                }
-                analyses.clear(); // transformation invalidates analyses
-                *lir = out;
-            };
+            let mut run_pass =
+                |name: &'static str,
+                 needs: &[&'static str],
+                 lir: &mut Module,
+                 f: &dyn Fn(&qc_ir::Function) -> qc_ir::Function| {
+                    // Legacy pass-manager bookkeeping (Sec. V-B8: ~5% of time).
+                    for n in needs {
+                        analyses.entry(n).or_insert(true);
+                    }
+                    let _t = trace.scope(name);
+                    let mut out = Module::new(&lir.name);
+                    for func in lir.functions() {
+                        out.push_function(f(func));
+                    }
+                    analyses.clear(); // transformation invalidates analyses
+                    *lir = out;
+                };
             run_pass("cse", &["domtree"], &mut lir, &lir::pass_cse);
             run_pass("instcombine", &[], &mut lir, &lir::pass_instcombine);
             run_pass("licm", &["domtree", "loops"], &mut lir, &lir::pass_licm);
@@ -229,14 +230,26 @@ impl Backend for LvmBackend {
         {
             let _t = trace.scope("irpasses");
             let mut matches = 0u64;
-            for pass in ["div128expand", "constintrinsics", "vectorcombine", "amxlower"] {
+            for pass in [
+                "div128expand",
+                "constintrinsics",
+                "vectorcombine",
+                "amxlower",
+            ] {
                 let _t = trace.scope(pass);
                 for func in lir.functions() {
                     for block in func.blocks() {
                         for &inst in func.block_insts(block) {
                             // Pattern checks that never fire on query code.
                             let data = func.inst(inst);
-                            if matches!(data, qc_ir::InstData::Binary { op: qc_ir::Opcode::URem, ty: qc_ir::Type::I128, .. }) {
+                            if matches!(
+                                data,
+                                qc_ir::InstData::Binary {
+                                    op: qc_ir::Opcode::URem,
+                                    ty: qc_ir::Type::I128,
+                                    ..
+                                }
+                            ) {
                                 matches += 1;
                             }
                         }
@@ -252,11 +265,13 @@ impl Backend for LvmBackend {
             (OptMode::Cheap, true) => Selector::GlobalCheap,
             (OptMode::Optimized, true) => Selector::GlobalOpt,
         };
-        let iopts = IselOptions { small_pic: o.small_pic, fastisel_crc32: o.fastisel_crc32 };
+        let iopts = IselOptions {
+            small_pic: o.small_pic,
+            fastisel_crc32: o.fastisel_crc32,
+        };
 
         let mut image = ImageBuilder::new(o.isa);
-        let func_names: Vec<String> =
-            lir.functions().iter().map(|f| f.name.clone()).collect();
+        let func_names: Vec<String> = lir.functions().iter().map(|f| f.name.clone()).collect();
         let mut used_syms: HashSet<String> = HashSet::new();
 
         for func in lir.functions() {
@@ -305,10 +320,7 @@ impl Backend for LvmBackend {
                             frame_refs += 1;
                         }
                         inst.for_each_use(|v| {
-                            if matches!(
-                                alloc.locs[v as usize],
-                                qc_backend::mir::Loc::Spill(_)
-                            ) {
+                            if matches!(alloc.locs[v as usize], qc_backend::mir::Loc::Spill(_)) {
                                 frame_refs += 1;
                             }
                         });
@@ -321,10 +333,9 @@ impl Backend for LvmBackend {
             let (code, relocs, frame) = {
                 let _t = trace.scope("asmprinter");
                 // Frame area for QIR stack slots (byte-offset addressed).
-                let user_frame: u32 = func
-                    .stack_slots()
-                    .iter()
-                    .fold(0u32, |acc, s| ((acc + s.align - 1) & !(s.align - 1)) + s.size);
+                let user_frame: u32 = func.stack_slots().iter().fold(0u32, |acc, s| {
+                    ((acc + s.align - 1) & !(s.align - 1)) + s.size
+                });
                 let mut emitter =
                     MirEmitter::new(o.isa, &alloc, &func_names, vcode.blocks.len(), user_frame);
                 // String-keyed labels, as in LLVM's MC layer (Sec. V-B6).
@@ -352,7 +363,11 @@ impl Backend for LvmBackend {
                         }
                         // MC lowering: route calls per code model.
                         match inst {
-                            MInst::CallRt { target: CallTarget::Sym(name), args, ret } => {
+                            MInst::CallRt {
+                                target: CallTarget::Sym(name),
+                                args,
+                                ret,
+                            } => {
                                 used_syms.insert(name.clone());
                                 let routed = if o.small_pic {
                                     MInst::CallRt {
@@ -385,7 +400,12 @@ impl Backend for LvmBackend {
             // Unwind registration plug-in.
             image.add_unwind(
                 off,
-                UnwindEntry { start: 0, end: len, frame_size: frame, synchronous_only: false },
+                UnwindEntry {
+                    start: 0,
+                    end: len,
+                    frame_size: frame,
+                    synchronous_only: false,
+                },
             );
         }
 
@@ -628,8 +648,9 @@ mod tests {
             let mut o = LvmOptions::defaults(Isa::Tx64, OptMode::Cheap);
             o.small_pic = small_pic;
             let m = build();
-            let mut exe =
-                LvmBackend::with_options(o).compile(&m, &TimeTrace::disabled()).unwrap();
+            let mut exe = LvmBackend::with_options(o)
+                .compile(&m, &TimeTrace::disabled())
+                .unwrap();
             let calls = exe
                 .compile_stats()
                 .counters
@@ -658,7 +679,12 @@ mod tests {
         let backend = LvmBackend::new(Isa::Tx64, OptMode::Cheap);
         let exe = backend.compile(&m, &TimeTrace::disabled()).unwrap();
         assert!(
-            exe.compile_stats().counters.get("fallback_i128").copied().unwrap_or(0) > 0,
+            exe.compile_stats()
+                .counters
+                .get("fallback_i128")
+                .copied()
+                .unwrap_or(0)
+                > 0,
             "{:?}",
             exe.compile_stats().counters
         );
@@ -688,7 +714,9 @@ mod tests {
             m.push_function(bld.finish());
             let mut o = LvmOptions::defaults(Isa::Tx64, OptMode::Cheap);
             o.pair_repr = repr;
-            let mut exe = LvmBackend::with_options(o).compile(&m, &TimeTrace::disabled()).unwrap();
+            let mut exe = LvmBackend::with_options(o)
+                .compile(&m, &TimeTrace::disabled())
+                .unwrap();
             let c = exe.compile_stats().counters.clone();
             fallbacks.push(
                 c.get("fallback_struct").copied().unwrap_or(0)
@@ -756,9 +784,16 @@ mod tests {
             build(&mut bld);
             let mut m = Module::new("m");
             m.push_function(bld.finish());
-            let exe = LvmBackend::new(Isa::Tx64, mode).compile(&m, &TimeTrace::disabled()).unwrap();
+            let exe = LvmBackend::new(Isa::Tx64, mode)
+                .compile(&m, &TimeTrace::disabled())
+                .unwrap();
             sizes.push(exe.compile_stats().code_bytes);
         }
-        assert!(sizes[1] <= sizes[0], "opt {} vs cheap {}", sizes[1], sizes[0]);
+        assert!(
+            sizes[1] <= sizes[0],
+            "opt {} vs cheap {}",
+            sizes[1],
+            sizes[0]
+        );
     }
 }

@@ -131,28 +131,42 @@ fn construct_func(func: &Function, repr: PairRepr) -> Function {
                     // translated later.
                     phi_fixups.push((res.expect("phi result"), pairs));
                 }
-                InstData::Load { ty: Type::String, ptr, offset }
-                    if repr == PairRepr::Scalars =>
-                {
+                InstData::Load {
+                    ty: Type::String,
+                    ptr,
+                    offset,
+                } if repr == PairRepr::Scalars => {
                     let p = one(&map, ptr);
                     let lo = b.load(Type::I64, p, offset);
                     let hi = b.load(Type::I64, p, offset + 8);
                     map.insert(res.expect("load result"), M::Pair(lo, hi));
                 }
-                InstData::Store { ty: Type::String, ptr, value, offset }
-                    if repr == PairRepr::Scalars =>
-                {
+                InstData::Store {
+                    ty: Type::String,
+                    ptr,
+                    value,
+                    offset,
+                } if repr == PairRepr::Scalars => {
                     let p = one(&map, ptr);
-                    let M::Pair(lo, hi) = map[&value] else { panic!("pair store") };
+                    let M::Pair(lo, hi) = map[&value] else {
+                        panic!("pair store")
+                    };
                     b.store(Type::I64, p, lo, offset);
                     b.store(Type::I64, p, hi, offset + 8);
                 }
-                InstData::Select { ty: Type::String, cond, if_true, if_false }
-                    if repr == PairRepr::Scalars =>
-                {
+                InstData::Select {
+                    ty: Type::String,
+                    cond,
+                    if_true,
+                    if_false,
+                } if repr == PairRepr::Scalars => {
                     let c = one(&map, cond);
-                    let M::Pair(tl, th) = map[&if_true] else { panic!() };
-                    let M::Pair(fl, fh) = map[&if_false] else { panic!() };
+                    let M::Pair(tl, th) = map[&if_true] else {
+                        panic!()
+                    };
+                    let M::Pair(fl, fh) = map[&if_false] else {
+                        panic!()
+                    };
                     let lo = b.select(Type::I64, c, tl, fl);
                     let hi = b.select(Type::I64, c, th, fh);
                     map.insert(res.expect("select result"), M::Pair(lo, hi));
@@ -209,7 +223,9 @@ fn construct_func(func: &Function, repr: PairRepr) -> Function {
             }
             M::Pair(plo, phi_hi) => {
                 for (pred, v) in pairs {
-                    let M::Pair(lo, hi) = map[&v] else { panic!("pair phi") };
+                    let M::Pair(lo, hi) = map[&v] else {
+                        panic!("pair phi")
+                    };
                     b.phi_add_incoming(plo, pred, lo);
                     b.phi_add_incoming(phi_hi, pred, hi);
                 }
@@ -232,42 +248,90 @@ fn remap(
     match data.clone() {
         InstData::IConst { ty, imm } => InstData::IConst { ty, imm },
         InstData::FConst { imm } => InstData::FConst { imm },
-        InstData::Binary { op, ty, args } => {
-            InstData::Binary { op, ty, args: [m(args[0]), m(args[1])] }
-        }
-        InstData::Cmp { op, ty, args } => {
-            InstData::Cmp { op, ty, args: [m(args[0]), m(args[1])] }
-        }
-        InstData::FCmp { op, args } => InstData::FCmp { op, args: [m(args[0]), m(args[1])] },
-        InstData::Cast { op, to, arg } => InstData::Cast { op, to, arg: m(arg) },
-        InstData::Crc32 { args } => InstData::Crc32 { args: [m(args[0]), m(args[1])] },
-        InstData::LongMulFold { args } => {
-            InstData::LongMulFold { args: [m(args[0]), m(args[1])] }
-        }
-        InstData::Select { ty, cond, if_true, if_false } => InstData::Select {
+        InstData::Binary { op, ty, args } => InstData::Binary {
+            op,
+            ty,
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::Cmp { op, ty, args } => InstData::Cmp {
+            op,
+            ty,
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::FCmp { op, args } => InstData::FCmp {
+            op,
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::Cast { op, to, arg } => InstData::Cast {
+            op,
+            to,
+            arg: m(arg),
+        },
+        InstData::Crc32 { args } => InstData::Crc32 {
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::LongMulFold { args } => InstData::LongMulFold {
+            args: [m(args[0]), m(args[1])],
+        },
+        InstData::Select {
+            ty,
+            cond,
+            if_true,
+            if_false,
+        } => InstData::Select {
             ty,
             cond: m(cond),
             if_true: m(if_true),
             if_false: m(if_false),
         },
-        InstData::Load { ty, ptr, offset } => InstData::Load { ty, ptr: m(ptr), offset },
-        InstData::Store { ty, ptr, value, offset } => {
-            InstData::Store { ty, ptr: m(ptr), value: m(value), offset }
-        }
-        InstData::Gep { base, offset, index, scale } => {
-            InstData::Gep { base: m(base), offset, index: index.map(m), scale }
-        }
-        InstData::StackAddr { slot } => InstData::StackAddr { slot: slot_map[slot.index()] },
+        InstData::Load { ty, ptr, offset } => InstData::Load {
+            ty,
+            ptr: m(ptr),
+            offset,
+        },
+        InstData::Store {
+            ty,
+            ptr,
+            value,
+            offset,
+        } => InstData::Store {
+            ty,
+            ptr: m(ptr),
+            value: m(value),
+            offset,
+        },
+        InstData::Gep {
+            base,
+            offset,
+            index,
+            scale,
+        } => InstData::Gep {
+            base: m(base),
+            offset,
+            index: index.map(m),
+            scale,
+        },
+        InstData::StackAddr { slot } => InstData::StackAddr {
+            slot: slot_map[slot.index()],
+        },
         InstData::Call { callee, args } => InstData::Call {
             callee: ext_map[callee.index()],
             args: args.into_iter().map(m).collect(),
         },
         InstData::FuncAddr { func } => InstData::FuncAddr { func },
         InstData::Jump { dest } => InstData::Jump { dest },
-        InstData::Branch { cond, then_dest, else_dest } => {
-            InstData::Branch { cond: m(cond), then_dest, else_dest }
-        }
-        InstData::Return { value } => InstData::Return { value: value.map(m) },
+        InstData::Branch {
+            cond,
+            then_dest,
+            else_dest,
+        } => InstData::Branch {
+            cond: m(cond),
+            then_dest,
+            else_dest,
+        },
+        InstData::Return { value } => InstData::Return {
+            value: value.map(m),
+        },
         InstData::Unreachable => InstData::Unreachable,
         InstData::Phi { .. } => unreachable!("phis handled separately"),
     }
@@ -349,7 +413,15 @@ mod tests {
         let body_insts = g.block_insts(Block::new(2));
         let muls_in_body = body_insts
             .iter()
-            .filter(|&&i| matches!(g.inst(i), InstData::Binary { op: Opcode::Mul, .. }))
+            .filter(|&&i| {
+                matches!(
+                    g.inst(i),
+                    InstData::Binary {
+                        op: Opcode::Mul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(muls_in_body, 0, "{}", qc_ir::print_function(&g));
     }

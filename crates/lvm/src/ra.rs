@@ -30,7 +30,12 @@ fn int_pool(isa: Isa) -> Vec<Reg> {
 }
 
 fn float_pool(isa: Isa) -> Vec<qc_target::FReg> {
-    isa.abi().fallocatable.iter().copied().filter(|f| f.num() < 13).collect()
+    isa.abi()
+        .fallocatable
+        .iter()
+        .copied()
+        .filter(|f| f.num() < 13)
+        .collect()
 }
 
 /// The two-address rewriting pass: `d = s1 op s2` with `d != s1` becomes
@@ -43,9 +48,23 @@ pub fn two_address_pass(vcode: &mut VCode, isa: Isa) {
         let mut out = Vec::with_capacity(block.len() + 8);
         for inst in block.drain(..) {
             match inst {
-                MInst::Alu { op, w, sf, d, s1, s2 } if d != s1 && d != s2 => {
+                MInst::Alu {
+                    op,
+                    w,
+                    sf,
+                    d,
+                    s1,
+                    s2,
+                } if d != s1 && d != s2 => {
                     out.push(MInst::MovRR { d, s: s1 });
-                    out.push(MInst::Alu { op, w, sf, d, s1: d, s2 });
+                    out.push(MInst::Alu {
+                        op,
+                        w,
+                        sf,
+                        d,
+                        s1: d,
+                        s2,
+                    });
                 }
                 other => out.push(other),
             }
@@ -137,10 +156,14 @@ fn intervals(vcode: &VCode) -> Intervals {
         if start[v] == u32::MAX {
             continue;
         }
-        crosses_call[v] =
-            call_points.iter().any(|&c| c > start[v] && c < end[v]);
+        crosses_call[v] = call_points.iter().any(|&c| c > start[v] && c < end[v]);
     }
-    Intervals { start, end, crosses_block, crosses_call }
+    Intervals {
+        start,
+        end,
+        crosses_block,
+        crosses_call,
+    }
 }
 
 /// The fast allocator (cheap builds): "linearly iterates over all basic
@@ -188,8 +211,9 @@ fn assign(vcode: &VCode, isa: Isa, iv: &Intervals, block_local_only: bool) -> Al
         .filter(|r| ipool.contains(r))
         .collect();
 
-    let mut order: Vec<u32> =
-        (0..nv as u32).filter(|&v| iv.start[v as usize] != u32::MAX).collect();
+    let mut order: Vec<u32> = (0..nv as u32)
+        .filter(|&v| iv.start[v as usize] != u32::MAX)
+        .collect();
     order.sort_by_key(|&v| iv.start[v as usize]);
 
     let mut locs = vec![Loc::Spill(u32::MAX); nv];
@@ -202,7 +226,10 @@ fn assign(vcode: &VCode, isa: Isa, iv: &Intervals, block_local_only: bool) -> Al
     let mut ffree: Vec<bool> = vec![true; fpool.len()];
 
     for &v in &order {
-        let (s, e) = (iv.start[v as usize], iv.end[v as usize].max(iv.start[v as usize] + 1));
+        let (s, e) = (
+            iv.start[v as usize],
+            iv.end[v as usize].max(iv.start[v as usize] + 1),
+        );
         // Expire.
         active_i.retain(|&(ae, pi)| {
             if ae <= s {
@@ -244,8 +271,7 @@ fn assign(vcode: &VCode, isa: Isa, iv: &Intervals, block_local_only: bool) -> Al
                 }
             }
             RegClass::Float => {
-                if (block_local_only && iv.crosses_block[v as usize])
-                    || iv.crosses_call[v as usize]
+                if (block_local_only && iv.crosses_block[v as usize]) || iv.crosses_call[v as usize]
                 {
                     spill(&mut spill_slots, &mut spills)
                 } else {
@@ -272,5 +298,9 @@ fn assign(vcode: &VCode, isa: Isa, iv: &Intervals, block_local_only: bool) -> Al
             };
         }
     }
-    Allocation { locs, spill_slots, spills }
+    Allocation {
+        locs,
+        spill_slots,
+        spills,
+    }
 }

@@ -284,10 +284,9 @@ impl Expr {
     /// Collects all referenced column names into `out`.
     pub fn collect_columns(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Column(n)
-                if !out.contains(n) => {
-                    out.push(n.clone());
-                }
+            Expr::Column(n) if !out.contains(n) => {
+                out.push(n.clone());
+            }
             Expr::Arith(_, a, b)
             | Expr::Cmp(_, a, b)
             | Expr::And(a, b)
@@ -354,15 +353,24 @@ mod tests {
     #[test]
     fn int_and_date_promote_to_i64() {
         let s = scope();
-        assert_eq!(col("qty").add(lit_i32(1)).infer_type(&s).unwrap(), ColumnType::I64);
-        assert_eq!(col("d").lt(lit_date(9000)).infer_type(&s).unwrap(), ColumnType::Bool);
+        assert_eq!(
+            col("qty").add(lit_i32(1)).infer_type(&s).unwrap(),
+            ColumnType::I64
+        );
+        assert_eq!(
+            col("d").lt(lit_date(9000)).infer_type(&s).unwrap(),
+            ColumnType::Bool
+        );
     }
 
     #[test]
     fn string_predicates_type_check() {
         let s = scope();
         assert_eq!(
-            col("name").starts_with(lit_str("a")).infer_type(&s).unwrap(),
+            col("name")
+                .starts_with(lit_str("a"))
+                .infer_type(&s)
+                .unwrap(),
             ColumnType::Bool
         );
         assert!(col("qty").starts_with(lit_str("a")).infer_type(&s).is_err());

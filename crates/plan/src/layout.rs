@@ -44,12 +44,19 @@ impl RowLayout {
         let fields = fields
             .iter()
             .map(|(name, ty)| {
-                let f = RowField { name: name.clone(), ty: *ty, offset };
+                let f = RowField {
+                    name: name.clone(),
+                    ty: *ty,
+                    offset,
+                };
                 offset += field_size(*ty);
                 f
             })
             .collect();
-        RowLayout { fields, size: (offset + 15) & !15 }
+        RowLayout {
+            fields,
+            size: (offset + 15) & !15,
+        }
     }
 
     /// Field by name.

@@ -20,8 +20,8 @@ mod node;
 mod physical;
 pub mod reference;
 
-pub use expr::{lit_bool, lit_date, lit_dec, lit_f64, lit_i32, lit_i64, lit_str};
 pub use expr::{col, ArithOp, CmpKind, Expr};
+pub use expr::{lit_bool, lit_date, lit_dec, lit_f64, lit_i32, lit_i64, lit_str};
 pub use layout::{RowField, RowLayout};
 pub use node::{AggFunc, CatalogFn, PlanError, PlanNode, TableSchema};
 pub use physical::{CtxEntry, PhysicalPlan, Pipeline, Sink, Source, StreamOp};

@@ -43,7 +43,9 @@ impl fmt::Display for PlanError {
 impl Error for PlanError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, PlanError> {
-    Err(PlanError { message: message.into() })
+    Err(PlanError {
+        message: message.into(),
+    })
 }
 
 /// A logical query plan node.
@@ -129,7 +131,10 @@ impl PlanNode {
 
     /// Wraps `self` in a filter.
     pub fn filter(self, predicate: Expr) -> PlanNode {
-        PlanNode::Filter { input: Box::new(self), predicate }
+        PlanNode::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Wraps `self` in a map.
@@ -179,12 +184,13 @@ impl PlanNode {
     ///
     /// # Errors
     /// Returns a [`PlanError`] for unknown tables/columns or type errors.
-    pub fn schema(
-        &self,
-        catalog: &CatalogFn<'_>,
-    ) -> Result<Vec<(String, ColumnType)>, PlanError> {
+    pub fn schema(&self, catalog: &CatalogFn<'_>) -> Result<Vec<(String, ColumnType)>, PlanError> {
         match self {
-            PlanNode::Scan { table, columns, filter } => {
+            PlanNode::Scan {
+                table,
+                columns,
+                filter,
+            } => {
                 let Some(table_schema) = catalog(table) else {
                     return err(format!("unknown table `{table}`"));
                 };
@@ -217,12 +223,20 @@ impl PlanNode {
             PlanNode::Map { input, exprs } => {
                 let mut schema = input.schema(catalog)?;
                 for (name, e) in exprs {
-                    let ty = e.infer_type(&schema).map_err(|m| PlanError { message: m })?;
+                    let ty = e
+                        .infer_type(&schema)
+                        .map_err(|m| PlanError { message: m })?;
                     schema.push((name.clone(), ty));
                 }
                 Ok(schema)
             }
-            PlanNode::HashJoin { build, probe, build_keys, probe_keys, payload } => {
+            PlanNode::HashJoin {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                payload,
+            } => {
                 let bs = build.schema(catalog)?;
                 let ps = probe.schema(catalog)?;
                 if build_keys.len() != probe_keys.len() || build_keys.is_empty() {
@@ -266,21 +280,21 @@ impl PlanNode {
                     let ty = match agg {
                         AggFunc::CountStar => ColumnType::I64,
                         AggFunc::Avg(e) => {
-                            e.infer_type(&schema).map_err(|m| PlanError { message: m })?;
+                            e.infer_type(&schema)
+                                .map_err(|m| PlanError { message: m })?;
                             ColumnType::F64
                         }
                         AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => {
-                            let t =
-                                e.infer_type(&schema).map_err(|m| PlanError { message: m })?;
+                            let t = e
+                                .infer_type(&schema)
+                                .map_err(|m| PlanError { message: m })?;
                             match t {
                                 ColumnType::Decimal(s) => ColumnType::Decimal(s),
                                 ColumnType::I64 | ColumnType::I32 | ColumnType::Date => {
                                     ColumnType::I64
                                 }
                                 ColumnType::F64 => ColumnType::F64,
-                                other => {
-                                    return err(format!("cannot aggregate type {other}"))
-                                }
+                                other => return err(format!("cannot aggregate type {other}")),
                             }
                         }
                     };
@@ -305,9 +319,7 @@ impl PlanNode {
     pub fn breaker_count(&self) -> usize {
         match self {
             PlanNode::Scan { .. } => 0,
-            PlanNode::Filter { input, .. } | PlanNode::Map { input, .. } => {
-                input.breaker_count()
-            }
+            PlanNode::Filter { input, .. } | PlanNode::Map { input, .. } => input.breaker_count(),
             PlanNode::HashJoin { build, probe, .. } => {
                 1 + build.breaker_count() + probe.breaker_count()
             }

@@ -188,10 +188,7 @@ impl PhysicalPlan {
     ///
     /// # Errors
     /// Propagates schema/type errors from the logical plan.
-    pub fn decompose(
-        root: &PlanNode,
-        catalog: &CatalogFn<'_>,
-    ) -> Result<PhysicalPlan, PlanError> {
+    pub fn decompose(root: &PlanNode, catalog: &CatalogFn<'_>) -> Result<PhysicalPlan, PlanError> {
         let mut d = Decomposer {
             catalog,
             pipelines: Vec::new(),
@@ -207,7 +204,9 @@ impl PhysicalPlan {
             id: d.pipelines.len(),
             source,
             ops,
-            sink: Sink::Output { layout: layout.clone() },
+            sink: Sink::Output {
+                layout: layout.clone(),
+            },
         });
         Ok(PhysicalPlan {
             pipelines: d.pipelines,
@@ -253,12 +252,18 @@ impl Decomposer<'_> {
     }
 
     fn perr<T>(msg: impl Into<String>) -> Result<T, PlanError> {
-        Err(PlanError { message: msg.into() })
+        Err(PlanError {
+            message: msg.into(),
+        })
     }
 
     fn process(&mut self, node: &PlanNode) -> Result<(Source, Vec<StreamOp>, Scope), PlanError> {
         match node {
-            PlanNode::Scan { table, columns, filter } => {
+            PlanNode::Scan {
+                table,
+                columns,
+                filter,
+            } => {
                 let Some(table_schema) = (self.catalog)(table) else {
                     return Self::perr(format!("unknown table `{table}`"));
                 };
@@ -276,18 +281,25 @@ impl Decomposer<'_> {
                 for c in &needed {
                     match table_schema.iter().find(|(n, _)| n == c) {
                         Some(entry) => loaded.push(entry.clone()),
-                        None => {
-                            return Self::perr(format!("unknown column `{c}` in `{table}`"))
-                        }
+                        None => return Self::perr(format!("unknown column `{c}` in `{table}`")),
                     }
-                    self.slot(CtxEntry::ColumnBase { table: table.clone(), column: c.clone() });
+                    self.slot(CtxEntry::ColumnBase {
+                        table: table.clone(),
+                        column: c.clone(),
+                    });
                 }
                 if let Some(f) = filter {
                     self.intern_strings(f);
                 }
                 let scope: Scope = columns
                     .iter()
-                    .map(|c| loaded.iter().find(|(n, _)| n == c).cloned().expect("projected"))
+                    .map(|c| {
+                        loaded
+                            .iter()
+                            .find(|(n, _)| n == c)
+                            .cloned()
+                            .expect("projected")
+                    })
                     .collect();
                 Ok((
                     Source::Table {
@@ -323,7 +335,13 @@ impl Decomposer<'_> {
                 ops.push(StreamOp::Map(typed));
                 Ok((src, ops, scope))
             }
-            PlanNode::HashJoin { build, probe, build_keys, probe_keys, payload } => {
+            PlanNode::HashJoin {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                payload,
+            } => {
                 let join_id = self.joins;
                 self.joins += 1;
                 self.slot(CtxEntry::JoinHt(join_id));
@@ -402,7 +420,9 @@ impl Decomposer<'_> {
                 let mut out_scope: Scope = fields.clone();
                 for (name, agg) in aggs {
                     let state_ty = |e: &Expr| -> Result<ColumnType, PlanError> {
-                        let t = e.infer_type(&iscope).map_err(|m| PlanError { message: m })?;
+                        let t = e
+                            .infer_type(&iscope)
+                            .map_err(|m| PlanError { message: m })?;
                         Ok(match t {
                             ColumnType::I32 | ColumnType::Date => ColumnType::I64,
                             other => other,
@@ -565,7 +585,10 @@ mod tests {
     fn scan_filter_loads_extra_columns() {
         let p = PlanNode::scan_filtered("fact", &["v"], col("d").lt(lit_date(100)));
         let phys = PhysicalPlan::decompose(&p, &catalog).unwrap();
-        let Source::Table { columns, projected, .. } = &phys.pipelines[0].source else {
+        let Source::Table {
+            columns, projected, ..
+        } = &phys.pipelines[0].source
+        else {
             panic!("expected table source");
         };
         assert_eq!(columns.len(), 2); // v + d
@@ -583,9 +606,14 @@ mod tests {
         );
         let phys = PhysicalPlan::decompose(&p, &catalog).unwrap();
         assert_eq!(phys.pipelines.len(), 2);
-        assert!(matches!(phys.pipelines[0].sink, Sink::JoinBuild { join_id: 0, .. }));
+        assert!(matches!(
+            phys.pipelines[0].sink,
+            Sink::JoinBuild { join_id: 0, .. }
+        ));
         assert!(matches!(phys.pipelines[1].sink, Sink::Output { .. }));
-        let Sink::JoinBuild { layout, .. } = &phys.pipelines[0].sink else { unreachable!() };
+        let Sink::JoinBuild { layout, .. } = &phys.pipelines[0].sink else {
+            unreachable!()
+        };
         // key k + payload label
         assert_eq!(layout.fields.len(), 2);
         let StreamOp::Probe { carry, .. } = &phys.pipelines[1].ops[0] else {
@@ -616,7 +644,10 @@ mod tests {
             panic!("expected buffer source");
         };
         assert_eq!(
-            phys.output_schema.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            phys.output_schema
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
             vec!["k", "total", "n", "avg_v"]
         );
         assert_eq!(phys.output_schema[3].1, ColumnType::F64);
@@ -627,7 +658,10 @@ mod tests {
         let p = PlanNode::scan("fact", &["k", "v"]).sort(&[("v", false)], Some(10));
         let phys = PhysicalPlan::decompose(&p, &catalog).unwrap();
         assert_eq!(phys.pipelines.len(), 2);
-        assert!(matches!(phys.pipelines[0].sink, Sink::SortMaterialize { sort_id: 0, .. }));
+        assert!(matches!(
+            phys.pipelines[0].sink,
+            Sink::SortMaterialize { sort_id: 0, .. }
+        ));
         let Source::Buffer { limit, .. } = &phys.pipelines[1].source else {
             panic!("expected buffer source");
         };
@@ -638,7 +672,12 @@ mod tests {
     fn complex_query_pipeline_count() {
         // join + group + sort = 4 pipelines (build, agg-build, sort-mat, out).
         let p = PlanNode::scan("fact", &["k", "v"])
-            .hash_join(PlanNode::scan("dim", &["k", "label"]), &["k"], &["k"], &["label"])
+            .hash_join(
+                PlanNode::scan("dim", &["k", "label"]),
+                &["k"],
+                &["k"],
+                &["label"],
+            )
             .group_by(&["label"], vec![("total", AggFunc::Sum(col("v")))])
             .sort(&[("total", false)], Some(5));
         let phys = PhysicalPlan::decompose(&p, &catalog).unwrap();

@@ -8,8 +8,8 @@
 
 use crate::expr::{ArithOp, CmpKind, Expr};
 use crate::node::{AggFunc, PlanError, PlanNode};
-use qc_storage::{ColumnType, Database};
 use qc_runtime::SqlValue;
+use qc_storage::{ColumnType, Database};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
@@ -17,7 +17,9 @@ type Schema = Vec<(String, ColumnType)>;
 type Row = Vec<SqlValue>;
 
 fn err<T>(message: impl Into<String>) -> Result<T, PlanError> {
-    Err(PlanError { message: message.into() })
+    Err(PlanError {
+        message: message.into(),
+    })
 }
 
 /// Executes `plan` against `db`, returning the output rows.
@@ -27,7 +29,8 @@ fn err<T>(message: impl Into<String>) -> Result<T, PlanError> {
 /// same condition that traps in generated code).
 pub fn execute(plan: &PlanNode, db: &Database) -> Result<Vec<Row>, PlanError> {
     let catalog = |name: &str| {
-        db.table(name).map(|t| t.schema.iter().map(|(n, ty)| (n.to_string(), ty)).collect())
+        db.table(name)
+            .map(|t| t.schema.iter().map(|(n, ty)| (n.to_string(), ty)).collect())
     };
     let schema = plan.schema(&catalog)?;
     let (s, rows) = eval(plan, db)?;
@@ -39,7 +42,12 @@ pub fn execute(plan: &PlanNode, db: &Database) -> Result<Vec<Row>, PlanError> {
 pub fn normalize(rows: &[Row]) -> Vec<String> {
     let mut out: Vec<String> = rows
         .iter()
-        .map(|r| r.iter().map(ToString::to_string).collect::<Vec<_>>().join("|"))
+        .map(|r| {
+            r.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("|")
+        })
         .collect();
     out.sort_unstable();
     out
@@ -66,12 +74,15 @@ fn load_cell(db: &Database, table: &str, column: &str, row: usize) -> SqlValue {
 
 fn eval(node: &PlanNode, db: &Database) -> Result<(Schema, Vec<Row>), PlanError> {
     match node {
-        PlanNode::Scan { table, columns, filter } => {
+        PlanNode::Scan {
+            table,
+            columns,
+            filter,
+        } => {
             let Some(t) = db.table(table) else {
                 return err(format!("unknown table `{table}`"));
             };
-            let full_schema: Schema =
-                t.schema.iter().map(|(n, ty)| (n.to_string(), ty)).collect();
+            let full_schema: Schema = t.schema.iter().map(|(n, ty)| (n.to_string(), ty)).collect();
             let mut needed: Vec<String> = columns.clone();
             if let Some(f) = filter {
                 let mut extra = Vec::new();
@@ -89,13 +100,14 @@ fn eval(node: &PlanNode, db: &Database) -> Result<(Schema, Vec<Row>), PlanError>
                         .iter()
                         .find(|(n, _)| n == c)
                         .cloned()
-                        .ok_or_else(|| PlanError { message: format!("unknown column `{c}`") })
+                        .ok_or_else(|| PlanError {
+                            message: format!("unknown column `{c}`"),
+                        })
                 })
                 .collect::<Result<_, _>>()?;
             let mut rows = Vec::new();
             for i in 0..t.row_count() {
-                let full: Row =
-                    needed.iter().map(|c| load_cell(db, table, c, i)).collect();
+                let full: Row = needed.iter().map(|c| load_cell(db, table, c, i)).collect();
                 if let Some(f) = filter {
                     if !truthy(&eval_expr(f, &needed_schema, &full)?) {
                         continue;
@@ -136,7 +148,13 @@ fn eval(node: &PlanNode, db: &Database) -> Result<(Schema, Vec<Row>), PlanError>
             schema = new_schema;
             Ok((schema, out))
         }
-        PlanNode::HashJoin { build, probe, build_keys, probe_keys, payload } => {
+        PlanNode::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            payload,
+        } => {
             let (bschema, brows) = eval(build, db)?;
             let (pschema, prows) = eval(probe, db)?;
             let bkey_idx: Vec<usize> = build_keys
@@ -153,18 +171,22 @@ fn eval(node: &PlanNode, db: &Database) -> Result<(Schema, Vec<Row>), PlanError>
                 .collect();
             let mut index: HashMap<Vec<KeyRepr>, Vec<usize>> = HashMap::new();
             for (i, r) in brows.iter().enumerate() {
-                let key: Vec<KeyRepr> =
-                    bkey_idx.iter().map(|&k| KeyRepr::of(&r[k])).collect();
+                let key: Vec<KeyRepr> = bkey_idx.iter().map(|&k| KeyRepr::of(&r[k])).collect();
                 index.entry(key).or_default().push(i);
             }
             let mut schema = pschema.clone();
             for p in payload {
-                schema.push(bschema.iter().find(|(n, _)| n == p).cloned().expect("checked"));
+                schema.push(
+                    bschema
+                        .iter()
+                        .find(|(n, _)| n == p)
+                        .cloned()
+                        .expect("checked"),
+                );
             }
             let mut out = Vec::new();
             for pr in &prows {
-                let key: Vec<KeyRepr> =
-                    pkey_idx.iter().map(|&k| KeyRepr::of(&pr[k])).collect();
+                let key: Vec<KeyRepr> = pkey_idx.iter().map(|&k| KeyRepr::of(&pr[k])).collect();
                 if let Some(matches) = index.get(&key) {
                     for &bi in matches {
                         let mut row = pr.clone();
@@ -197,23 +219,24 @@ fn eval(node: &PlanNode, db: &Database) -> Result<(Schema, Vec<Row>), PlanError>
                 for ((_, agg), st) in aggs.iter().zip(entry.1.iter_mut()) {
                     let v = match agg {
                         AggFunc::CountStar => None,
-                        AggFunc::Sum(e)
-                        | AggFunc::Min(e)
-                        | AggFunc::Max(e)
-                        | AggFunc::Avg(e) => Some(eval_expr(e, &schema, r)?),
+                        AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) | AggFunc::Avg(e) => {
+                            Some(eval_expr(e, &schema, r)?)
+                        }
                     };
                     st.update(agg, v)?;
                 }
             }
-            let mut out_schema: Schema =
-                key_idx.iter().map(|&k| schema[k].clone()).collect();
+            let mut out_schema: Schema = key_idx.iter().map(|&k| schema[k].clone()).collect();
             let catalog_scope = schema.clone();
             for (name, agg) in aggs {
                 let ty = match agg {
                     AggFunc::CountStar => ColumnType::I64,
                     AggFunc::Avg(_) => ColumnType::F64,
                     AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => {
-                        match e.infer_type(&catalog_scope).map_err(|m| PlanError { message: m })? {
+                        match e
+                            .infer_type(&catalog_scope)
+                            .map_err(|m| PlanError { message: m })?
+                        {
                             ColumnType::Decimal(s) => ColumnType::Decimal(s),
                             ColumnType::F64 => ColumnType::F64,
                             _ => ColumnType::I64,
@@ -238,7 +261,10 @@ fn eval(node: &PlanNode, db: &Database) -> Result<(Schema, Vec<Row>), PlanError>
             let idx: Vec<(usize, bool)> = keys
                 .iter()
                 .map(|(k, asc)| {
-                    (schema.iter().position(|(n, _)| n == k).expect("checked"), *asc)
+                    (
+                        schema.iter().position(|(n, _)| n == k).expect("checked"),
+                        *asc,
+                    )
                 })
                 .collect();
             rows.sort_by(|a, b| {
@@ -314,19 +340,19 @@ impl AggState {
                     }
                     (AggState::Empty, SqlValue::F64(x)) => *self = AggState::SumF(*x),
                     (AggState::SumI(acc, _, _), SqlValue::Decimal(x, _)) => {
-                        *acc = acc
-                            .checked_add(*x)
-                            .ok_or_else(|| PlanError { message: "overflow".into() })?;
+                        *acc = acc.checked_add(*x).ok_or_else(|| PlanError {
+                            message: "overflow".into(),
+                        })?;
                     }
                     (AggState::SumI(acc, _, _), SqlValue::I64(x)) => {
-                        *acc = acc
-                            .checked_add(*x as i128)
-                            .ok_or_else(|| PlanError { message: "overflow".into() })?;
+                        *acc = acc.checked_add(*x as i128).ok_or_else(|| PlanError {
+                            message: "overflow".into(),
+                        })?;
                     }
                     (AggState::SumI(acc, _, _), SqlValue::I32(x)) => {
-                        *acc = acc
-                            .checked_add(*x as i128)
-                            .ok_or_else(|| PlanError { message: "overflow".into() })?;
+                        *acc = acc.checked_add(*x as i128).ok_or_else(|| PlanError {
+                            message: "overflow".into(),
+                        })?;
                     }
                     (AggState::SumF(acc), SqlValue::F64(x)) => *acc += x,
                     _ => return err("sum type confusion"),
@@ -351,15 +377,9 @@ impl AggState {
             AggFunc::Avg(_) => {
                 let v = v.expect("avg has input");
                 match (&mut *self, &v) {
-                    (AggState::Empty, SqlValue::Decimal(x, s)) => {
-                        *self = AggState::AvgI(*x, *s, 1)
-                    }
-                    (AggState::Empty, SqlValue::I64(x)) => {
-                        *self = AggState::AvgI(*x as i128, 0, 1)
-                    }
-                    (AggState::Empty, SqlValue::I32(x)) => {
-                        *self = AggState::AvgI(*x as i128, 0, 1)
-                    }
+                    (AggState::Empty, SqlValue::Decimal(x, s)) => *self = AggState::AvgI(*x, *s, 1),
+                    (AggState::Empty, SqlValue::I64(x)) => *self = AggState::AvgI(*x as i128, 0, 1),
+                    (AggState::Empty, SqlValue::I32(x)) => *self = AggState::AvgI(*x as i128, 0, 1),
                     (AggState::Empty, SqlValue::F64(x)) => *self = AggState::AvgF(*x, 1),
                     (AggState::AvgI(acc, _, n), SqlValue::Decimal(x, _)) => {
                         *acc += x;
@@ -434,7 +454,9 @@ fn eval_expr(e: &Expr, schema: &Schema, row: &Row) -> Result<SqlValue, PlanError
             let i = schema
                 .iter()
                 .position(|(n, _)| n == name)
-                .ok_or_else(|| PlanError { message: format!("unknown column `{name}`") })?;
+                .ok_or_else(|| PlanError {
+                    message: format!("unknown column `{name}`"),
+                })?;
             row[i].clone()
         }
         Expr::LitI64(v) => V::I64(*v),
@@ -448,7 +470,9 @@ fn eval_expr(e: &Expr, schema: &Schema, row: &Row) -> Result<SqlValue, PlanError
             let (va, vb) = (eval_expr(a, schema, row)?, eval_expr(b, schema, row)?);
             match (&va, &vb) {
                 (V::Decimal(x, s1), V::Decimal(y, s2)) => {
-                    let overflow = || PlanError { message: "overflow".into() };
+                    let overflow = || PlanError {
+                        message: "overflow".into(),
+                    };
                     let (v, s) = match op {
                         ArithOp::Add => (x.checked_add(*y).ok_or_else(overflow)?, *s1),
                         ArithOp::Sub => (x.checked_sub(*y).ok_or_else(overflow)?, *s1),
@@ -472,7 +496,9 @@ fn eval_expr(e: &Expr, schema: &Schema, row: &Row) -> Result<SqlValue, PlanError
                 }),
                 _ => {
                     let (x, y) = (as_i64(&va)?, as_i64(&vb)?);
-                    let overflow = || PlanError { message: "overflow".into() };
+                    let overflow = || PlanError {
+                        message: "overflow".into(),
+                    };
                     V::I64(match op {
                         ArithOp::Add => x.checked_add(y).ok_or_else(overflow)?,
                         ArithOp::Sub => x.checked_sub(y).ok_or_else(overflow)?,
@@ -501,24 +527,22 @@ fn eval_expr(e: &Expr, schema: &Schema, row: &Row) -> Result<SqlValue, PlanError
             };
             V::Bool(r)
         }
-        Expr::And(a, b) => V::Bool(
-            truthy(&eval_expr(a, schema, row)?) && truthy(&eval_expr(b, schema, row)?),
-        ),
-        Expr::Or(a, b) => V::Bool(
-            truthy(&eval_expr(a, schema, row)?) || truthy(&eval_expr(b, schema, row)?),
-        ),
+        Expr::And(a, b) => {
+            V::Bool(truthy(&eval_expr(a, schema, row)?) && truthy(&eval_expr(b, schema, row)?))
+        }
+        Expr::Or(a, b) => {
+            V::Bool(truthy(&eval_expr(a, schema, row)?) || truthy(&eval_expr(b, schema, row)?))
+        }
         Expr::Not(a) => V::Bool(!truthy(&eval_expr(a, schema, row)?)),
         Expr::StrPrefix(a, b) => {
-            let (V::Str(x), V::Str(y)) =
-                (eval_expr(a, schema, row)?, eval_expr(b, schema, row)?)
+            let (V::Str(x), V::Str(y)) = (eval_expr(a, schema, row)?, eval_expr(b, schema, row)?)
             else {
                 return err("string predicate on non-strings");
             };
             V::Bool(x.starts_with(&y))
         }
         Expr::StrContains(a, b) => {
-            let (V::Str(x), V::Str(y)) =
-                (eval_expr(a, schema, row)?, eval_expr(b, schema, row)?)
+            let (V::Str(x), V::Str(y)) = (eval_expr(a, schema, row)?, eval_expr(b, schema, row)?)
             else {
                 return err("string predicate on non-strings");
             };

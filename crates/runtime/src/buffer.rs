@@ -17,7 +17,10 @@ pub struct TupleBuffer {
 impl TupleBuffer {
     /// Creates an empty buffer for rows of `row_size` bytes.
     pub fn new(row_size: usize) -> Self {
-        TupleBuffer { row_size, rows: Vec::new() }
+        TupleBuffer {
+            row_size,
+            rows: Vec::new(),
+        }
     }
 
     /// Row size in bytes.

@@ -43,7 +43,10 @@ pub fn hash_string(s: &RtString) -> u64 {
 
 /// Combines two hash values (for multi-column keys).
 pub fn hash_combine(a: u64, b: u64) -> u64 {
-    long_mul_fold(a.wrapping_mul(3).wrapping_add(b.rotate_right(17)), HASH_SEED1 | 1)
+    long_mul_fold(
+        a.wrapping_mul(3).wrapping_add(b.rotate_right(17)),
+        HASH_SEED1 | 1,
+    )
 }
 
 #[cfg(test)]
@@ -57,8 +60,7 @@ mod tests {
         assert_ne!(hash_u64(42), hash_u64(43));
         // Low bits must differ for consecutive keys (bucket selection).
         let mask = 0xFFFF;
-        let h: std::collections::HashSet<u64> =
-            (0..1000u64).map(|i| hash_u64(i) & mask).collect();
+        let h: std::collections::HashSet<u64> = (0..1000u64).map(|i| hash_u64(i) & mask).collect();
         assert!(h.len() > 800, "poor low-bit dispersion: {}", h.len());
     }
 

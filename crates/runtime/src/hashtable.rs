@@ -41,7 +41,11 @@ impl HashTable {
     /// Creates a table sized for roughly `estimate` entries.
     pub fn new(estimate: usize) -> Self {
         let cap = estimate.next_power_of_two().max(16);
-        HashTable { buckets: vec![0; cap], count: 0, mask: cap as u64 - 1 }
+        HashTable {
+            buckets: vec![0; cap],
+            count: 0,
+            mask: cap as u64 - 1,
+        }
     }
 
     /// Number of inserted entries.
@@ -173,7 +177,9 @@ mod tests {
         let mut reference: HashMap<u64, Vec<u64>> = HashMap::new();
         let mut x = 123456789u64;
         for i in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = x % 300;
             let p = ht.insert(&mut arena, hash_u64(key), 8);
             write_u64(p, i);

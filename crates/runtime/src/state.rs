@@ -94,8 +94,9 @@ pub mod rtfn {
     ];
 
     /// Argument slot counts by index.
-    pub const ARG_SLOTS: [usize; 24] =
-        [0, 1, 3, 1, 2, 1, 1, 1, 2, 2, 4, 4, 2, 4, 4, 4, 1, 4, 2, 2, 2, 2, 4, 4];
+    pub const ARG_SLOTS: [usize; 24] = [
+        0, 1, 3, 1, 2, 1, 1, 1, 2, 2, 4, 4, 2, 4, 4, 4, 1, 4, 2, 2, 2, 2, 4, 4,
+    ];
 }
 
 /// Resolves a runtime symbol name to its virtual address, for linkers.
@@ -117,8 +118,7 @@ fn i128_parts(v: i128) -> [u64; 2] {
 }
 
 /// Callback used by runtime functions that re-enter generated code.
-pub type CodeCallback<'a> =
-    dyn FnMut(&mut RuntimeState, u64, &[u64]) -> Result<u64, Trap> + 'a;
+pub type CodeCallback<'a> = dyn FnMut(&mut RuntimeState, u64, &[u64]) -> Result<u64, Trap> + 'a;
 
 /// All mutable runtime state of one query execution: the arena, hash
 /// tables, tuple buffers, and interned constants.
@@ -173,7 +173,10 @@ impl RuntimeState {
             rtfn::BUF_LEN => 3,
             rtfn::BUF_ROW => 4,
             rtfn::SORT => {
-                let n = self.buffers.get(args[0] as usize).map_or(0, TupleBuffer::len) as u64;
+                let n = self
+                    .buffers
+                    .get(args[0] as usize)
+                    .map_or(0, TupleBuffer::len) as u64;
                 40 + n * (64 - n.leading_zeros() as u64).max(1) * 10
             }
             rtfn::STR_EQ | rtfn::STR_LT => {
@@ -316,7 +319,9 @@ impl RuntimeState {
                 let s = RtString::from_parts(arg(0), arg(1));
                 let n = RtString::from_parts(arg(2), arg(3));
                 let found = n.is_empty()
-                    || s.as_slice().windows(n.len().max(1)).any(|w| w == n.as_slice());
+                    || s.as_slice()
+                        .windows(n.len().max(1))
+                        .any(|w| w == n.as_slice());
                 Ok([found as u64, 0])
             }
             rtfn::I128_DIV => {
@@ -352,14 +357,18 @@ impl RuntimeState {
                 Some(r) => Ok([r as u64, 0]),
                 None => Err(Trap::Overflow),
             },
-            rtfn::ADD128_OVF => match i128_from(arg(0), arg(1)).checked_add(i128_from(arg(2), arg(3))) {
-                Some(r) => Ok(i128_parts(r)),
-                None => Err(Trap::Overflow),
-            },
-            rtfn::SUB128_OVF => match i128_from(arg(0), arg(1)).checked_sub(i128_from(arg(2), arg(3))) {
-                Some(r) => Ok(i128_parts(r)),
-                None => Err(Trap::Overflow),
-            },
+            rtfn::ADD128_OVF => {
+                match i128_from(arg(0), arg(1)).checked_add(i128_from(arg(2), arg(3))) {
+                    Some(r) => Ok(i128_parts(r)),
+                    None => Err(Trap::Overflow),
+                }
+            }
+            rtfn::SUB128_OVF => {
+                match i128_from(arg(0), arg(1)).checked_sub(i128_from(arg(2), arg(3))) {
+                    Some(r) => Ok(i128_parts(r)),
+                    None => Err(Trap::Overflow),
+                }
+            }
             _ => Err(Trap::Runtime(0xFF)),
         }
     }
@@ -418,14 +427,30 @@ mod tests {
     fn overflow_and_div_traps() {
         let mut st = RuntimeState::new();
         let cb = &mut *no_callback();
-        assert_eq!(st.invoke(rtfn::THROW_OVERFLOW, &[], cb), Err(Trap::Overflow));
+        assert_eq!(
+            st.invoke(rtfn::THROW_OVERFLOW, &[], cb),
+            Err(Trap::Overflow)
+        );
         let max = i128_parts(i128::MAX);
         assert_eq!(
             st.invoke(rtfn::MUL128_OVF, &[max[0], max[1], 2, 0], cb),
             Err(Trap::Overflow)
         );
-        assert_eq!(st.invoke(rtfn::I128_DIV, &[1, 0, 0, 0], cb), Err(Trap::DivByZero));
-        let r = st.invoke(rtfn::I128_DIV, &i128_parts(-100).iter().chain(&i128_parts(7)).copied().collect::<Vec<_>>(), cb).unwrap();
+        assert_eq!(
+            st.invoke(rtfn::I128_DIV, &[1, 0, 0, 0], cb),
+            Err(Trap::DivByZero)
+        );
+        let r = st
+            .invoke(
+                rtfn::I128_DIV,
+                &i128_parts(-100)
+                    .iter()
+                    .chain(&i128_parts(7))
+                    .copied()
+                    .collect::<Vec<_>>(),
+                cb,
+            )
+            .unwrap();
         assert_eq!(i128_from(r[0], r[1]), -14);
     }
 
@@ -436,10 +461,26 @@ mod tests {
         let b = st.intern_string("a long string beyond twelve");
         let p = st.intern_string("a long");
         let cb = &mut *no_callback();
-        assert_eq!(st.invoke(rtfn::STR_EQ, &[a.lo, a.hi, b.lo, b.hi], cb).unwrap()[0], 1);
-        assert_eq!(st.invoke(rtfn::STR_PREFIX, &[a.lo, a.hi, p.lo, p.hi], cb).unwrap()[0], 1);
-        assert_eq!(st.invoke(rtfn::STR_LT, &[a.lo, a.hi, p.lo, p.hi], cb).unwrap()[0], 0);
-        assert_eq!(st.invoke(rtfn::STR_CONTAINS, &[a.lo, a.hi, p.lo, p.hi], cb).unwrap()[0], 1);
+        assert_eq!(
+            st.invoke(rtfn::STR_EQ, &[a.lo, a.hi, b.lo, b.hi], cb)
+                .unwrap()[0],
+            1
+        );
+        assert_eq!(
+            st.invoke(rtfn::STR_PREFIX, &[a.lo, a.hi, p.lo, p.hi], cb)
+                .unwrap()[0],
+            1
+        );
+        assert_eq!(
+            st.invoke(rtfn::STR_LT, &[a.lo, a.hi, p.lo, p.hi], cb)
+                .unwrap()[0],
+            0
+        );
+        assert_eq!(
+            st.invoke(rtfn::STR_CONTAINS, &[a.lo, a.hi, p.lo, p.hi], cb)
+                .unwrap()[0],
+            1
+        );
         let h1 = st.invoke(rtfn::STR_HASH, &[a.lo, a.hi], cb).unwrap()[0];
         let h2 = st.invoke(rtfn::STR_HASH, &[b.lo, b.hi], cb).unwrap()[0];
         assert_eq!(h1, h2);

@@ -124,7 +124,11 @@ mod tests {
         let mut a = Arena::new();
         let before = a.allocated();
         let s = RtString::new("hello", &mut a);
-        assert_eq!(a.allocated(), before, "no arena allocation for short strings");
+        assert_eq!(
+            a.allocated(),
+            before,
+            "no arena allocation for short strings"
+        );
         assert_eq!(s.len(), 5);
         assert_eq!(s.as_slice(), b"hello");
     }
@@ -167,7 +171,12 @@ mod tests {
     #[test]
     fn roundtrips_register_halves() {
         let mut a = Arena::new();
-        for text in ["", "hi", "exactly_12ch", "a significantly longer string value"] {
+        for text in [
+            "",
+            "hi",
+            "exactly_12ch",
+            "a significantly longer string value",
+        ] {
             let s = RtString::new(text, &mut a);
             let r = RtString::from_parts(s.lo, s.hi);
             assert_eq!(r.as_slice(), text.as_bytes());

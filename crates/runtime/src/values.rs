@@ -87,7 +87,10 @@ mod tests {
     fn checksums_distinguish_values_and_types() {
         assert_ne!(SqlValue::I64(1).checksum(), SqlValue::I64(2).checksum());
         assert_ne!(SqlValue::I64(1).checksum(), SqlValue::I32(1).checksum());
-        assert_ne!(SqlValue::Str("a".into()).checksum(), SqlValue::Str("b".into()).checksum());
+        assert_ne!(
+            SqlValue::Str("a".into()).checksum(),
+            SqlValue::Str("b".into()).checksum()
+        );
         assert_eq!(SqlValue::Null.checksum(), SqlValue::Null.checksum());
     }
 

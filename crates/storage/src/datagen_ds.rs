@@ -36,8 +36,14 @@ const CATEGORIES: [&str; 10] = [
     "Children",
     "Women",
 ];
-const CLASSES: [&str; 6] =
-    ["accent", "classical", "portable", "fragrance", "athletic", "reference"];
+const CLASSES: [&str; 6] = [
+    "accent",
+    "classical",
+    "portable",
+    "fragrance",
+    "athletic",
+    "reference",
+];
 const STATES: [&str; 8] = ["TN", "CA", "TX", "NY", "WA", "GA", "OH", "IL"];
 const CHANNELS: [&str; 2] = ["Y", "N"];
 
@@ -46,17 +52,15 @@ fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
 }
 
 fn strs(db: &mut Database, values: Vec<String>) -> Column {
-    Column::Str(values.iter().map(|s| RtString::new(s, &mut db.string_arena)).collect())
+    Column::Str(
+        values
+            .iter()
+            .map(|s| RtString::new(s, &mut db.string_arena))
+            .collect(),
+    )
 }
 
-fn sales_table(
-    db: &mut Database,
-    name: &str,
-    prefix: &str,
-    rows: usize,
-    seed: u64,
-    dims: &Dims,
-) {
+fn sales_table(db: &mut Database, name: &str, prefix: &str, rows: usize, seed: u64, dims: &Dims) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut item = Vec::with_capacity(rows);
     let mut cust = Vec::with_capacity(rows);
@@ -148,15 +152,22 @@ pub fn gen_dslike(sf: f64) -> Database {
             ("d_year", ColumnType::I32),
             ("d_moy", ColumnType::I32),
         ]),
-        vec![Column::I64(d_sk), Column::Date(d_date), Column::I32(d_year), Column::I32(d_moy)],
+        vec![
+            Column::I64(d_sk),
+            Column::Date(d_date),
+            Column::I32(d_year),
+            Column::I32(d_moy),
+        ],
     ));
 
     // item
     let mut rng = StdRng::seed_from_u64(0x4954_454d);
-    let i_cat: Vec<String> =
-        (0..dims.items).map(|_| pick(&mut rng, &CATEGORIES).to_string()).collect();
-    let i_class: Vec<String> =
-        (0..dims.items).map(|_| pick(&mut rng, &CLASSES).to_string()).collect();
+    let i_cat: Vec<String> = (0..dims.items)
+        .map(|_| pick(&mut rng, &CATEGORIES).to_string())
+        .collect();
+    let i_class: Vec<String> = (0..dims.items)
+        .map(|_| pick(&mut rng, &CLASSES).to_string())
+        .collect();
     let i_brand: Vec<String> = (0..dims.items)
         .map(|_| format!("corpbrand #{}", rng.gen_range(1..20)))
         .collect();
@@ -184,7 +195,9 @@ pub fn gen_dslike(sf: f64) -> Database {
 
     // customer_ds
     let mut rng = StdRng::seed_from_u64(0x4344_5343);
-    let c_birth: Vec<i32> = (0..dims.customers).map(|_| rng.gen_range(1930..2000)).collect();
+    let c_birth: Vec<i32> = (0..dims.customers)
+        .map(|_| rng.gen_range(1930..2000))
+        .collect();
     let c_pref: Vec<u8> = (0..dims.customers).map(|_| rng.gen_range(0..2)).collect();
     db.add_table(Table::new(
         "customer_ds",
@@ -202,19 +215,24 @@ pub fn gen_dslike(sf: f64) -> Database {
 
     // store
     let mut rng = StdRng::seed_from_u64(0x5354_4f52);
-    let s_state: Vec<String> =
-        (0..dims.stores).map(|_| pick(&mut rng, &STATES).to_string()).collect();
+    let s_state: Vec<String> = (0..dims.stores)
+        .map(|_| pick(&mut rng, &STATES).to_string())
+        .collect();
     let __strcol4 = strs(&mut db, s_state);
     db.add_table(Table::new(
         "store",
-        Schema::new(vec![("s_store_sk", ColumnType::I64), ("s_state", ColumnType::Str)]),
+        Schema::new(vec![
+            ("s_store_sk", ColumnType::I64),
+            ("s_state", ColumnType::Str),
+        ]),
         vec![Column::I64((0..dims.stores as i64).collect()), __strcol4],
     ));
 
     // promotion
     let mut rng = StdRng::seed_from_u64(0x5052_4f4d);
-    let p_email: Vec<String> =
-        (0..dims.promos).map(|_| pick(&mut rng, &CHANNELS).to_string()).collect();
+    let p_email: Vec<String> = (0..dims.promos)
+        .map(|_| pick(&mut rng, &CHANNELS).to_string())
+        .collect();
     let __strcol5 = strs(&mut db, p_email);
     db.add_table(Table::new(
         "promotion",

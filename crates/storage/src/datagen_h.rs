@@ -16,14 +16,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Names of the generated TPC-H-like tables.
-pub const H_TABLES: [&str; 7] =
-    ["lineitem", "orders", "customer", "part", "supplier", "nation", "region"];
+pub const H_TABLES: [&str; 7] = [
+    "lineitem", "orders", "customer", "part", "supplier", "nation", "region",
+];
 
 const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
 const LINE_STATUS: [&str; 2] = ["O", "F"];
 const SHIP_MODES: [&str; 7] = ["AIR", "SHIP", "TRUCK", "MAIL", "RAIL", "REG AIR", "FOB"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
 const TYPES: [&str; 6] = [
     "STANDARD BRASS",
@@ -35,9 +42,30 @@ const TYPES: [&str; 6] = [
 ];
 const CONTAINERS: [&str; 4] = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG"];
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
@@ -47,7 +75,12 @@ fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
 }
 
 fn strs(db: &mut Database, values: Vec<String>) -> Column {
-    Column::Str(values.iter().map(|s| RtString::new(s, &mut db.string_arena)).collect())
+    Column::Str(
+        values
+            .iter()
+            .map(|s| RtString::new(s, &mut db.string_arena))
+            .collect(),
+    )
 }
 
 /// Generates all TPC-H-like tables at scale factor `sf` into a fresh
@@ -64,7 +97,10 @@ pub fn gen_hlike(sf: f64) -> Database {
     let __strcol1 = strs(&mut db, REGIONS.iter().map(|s| s.to_string()).collect());
     db.add_table(Table::new(
         "region",
-        Schema::new(vec![("r_regionkey", ColumnType::I64), ("r_name", ColumnType::Str)]),
+        Schema::new(vec![
+            ("r_regionkey", ColumnType::I64),
+            ("r_name", ColumnType::Str),
+        ]),
         vec![Column::I64((0..5).collect()), __strcol1],
     ));
     let mut rng = StdRng::seed_from_u64(0x4e41_5449);
@@ -77,14 +113,22 @@ pub fn gen_hlike(sf: f64) -> Database {
             ("n_regionkey", ColumnType::I64),
             ("n_name", ColumnType::Str),
         ]),
-        vec![Column::I64((0..25).collect()), Column::I64(n_region), __strcol2],
+        vec![
+            Column::I64((0..25).collect()),
+            Column::I64(n_region),
+            __strcol2,
+        ],
     ));
 
     // supplier
     let mut rng = StdRng::seed_from_u64(0x5355_5050);
     let s_nation: Vec<i64> = (0..n_supplier).map(|_| rng.gen_range(0..25)).collect();
-    let s_bal: Vec<i128> = (0..n_supplier).map(|_| rng.gen_range(-99_999..999_999)).collect();
-    let s_names: Vec<String> = (0..n_supplier).map(|i| format!("Supplier#{i:09}")).collect();
+    let s_bal: Vec<i128> = (0..n_supplier)
+        .map(|_| rng.gen_range(-99_999..999_999))
+        .collect();
+    let s_names: Vec<String> = (0..n_supplier)
+        .map(|i| format!("Supplier#{i:09}"))
+        .collect();
     let __strcol3 = strs(&mut db, s_names);
     db.add_table(Table::new(
         "supplier",
@@ -105,13 +149,26 @@ pub fn gen_hlike(sf: f64) -> Database {
     // part
     let mut rng = StdRng::seed_from_u64(0x5041_5254);
     let p_size: Vec<i32> = (0..n_part).map(|_| rng.gen_range(1..=50)).collect();
-    let p_retail: Vec<i128> = (0..n_part).map(|_| rng.gen_range(90_000..200_000)).collect();
-    let p_brand: Vec<String> = (0..n_part).map(|_| pick(&mut rng, &BRANDS).to_string()).collect();
-    let p_type: Vec<String> = (0..n_part).map(|_| pick(&mut rng, &TYPES).to_string()).collect();
-    let p_container: Vec<String> =
-        (0..n_part).map(|_| pick(&mut rng, &CONTAINERS).to_string()).collect();
+    let p_retail: Vec<i128> = (0..n_part)
+        .map(|_| rng.gen_range(90_000..200_000))
+        .collect();
+    let p_brand: Vec<String> = (0..n_part)
+        .map(|_| pick(&mut rng, &BRANDS).to_string())
+        .collect();
+    let p_type: Vec<String> = (0..n_part)
+        .map(|_| pick(&mut rng, &TYPES).to_string())
+        .collect();
+    let p_container: Vec<String> = (0..n_part)
+        .map(|_| pick(&mut rng, &CONTAINERS).to_string())
+        .collect();
     let p_name: Vec<String> = (0..n_part)
-        .map(|i| format!("part {} {}", i, pick(&mut rng, &["olive", "misty", "navy", "hot"])))
+        .map(|i| {
+            format!(
+                "part {} {}",
+                i,
+                pick(&mut rng, &["olive", "misty", "navy", "hot"])
+            )
+        })
         .collect();
     let __strcol4 = strs(&mut db, p_brand);
     let __strcol5 = strs(&mut db, p_type);
@@ -142,10 +199,15 @@ pub fn gen_hlike(sf: f64) -> Database {
     // customer
     let mut rng = StdRng::seed_from_u64(0x4355_5354);
     let c_nation: Vec<i64> = (0..n_customer).map(|_| rng.gen_range(0..25)).collect();
-    let c_bal: Vec<i128> = (0..n_customer).map(|_| rng.gen_range(-99_999..999_999)).collect();
-    let c_seg: Vec<String> =
-        (0..n_customer).map(|_| pick(&mut rng, &SEGMENTS).to_string()).collect();
-    let c_name: Vec<String> = (0..n_customer).map(|i| format!("Customer#{i:09}")).collect();
+    let c_bal: Vec<i128> = (0..n_customer)
+        .map(|_| rng.gen_range(-99_999..999_999))
+        .collect();
+    let c_seg: Vec<String> = (0..n_customer)
+        .map(|_| pick(&mut rng, &SEGMENTS).to_string())
+        .collect();
+    let c_name: Vec<String> = (0..n_customer)
+        .map(|i| format!("Customer#{i:09}"))
+        .collect();
     let __strcol8 = strs(&mut db, c_seg);
     let __strcol9 = strs(&mut db, c_name);
     db.add_table(Table::new(
@@ -168,13 +230,19 @@ pub fn gen_hlike(sf: f64) -> Database {
 
     // orders
     let mut rng = StdRng::seed_from_u64(0x4f52_4445);
-    let o_cust: Vec<i64> = (0..n_orders).map(|_| rng.gen_range(0..n_customer as i64)).collect();
-    let o_total: Vec<i128> = (0..n_orders).map(|_| rng.gen_range(100_000..40_000_000)).collect();
+    let o_cust: Vec<i64> = (0..n_orders)
+        .map(|_| rng.gen_range(0..n_customer as i64))
+        .collect();
+    let o_total: Vec<i128> = (0..n_orders)
+        .map(|_| rng.gen_range(100_000..40_000_000))
+        .collect();
     let o_date: Vec<i32> = (0..n_orders).map(|_| rng.gen_range(8000..10400)).collect();
-    let o_status: Vec<String> =
-        (0..n_orders).map(|_| pick(&mut rng, &["O", "F", "P"]).to_string()).collect();
-    let o_prio: Vec<String> =
-        (0..n_orders).map(|_| pick(&mut rng, &PRIORITIES).to_string()).collect();
+    let o_status: Vec<String> = (0..n_orders)
+        .map(|_| pick(&mut rng, &["O", "F", "P"]).to_string())
+        .collect();
+    let o_prio: Vec<String> = (0..n_orders)
+        .map(|_| pick(&mut rng, &PRIORITIES).to_string())
+        .collect();
     let o_ship: Vec<i32> = (0..n_orders).map(|_| rng.gen_range(0..2)).collect();
     let __strcol10 = strs(&mut db, o_status);
     let __strcol11 = strs(&mut db, o_prio);
@@ -298,9 +366,10 @@ mod tests {
         let b = gen_hlike(0.05);
         let (ta, tb) = (a.table("lineitem").unwrap(), b.table("lineitem").unwrap());
         assert_eq!(ta.row_count(), tb.row_count());
-        if let (Column::Decimal(x), Column::Decimal(y)) =
-            (ta.column_by_name("l_extendedprice"), tb.column_by_name("l_extendedprice"))
-        {
+        if let (Column::Decimal(x), Column::Decimal(y)) = (
+            ta.column_by_name("l_extendedprice"),
+            tb.column_by_name("l_extendedprice"),
+        ) {
             assert_eq!(x, y);
         } else {
             panic!("wrong column type");

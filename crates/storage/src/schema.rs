@@ -58,7 +58,10 @@ impl Schema {
     /// Creates a schema from `(name, type)` pairs.
     pub fn new(columns: Vec<(&str, ColumnType)>) -> Self {
         Schema {
-            columns: columns.into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
         }
     }
 

@@ -108,7 +108,12 @@ impl Table {
         for (i, c) in columns.iter().enumerate() {
             assert_eq!(c.len(), rows, "column {i} length mismatch");
         }
-        Table { name: name.to_string(), schema, columns, rows }
+        Table {
+            name: name.to_string(),
+            schema,
+            columns,
+            rows,
+        }
     }
 
     /// Number of rows.
@@ -139,7 +144,10 @@ impl Table {
         let mut start = 0usize;
         while start < self.rows {
             let count = size.min(self.rows - start);
-            out.push(Morsel { start: start as u64, count: count as u64 });
+            out.push(Morsel {
+                start: start as u64,
+                count: count as u64,
+            });
             start += count;
         }
         if out.is_empty() {
@@ -226,7 +234,10 @@ mod tests {
     #[test]
     fn value_decoding() {
         let t = small_table();
-        assert_eq!(t.column(1).value(1, ColumnType::Decimal(2)), SqlValue::Decimal(200, 2));
+        assert_eq!(
+            t.column(1).value(1, ColumnType::Decimal(2)),
+            SqlValue::Decimal(200, 2)
+        );
         assert_eq!(t.column(2).value(0, ColumnType::Bool), SqlValue::Bool(true));
     }
 
@@ -234,7 +245,11 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn inconsistent_columns_panic() {
         let schema = Schema::new(vec![("a", ColumnType::I64), ("b", ColumnType::I64)]);
-        Table::new("bad", schema, vec![Column::I64(vec![1]), Column::I64(vec![1, 2])]);
+        Table::new(
+            "bad",
+            schema,
+            vec![Column::I64(vec![1]), Column::I64(vec![1, 2])],
+        );
     }
 
     #[test]

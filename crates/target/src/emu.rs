@@ -1,0 +1,701 @@
+//! The deterministic emulator and its cycle model.
+//!
+//! Compiled code never runs on the real CPU: the emulator interprets
+//! the linked [`CodeImage`] instruction by instruction, charging each
+//! one a fixed cost so that reported cycle counts are exactly
+//! reproducible across runs and machines (the paper's measurements
+//! need a stable denominator).
+//!
+//! Execution model:
+//!
+//! * **Registers** are 64-bit and canonical: narrow operations store
+//!   their result zero-extended, matching the interpreter tier
+//!   bit-for-bit so tiers can be swapped mid-query.
+//! * **Memory is host memory.** Loads and stores go straight through
+//!   raw pointers (guarded against the null page), so compiled code,
+//!   the interpreter tier, and the runtime share data structures by
+//!   passing real addresses. The emulated stack is a heap buffer whose
+//!   top is handed to the code in the ABI's stack-pointer register.
+//! * **Return addresses live on a shadow call stack** inside the
+//!   emulator, never in emulated memory — `call` pushes, `ret` pops,
+//!   and stack smashes cannot redirect control.
+//! * **Runtime helpers** occupy reserved virtual addresses
+//!   ([`runtime_addr`]). A `call`/`callind` landing in that range is
+//!   dispatched to the host through [`RuntimeDispatch`]; the host can
+//!   re-enter compiled code through [`Reentry`]. Control never falls
+//!   into the runtime range other than by a call.
+
+use crate::decode::{decode_inst, DecodedInst};
+use crate::image::CodeImage;
+use crate::isa::{AluOp, Cond, FaluOp, MemArg, Width};
+use std::fmt;
+
+/// Fixed cycle cost of crossing the code/runtime boundary, charged per
+/// runtime helper call on top of the helper's own modeled cost. The
+/// interpreter tier charges the same constant so tier comparisons are
+/// apples-to-apples.
+pub const CALL_DISPATCH_COST: u64 = 20;
+
+/// Base of the reserved virtual address range for runtime helpers.
+const RUNTIME_BASE: u64 = 0x7254_0000_0000;
+/// Address stride between runtime helper slots.
+const RUNTIME_SLOT: u64 = 16;
+/// Number of addressable runtime helper slots.
+const RUNTIME_MAX: u64 = 1 << 16;
+
+/// The reserved virtual address of runtime helper `index`, for linker
+/// resolvers. The emulator recognizes these addresses at call sites and
+/// dispatches to the host instead of fetching.
+pub fn runtime_addr(index: usize) -> u64 {
+    RUNTIME_BASE + index as u64 * RUNTIME_SLOT
+}
+
+/// Reverse of [`runtime_addr`]: the helper index if `addr` is a slot
+/// address in the runtime range.
+fn runtime_index(addr: u64) -> Option<usize> {
+    if (RUNTIME_BASE..RUNTIME_BASE + RUNTIME_MAX * RUNTIME_SLOT).contains(&addr)
+        && (addr - RUNTIME_BASE).is_multiple_of(RUNTIME_SLOT)
+    {
+        Some(((addr - RUNTIME_BASE) / RUNTIME_SLOT) as usize)
+    } else {
+        None
+    }
+}
+
+/// A fault raised by emulated code (or by a runtime helper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Signed arithmetic overflow (trapping ops, division overflow,
+    /// float-to-int out of range).
+    Overflow,
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Control transfer to an address that is neither in the image nor
+    /// a runtime helper slot.
+    BadJump(u64),
+    /// Memory access to a guarded address (the null page).
+    BadAccess(u64),
+    /// An `unreachable` marker was executed.
+    Unreachable,
+    /// The fuel budget ([`EmuOptions::fuel`]) was exhausted.
+    Fuel,
+    /// A runtime-helper-defined error code.
+    Runtime(u8),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Overflow => write!(f, "signed overflow"),
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::BadJump(a) => write!(f, "bad jump target {a:#x}"),
+            Trap::BadAccess(a) => write!(f, "bad memory access at {a:#x}"),
+            Trap::Unreachable => write!(f, "unreachable executed"),
+            Trap::Fuel => write!(f, "fuel exhausted"),
+            Trap::Runtime(c) => write!(f, "runtime error {c}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Deterministic execution counters, accumulated across calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Modeled cycles: per-instruction costs plus runtime helper costs.
+    pub cycles: u64,
+    /// Machine instructions executed (runtime helper calls count as
+    /// one).
+    pub insts: u64,
+}
+
+/// Emulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EmuOptions {
+    /// Maximum instructions per top-level [`Emulator::call`] (guards
+    /// against miscompiled infinite loops). Exhaustion raises
+    /// [`Trap::Fuel`].
+    pub fuel: u64,
+    /// Size in bytes of the emulated stack.
+    pub stack_size: usize,
+}
+
+impl Default for EmuOptions {
+    fn default() -> EmuOptions {
+        EmuOptions {
+            fuel: u64::MAX,
+            stack_size: 1 << 20,
+        }
+    }
+}
+
+/// The host side of the code/runtime boundary: maps helper indices to
+/// argument counts, models their cost, and executes them.
+pub trait RuntimeDispatch {
+    /// Number of 64-bit argument slots helper `index` consumes.
+    fn arg_slots(&self, index: usize) -> usize;
+
+    /// Modeled cycle cost of helper `index` with `args` (charged in
+    /// addition to [`CALL_DISPATCH_COST`]). Must be deterministic.
+    fn runtime_cost(&self, index: usize, args: &[u64]) -> u64;
+
+    /// Executes helper `index`. `reentry` lets the helper call back
+    /// into compiled code (function-pointer arguments such as
+    /// comparators).
+    fn call_runtime(
+        &mut self,
+        index: usize,
+        args: &[u64],
+        reentry: Reentry<'_>,
+    ) -> Result<[u64; 2], Trap>;
+}
+
+/// A capability handed to [`RuntimeDispatch::call_runtime`] that lets a
+/// runtime helper call back into compiled code mid-dispatch.
+pub struct Reentry<'a> {
+    emu: &'a mut Emulator,
+}
+
+impl Reentry<'_> {
+    /// Calls the compiled function at absolute address `addr` with
+    /// `args`, returning its first result register. The interrupted
+    /// activation's register file is saved and restored around the
+    /// nested one; the nested activation runs on the same stack, below
+    /// the current stack pointer, and shares the outer fuel budget.
+    ///
+    /// # Errors
+    /// Returns whatever [`Trap`] the nested code raises.
+    pub fn call(
+        &mut self,
+        host: &mut dyn RuntimeDispatch,
+        addr: u64,
+        args: &[u64],
+    ) -> Result<u64, Trap> {
+        let emu = &mut *self.emu;
+        let saved_regs = emu.regs;
+        let saved_fregs = emu.fregs;
+        let saved_flags = emu.flags;
+        let sp = emu.regs[emu.image.isa().abi().sp.index()];
+        let r = emu.run_activation(host, addr, args, sp);
+        emu.regs = saved_regs;
+        emu.fregs = saved_fregs;
+        emu.flags = saved_flags;
+        r.map(|rv| rv[0])
+    }
+}
+
+/// Condition-flag state (`unordered` is set by `fcmp` on NaN operands;
+/// while set, only [`Cond::Ne`] evaluates true).
+#[derive(Clone, Copy, Debug, Default)]
+struct Flags {
+    zf: bool,
+    sf: bool,
+    of: bool,
+    cf: bool,
+    unordered: bool,
+}
+
+fn eval_cond(c: Cond, f: Flags) -> bool {
+    if f.unordered {
+        return matches!(c, Cond::Ne);
+    }
+    match c {
+        Cond::Eq => f.zf,
+        Cond::Ne => !f.zf,
+        Cond::Lt => f.sf != f.of,
+        Cond::Le => f.zf || f.sf != f.of,
+        Cond::Gt => !f.zf && f.sf == f.of,
+        Cond::Ge => f.sf == f.of,
+        Cond::B => f.cf,
+        Cond::Be => f.cf || f.zf,
+        Cond::A => !f.cf && !f.zf,
+        Cond::Ae => !f.cf,
+        Cond::O => f.of,
+        Cond::No => !f.of,
+    }
+}
+
+fn sext(v: u64, w: Width) -> i64 {
+    let bits = w.bits();
+    ((v << (64 - bits)) as i64) >> (64 - bits)
+}
+
+fn read_mem(addr: u64, w: Width) -> Result<u64, Trap> {
+    if addr < 0x10000 {
+        return Err(Trap::BadAccess(addr));
+    }
+    // SAFETY: host-memory execution model (shared with the interpreter
+    // tier): emulated code addresses real allocations — the emulated
+    // stack, the linked image, and runtime-owned buffers.
+    unsafe {
+        Ok(match w {
+            Width::W8 => std::ptr::read_unaligned(addr as *const u8) as u64,
+            Width::W16 => std::ptr::read_unaligned(addr as *const u16) as u64,
+            Width::W32 => std::ptr::read_unaligned(addr as *const u32) as u64,
+            Width::W64 => std::ptr::read_unaligned(addr as *const u64),
+        })
+    }
+}
+
+fn write_mem(addr: u64, w: Width, v: u64) -> Result<(), Trap> {
+    if addr < 0x10000 {
+        return Err(Trap::BadAccess(addr));
+    }
+    // SAFETY: see `read_mem`.
+    unsafe {
+        match w {
+            Width::W8 => std::ptr::write_unaligned(addr as *mut u8, v as u8),
+            Width::W16 => std::ptr::write_unaligned(addr as *mut u16, v as u16),
+            Width::W32 => std::ptr::write_unaligned(addr as *mut u32, v as u32),
+            Width::W64 => std::ptr::write_unaligned(addr as *mut u64, v),
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic per-instruction cycle cost (Table III's machine-code
+/// row; loads are slower than stores, division dominates).
+fn inst_cost(inst: &DecodedInst) -> u64 {
+    use DecodedInst as I;
+    match inst {
+        I::Nop | I::MovRR { .. } | I::MovRI { .. } | I::MovK { .. } => 1,
+        I::Alu { op: AluOp::Mul, .. } | I::AluImm { op: AluOp::Mul, .. } => 3,
+        I::Alu { .. } | I::AluImm { .. } => 1,
+        I::MulFull { .. } => 4,
+        I::Crc32 { .. } => 1,
+        I::Div { .. } => 25,
+        I::Sext { .. } | I::Lea { .. } => 1,
+        I::Load { .. } | I::FLoad { .. } | I::Pop { .. } => 4,
+        I::Store { .. } | I::FStore { .. } | I::Push { .. } => 2,
+        I::Cmp { .. } | I::CmpImm { .. } | I::SetCc { .. } => 1,
+        I::Jcc { .. } | I::Jmp { .. } | I::JmpInd { .. } => 1,
+        I::Call { .. } | I::CallInd { .. } | I::Ret => 2,
+        I::Falu {
+            op: FaluOp::Div, ..
+        } => 10,
+        I::Falu { .. } => 2,
+        I::FCmp { .. } | I::FMov { .. } | I::FMovFromGpr { .. } | I::FMovToGpr { .. } => 1,
+        I::CvtSiToF { .. } | I::CvtFToSi { .. } => 3,
+        I::Trap { .. } => 1,
+    }
+}
+
+/// Executes linked machine code under the deterministic cycle model.
+#[derive(Debug)]
+pub struct Emulator {
+    image: CodeImage,
+    opts: EmuOptions,
+    stats: ExecStats,
+    stack: Vec<u8>,
+    regs: [u64; 32],
+    // f64 bit patterns
+    fregs: [u64; 16],
+    flags: Flags,
+    fuel: u64,
+}
+
+impl Emulator {
+    /// Creates an emulator for `image` with default options.
+    pub fn new(image: CodeImage) -> Emulator {
+        Emulator::with_options(image, EmuOptions::default())
+    }
+
+    /// Creates an emulator with explicit fuel and stack limits.
+    pub fn with_options(image: CodeImage, opts: EmuOptions) -> Emulator {
+        Emulator {
+            image,
+            opts,
+            stats: ExecStats::default(),
+            stack: vec![0u8; opts.stack_size.max(64)],
+            regs: [0; 32],
+            fregs: [0; 16],
+            flags: Flags::default(),
+            fuel: 0,
+        }
+    }
+
+    /// The linked image being executed.
+    pub fn image(&self) -> &CodeImage {
+        &self.image
+    }
+
+    /// Execution counters accumulated over all calls so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Calls function `name` with 64-bit argument slots, returning the
+    /// two ABI result registers. Resets the register file and the fuel
+    /// budget, then runs to the entry function's `ret`.
+    ///
+    /// # Errors
+    /// [`Trap::BadJump`]`(0)` if `name` is not defined in the image;
+    /// otherwise whatever the code raises.
+    pub fn call(
+        &mut self,
+        host: &mut dyn RuntimeDispatch,
+        name: &str,
+        args: &[u64],
+    ) -> Result<[u64; 2], Trap> {
+        let entry = self.image.addr_of(name).ok_or(Trap::BadJump(0))?;
+        self.fuel = self.opts.fuel;
+        self.regs = [0; 32];
+        self.fregs = [0; 16];
+        self.flags = Flags::default();
+        let top = self.stack.as_ptr() as u64 + self.stack.len() as u64;
+        self.run_activation(host, entry, args, top & !15)
+    }
+
+    /// Sets up the ABI state for one activation (argument registers,
+    /// stack arguments below `sp`) and runs it to completion.
+    fn run_activation(
+        &mut self,
+        host: &mut dyn RuntimeDispatch,
+        entry: u64,
+        args: &[u64],
+        sp: u64,
+    ) -> Result<[u64; 2], Trap> {
+        let abi = self.image.isa().abi();
+        let nreg = abi.arg_regs.len();
+        let mut sp = sp;
+        if args.len() > nreg {
+            let extra = args.len() - nreg;
+            sp -= ((extra * 8 + 15) & !15) as u64;
+            for (i, &a) in args[nreg..].iter().enumerate() {
+                write_mem(sp + 8 * i as u64, Width::W64, a)?;
+            }
+        }
+        for (i, &a) in args.iter().take(nreg).enumerate() {
+            self.regs[abi.arg_regs[i].index()] = a;
+        }
+        self.regs[abi.sp.index()] = sp;
+        self.exec(host, entry)?;
+        Ok([self.regs[abi.ret.index()], self.regs[abi.ret_hi.index()]])
+    }
+
+    /// The fetch/decode/execute loop for one activation. Returns when
+    /// a `ret` executes with this activation's shadow stack empty.
+    fn exec(&mut self, host: &mut dyn RuntimeDispatch, entry: u64) -> Result<(), Trap> {
+        use DecodedInst as I;
+        let isa = self.image.isa();
+        let abi = isa.abi();
+        let base = self.image.base();
+        let mut pc = entry;
+        let mut shadow: Vec<u64> = Vec::new();
+        loop {
+            let off = pc.wrapping_sub(base);
+            if off >= self.image.len() as u64 {
+                return Err(Trap::BadJump(pc));
+            }
+            if self.fuel == 0 {
+                return Err(Trap::Fuel);
+            }
+            self.fuel -= 1;
+            let (inst, len) = decode_inst(isa, self.image.bytes(), off as usize)
+                .map_err(|_| Trap::BadJump(pc))?;
+            let next = pc + len as u64;
+            self.stats.insts += 1;
+            self.stats.cycles += inst_cost(&inst);
+            pc = next;
+            match inst {
+                I::Nop => {}
+                I::MovRR { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
+                I::MovRI { dst, imm } => self.regs[dst.index()] = imm as u64,
+                I::MovK { dst, imm16, shift } => {
+                    let sh = 16 * (shift as u32 & 3);
+                    let r = &mut self.regs[dst.index()];
+                    *r = (*r & !(0xFFFFu64 << sh)) | (imm16 as u64) << sh;
+                }
+                I::Alu {
+                    op,
+                    width,
+                    set_flags,
+                    dst,
+                    src1,
+                    src2,
+                } => {
+                    let (x, y) = (self.regs[src1.index()], self.regs[src2.index()]);
+                    self.regs[dst.index()] = self.alu(op, width, set_flags, x, y)?;
+                }
+                I::AluImm {
+                    op,
+                    width,
+                    set_flags,
+                    dst,
+                    src1,
+                    imm,
+                } => {
+                    let x = self.regs[src1.index()];
+                    self.regs[dst.index()] = self.alu(op, width, set_flags, x, imm as u64)?;
+                }
+                I::MulFull {
+                    dst_lo,
+                    dst_hi,
+                    a,
+                    b,
+                } => {
+                    let p = (self.regs[a.index()] as u128) * (self.regs[b.index()] as u128);
+                    self.regs[dst_lo.index()] = p as u64;
+                    self.regs[dst_hi.index()] = (p >> 64) as u64;
+                }
+                I::Crc32 { dst, acc, data } => {
+                    self.regs[dst.index()] =
+                        crate::hash::crc32c_u64(self.regs[acc.index()], self.regs[data.index()]);
+                }
+                I::Div {
+                    signed,
+                    rem,
+                    width,
+                    dst,
+                    a,
+                    b,
+                } => {
+                    let (x, y) = (self.regs[a.index()], self.regs[b.index()]);
+                    self.regs[dst.index()] = div(signed, rem, width, x, y)?;
+                }
+                I::Sext { from, dst, src } => {
+                    self.regs[dst.index()] = sext(self.regs[src.index()], from) as u64;
+                }
+                I::Load { width, dst, mem } => {
+                    self.regs[dst.index()] = read_mem(self.addr(mem), width)?;
+                }
+                I::Store { width, src, mem } => {
+                    write_mem(self.addr(mem), width, self.regs[src.index()])?;
+                }
+                I::Lea { dst, mem } => self.regs[dst.index()] = self.addr(mem),
+                I::Cmp { width, a, b } => {
+                    let (x, y) = (self.regs[a.index()], self.regs[b.index()]);
+                    self.alu(AluOp::Sub, width, true, x, y)?;
+                }
+                I::CmpImm { width, a, imm } => {
+                    let x = self.regs[a.index()];
+                    self.alu(AluOp::Sub, width, true, x, imm as u64)?;
+                }
+                I::SetCc { cond, dst } => {
+                    self.regs[dst.index()] = eval_cond(cond, self.flags) as u64;
+                }
+                I::Jcc { cond, rel } => {
+                    if eval_cond(cond, self.flags) {
+                        pc = next.wrapping_add(rel as i64 as u64);
+                    }
+                }
+                I::Jmp { rel } => pc = next.wrapping_add(rel as i64 as u64),
+                I::JmpInd { reg } => pc = self.regs[reg.index()],
+                I::Call { rel } => {
+                    let target = next.wrapping_add(rel as i64 as u64);
+                    if let Some(r) = self.enter(host, target, &mut shadow, next)? {
+                        pc = r;
+                    }
+                }
+                I::CallInd { reg } => {
+                    let target = self.regs[reg.index()];
+                    if let Some(r) = self.enter(host, target, &mut shadow, next)? {
+                        pc = r;
+                    }
+                }
+                I::Ret => match shadow.pop() {
+                    Some(ret) => pc = ret,
+                    None => return Ok(()),
+                },
+                I::Push { src } => {
+                    let sp = self.regs[abi.sp.index()].wrapping_sub(8);
+                    self.regs[abi.sp.index()] = sp;
+                    write_mem(sp, Width::W64, self.regs[src.index()])?;
+                }
+                I::Pop { dst } => {
+                    let sp = self.regs[abi.sp.index()];
+                    self.regs[dst.index()] = read_mem(sp, Width::W64)?;
+                    self.regs[abi.sp.index()] = sp.wrapping_add(8);
+                }
+                I::Falu { op, dst, a, b } => {
+                    let x = f64::from_bits(self.fregs[a.index()]);
+                    let y = f64::from_bits(self.fregs[b.index()]);
+                    let r = match op {
+                        FaluOp::Add => x + y,
+                        FaluOp::Sub => x - y,
+                        FaluOp::Mul => x * y,
+                        FaluOp::Div => x / y,
+                    };
+                    self.fregs[dst.index()] = r.to_bits();
+                }
+                I::FCmp { a, b } => {
+                    let x = f64::from_bits(self.fregs[a.index()]);
+                    let y = f64::from_bits(self.fregs[b.index()]);
+                    self.flags = Flags {
+                        zf: x == y,
+                        sf: false,
+                        of: false,
+                        cf: x < y,
+                        unordered: x.is_nan() || y.is_nan(),
+                    };
+                }
+                I::FMov { dst, src } => self.fregs[dst.index()] = self.fregs[src.index()],
+                I::FMovFromGpr { dst, src } => {
+                    self.fregs[dst.index()] = self.regs[src.index()];
+                }
+                I::FMovToGpr { dst, src } => {
+                    self.regs[dst.index()] = self.fregs[src.index()];
+                }
+                I::CvtSiToF { dst, src } => {
+                    self.fregs[dst.index()] = ((self.regs[src.index()] as i64) as f64).to_bits();
+                }
+                I::CvtFToSi { dst, src } => {
+                    let f = f64::from_bits(self.fregs[src.index()]);
+                    if f.is_nan() || f <= -9.3e18 || f >= 9.3e18 {
+                        return Err(Trap::Overflow);
+                    }
+                    self.regs[dst.index()] = f.trunc() as i64 as u64;
+                }
+                I::FLoad { dst, mem } => {
+                    self.fregs[dst.index()] = read_mem(self.addr(mem), Width::W64)?;
+                }
+                I::FStore { src, mem } => {
+                    write_mem(self.addr(mem), Width::W64, self.fregs[src.index()])?;
+                }
+                I::Trap { code } => {
+                    return Err(match code {
+                        0 => Trap::Unreachable,
+                        1 => Trap::Overflow,
+                        c => Trap::Runtime(c),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Handles a call to `target`: runtime helpers are dispatched to
+    /// the host (returning `None`, execution continues at `ret_to`);
+    /// code targets push a shadow frame and return `Some(target)`.
+    fn enter(
+        &mut self,
+        host: &mut dyn RuntimeDispatch,
+        target: u64,
+        shadow: &mut Vec<u64>,
+        ret_to: u64,
+    ) -> Result<Option<u64>, Trap> {
+        if let Some(index) = runtime_index(target) {
+            let abi = self.image.isa().abi();
+            let slots = host.arg_slots(index);
+            let mut argv = Vec::with_capacity(slots);
+            let sp = self.regs[abi.sp.index()];
+            for i in 0..slots {
+                argv.push(match abi.arg_regs.get(i) {
+                    Some(r) => self.regs[r.index()],
+                    None => read_mem(sp + 8 * (i - abi.arg_regs.len()) as u64, Width::W64)?,
+                });
+            }
+            self.stats.cycles += CALL_DISPATCH_COST + host.runtime_cost(index, &argv);
+            let r = host.call_runtime(index, &argv, Reentry { emu: self })?;
+            let abi = self.image.isa().abi();
+            self.regs[abi.ret.index()] = r[0];
+            self.regs[abi.ret_hi.index()] = r[1];
+            Ok(None)
+        } else {
+            shadow.push(ret_to);
+            Ok(Some(target))
+        }
+    }
+
+    /// Effective address of a memory operand.
+    fn addr(&self, mem: MemArg) -> u64 {
+        let mut a = self.regs[mem.base.index()].wrapping_add(mem.disp as i64 as u64);
+        if let Some((idx, scale)) = mem.index {
+            a = a.wrapping_add(self.regs[idx.index()].wrapping_mul(scale as u64));
+        }
+        a
+    }
+
+    /// Executes one integer ALU operation at `width`, returning the
+    /// canonical (zero-extended) result and updating flags when
+    /// requested. Semantics match the interpreter tier exactly.
+    fn alu(&mut self, op: AluOp, w: Width, set_flags: bool, x: u64, y: u64) -> Result<u64, Trap> {
+        let mask = w.mask();
+        let bits = w.bits();
+        let (ux, uy) = (x & mask, y & mask);
+        let (sx, sy) = (sext(x, w), sext(y, w));
+        let wrap = |v: i64| (v as u64) & mask;
+        let cin = self.flags.cf as u64;
+        // (result, carry-out, signed-overflow)
+        let (r, cf, of) = match op {
+            AluOp::Add => {
+                let r = wrap(sx.wrapping_add(sy));
+                let carry = ux as u128 + uy as u128 > mask as u128;
+                let ovf = sx.checked_add(sy).is_none_or(|v| sext(wrap(v), w) != v);
+                (r, carry, ovf)
+            }
+            AluOp::Sub => {
+                let r = wrap(sx.wrapping_sub(sy));
+                let ovf = sx.checked_sub(sy).is_none_or(|v| sext(wrap(v), w) != v);
+                (r, ux < uy, ovf)
+            }
+            AluOp::Adc => {
+                let wide = ux as u128 + uy as u128 + cin as u128;
+                let r = wide as u64 & mask;
+                let sr = sext(r, w);
+                let full = sx as i128 + sy as i128 + cin as i128;
+                (r, wide > mask as u128, sr as i128 != full)
+            }
+            AluOp::Sbb => {
+                let wide = ux as i128 - uy as i128 - cin as i128;
+                let r = wide as u64 & mask;
+                let sr = sext(r, w);
+                let full = sx as i128 - sy as i128 - cin as i128;
+                (r, wide < 0, sr as i128 != full)
+            }
+            AluOp::Mul => {
+                let r = wrap(sx.wrapping_mul(sy));
+                let ovf = sx.checked_mul(sy).is_none_or(|v| sext(wrap(v), w) != v);
+                (r, ovf, ovf)
+            }
+            AluOp::And => (ux & uy, false, false),
+            AluOp::Or => (ux | uy, false, false),
+            AluOp::Xor => (ux ^ uy, false, false),
+            AluOp::Shl => ((ux << (y as u32 & (bits - 1))) & mask, false, false),
+            AluOp::Shr => (ux >> (y as u32 & (bits - 1)), false, false),
+            AluOp::Sar => (wrap(sx >> (y as u32 & (bits - 1))), false, false),
+            AluOp::Rotr => {
+                let amt = y as u32 & (bits - 1);
+                let r = if amt == 0 {
+                    ux
+                } else {
+                    ((ux >> amt) | (ux << (bits - amt))) & mask
+                };
+                (r, false, false)
+            }
+        };
+        if set_flags {
+            self.flags = Flags {
+                zf: r == 0,
+                sf: sext(r, w) < 0,
+                of,
+                cf,
+                unordered: false,
+            };
+        }
+        Ok(r)
+    }
+}
+
+fn div(signed: bool, rem: bool, w: Width, x: u64, y: u64) -> Result<u64, Trap> {
+    let mask = w.mask();
+    if signed {
+        let (sx, sy) = (sext(x, w), sext(y, w));
+        if sy == 0 {
+            return Err(Trap::DivByZero);
+        }
+        if rem {
+            Ok((sx.wrapping_rem(sy) as u64) & mask)
+        } else {
+            match sx.checked_div(sy) {
+                Some(q) if sext((q as u64) & mask, w) == q => Ok((q as u64) & mask),
+                _ => Err(Trap::Overflow),
+            }
+        }
+    } else {
+        let (ux, uy) = (x & mask, y & mask);
+        if uy == 0 {
+            return Err(Trap::DivByZero);
+        }
+        Ok(if rem { ux % uy } else { ux / uy })
+    }
+}

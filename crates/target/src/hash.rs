@@ -1,0 +1,40 @@
+//! The CRC-32C step shared by the `crc32` instruction, the emulator,
+//! and the runtime's hash-table helpers.
+
+const fn make_table() -> [u32; 256] {
+    // CRC-32C (Castagnoli), reflected polynomial.
+    const POLY: u32 = 0x82F6_3B78;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// One 8-byte CRC-32C step: feeds the little-endian bytes of `data`
+/// into the accumulator's low 32 bits and returns the new accumulator
+/// zero-extended (no pre/post inversion — chains compose directly).
+pub fn crc32c_u64(acc: u64, data: u64) -> u64 {
+    let mut crc = acc as u32;
+    let bytes = data.to_le_bytes();
+    let mut i = 0;
+    while i < 8 {
+        crc = (crc >> 8) ^ TABLE[((crc ^ bytes[i] as u32) & 0xFF) as usize];
+        i += 1;
+    }
+    crc as u64
+}

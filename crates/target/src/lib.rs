@@ -1,0 +1,51 @@
+//! `qc-target`: the synthetic target subsystem every back-end compiles
+//! against.
+//!
+//! The paper's compile-time comparison needs all frameworks to hit one
+//! deterministic target, so this crate defines two synthetic ISAs
+//! ([`Isa::Tx64`], [`Isa::Ta64`]), assemblers for both (the raw
+//! [`Tx64Assembler`] and the portable [`MacroAssembler`] behind
+//! [`new_masm`]), a decoder ([`decode_inst`]), an in-memory linker with
+//! PLT-style thunks and branch veneers ([`ImageBuilder`] →
+//! [`CodeImage`]), unwind registration ([`UnwindRegistry`]), and the
+//! cycle-counting emulator ([`Emulator`]) that executes linked images
+//! against a pluggable runtime ([`RuntimeDispatch`]).
+//!
+//! Layering: back-ends (crates `direct`, `clift`, `lvm`, `cgen`,
+//! `backend`) emit through the assemblers and link through
+//! [`ImageBuilder`]; the engine executes through [`Emulator`]; the
+//! interpreter tier shares [`Trap`], [`ExecStats`], [`crc32c_u64`], and
+//! the cost constants so the tiers agree bit-for-bit and
+//! cycle-for-cycle.
+
+#![deny(missing_docs)]
+
+mod decode;
+mod emu;
+mod hash;
+mod image;
+mod isa;
+mod masm;
+mod reloc;
+mod ta64;
+mod tx64;
+mod unwind;
+
+pub use decode::{decode_inst, DecodeError, DecodedInst};
+pub use emu::{
+    runtime_addr, EmuOptions, Emulator, ExecStats, Reentry, RuntimeDispatch, Trap,
+    CALL_DISPATCH_COST,
+};
+pub use hash::crc32c_u64;
+pub use image::{CodeImage, ImageBuilder, LinkError};
+pub use isa::{Abi, AluOp, Cond, FReg, FaluOp, Isa, MemArg, Reg, Width, TA64_ABI, TX64_ABI};
+pub use masm::{new_masm, MLabel, MacroAssembler};
+pub use reloc::{Reloc, RelocKind, SymbolRef};
+pub use ta64::Ta64Assembler;
+pub use tx64::{Tx64Assembler, TxLabel};
+pub use unwind::{UnwindEntry, UnwindRegistry};
+
+// Deterministic data generation (storage, workloads) seeds through the
+// same rand version this crate pins; re-exported so downstream crates
+// need no direct dependency.
+pub use rand::{Rng, SeedableRng};

@@ -1,0 +1,56 @@
+//! Relocations and symbol references recorded by the assemblers and
+//! resolved by [`crate::ImageBuilder::link`].
+
+/// A named reference to a function, data blob, or runtime symbol.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SymbolRef {
+    /// The symbol name (function name, data label, or `rt_*` runtime
+    /// helper).
+    pub name: String,
+}
+
+impl SymbolRef {
+    /// Creates a reference to `name`.
+    pub fn named(name: &str) -> SymbolRef {
+        SymbolRef {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// The patch format of a relocation site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelocKind {
+    /// TX64 `call rel32`: a signed 32-bit displacement relative to the
+    /// end of the 4-byte field. The whole instruction is 5 bytes; the
+    /// relocation offset points at the displacement field (opcode + 1).
+    Rel32,
+    /// TX64 `movabs` (or a 64-bit data slot): an absolute little-endian
+    /// 64-bit address. In code the instruction is 10 bytes and the
+    /// relocation offset points at the immediate (opcode + 2, with the
+    /// destination register byte directly before it).
+    Abs64,
+    /// TA64 `bl`: a signed 24-bit displacement in 4-byte words relative
+    /// to the end of the instruction word. The relocation offset points
+    /// at the instruction word itself.
+    Rel24Words,
+    /// TA64 `movz` + 3×`movk` absolute-address sequence (16 bytes). The
+    /// relocation offset points at the first word; the destination
+    /// register is bits `[20:16]` of that word.
+    MovSeqAbs64,
+}
+
+/// One relocation to patch at link time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reloc {
+    /// Byte offset of the patch field within the function (or data
+    /// blob) that carries the relocation. See [`RelocKind`] for what
+    /// the offset points at.
+    pub offset: usize,
+    /// Patch format.
+    pub kind: RelocKind,
+    /// Referenced symbol.
+    pub sym: SymbolRef,
+    /// Constant added to the resolved address.
+    pub addend: i64,
+}

@@ -1,0 +1,69 @@
+//! Unwind metadata: the DWARF-CFI stand-in that back-ends must emit
+//! for every function with calls (paper Sec. III-A).
+//!
+//! The paper measures unwind-table *generation* cost, not actual
+//! unwinding, so entries here carry just enough to be checkable: the
+//! covered code range, the fixed frame size, and whether the entry is
+//! synchronous-only (the cheaper DirectEmit flavour, Sec. VII-A2).
+
+use crate::image::CodeImage;
+
+/// Unwind description of one function (fixed-size frame model).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnwindEntry {
+    /// Start of the covered range, in bytes from the function start.
+    pub start: usize,
+    /// End (exclusive) of the covered range.
+    pub end: usize,
+    /// Fixed frame size in bytes (`sp` at entry minus `sp` in the
+    /// body).
+    pub frame_size: u32,
+    /// Whether the entry is valid only at call sites (synchronous
+    /// unwinding, the DirectEmit simplification) rather than at every
+    /// instruction.
+    pub synchronous_only: bool,
+}
+
+/// A process-wide registry mapping absolute addresses to the
+/// [`UnwindEntry`] covering them, mirroring `__register_frame`-style
+/// JIT unwind registration.
+#[derive(Debug, Default)]
+pub struct UnwindRegistry {
+    // (absolute start, absolute end, entry), sorted by start.
+    ranges: Vec<(u64, u64, UnwindEntry)>,
+}
+
+impl UnwindRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> UnwindRegistry {
+        UnwindRegistry::default()
+    }
+
+    /// Registers every unwind entry of a linked image at its absolute
+    /// load address.
+    pub fn register_image(&mut self, image: &CodeImage) {
+        for &(off, entry) in image.unwind_entries() {
+            let base = image.base() + off;
+            self.ranges
+                .push((base + entry.start as u64, base + entry.end as u64, entry));
+        }
+        self.ranges.sort_by_key(|&(start, _, _)| start);
+    }
+
+    /// Looks up the entry covering an absolute address.
+    pub fn lookup(&self, addr: u64) -> Option<&UnwindEntry> {
+        let idx = self.ranges.partition_point(|&(start, _, _)| start <= addr);
+        let &(start, end, ref entry) = self.ranges[..idx].last()?;
+        (addr >= start && addr < end).then_some(entry)
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}

@@ -51,7 +51,11 @@ impl Report {
     pub fn rows(&self) -> Vec<PhaseRow> {
         self.rows
             .iter()
-            .map(|(path, &(total, count))| PhaseRow { path: path.clone(), total, count })
+            .map(|(path, &(total, count))| PhaseRow {
+                path: path.clone(),
+                total,
+                count,
+            })
             .collect()
     }
 
@@ -82,7 +86,9 @@ impl Report {
         if total == 0.0 {
             return 0.0;
         }
-        self.total(path).map(|d| d.as_secs_f64() / total).unwrap_or(0.0)
+        self.total(path)
+            .map(|d| d.as_secs_f64() / total)
+            .unwrap_or(0.0)
     }
 
     /// Returns a new report containing only rows below `prefix` (exclusive),
@@ -108,7 +114,11 @@ impl Report {
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.grand_total();
-        writeln!(f, "{:<44} {:>12} {:>8} {:>8}", "phase", "total", "count", "%")?;
+        writeln!(
+            f,
+            "{:<44} {:>12} {:>8} {:>8}",
+            "phase", "total", "count", "%"
+        )?;
         for row in self.rows() {
             let pct = if total.is_zero() {
                 0.0
@@ -168,7 +178,10 @@ mod tests {
     fn rows_are_sorted_and_describe_depth() {
         let rows = report().rows();
         let paths: Vec<_> = rows.iter().map(|r| r.path.as_str()).collect();
-        assert_eq!(paths, vec!["isel", "regalloc", "regalloc/assign", "regalloc/liveness"]);
+        assert_eq!(
+            paths,
+            vec!["isel", "regalloc", "regalloc/assign", "regalloc/liveness"]
+        );
         assert_eq!(rows[3].depth(), 1);
         assert_eq!(rows[3].leaf(), "liveness");
     }

@@ -36,7 +36,10 @@ pub struct TimeTrace {
 impl TimeTrace {
     /// Creates an enabled trace.
     pub fn new() -> Self {
-        TimeTrace { data: Rc::default(), enabled: true }
+        TimeTrace {
+            data: Rc::default(),
+            enabled: true,
+        }
     }
 
     /// Creates a disabled trace: scopes become no-ops with near-zero cost.
@@ -45,7 +48,10 @@ impl TimeTrace {
     /// need breakdowns pass a disabled trace to avoid measurement overhead
     /// (the paper reports up to 2% overhead from time tracing).
     pub fn disabled() -> Self {
-        TimeTrace { data: Rc::default(), enabled: false }
+        TimeTrace {
+            data: Rc::default(),
+            enabled: false,
+        }
     }
 
     /// Returns whether this trace records timings.
@@ -57,10 +63,16 @@ impl TimeTrace {
     /// returned guard is dropped.
     pub fn scope(&self, name: &str) -> PhaseGuard {
         if !self.enabled {
-            return PhaseGuard { trace: None, start: None };
+            return PhaseGuard {
+                trace: None,
+                start: None,
+            };
         }
         self.data.borrow_mut().stack.push(name.to_string());
-        PhaseGuard { trace: Some(self.clone()), start: Some(Instant::now()) }
+        PhaseGuard {
+            trace: Some(self.clone()),
+            start: Some(Instant::now()),
+        }
     }
 
     /// Records a pre-measured duration under `name` (nested in the current
@@ -109,7 +121,11 @@ impl TimeTrace {
     /// Panics if called while scopes are still open.
     pub fn report(&self) -> Report {
         let data = self.data.borrow();
-        assert!(data.stack.is_empty(), "report() with open phase scopes: {:?}", data.stack);
+        assert!(
+            data.stack.is_empty(),
+            "report() with open phase scopes: {:?}",
+            data.stack
+        );
         Report::from_phases(
             data.phases
                 .iter()

@@ -6,7 +6,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const CATEGORIES: [&str; 10] = [
-    "Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Children",
+    "Books",
+    "Electronics",
+    "Home",
+    "Jewelry",
+    "Men",
+    "Music",
+    "Shoes",
+    "Sports",
+    "Children",
     "Women",
 ];
 const STATES: [&str; 8] = ["TN", "CA", "TX", "NY", "WA", "GA", "OH", "IL"];
@@ -17,14 +25,28 @@ struct Fact {
 }
 
 const FACTS: [Fact; 3] = [
-    Fact { table: "store_sales", prefix: "ss" },
-    Fact { table: "catalog_sales", prefix: "cs" },
-    Fact { table: "web_sales", prefix: "ws" },
+    Fact {
+        table: "store_sales",
+        prefix: "ss",
+    },
+    Fact {
+        table: "catalog_sales",
+        prefix: "cs",
+    },
+    Fact {
+        table: "web_sales",
+        prefix: "ws",
+    },
 ];
 
 /// Builds the 103 deterministic TPC-DS-shaped queries.
 pub fn dslike_suite() -> Vec<BenchQuery> {
-    (0..103).map(|i| BenchQuery { name: format!("DS{i:03}"), plan: gen_query(i) }).collect()
+    (0..103)
+        .map(|i| BenchQuery {
+            name: format!("DS{i:03}"),
+            plan: gen_query(i),
+        })
+        .collect()
 }
 
 #[allow(clippy::too_many_lines)]
@@ -71,7 +93,8 @@ fn gen_query(index: usize) -> PlanNode {
         let pick = dims.remove(rng.gen_range(0..dims.len()));
         match pick {
             0 => {
-                let mut dim = PlanNode::scan("item", &["i_item_sk", "i_category", "i_current_price"]);
+                let mut dim =
+                    PlanNode::scan("item", &["i_item_sk", "i_category", "i_current_price"]);
                 if rng.gen_bool(0.5) {
                     let cat = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
                     dim = dim.filter(col("i_category").eq(lit_str(cat)));
@@ -94,25 +117,22 @@ fn gen_query(index: usize) -> PlanNode {
                 group_candidates.push("s_state".into());
             }
             3 => {
-                let mut dim =
-                    PlanNode::scan("customer_ds", &["c_customer_sk", "c_birth_year", "c_preferred"]);
+                let mut dim = PlanNode::scan(
+                    "customer_ds",
+                    &["c_customer_sk", "c_birth_year", "c_preferred"],
+                );
                 if rng.gen_bool(0.4) {
                     dim = dim.filter(col("c_birth_year").lt(lit_i32(1975)));
                 }
-                plan = plan.hash_join(
-                    dim,
-                    &[&cust_sk],
-                    &["c_customer_sk"],
-                    &["c_birth_year"],
-                );
+                plan = plan.hash_join(dim, &[&cust_sk], &["c_customer_sk"], &["c_birth_year"]);
                 group_candidates.push("c_birth_year".into());
             }
             _ => {
-                let dim = PlanNode::scan("promotion", &["p_promo_sk", "p_channel_email"])
-                    .filter(col("p_channel_email").eq(lit_str(STATES[0])).or(col(
-                        "p_channel_email",
-                    )
-                    .eq(lit_str("Y"))));
+                let dim = PlanNode::scan("promotion", &["p_promo_sk", "p_channel_email"]).filter(
+                    col("p_channel_email")
+                        .eq(lit_str(STATES[0]))
+                        .or(col("p_channel_email").eq(lit_str("Y"))),
+                );
                 plan = plan.hash_join(dim, &[&promo_sk], &["p_promo_sk"], &["p_channel_email"]);
                 group_candidates.push("p_channel_email".into());
             }
@@ -122,12 +142,18 @@ fn gen_query(index: usize) -> PlanNode {
     // Computed revenue column (decimal arithmetic with overflow checks).
     plan = plan.map(vec![(
         "margin",
-        col(&ext).mul(lit_dec(100, 2)).sub(col(&cost).mul(lit_dec(100, 2))),
+        col(&ext)
+            .mul(lit_dec(100, 2))
+            .sub(col(&cost).mul(lit_dec(100, 2))),
     )]);
 
     // Aggregation.
     let nkeys = rng.gen_range(1..=group_candidates.len().min(2));
-    let keys: Vec<&str> = group_candidates.iter().take(nkeys).map(String::as_str).collect();
+    let keys: Vec<&str> = group_candidates
+        .iter()
+        .take(nkeys)
+        .map(String::as_str)
+        .collect();
     let mut aggs: Vec<(&str, AggFunc)> = vec![("n", AggFunc::CountStar)];
     if rng.gen_bool(0.9) {
         aggs.push(("total_ext", AggFunc::Sum(col(&ext))));
@@ -152,7 +178,11 @@ fn gen_query(index: usize) -> PlanNode {
         for k in &keys {
             sort_keys.push((k, true));
         }
-        let limit = if rng.gen_bool(0.5) { Some(rng.gen_range(5..50)) } else { None };
+        let limit = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(5..50))
+        } else {
+            None
+        };
         plan = plan.sort(&sort_keys, limit);
     }
 

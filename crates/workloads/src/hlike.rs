@@ -4,7 +4,10 @@ use crate::BenchQuery;
 use qc_plan::{col, lit_dec, lit_i32, lit_str, AggFunc, PlanNode};
 
 fn q(name: &str, plan: PlanNode) -> BenchQuery {
-    BenchQuery { name: name.to_string(), plan }
+    BenchQuery {
+        name: name.to_string(),
+        plan,
+    }
 }
 
 /// Builds the 22 TPC-H-shaped queries.
@@ -19,12 +22,20 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
         "H01",
         PlanNode::scan_filtered(
             "lineitem",
-            &["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax"],
+            &[
+                "l_returnflag",
+                "l_linestatus",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_tax",
+            ],
             col("l_shipdate").le(lit_i32(10_300)),
         )
-        .map(vec![
-            ("disc_price", col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount")))),
-        ])
+        .map(vec![(
+            "disc_price",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )])
         .map(vec![(
             "charge",
             col("disc_price").mul(lit_dec(10_000, 4).add(col("l_tax").mul(lit_dec(100, 2)))),
@@ -51,36 +62,43 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
             &["l_orderkey", "l_extendedprice", "l_discount"],
             col("l_shipdate").gt(lit_i32(9_200)),
         )
+        .hash_join(
+            PlanNode::scan(
+                "orders",
+                &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+            )
+            .filter(col("o_orderdate").lt(lit_i32(9_200)))
             .hash_join(
-                PlanNode::scan("orders", &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"])
-                    .filter(col("o_orderdate").lt(lit_i32(9_200)))
-                    .hash_join(
-                        PlanNode::scan("customer", &["c_custkey", "c_mktsegment"])
-                            .filter(col("c_mktsegment").eq(lit_str("BUILDING"))),
-                        &["o_custkey"],
-                        &["c_custkey"],
-                        &[],
-                    ),
-                &["l_orderkey"],
-                &["o_orderkey"],
-                &["o_orderdate", "o_shippriority"],
-            )
-            .map(vec![(
-                "rev",
-                col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
-            )])
-            .group_by(
-                &["l_orderkey", "o_orderdate", "o_shippriority"],
-                vec![("revenue", AggFunc::Sum(col("rev")))],
-            )
-            .sort(&[("revenue", false), ("l_orderkey", true)], Some(10)),
+                PlanNode::scan("customer", &["c_custkey", "c_mktsegment"])
+                    .filter(col("c_mktsegment").eq(lit_str("BUILDING"))),
+                &["o_custkey"],
+                &["c_custkey"],
+                &[],
+            ),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            &["o_orderdate", "o_shippriority"],
+        )
+        .map(vec![(
+            "rev",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )])
+        .group_by(
+            &["l_orderkey", "o_orderdate", "o_shippriority"],
+            vec![("revenue", AggFunc::Sum(col("rev")))],
+        )
+        .sort(&[("revenue", false), ("l_orderkey", true)], Some(10)),
     ));
 
     // H04: order priority checking.
     out.push(q(
         "H04",
         PlanNode::scan("orders", &["o_orderpriority", "o_orderdate"])
-            .filter(col("o_orderdate").ge(lit_i32(9_000)).and(col("o_orderdate").lt(lit_i32(9_090))))
+            .filter(
+                col("o_orderdate")
+                    .ge(lit_i32(9_000))
+                    .and(col("o_orderdate").lt(lit_i32(9_090))),
+            )
             .group_by(&["o_orderpriority"], vec![("n", AggFunc::CountStar)])
             .sort(&[("o_orderpriority", true)], None),
     ));
@@ -88,38 +106,41 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
     // H05: local supplier volume — long join chain.
     out.push(q(
         "H05",
-        PlanNode::scan("lineitem", &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"])
-            .hash_join(
-                PlanNode::scan("orders", &["o_orderkey", "o_orderdate"])
-                    .filter(col("o_orderdate").lt(lit_i32(9_500))),
-                &["l_orderkey"],
-                &["o_orderkey"],
+        PlanNode::scan(
+            "lineitem",
+            &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+        )
+        .hash_join(
+            PlanNode::scan("orders", &["o_orderkey", "o_orderdate"])
+                .filter(col("o_orderdate").lt(lit_i32(9_500))),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            &[],
+        )
+        .hash_join(
+            PlanNode::scan("supplier", &["s_suppkey", "s_nationkey"]),
+            &["l_suppkey"],
+            &["s_suppkey"],
+            &["s_nationkey"],
+        )
+        .hash_join(
+            PlanNode::scan("nation", &["n_nationkey", "n_name", "n_regionkey"]).hash_join(
+                PlanNode::scan("region", &["r_regionkey", "r_name"])
+                    .filter(col("r_name").eq(lit_str("ASIA"))),
+                &["n_regionkey"],
+                &["r_regionkey"],
                 &[],
-            )
-            .hash_join(
-                PlanNode::scan("supplier", &["s_suppkey", "s_nationkey"]),
-                &["l_suppkey"],
-                &["s_suppkey"],
-                &["s_nationkey"],
-            )
-            .hash_join(
-                PlanNode::scan("nation", &["n_nationkey", "n_name", "n_regionkey"]).hash_join(
-                    PlanNode::scan("region", &["r_regionkey", "r_name"])
-                        .filter(col("r_name").eq(lit_str("ASIA"))),
-                    &["n_regionkey"],
-                    &["r_regionkey"],
-                    &[],
-                ),
-                &["s_nationkey"],
-                &["n_nationkey"],
-                &["n_name"],
-            )
-            .map(vec![(
-                "rev",
-                col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
-            )])
-            .group_by(&["n_name"], vec![("revenue", AggFunc::Sum(col("rev")))])
-            .sort(&[("revenue", false), ("n_name", true)], None),
+            ),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            &["n_name"],
+        )
+        .map(vec![(
+            "rev",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )])
+        .group_by(&["n_name"], vec![("revenue", AggFunc::Sum(col("rev")))])
+        .sort(&[("revenue", false), ("n_name", true)], None),
     ));
 
     // H06: forecasting revenue change — pure filter + aggregate.
@@ -135,36 +156,52 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
                 .and(col("l_discount").le(lit_dec(7, 2)))
                 .and(col("l_quantity").lt(lit_dec(2_400, 2))),
         )
-            .map(vec![("rev", col("l_extendedprice").mul(col("l_discount")))])
-            .group_by(&[], vec![("revenue", AggFunc::Sum(col("rev"))), ("n", AggFunc::CountStar)]),
+        .map(vec![("rev", col("l_extendedprice").mul(col("l_discount")))])
+        .group_by(
+            &[],
+            vec![
+                ("revenue", AggFunc::Sum(col("rev"))),
+                ("n", AggFunc::CountStar),
+            ],
+        ),
     ));
 
     // H07..H22: systematic H-shaped variants.
     out.push(q(
         "H07",
-        PlanNode::scan("lineitem", &["l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"])
-            .filter(col("l_shipdate").ge(lit_i32(9_100)).and(col("l_shipdate").le(lit_i32(9_800))))
-            .hash_join(
-                PlanNode::scan("supplier", &["s_suppkey", "s_nationkey"]),
-                &["l_suppkey"],
-                &["s_suppkey"],
-                &["s_nationkey"],
-            )
-            .hash_join(
-                PlanNode::scan("nation", &["n_nationkey", "n_name"]),
-                &["s_nationkey"],
-                &["n_nationkey"],
-                &["n_name"],
-            )
-            .map(vec![(
-                "vol",
-                col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
-            )])
-            .group_by(
-                &["n_name", "l_shipdate"],
-                vec![("revenue", AggFunc::Sum(col("vol")))],
-            )
-            .sort(&[("revenue", false), ("n_name", true), ("l_shipdate", true)], Some(20)),
+        PlanNode::scan(
+            "lineitem",
+            &["l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        )
+        .filter(
+            col("l_shipdate")
+                .ge(lit_i32(9_100))
+                .and(col("l_shipdate").le(lit_i32(9_800))),
+        )
+        .hash_join(
+            PlanNode::scan("supplier", &["s_suppkey", "s_nationkey"]),
+            &["l_suppkey"],
+            &["s_suppkey"],
+            &["s_nationkey"],
+        )
+        .hash_join(
+            PlanNode::scan("nation", &["n_nationkey", "n_name"]),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            &["n_name"],
+        )
+        .map(vec![(
+            "vol",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )])
+        .group_by(
+            &["n_name", "l_shipdate"],
+            vec![("revenue", AggFunc::Sum(col("vol")))],
+        )
+        .sort(
+            &[("revenue", false), ("n_name", true), ("l_shipdate", true)],
+            Some(20),
+        ),
     ));
 
     out.push(q(
@@ -186,61 +223,72 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
 
     out.push(q(
         "H09",
-        PlanNode::scan("lineitem", &["l_partkey", "l_suppkey", "l_extendedprice", "l_quantity"])
-            .hash_join(
-                PlanNode::scan("part", &["p_partkey", "p_name"])
-                    .filter(col("p_name").contains(lit_str("olive"))),
-                &["l_partkey"],
-                &["p_partkey"],
-                &[],
-            )
-            .hash_join(
-                PlanNode::scan("supplier", &["s_suppkey", "s_nationkey"]),
-                &["l_suppkey"],
-                &["s_suppkey"],
-                &["s_nationkey"],
-            )
-            .hash_join(
-                PlanNode::scan("nation", &["n_nationkey", "n_name"]),
-                &["s_nationkey"],
-                &["n_nationkey"],
-                &["n_name"],
-            )
-            .group_by(
-                &["n_name"],
-                vec![
-                    ("total", AggFunc::Sum(col("l_extendedprice"))),
-                    ("qty", AggFunc::Sum(col("l_quantity"))),
-                ],
-            )
-            .sort(&[("n_name", true)], None),
+        PlanNode::scan(
+            "lineitem",
+            &["l_partkey", "l_suppkey", "l_extendedprice", "l_quantity"],
+        )
+        .hash_join(
+            PlanNode::scan("part", &["p_partkey", "p_name"])
+                .filter(col("p_name").contains(lit_str("olive"))),
+            &["l_partkey"],
+            &["p_partkey"],
+            &[],
+        )
+        .hash_join(
+            PlanNode::scan("supplier", &["s_suppkey", "s_nationkey"]),
+            &["l_suppkey"],
+            &["s_suppkey"],
+            &["s_nationkey"],
+        )
+        .hash_join(
+            PlanNode::scan("nation", &["n_nationkey", "n_name"]),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            &["n_name"],
+        )
+        .group_by(
+            &["n_name"],
+            vec![
+                ("total", AggFunc::Sum(col("l_extendedprice"))),
+                ("qty", AggFunc::Sum(col("l_quantity"))),
+            ],
+        )
+        .sort(&[("n_name", true)], None),
     ));
 
     out.push(q(
         "H10",
-        PlanNode::scan("lineitem", &["l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"])
-            .filter(col("l_returnflag").eq(lit_str("R")))
-            .hash_join(
-                PlanNode::scan("orders", &["o_orderkey", "o_custkey"]),
-                &["l_orderkey"],
-                &["o_orderkey"],
-                &["o_custkey"],
-            )
-            .hash_join(
-                PlanNode::scan("customer", &["c_custkey", "c_name", "c_acctbal"]),
-                &["o_custkey"],
-                &["c_custkey"],
-                &["c_name", "c_acctbal"],
-            )
-            .map(vec![(
-                "rev",
-                col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
-            )])
-            .group_by(
-                &["c_name", "c_acctbal"],
-                vec![("revenue", AggFunc::Sum(col("rev")))],
-            )
-            .sort(&[("revenue", false), ("c_name", true)], Some(20)),
+        PlanNode::scan(
+            "lineitem",
+            &[
+                "l_orderkey",
+                "l_extendedprice",
+                "l_discount",
+                "l_returnflag",
+            ],
+        )
+        .filter(col("l_returnflag").eq(lit_str("R")))
+        .hash_join(
+            PlanNode::scan("orders", &["o_orderkey", "o_custkey"]),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            &["o_custkey"],
+        )
+        .hash_join(
+            PlanNode::scan("customer", &["c_custkey", "c_name", "c_acctbal"]),
+            &["o_custkey"],
+            &["c_custkey"],
+            &["c_name", "c_acctbal"],
+        )
+        .map(vec![(
+            "rev",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )])
+        .group_by(
+            &["c_name", "c_acctbal"],
+            vec![("revenue", AggFunc::Sum(col("rev")))],
+        )
+        .sort(&[("revenue", false), ("c_name", true)], Some(20)),
     ));
 
     out.push(q(
@@ -262,24 +310,27 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
 
     out.push(q(
         "H12",
-        PlanNode::scan("lineitem", &["l_orderkey", "l_shipmode", "l_receiptdate", "l_commitdate"])
-            .filter(
-                col("l_shipmode")
-                    .eq(lit_str("MAIL"))
-                    .or(col("l_shipmode").eq(lit_str("SHIP")))
-                    .and(col("l_commitdate").lt(col("l_receiptdate"))),
-            )
-            .hash_join(
-                PlanNode::scan("orders", &["o_orderkey", "o_orderpriority"]),
-                &["l_orderkey"],
-                &["o_orderkey"],
-                &["o_orderpriority"],
-            )
-            .group_by(
-                &["l_shipmode", "o_orderpriority"],
-                vec![("n", AggFunc::CountStar)],
-            )
-            .sort(&[("l_shipmode", true), ("o_orderpriority", true)], None),
+        PlanNode::scan(
+            "lineitem",
+            &["l_orderkey", "l_shipmode", "l_receiptdate", "l_commitdate"],
+        )
+        .filter(
+            col("l_shipmode")
+                .eq(lit_str("MAIL"))
+                .or(col("l_shipmode").eq(lit_str("SHIP")))
+                .and(col("l_commitdate").lt(col("l_receiptdate"))),
+        )
+        .hash_join(
+            PlanNode::scan("orders", &["o_orderkey", "o_orderpriority"]),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            &["o_orderpriority"],
+        )
+        .group_by(
+            &["l_shipmode", "o_orderpriority"],
+            vec![("n", AggFunc::CountStar)],
+        )
+        .sort(&[("l_shipmode", true), ("o_orderpriority", true)], None),
     ));
 
     out.push(q(
@@ -292,44 +343,72 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
 
     out.push(q(
         "H14",
-        PlanNode::scan("lineitem", &["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"])
-            .filter(col("l_shipdate").ge(lit_i32(9_100)).and(col("l_shipdate").lt(lit_i32(9_131))))
-            .hash_join(
-                PlanNode::scan("part", &["p_partkey", "p_type"]),
-                &["l_partkey"],
-                &["p_partkey"],
-                &["p_type"],
-            )
-            .map(vec![(
-                "rev",
-                col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
-            )])
-            .group_by(&["p_type"], vec![("revenue", AggFunc::Sum(col("rev"))), ("n", AggFunc::CountStar)])
-            .sort(&[("p_type", true)], None),
+        PlanNode::scan(
+            "lineitem",
+            &["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        )
+        .filter(
+            col("l_shipdate")
+                .ge(lit_i32(9_100))
+                .and(col("l_shipdate").lt(lit_i32(9_131))),
+        )
+        .hash_join(
+            PlanNode::scan("part", &["p_partkey", "p_type"]),
+            &["l_partkey"],
+            &["p_partkey"],
+            &["p_type"],
+        )
+        .map(vec![(
+            "rev",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )])
+        .group_by(
+            &["p_type"],
+            vec![
+                ("revenue", AggFunc::Sum(col("rev"))),
+                ("n", AggFunc::CountStar),
+            ],
+        )
+        .sort(&[("p_type", true)], None),
     ));
 
     out.push(q(
         "H15",
-        PlanNode::scan("lineitem", &["l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"])
-            .filter(col("l_shipdate").ge(lit_i32(9_700)))
-            .map(vec![(
-                "rev",
-                col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
-            )])
-            .group_by(&["l_suppkey"], vec![("total_rev", AggFunc::Sum(col("rev")))])
-            .sort(&[("total_rev", false), ("l_suppkey", true)], Some(1)),
+        PlanNode::scan(
+            "lineitem",
+            &["l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        )
+        .filter(col("l_shipdate").ge(lit_i32(9_700)))
+        .map(vec![(
+            "rev",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )])
+        .group_by(
+            &["l_suppkey"],
+            vec![("total_rev", AggFunc::Sum(col("rev")))],
+        )
+        .sort(&[("total_rev", false), ("l_suppkey", true)], Some(1)),
     ));
 
     out.push(q(
         "H16",
         PlanNode::scan("part", &["p_brand", "p_type", "p_size"])
-            .filter(col("p_brand").ne(lit_str("Brand#33")).and(col("p_size").lt(lit_i32(26))))
+            .filter(
+                col("p_brand")
+                    .ne(lit_str("Brand#33"))
+                    .and(col("p_size").lt(lit_i32(26))),
+            )
             .group_by(
                 &["p_brand", "p_type", "p_size"],
                 vec![("n", AggFunc::CountStar)],
             )
             .sort(
-                &[("n", false), ("p_brand", true), ("p_type", true), ("p_size", true)],
+                &[
+                    ("n", false),
+                    ("p_brand", true),
+                    ("p_type", true),
+                    ("p_size", true),
+                ],
                 Some(25),
             ),
     ));
@@ -338,12 +417,11 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
         "H17",
         PlanNode::scan("lineitem", &["l_partkey", "l_quantity", "l_extendedprice"])
             .hash_join(
-                PlanNode::scan("part", &["p_partkey", "p_brand", "p_container"])
-                    .filter(
-                        col("p_brand")
-                            .eq(lit_str("Brand#22"))
-                            .and(col("p_container").eq(lit_str("MED BOX"))),
-                    ),
+                PlanNode::scan("part", &["p_partkey", "p_brand", "p_container"]).filter(
+                    col("p_brand")
+                        .eq(lit_str("Brand#22"))
+                        .and(col("p_container").eq(lit_str("MED BOX"))),
+                ),
                 &["l_partkey"],
                 &["p_partkey"],
                 &[],
@@ -362,7 +440,10 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
     out.push(q(
         "H18",
         PlanNode::scan("lineitem", &["l_orderkey", "l_quantity"])
-            .group_by(&["l_orderkey"], vec![("sum_qty", AggFunc::Sum(col("l_quantity")))])
+            .group_by(
+                &["l_orderkey"],
+                vec![("sum_qty", AggFunc::Sum(col("l_quantity")))],
+            )
             .filter(col("sum_qty").gt(lit_dec(20_000, 2)))
             .hash_join(
                 PlanNode::scan("orders", &["o_orderkey", "o_custkey", "o_totalprice"]),
@@ -375,24 +456,30 @@ pub fn hlike_suite() -> Vec<BenchQuery> {
 
     out.push(q(
         "H19",
-        PlanNode::scan("lineitem", &["l_partkey", "l_quantity", "l_extendedprice", "l_discount"])
-            .hash_join(
-                PlanNode::scan("part", &["p_partkey", "p_container", "p_size"])
-                    .filter(col("p_size").ge(lit_i32(1)).and(col("p_size").le(lit_i32(15)))),
-                &["l_partkey"],
-                &["p_partkey"],
-                &["p_container"],
-            )
-            .filter(
-                col("l_quantity")
-                    .ge(lit_dec(100, 2))
-                    .and(col("l_quantity").le(lit_dec(3_000, 2))),
-            )
-            .map(vec![(
-                "rev",
-                col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
-            )])
-            .group_by(&[], vec![("revenue", AggFunc::Sum(col("rev")))]),
+        PlanNode::scan(
+            "lineitem",
+            &["l_partkey", "l_quantity", "l_extendedprice", "l_discount"],
+        )
+        .hash_join(
+            PlanNode::scan("part", &["p_partkey", "p_container", "p_size"]).filter(
+                col("p_size")
+                    .ge(lit_i32(1))
+                    .and(col("p_size").le(lit_i32(15))),
+            ),
+            &["l_partkey"],
+            &["p_partkey"],
+            &["p_container"],
+        )
+        .filter(
+            col("l_quantity")
+                .ge(lit_dec(100, 2))
+                .and(col("l_quantity").le(lit_dec(3_000, 2))),
+        )
+        .map(vec![(
+            "rev",
+            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+        )])
+        .group_by(&[], vec![("revenue", AggFunc::Sum(col("rev")))]),
     ));
 
     out.push(q(

@@ -59,8 +59,8 @@ mod tests {
         let suite = dslike_suite();
         assert_eq!(suite.len(), 103);
         for q in &suite {
-            let rows = reference::execute(&q.plan, &db)
-                .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            let rows =
+                reference::execute(&q.plan, &db).unwrap_or_else(|e| panic!("{}: {e}", q.name));
             let _ = rows;
         }
     }

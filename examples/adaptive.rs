@@ -15,7 +15,10 @@ fn main() {
     for (label, expected_executions) in [("one-shot query", 1), ("hot recurring query", 500)] {
         let query = qc_workloads::hlike_suite().remove(0); // H01
         let prepared = engine.prepare(&query.plan, &query.name).expect("prepare");
-        let policy = AdaptiveExecution { expected_executions, ..Default::default() };
+        let policy = AdaptiveExecution {
+            expected_executions,
+            ..Default::default()
+        };
         let (result, outcome) = policy
             .run(&engine, &prepared, cheap.as_ref(), optimized.as_ref())
             .expect("adaptive run");

@@ -25,7 +25,11 @@ fn main() {
     for isa in [Isa::Tx64, Isa::Ta64] {
         for backend in backends::all_for(isa) {
             let mut compiled = engine
-                .compile(&prepared, backend.as_ref(), &qc_timing::TimeTrace::disabled())
+                .compile(
+                    &prepared,
+                    backend.as_ref(),
+                    &qc_timing::TimeTrace::disabled(),
+                )
                 .expect("compile");
             let result = engine.execute(&prepared, &mut compiled).expect("execute");
             println!(

@@ -16,8 +16,14 @@ fn main() {
 
     for backend in [backends::lvm_opt(Isa::Tx64), backends::clift(Isa::Tx64)] {
         let trace = TimeTrace::new();
-        let _ = engine.compile(&prepared, backend.as_ref(), &trace).expect("compile");
-        println!("== {} phase breakdown for {} ==", backend.name(), query.name);
+        let _ = engine
+            .compile(&prepared, backend.as_ref(), &trace)
+            .expect("compile");
+        println!(
+            "== {} phase breakdown for {} ==",
+            backend.name(),
+            query.name
+        );
         print!("{}", trace.report().render());
         println!("(measurement events: {})\n", trace.event_count());
     }

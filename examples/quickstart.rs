@@ -13,17 +13,28 @@ fn main() {
 
     // SELECT l_returnflag, sum(l_extendedprice * (1 - l_discount)), count(*)
     // FROM lineitem WHERE l_quantity < 30 GROUP BY l_returnflag
-    let plan = PlanNode::scan("lineitem", &["l_returnflag", "l_extendedprice", "l_discount", "l_quantity"])
-        .filter(col("l_quantity").lt(lit_dec(3_000, 2)))
-        .map(vec![(
-            "rev",
-            col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
-        )])
-        .group_by(
-            &["l_returnflag"],
-            vec![("revenue", AggFunc::Sum(col("rev"))), ("n", AggFunc::CountStar)],
-        )
-        .sort(&[("l_returnflag", true)], None);
+    let plan = PlanNode::scan(
+        "lineitem",
+        &[
+            "l_returnflag",
+            "l_extendedprice",
+            "l_discount",
+            "l_quantity",
+        ],
+    )
+    .filter(col("l_quantity").lt(lit_dec(3_000, 2)))
+    .map(vec![(
+        "rev",
+        col("l_extendedprice").mul(lit_dec(100, 2).sub(col("l_discount"))),
+    )])
+    .group_by(
+        &["l_returnflag"],
+        vec![
+            ("revenue", AggFunc::Sum(col("rev"))),
+            ("n", AggFunc::CountStar),
+        ],
+    )
+    .sort(&[("l_returnflag", true)], None);
 
     for backend in [backends::interpreter(), backends::direct_emit()] {
         let result = engine.run(&plan, backend.as_ref()).expect("query runs");

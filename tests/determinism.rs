@@ -38,7 +38,12 @@ fn results_are_isa_independent() {
     let suite = qc_workloads::hlike_suite();
     for &i in &[2usize, 5, 16] {
         let q = &suite[i];
-        for make in [backends::clift, backends::lvm_cheap, backends::lvm_opt, backends::cgen] {
+        for make in [
+            backends::clift,
+            backends::lvm_cheap,
+            backends::lvm_opt,
+            backends::cgen,
+        ] {
             let tx = engine.run(&q.plan, make(Isa::Tx64).as_ref()).expect("tx64");
             let ta = engine.run(&q.plan, make(Isa::Ta64).as_ref()).expect("ta64");
             assert_eq!(
@@ -61,9 +66,15 @@ fn interpreter_costs_more_cycles_than_compiled_code() {
     let engine = Engine::new(&db);
     let suite = qc_workloads::hlike_suite();
     let q = &suite[0]; // H01 shape: big scan + aggregation
-    let interp = engine.run(&q.plan, backends::interpreter().as_ref()).expect("interp");
-    let direct = engine.run(&q.plan, backends::direct_emit().as_ref()).expect("direct");
-    let clift = engine.run(&q.plan, backends::clift(Isa::Tx64).as_ref()).expect("clift");
+    let interp = engine
+        .run(&q.plan, backends::interpreter().as_ref())
+        .expect("interp");
+    let direct = engine
+        .run(&q.plan, backends::direct_emit().as_ref())
+        .expect("direct");
+    let clift = engine
+        .run(&q.plan, backends::clift(Isa::Tx64).as_ref())
+        .expect("clift");
     assert!(
         interp.exec_stats.cycles > direct.exec_stats.cycles,
         "interpreter ({}) not slower than DirectEmit ({})",
@@ -115,5 +126,8 @@ fn data_generators_are_seed_stable() {
     let backend = backends::interpreter();
     let ra = engine_a.run(&q.plan, backend.as_ref()).expect("a");
     let rb = engine_b.run(&q.plan, backend.as_ref()).expect("b");
-    assert_eq!(reference::normalize(&ra.rows), reference::normalize(&rb.rows));
+    assert_eq!(
+        reference::normalize(&ra.rows),
+        reference::normalize(&rb.rows)
+    );
 }

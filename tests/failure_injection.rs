@@ -49,7 +49,8 @@ fn binop_module(op: Opcode) -> Module {
 fn call_on(backend: &dyn Backend, m: &Module, x: i64, y: i64) -> Result<u64, Trap> {
     let mut exe = backend.compile(m, &TimeTrace::disabled()).expect("compile");
     let mut state = RuntimeState::new();
-    exe.call(&mut state, "f", &[x as u64, y as u64]).map(|r| r[0])
+    exe.call(&mut state, "f", &[x as u64, y as u64])
+        .map(|r| r[0])
 }
 
 #[test]
@@ -67,8 +68,8 @@ fn unknown_table_is_a_plan_error() {
 fn unknown_column_is_a_plan_error() {
     let db = qc_storage::gen_hlike(0.01);
     let engine = Engine::new(&db);
-    let plan = PlanNode::scan("lineitem", &["l_orderkey"])
-        .filter(col("no_such_column").gt(lit_i64(0)));
+    let plan =
+        PlanNode::scan("lineitem", &["l_orderkey"]).filter(col("no_such_column").gt(lit_i64(0)));
     match engine.prepare(&plan, "q") {
         Err(EngineError::Plan(_)) => {}
         other => panic!("expected plan error, got {other:?}"),
@@ -80,7 +81,11 @@ fn signed_overflow_traps_on_every_backend() {
     let m = binop_module(Opcode::SAddTrap);
     for backend in all_backends() {
         let r = call_on(backend.as_ref(), &m, i64::MAX, 1);
-        assert!(r.is_err(), "{}: expected overflow trap, got {r:?}", backend.name());
+        assert!(
+            r.is_err(),
+            "{}: expected overflow trap, got {r:?}",
+            backend.name()
+        );
         // Non-overflowing inputs must still succeed.
         let ok = call_on(backend.as_ref(), &m, 40, 2);
         assert_eq!(ok, Ok(42), "{}", backend.name());
@@ -92,8 +97,17 @@ fn signed_mul_overflow_traps_on_every_backend() {
     let m = binop_module(Opcode::SMulTrap);
     for backend in all_backends() {
         let r = call_on(backend.as_ref(), &m, i64::MAX / 2, 3);
-        assert!(r.is_err(), "{}: expected overflow trap, got {r:?}", backend.name());
-        assert_eq!(call_on(backend.as_ref(), &m, -6, -7), Ok(42), "{}", backend.name());
+        assert!(
+            r.is_err(),
+            "{}: expected overflow trap, got {r:?}",
+            backend.name()
+        );
+        assert_eq!(
+            call_on(backend.as_ref(), &m, -6, -7),
+            Ok(42),
+            "{}",
+            backend.name()
+        );
     }
 }
 
@@ -102,8 +116,17 @@ fn division_by_zero_traps_on_every_backend() {
     let m = binop_module(Opcode::SDiv);
     for backend in all_backends() {
         let r = call_on(backend.as_ref(), &m, 42, 0);
-        assert!(r.is_err(), "{}: expected div-by-zero trap, got {r:?}", backend.name());
-        assert_eq!(call_on(backend.as_ref(), &m, -84, -2), Ok(42), "{}", backend.name());
+        assert!(
+            r.is_err(),
+            "{}: expected div-by-zero trap, got {r:?}",
+            backend.name()
+        );
+        assert_eq!(
+            call_on(backend.as_ref(), &m, -84, -2),
+            Ok(42),
+            "{}",
+            backend.name()
+        );
     }
 }
 
@@ -113,7 +136,11 @@ fn int_min_division_overflow_traps_on_every_backend() {
     let m = binop_module(Opcode::SDiv);
     for backend in all_backends() {
         let r = call_on(backend.as_ref(), &m, i64::MIN, -1);
-        assert!(r.is_err(), "{}: expected overflow trap, got {r:?}", backend.name());
+        assert!(
+            r.is_err(),
+            "{}: expected overflow trap, got {r:?}",
+            backend.name()
+        );
     }
 }
 
@@ -129,8 +156,13 @@ fn fuel_guard_stops_runaway_code_on_both_isas() {
         let mut ib = ImageBuilder::new(isa);
         ib.add_function("spin", code, relocs);
         let image = ib.link(&|_| None).expect("link");
-        let mut emu =
-            Emulator::with_options(image, EmuOptions { fuel: 1_000, stack_size: 1 << 16 });
+        let mut emu = Emulator::with_options(
+            image,
+            EmuOptions {
+                fuel: 1_000,
+                stack_size: 1 << 16,
+            },
+        );
         match emu.call(&mut NoRuntime, "spin", &[]) {
             Err(Trap::Fuel) => {}
             other => panic!("{isa:?}: expected fuel trap, got {other:?}"),

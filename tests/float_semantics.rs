@@ -100,7 +100,9 @@ fn float_to_int_roundtrip() {
     m.push_function(b.finish());
     qc_ir::verify_module(&m).expect("verify");
     for backend in all_backends() {
-        let mut exe = backend.compile(&m, &TimeTrace::disabled()).expect("compile");
+        let mut exe = backend
+            .compile(&m, &TimeTrace::disabled())
+            .expect("compile");
         let mut state = RuntimeState::new();
         for x in [0i64, 14, -100, 1 << 20] {
             let got = exe

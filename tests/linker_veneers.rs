@@ -3,9 +3,7 @@
 //! direct branch range and the linker has to synthesize a thunk
 //! (TA64's ±1 MiB branch range — AArch64 veneer territory).
 
-use qc_target::{
-    new_masm, Emulator, ImageBuilder, Isa, Reentry, RuntimeDispatch, SymbolRef, Trap,
-};
+use qc_target::{new_masm, Emulator, ImageBuilder, Isa, Reentry, RuntimeDispatch, SymbolRef, Trap};
 
 struct NoRuntime;
 impl RuntimeDispatch for NoRuntime {
@@ -71,7 +69,10 @@ fn far_call_goes_through_a_synthesized_veneer() {
         let image = ib.link(&|_| None).expect("link");
         // The linked image must be at least pad + both functions; on TA64
         // the thunk adds code beyond the original functions.
-        assert!(image.len() >= (2 << 20) + before, "{isa:?}: image too small");
+        assert!(
+            image.len() >= (2 << 20) + before,
+            "{isa:?}: image too small"
+        );
         assert_eq!(run(image, "caller"), 4242, "{isa:?}");
     }
 }

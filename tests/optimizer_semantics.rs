@@ -109,7 +109,9 @@ fn run_interp(f: Function, x: i64, y: i64) -> Result<u64, String> {
     m.push_function(f);
     qc_ir::verify_module(&m).map_err(|e| format!("verify: {e}"))?;
     let backend = qc_interp::InterpBackend::new();
-    let mut exe = backend.compile(&m, &TimeTrace::disabled()).map_err(|e| e.to_string())?;
+    let mut exe = backend
+        .compile(&m, &TimeTrace::disabled())
+        .map_err(|e| e.to_string())?;
     let mut state = RuntimeState::new();
     exe.call(&mut state, "f", &[x as u64, y as u64])
         .map(|r| r[0])
@@ -189,7 +191,10 @@ fn licm_hoists_invariant_work_out_of_the_loop() {
     let opt = pass_licm(&f);
     let count_in = |f: &Function| -> usize {
         // Loop header is the (only) block with a phi; count its insts.
-        f.blocks().map(|b| f.block_insts(b).len()).max().unwrap_or(0)
+        f.blocks()
+            .map(|b| f.block_insts(b).len())
+            .max()
+            .unwrap_or(0)
     };
     assert!(
         count_in(&opt) < count_in(&f),

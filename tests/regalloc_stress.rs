@@ -57,7 +57,9 @@ fn forty_eight_simultaneously_live_values() {
     m.push_function(b.finish());
 
     let model = |x: i64, y: i64| -> i64 {
-        (0..N).map(|i| (x.wrapping_mul(i + 1)) ^ y).fold(0i64, i64::wrapping_add)
+        (0..N)
+            .map(|i| (x.wrapping_mul(i + 1)) ^ y)
+            .fold(0i64, i64::wrapping_add)
     };
     for (x, y) in [(3i64, 5i64), (-7, 1 << 40), (i64::MAX / 3, -1)] {
         run_all(&m, &[x as u64, y as u64], model(x, y) as u64);
@@ -103,13 +105,15 @@ fn live_i128_pairs_under_pressure() {
 
     let model = |x: i64, y: i64| -> u64 {
         let (wx, wy) = (i128::from(x), i128::from(y));
-        let acc = (0..N)
-            .map(|i| wx * i128::from(i + 3) + wy)
-            .sum::<i128>();
+        let acc = (0..N).map(|i| wx * i128::from(i + 3) + wy).sum::<i128>();
         let hi = acc / (1i128 << 64);
         (acc as u64) ^ (hi as u64)
     };
-    for (x, y) in [(1_000_000_007i64, -13i64), (-1, 1), (i64::MAX / 5, i64::MIN / 7)] {
+    for (x, y) in [
+        (1_000_000_007i64, -13i64),
+        (-1, 1),
+        (i64::MAX / 5, i64::MIN / 7),
+    ] {
         run_all(&m, &[x as u64, y as u64], model(x, y));
     }
 }
@@ -148,7 +152,9 @@ fn values_live_across_runtime_calls() {
     m.push_function(b.finish());
 
     let model = |x: i64, y: i64| -> i64 {
-        (0..20i64).map(|i| x.wrapping_mul(i + 17)).fold(y, i64::wrapping_add)
+        (0..20i64)
+            .map(|i| x.wrapping_mul(i + 17))
+            .fold(y, i64::wrapping_add)
     };
     for (x, y) in [(11i64, 300i64), (-2, 9)] {
         run_all(&m, &[x as u64, y as u64], model(x, y) as u64);

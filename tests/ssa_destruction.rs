@@ -139,8 +139,18 @@ fn phi_rotate3_loop() {
             c = nc;
         }
     };
-    for (a0, b0, n) in [(1i64, 2i64, 1i64), (1, 2, 2), (1, 2, 3), (1, 2, 4), (5, -6, 9)] {
-        run_all(&m, &[a0 as u64, b0 as u64, n as u64], model(a0, b0, n) as u64);
+    for (a0, b0, n) in [
+        (1i64, 2i64, 1i64),
+        (1, 2, 2),
+        (1, 2, 3),
+        (1, 2, 4),
+        (5, -6, 9),
+    ] {
+        run_all(
+            &m,
+            &[a0 as u64, b0 as u64, n as u64],
+            model(a0, b0, n) as u64,
+        );
     }
 }
 

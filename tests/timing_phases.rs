@@ -22,7 +22,11 @@ fn assert_phases(report: &qc_timing::Report, backend: &str, expect: &[&str]) {
         assert!(
             report.total(phase).is_some(),
             "{backend}: phase `{phase}` missing; recorded phases: {:?}",
-            report.rows().iter().map(|r| r.path.clone()).collect::<Vec<_>>()
+            report
+                .rows()
+                .iter()
+                .map(|r| r.path.clone())
+                .collect::<Vec<_>>()
         );
     }
 }
@@ -55,11 +59,20 @@ fn direct_emit_phases_match_figure5() {
     assert_phases(
         &r,
         "DirectEmit",
-        &["analysis", "analysis/liveness", "analysis/cfg", "codegen", "link"],
+        &[
+            "analysis",
+            "analysis/liveness",
+            "analysis/cfg",
+            "codegen",
+            "link",
+        ],
     );
     assert_fractions_sum(&r, "DirectEmit");
     // Figure 5's headline: liveness dominates the analysis pass.
-    let liveness = r.total("analysis/liveness").expect("liveness").as_secs_f64();
+    let liveness = r
+        .total("analysis/liveness")
+        .expect("liveness")
+        .as_secs_f64();
     let analysis = r.total("analysis").expect("analysis").as_secs_f64();
     assert!(
         liveness > 0.5 * analysis,
@@ -86,13 +99,20 @@ fn lvm_cheap_phases_match_figure2() {
     assert_fractions_sum(&r, "LVM-cheap");
     // The paper's surprise: the AsmPrinter is a visible fraction even in
     // cheap mode.
-    assert!(r.fraction("asmprinter") > 0.05, "AsmPrinter fraction too small");
+    assert!(
+        r.fraction("asmprinter") > 0.05,
+        "AsmPrinter fraction too small"
+    );
 }
 
 #[test]
 fn lvm_opt_runs_the_pass_pipeline() {
     let r = trace_for(backends::lvm_opt(Isa::Tx64).as_ref());
-    assert_phases(&r, "LVM-opt", &["irgen", "isel", "regalloc", "asmprinter", "link"]);
+    assert_phases(
+        &r,
+        "LVM-opt",
+        &["irgen", "isel", "regalloc", "asmprinter", "link"],
+    );
     assert_fractions_sum(&r, "LVM-opt");
 }
 
@@ -102,7 +122,16 @@ fn cgen_phases_match_table1() {
     assert_phases(
         &r,
         "GCC/C",
-        &["cgen", "io", "cc1_parse", "cc1_gimplify", "cc1_optimize", "cc1_codegen", "as", "ld"],
+        &[
+            "cgen",
+            "io",
+            "cc1_parse",
+            "cc1_gimplify",
+            "cc1_optimize",
+            "cc1_codegen",
+            "as",
+            "ld",
+        ],
     );
     assert_fractions_sum(&r, "GCC/C");
     // Table I: the compiler proper dominates; the linker is small.

@@ -1,0 +1,7 @@
+//! Offline placeholder for `bytes`.
+//!
+//! Reserved in the workspace dependency table for planned zero-copy
+//! result buffers; no crate references it yet. This stub satisfies
+//! resolution without registry access.
+
+#![deny(missing_docs)]

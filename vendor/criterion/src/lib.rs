@@ -1,0 +1,120 @@
+//! Offline stand-in for the `criterion 0.5` API subset this workspace
+//! uses.
+//!
+//! The build environment has no registry access, so the workspace pins
+//! this vendored implementation. It keeps the bench-target surface
+//! (`criterion_group!`, `criterion_main!`, [`Criterion`],
+//! `benchmark_group`, `bench_function`, `Bencher::iter`) and measures
+//! plain wall-clock medians, printing one line per benchmark. There is
+//! no statistical analysis, HTML report, or baseline comparison.
+
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a report prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`, retaining the median of several timed
+    /// batches.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up, and an estimate of the per-iteration cost.
+        let warmup = Instant::now();
+        std::hint::black_box(routine());
+        let estimate = warmup.elapsed().as_nanos().max(1);
+        // Aim each batch at roughly 20ms, capped for very slow bodies.
+        let per_batch = ((20_000_000 / estimate) as u64).clamp(1, 10_000);
+        let mut samples = Vec::with_capacity(9);
+        for _ in 0..9 {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.nanos_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_bench<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    println!("bench {name:<40} {:>14.1} ns/iter", bencher.nanos_per_iter);
+}
+
+/// Bundles benchmark functions into one callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

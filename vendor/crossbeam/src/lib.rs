@@ -1,0 +1,23 @@
+//! Offline placeholder for `crossbeam`.
+//!
+//! Declared by the engine crate for the planned parallel pipeline
+//! compilation (see ROADMAP.md); nothing uses it yet. The stub
+//! forwards scoped threads to `std` so that the planned work has a
+//! functional seam without registry access.
+
+#![deny(missing_docs)]
+
+/// Scoped-thread utilities, mirroring `crossbeam::thread` on top of
+/// `std::thread::scope`.
+pub mod thread {
+    /// Runs `f` with a scope in which spawned threads may borrow from
+    /// the enclosing stack frame. Unlike upstream crossbeam this
+    /// returns the closure result directly (std scopes propagate
+    /// panics), wrapped in `Ok` for signature compatibility.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}

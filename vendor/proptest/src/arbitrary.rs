@@ -1,0 +1,67 @@
+//! `any::<T>()` and the [`Arbitrary`] trait for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+///
+/// Integer domains are edge-biased: roughly one draw in eight yields a
+/// boundary value (0, ±1, `MIN`, `MAX`), which keeps overflow paths
+/// well covered without shrinking.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 5] = [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX.wrapping_add(2)];
+                    EDGES[rng.below(EDGES.len() as u64) as usize]
+                } else {
+                    rng.next_u128() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        if rng.below(8) == 0 {
+            const EDGES: [f64; 6] = [0.0, -0.0, 1.0, -1.0, f64::INFINITY, f64::NEG_INFINITY];
+            EDGES[rng.below(EDGES.len() as u64) as usize]
+        } else {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}

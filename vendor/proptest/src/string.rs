@@ -1,0 +1,159 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&str` literal is itself a strategy in proptest, interpreted as a
+//! regex. This sampler supports the pattern subset the workspace uses:
+//! a sequence of elements, each a literal character or a `[..]`
+//! character class (with `a-b` ranges), optionally followed by a
+//! `{min,max}`, `{n}`, `*`, `+`, or `?` repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: usize = 16;
+
+#[derive(Clone, Debug)]
+enum Element {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+impl Element {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Element::Literal(c) => *c,
+            Element::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u64 - lo as u64 + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick below total")
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<(Element, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let elem = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut items: Vec<char> = Vec::new();
+                for d in chars.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    items.push(d);
+                }
+                let mut i = 0;
+                while i < items.len() {
+                    if i + 2 < items.len() && items[i + 1] == '-' {
+                        ranges.push((items[i], items[i + 2]));
+                        i += 3;
+                    } else if i + 2 == items.len() && items[i + 1] == '-' {
+                        ranges.push((items[i], items[i + 1]));
+                        i += 3;
+                    } else {
+                        ranges.push((items[i], items[i]));
+                        i += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in pattern {pattern:?}");
+                Element::Class(ranges)
+            }
+            '\\' => Element::Literal(chars.next().expect("dangling escape")),
+            '.' => Element::Class(vec![(' ', '~')]),
+            other => Element::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    body.push(d);
+                }
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: usize = lo.trim().parse().expect("bad repetition bound");
+                        let hi: usize = if hi.trim().is_empty() {
+                            lo + UNBOUNDED_MAX
+                        } else {
+                            hi.trim().parse().expect("bad repetition bound")
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        out.push((elem, min, max));
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (elem, min, max) in parse(self) {
+            let n = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(elem.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_class_with_bounds() {
+        let mut rng = TestRng::deterministic("string-pattern");
+        let mut seen_empty = false;
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[ -~]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.bytes().all(|b| (0x20..=0x7E).contains(&b)));
+            seen_empty |= s.is_empty();
+        }
+        assert!(seen_empty, "zero-length strings must occur");
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        let mut rng = TestRng::deterministic("string-literal");
+        assert_eq!(Strategy::sample(&"abc", &mut rng), "abc");
+        assert_eq!(Strategy::sample(&"a{3}", &mut rng), "aaa");
+    }
+}

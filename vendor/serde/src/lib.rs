@@ -1,0 +1,14 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace declares serde for planned result-export work but no
+//! crate uses it yet; this stub satisfies dependency resolution
+//! without registry access. The `derive` feature exists and is a
+//! no-op. Replace with the real crate once serialization lands.
+
+#![deny(missing_docs)]
+
+/// Marker for serializable types (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op stand-in).
+pub trait Deserialize<'de>: Sized {}
