@@ -12,7 +12,7 @@ pub mod mir;
 
 use qc_ir::Module;
 use qc_runtime::{EmuHost, RuntimeState};
-use qc_target::{CodeImage, Emulator, ExecStats, Isa, Trap, UnwindRegistry};
+use qc_target::{CodeImage, Emulator, ExecStats, ImageBuilder, Isa, Trap, UnwindRegistry};
 use qc_timing::TimeTrace;
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -71,7 +71,10 @@ impl CompileStats {
 }
 
 /// Executable form of one compiled module.
-pub trait Executable {
+///
+/// `Send` so the engine's compilation service can build executables on
+/// worker threads and hand them back to the query thread.
+pub trait Executable: Send {
     /// Calls the function `name` with 64-bit argument slots.
     ///
     /// # Errors
@@ -90,13 +93,52 @@ pub trait Executable {
     fn compile_stats(&self) -> &CompileStats;
 }
 
+/// A reusable compilation result: code generation is complete, linking
+/// is not. [`CodeArtifact::instantiate`] repeats only the link and
+/// unwind-registration step, producing a fresh [`Executable`] — this is
+/// what the engine's compile-result cache stores, so parameterized
+/// re-runs of a query skip code generation entirely.
+pub trait CodeArtifact: Send + Sync {
+    /// Links a fresh executable from the cached artifact.
+    ///
+    /// # Errors
+    /// Returns [`BackendError`] when linking fails (e.g. a runtime
+    /// symbol disappeared; cannot normally happen for artifacts that
+    /// linked once already).
+    fn instantiate(&self) -> Result<Box<dyn Executable>, BackendError>;
+
+    /// Statistics of the original compilation.
+    fn compile_stats(&self) -> &CompileStats;
+
+    /// Approximate retained bytes, for cache accounting.
+    fn size_bytes(&self) -> usize;
+
+    /// Stable, position-independent serialization of the generated
+    /// code, used by determinism tests to compare compilations without
+    /// the linked image's embedded base address.
+    fn content_bytes(&self) -> Vec<u8>;
+}
+
 /// A query-compilation back-end.
-pub trait Backend {
+///
+/// `Send + Sync` so one back-end instance can compile a query's
+/// independent pipeline modules on several worker threads at once (all
+/// six frameworks the paper studies support threaded compilation).
+pub trait Backend: Send + Sync {
     /// Short name as used in the paper's tables (e.g. `"DirectEmit"`).
     fn name(&self) -> &'static str;
 
     /// Target ISA of generated code.
     fn isa(&self) -> Isa;
+
+    /// Distinguishes differently configured instances that share a
+    /// [`Backend::name`] (e.g. the LVM ablation options) so the
+    /// compile-result cache never serves code built under different
+    /// options. Instances that always generate identical code may keep
+    /// the default of 0.
+    fn config_fingerprint(&self) -> u64 {
+        0
+    }
 
     /// Compiles one module. Phase timings go into `trace`.
     ///
@@ -108,6 +150,69 @@ pub trait Backend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError>;
+
+    /// Compiles one module to a cacheable, relinkable artifact, or
+    /// `None` when the back-end does not support artifact caching (the
+    /// engine then falls back to [`Backend::compile`] per use).
+    ///
+    /// # Errors
+    /// Same failure modes as [`Backend::compile`].
+    fn compile_artifact(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
+        let _ = (module, trace);
+        Ok(None)
+    }
+}
+
+/// [`CodeArtifact`] for the compiling back-ends: an unlinked
+/// [`ImageBuilder`] plus the original compile statistics. Instantiation
+/// clones the builder, links it against the runtime resolver, and
+/// registers unwind information.
+pub struct NativeArtifact {
+    builder: ImageBuilder,
+    stats: CompileStats,
+}
+
+impl NativeArtifact {
+    /// Wraps an unlinked image. `stats.code_bytes` is recomputed from
+    /// the linked image at each instantiation.
+    pub fn new(builder: ImageBuilder, stats: CompileStats) -> Self {
+        NativeArtifact { builder, stats }
+    }
+}
+
+impl fmt::Debug for NativeArtifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NativeArtifact(~{} bytes)", self.builder.approx_size())
+    }
+}
+
+impl CodeArtifact for NativeArtifact {
+    fn instantiate(&self) -> Result<Box<dyn Executable>, BackendError> {
+        let linked = self
+            .builder
+            .clone()
+            .link(&|name| qc_runtime::resolve_runtime(name))
+            .map_err(|e| BackendError::new(e.to_string()))?;
+        let mut stats = self.stats.clone();
+        stats.code_bytes = linked.len();
+        Ok(Box::new(NativeExecutable::new(linked, stats)))
+    }
+
+    fn compile_stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.builder.approx_size()
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        self.builder.content_bytes()
+    }
 }
 
 /// [`Executable`] backed by emulated machine code (all compiling

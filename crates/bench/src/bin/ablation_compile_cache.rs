@@ -1,0 +1,64 @@
+//! Compile-service ablation: cold vs. warm compilation through the
+//! IR-keyed code cache, per back-end. A warm run re-compiles the same
+//! suite against a populated cache and should pay only the
+//! link/unwind-registration step, so the warm/cold ratio bounds how much
+//! of each back-end's compile time is code generation.
+
+use qc_backend::Backend;
+use qc_bench::{env_sf, env_suite, secs};
+use qc_engine::{backends, CompileService, CompileServiceConfig, Engine};
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let db = qc_storage::gen_dslike(env_sf(1.0));
+    let suite = env_suite(qc_workloads::dslike_suite());
+    let engine = Engine::new(&db);
+    let trace = TimeTrace::disabled();
+    println!("Compile-service ablation: cold vs. warm code cache (TX64)");
+    println!(
+        "  {:<12} {:>10} {:>10} {:>7} {:>9}",
+        "backend", "cold", "warm", "ratio", "hit-rate"
+    );
+    for backend in backends::all_for(Isa::Tx64) {
+        let backend: Arc<dyn Backend> = Arc::from(backend);
+        let service = CompileService::new(CompileServiceConfig {
+            cache_capacity: 4096,
+            ..Default::default()
+        });
+        let mut cold = Duration::ZERO;
+        let mut warm = Duration::ZERO;
+        for pass in 0..2 {
+            let total = if pass == 0 { &mut cold } else { &mut warm };
+            for q in &suite {
+                let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
+                let compiled = service
+                    .compile(&prepared, &backend, &trace)
+                    .expect("compile");
+                *total += compiled.compile_time;
+            }
+        }
+        let stats = service.cache_stats();
+        let lookups = stats.hits + stats.misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            100.0 * stats.hits as f64 / lookups as f64
+        };
+        let ratio = if warm.is_zero() {
+            f64::INFINITY
+        } else {
+            cold.as_secs_f64() / warm.as_secs_f64()
+        };
+        println!(
+            "  {:<12} {:>10} {:>10} {:>6.1}x {:>8.1}%",
+            backend.name(),
+            secs(cold),
+            secs(warm),
+            ratio,
+            hit_rate
+        );
+    }
+}

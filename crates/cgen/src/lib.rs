@@ -18,7 +18,9 @@ mod minicc;
 
 pub use cprint::print_c;
 
-use qc_backend::{Backend, BackendError, CompileStats, Executable, NativeExecutable};
+use qc_backend::{
+    Backend, BackendError, CodeArtifact, CompileStats, Executable, NativeArtifact, NativeExecutable,
+};
 use qc_ir::Module;
 use qc_runtime::resolve_runtime;
 use qc_target::{ImageBuilder, Isa, UnwindEntry};
@@ -61,6 +63,38 @@ impl Backend for CgenBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError> {
+        let (image, mut stats) = self.build_parts(module, trace)?;
+        // Final step of the `ld` phase: relocation + load.
+        let linked = {
+            let _t = trace.scope("ld");
+            image
+                .link(&|name| resolve_runtime(name))
+                .map_err(|e| BackendError::new(e.to_string()))?
+        };
+        stats.code_bytes = linked.len();
+        Ok(Box::new(NativeExecutable::new(linked, stats)))
+    }
+
+    fn compile_artifact(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
+        let (image, stats) = self.build_parts(module, trace)?;
+        Ok(Some(Box::new(NativeArtifact::new(image, stats))))
+    }
+}
+
+impl CgenBackend {
+    /// The whole toolchain pipeline short of the final relocation/load
+    /// step: C generation, temp-file IO, cc1, assembler, and the
+    /// object-collection half of `ld`; `compile` links the image
+    /// immediately, `compile_artifact` defers linking to instantiation.
+    fn build_parts(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<(ImageBuilder, CompileStats), BackendError> {
         let mut stats = CompileStats::default();
 
         // --- C code generation (the query engine's side). ---
@@ -139,8 +173,9 @@ impl Backend for CgenBackend {
             asmtext::assemble(&asm_text, self.isa)?
         };
 
-        // --- Linker (shared-library build + load). ---
-        let linked = {
+        // --- Linker (shared-library build; relocation happens in the
+        // caller so artifacts can defer it). ---
+        let image = {
             let _t = trace.scope("ld");
             let mut image = ImageBuilder::new(self.isa);
             for (name, bytes, relocs) in objects {
@@ -162,13 +197,10 @@ impl Backend for CgenBackend {
                 );
             }
             image
-                .link(&|name| resolve_runtime(name))
-                .map_err(|e| BackendError::new(e.to_string()))?
         };
 
         stats.functions = module.len();
-        stats.code_bytes = linked.len();
-        Ok(Box::new(NativeExecutable::new(linked, stats)))
+        Ok((image, stats))
     }
 }
 

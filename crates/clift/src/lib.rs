@@ -48,7 +48,9 @@ pub fn compile_function_parts(
 pub use cir::ExtFlags;
 pub use regalloc::allocate;
 
-use qc_backend::{Backend, BackendError, CompileStats, Executable, NativeExecutable};
+use qc_backend::{
+    Backend, BackendError, CodeArtifact, CompileStats, Executable, NativeArtifact, NativeExecutable,
+};
 use qc_ir::Module;
 use qc_runtime::resolve_runtime;
 use qc_target::{ImageBuilder, Isa, UnwindEntry};
@@ -103,11 +105,48 @@ impl Backend for CliftBackend {
         self.isa
     }
 
+    fn config_fingerprint(&self) -> u64 {
+        u64::from(self.ext.crc32)
+            | u64::from(self.ext.overflow_arith) << 1
+            | u64::from(self.ext.mulfull) << 2
+    }
+
     fn compile(
         &self,
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError> {
+        let (image, mut stats) = self.build_parts(module, trace)?;
+        // 7. Finish: relocations applied after all functions are compiled.
+        let linked = {
+            let _t = trace.scope("finish");
+            image
+                .link(&|name| resolve_runtime(name))
+                .map_err(|e| BackendError::new(e.to_string()))?
+        };
+        stats.code_bytes = linked.len();
+        Ok(Box::new(NativeExecutable::new(linked, stats)))
+    }
+
+    fn compile_artifact(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
+        let (image, stats) = self.build_parts(module, trace)?;
+        Ok(Some(Box::new(NativeArtifact::new(image, stats))))
+    }
+}
+
+impl CliftBackend {
+    /// Phases 1–6 of the pipeline (everything but the final link),
+    /// producing the unlinked image; `compile` links it immediately,
+    /// `compile_artifact` defers linking to instantiation.
+    fn build_parts(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<(ImageBuilder, CompileStats), BackendError> {
         let mut image = ImageBuilder::new(self.isa);
         let mut stats = CompileStats::default();
         let func_names: Vec<String> = module.functions().iter().map(|f| f.name.clone()).collect();
@@ -201,16 +240,8 @@ impl Backend for CliftBackend {
                 },
             );
         }
-        // 7. Finish: relocations applied after all functions are compiled.
-        let linked = {
-            let _t = trace.scope("finish");
-            image
-                .link(&|name| resolve_runtime(name))
-                .map_err(|e| BackendError::new(e.to_string()))?
-        };
         stats.functions = module.len();
-        stats.code_bytes = linked.len();
-        Ok(Box::new(NativeExecutable::new(linked, stats)))
+        Ok((image, stats))
     }
 }
 

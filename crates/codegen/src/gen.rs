@@ -14,10 +14,12 @@ use qc_storage::ColumnType;
 /// The generated IR of one query: one module per pipeline, in execution
 /// order. Each module defines `setup(ctx)`, `main(ctx, start, count)`,
 /// `finish(ctx)`, and for sort pipelines a comparator `cmp<N>(a, b)`.
+/// Modules are reference-counted so the engine's compilation service
+/// can ship each pipeline to a worker thread without cloning the IR.
 #[derive(Debug)]
 pub struct GeneratedQuery {
     /// One module per pipeline.
-    pub modules: Vec<Module>,
+    pub modules: Vec<std::sync::Arc<Module>>,
 }
 
 /// Generates IR for every pipeline of `plan`.
@@ -25,7 +27,7 @@ pub fn generate(plan: &PhysicalPlan, query_name: &str) -> GeneratedQuery {
     let modules = plan
         .pipelines
         .iter()
-        .map(|p| generate_pipeline(plan, p, query_name))
+        .map(|p| std::sync::Arc::new(generate_pipeline(plan, p, query_name)))
         .collect();
     GeneratedQuery { modules }
 }

@@ -6,9 +6,11 @@
 //! Morsel-driven execution makes switching trivial: the next morsel simply
 //! calls the newly compiled function.
 
+use crate::compile_service::{CompileService, PendingCompile};
 use crate::engine::{Engine, EngineError, ExecutionResult, PreparedQuery};
-use qc_backend::Backend;
+use qc_backend::{Backend, BackendError};
 use qc_timing::TimeTrace;
+use std::sync::Arc;
 
 /// Outcome of an adaptive execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +19,18 @@ pub enum AdaptiveOutcome {
     StayedCheap,
     /// The query was recompiled with the optimizing tier.
     TieredUp,
+}
+
+/// What happened during [`AdaptiveExecution::run_background`].
+#[derive(Debug)]
+pub struct BackgroundReport {
+    /// Whether the optimizing tier took over.
+    pub outcome: AdaptiveOutcome,
+    /// Morsel count at which the executables were swapped, if they were.
+    pub swapped_at_morsel: Option<u64>,
+    /// Error from the background compilation, if it failed (execution
+    /// then completes in the cheap tier instead of aborting).
+    pub background_error: Option<BackendError>,
 }
 
 /// Adaptive two-tier execution: a cheap tier compiles immediately; the
@@ -81,7 +95,89 @@ impl AdaptiveExecution {
         let mut opt = engine.compile(prepared, optimized, &trace)?;
         let mut second = engine.execute(prepared, &mut opt)?;
         second.compile_time += first.compile_time;
+        second.compile_stats.merge(&first.compile_stats);
         Ok((second, AdaptiveOutcome::TieredUp))
+    }
+
+    /// Runs a prepared query with *background* tier-up: the cheap tier
+    /// compiles and starts executing immediately; the optimizing tier is
+    /// compiled on a [`CompileService`] worker and swapped in at the next
+    /// morsel boundary once it is ready. The first morsel is never blocked
+    /// by the optimizing compile.
+    ///
+    /// `swap_after_morsels` forces a deterministic schedule for testing:
+    /// the background compile starts right away and the swap happens at
+    /// exactly that morsel boundary (blocking for the worker if needed).
+    /// With `None`, the size×work heuristic decides when to start the
+    /// background compile and the swap happens as soon as it finishes.
+    ///
+    /// If the background compilation fails, execution completes in the
+    /// cheap tier and the error is reported in the [`BackgroundReport`].
+    ///
+    /// # Errors
+    /// Propagates cheap-tier compilation and execution errors.
+    pub fn run_background(
+        &self,
+        engine: &Engine<'_>,
+        service: &CompileService,
+        prepared: &PreparedQuery,
+        cheap: &Arc<dyn Backend>,
+        optimized: &Arc<dyn Backend>,
+        swap_after_morsels: Option<u64>,
+    ) -> Result<(ExecutionResult, BackgroundReport), EngineError> {
+        let trace = TimeTrace::disabled();
+        let mut compiled = service.compile(prepared, cheap, &trace)?;
+
+        let mut pending: Option<PendingCompile> = None;
+        let mut swapped_at: Option<u64> = None;
+        let mut background_error: Option<BackendError> = None;
+        let policy = *self;
+        let ir_size = prepared.ir_size();
+
+        let result = engine.execute_with_hook(prepared, &mut compiled, &mut |event| {
+            if swapped_at.is_some() || background_error.is_some() {
+                return None;
+            }
+            if pending.is_none() {
+                let fire = match swap_after_morsels {
+                    Some(_) => true,
+                    None => policy.should_tier_up(ir_size, event.cycles_so_far),
+                };
+                if fire {
+                    pending = Some(service.spawn_compile(prepared, optimized));
+                }
+            }
+            let ready = match swap_after_morsels {
+                // Deterministic schedule: block for the worker so the
+                // swap lands at exactly boundary `n`.
+                Some(n) if event.morsels_done >= n => pending.take().map(PendingCompile::wait),
+                Some(_) => None,
+                // Heuristic schedule: swap as soon as the worker is done.
+                None => pending.as_mut().and_then(PendingCompile::try_take),
+            };
+            match ready {
+                Some(Ok(replacement)) => {
+                    swapped_at = Some(event.morsels_done);
+                    Some(replacement)
+                }
+                Some(Err(e)) => {
+                    background_error = Some(e);
+                    None
+                }
+                None => None,
+            }
+        })?;
+
+        let report = BackgroundReport {
+            outcome: if swapped_at.is_some() {
+                AdaptiveOutcome::TieredUp
+            } else {
+                AdaptiveOutcome::StayedCheap
+            },
+            swapped_at_morsel: swapped_at,
+            background_error,
+        };
+        Ok((result, report))
     }
 }
 

@@ -1,0 +1,483 @@
+//! Threaded compilation service: parallel pipeline compiles, an
+//! IR-keyed code cache, and background compilation for adaptive
+//! tier-up.
+//!
+//! A query decomposes into independent pipelines, one IR module each;
+//! nothing in a back-end compilation reads another pipeline's state, so
+//! the service fans the modules of one query out to a persistent worker
+//! pool and reassembles the executables in pipeline order. Workers use
+//! thread-local [`TimeTrace`]s (the trace type is deliberately not
+//! `Send`) and ship immutable [`Report`] snapshots back for merging, so
+//! phase attribution survives the fan-out.
+//!
+//! The cache stores *unlinked* [`CodeArtifact`]s keyed by the module's
+//! structural IR hash plus the back-end identity; a warm hit skips code
+//! generation entirely and pays only the link/unwind-registration step
+//! (see `DESIGN.md`, "Compilation service"). Parameterized re-runs of a
+//! prepared query therefore compile in roughly link time.
+
+use crate::engine::{CompiledQuery, EngineError, PreparedQuery};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use qc_backend::{Backend, BackendError, CodeArtifact, CompileStats, Executable};
+use qc_ir::{module_structural_hash, Module};
+use qc_timing::TimeTrace;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a [`CompileService`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompileServiceConfig {
+    /// Worker threads in the pool (at least 1).
+    pub workers: usize,
+    /// Maximum number of cached artifacts; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for CompileServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1))
+            .unwrap_or(1)
+            .clamp(1, 8);
+        CompileServiceConfig {
+            workers,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// Cache counters snapshot, taken with [`CompileService::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a usable artifact.
+    pub hits: u64,
+    /// Lookups that missed (including when caching is disabled).
+    pub misses: u64,
+    /// Entries displaced to respect the capacity bound.
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+    /// Approximate bytes retained by resident artifacts.
+    pub resident_bytes: usize,
+}
+
+/// Cache key: what must match for cached code to be reusable. The
+/// module name is deliberately absent — structurally identical
+/// pipelines of differently named queries share code (string literals
+/// resolve through the context block at run time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    module_hash: u64,
+    backend: &'static str,
+    isa: &'static str,
+    config: u64,
+}
+
+impl CacheKey {
+    fn new(module: &Module, backend: &dyn Backend) -> Self {
+        CacheKey {
+            module_hash: module_structural_hash(module),
+            backend: backend.name(),
+            isa: backend.isa().name(),
+            config: backend.config_fingerprint(),
+        }
+    }
+}
+
+struct CacheEntry {
+    artifact: Arc<dyn CodeArtifact>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, CacheEntry>,
+    tick: u64,
+}
+
+/// Bounded LRU over compiled artifacts, shared between the caller
+/// thread and the workers.
+struct CodeCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CodeCache {
+    fn new(capacity: usize) -> Self {
+        CodeCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<Arc<dyn CodeArtifact>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.artifact))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: CacheKey, artifact: Arc<dyn CodeArtifact>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Concurrent compiles of the same module may race to insert;
+        // first writer wins, the duplicate artifact is dropped.
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(
+            key,
+            CacheEntry {
+                artifact,
+                last_used: tick,
+            },
+        );
+    }
+
+    fn counters(&self) -> CacheCounters {
+        let inner = self.inner.lock();
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            resident_bytes: inner.map.values().map(|e| e.artifact.size_bytes()).sum(),
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Persistent worker threads consuming compile jobs from an MPMC
+/// channel. Dropping the pool closes the channel and joins the workers.
+struct WorkerPool {
+    job_tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let (job_tx, job_rx) = channel::unbounded::<Job>();
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = job_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("qc-compile-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn compile worker")
+            })
+            .collect();
+        WorkerPool {
+            job_tx: Some(job_tx),
+            handles,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        let sent = self.job_tx.as_ref().expect("pool alive").send(job);
+        assert!(sent.is_ok(), "compile workers alive");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.job_tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// What a worker hands back for one module.
+enum WorkerOut {
+    /// A relinkable artifact (also goes into the cache).
+    Artifact(Arc<dyn CodeArtifact>),
+    /// A directly compiled executable (back-end without artifact
+    /// support); bypasses the cache.
+    Executable(Box<dyn Executable>),
+}
+
+/// One slot of the in-order reassembly buffer.
+enum Slot {
+    Cached(Arc<dyn CodeArtifact>),
+    Fresh(WorkerOut),
+}
+
+/// A compilation started with [`CompileService::spawn_compile`],
+/// running on a worker while the caller keeps executing.
+pub struct PendingCompile {
+    rx: Receiver<Result<CompiledQuery, BackendError>>,
+}
+
+impl PendingCompile {
+    /// Returns the finished compilation if it is ready, without
+    /// blocking. Returns `None` while the worker is still compiling;
+    /// at most one call ever returns `Some`.
+    pub fn try_take(&mut self) -> Option<Result<CompiledQuery, BackendError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                Some(Err(BackendError::new("compile worker disconnected")))
+            }
+        }
+    }
+
+    /// Blocks until the compilation finishes.
+    ///
+    /// # Errors
+    /// Propagates the background compilation's [`BackendError`].
+    pub fn wait(self) -> Result<CompiledQuery, BackendError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(BackendError::new("compile worker disconnected")))
+    }
+}
+
+/// The compilation service. One instance per engine (or process) owns
+/// the worker pool and the code cache; it is backend-agnostic — the
+/// cache key carries the back-end identity.
+pub struct CompileService {
+    pool: WorkerPool,
+    cache: Arc<CodeCache>,
+}
+
+impl std::fmt::Debug for CompileService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CompileService({} workers, {:?})",
+            self.pool.handles.len(),
+            self.cache.counters()
+        )
+    }
+}
+
+impl Default for CompileService {
+    fn default() -> Self {
+        Self::new(CompileServiceConfig::default())
+    }
+}
+
+impl CompileService {
+    /// Creates the service, spawning its worker threads.
+    pub fn new(config: CompileServiceConfig) -> Self {
+        CompileService {
+            pool: WorkerPool::new(config.workers),
+            cache: Arc::new(CodeCache::new(config.cache_capacity)),
+        }
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Compiles every pipeline of `prepared` with `backend`, fanning
+    /// cache misses out to the worker pool and reassembling the
+    /// executables in pipeline order. Per-phase timings from the
+    /// workers are merged into `trace` in pipeline order, so the merged
+    /// trace is deterministic regardless of completion order.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Backend`] when any module is rejected.
+    pub fn compile(
+        &self,
+        prepared: &PreparedQuery,
+        backend: &Arc<dyn Backend>,
+        trace: &TimeTrace,
+    ) -> Result<CompiledQuery, EngineError> {
+        let start = Instant::now();
+        let modules = &prepared.ir.modules;
+        let mut slots: Vec<Option<Slot>> = modules.iter().map(|_| None).collect();
+
+        // Probe the cache on the caller thread; misses go to workers.
+        let mut misses = Vec::new();
+        for (i, module) in modules.iter().enumerate() {
+            let key = CacheKey::new(module, backend.as_ref());
+            match self.cache.lookup(&key) {
+                Some(artifact) => slots[i] = Some(Slot::Cached(artifact)),
+                None => misses.push((i, key, Arc::clone(module))),
+            }
+        }
+
+        let record = trace.is_enabled();
+        let (tx, rx) = channel::unbounded();
+        let n_misses = misses.len();
+        for (i, key, module) in misses {
+            let backend = Arc::clone(backend);
+            let tx = tx.clone();
+            self.pool.submit(Box::new(move || {
+                let local = if record {
+                    TimeTrace::new()
+                } else {
+                    TimeTrace::disabled()
+                };
+                let out = compile_one(backend.as_ref(), &module, &local);
+                let report = record.then(|| local.report());
+                let _ = tx.send((i, key, out, report));
+            }));
+        }
+        drop(tx);
+
+        // Collect every reply before acting on any of them, then sort
+        // by pipeline index: trace merging and cache insertion happen
+        // in a deterministic order.
+        let mut replies = Vec::with_capacity(n_misses);
+        for _ in 0..n_misses {
+            replies.push(rx.recv().expect("compile worker died"));
+        }
+        replies.sort_by_key(|r| r.0);
+        let mut first_err = None;
+        for (i, key, out, report) in replies {
+            if let Some(r) = &report {
+                trace.merge(r);
+            }
+            match out {
+                Ok(WorkerOut::Artifact(artifact)) => {
+                    self.cache.insert(key, Arc::clone(&artifact));
+                    slots[i] = Some(Slot::Fresh(WorkerOut::Artifact(artifact)));
+                }
+                Ok(out) => slots[i] = Some(Slot::Fresh(out)),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(EngineError::Backend(e));
+        }
+
+        // Reassemble in pipeline order; cached artifacts pay only the
+        // link/unwind-registration step here.
+        let mut executables = Vec::with_capacity(slots.len());
+        let mut stats = CompileStats::default();
+        for slot in slots {
+            let exe = match slot.expect("every slot filled") {
+                Slot::Cached(artifact) => artifact.instantiate()?,
+                Slot::Fresh(WorkerOut::Artifact(artifact)) => artifact.instantiate()?,
+                Slot::Fresh(WorkerOut::Executable(exe)) => exe,
+            };
+            stats.merge(exe.compile_stats());
+            executables.push(exe);
+        }
+        Ok(CompiledQuery {
+            executables,
+            compile_time: start.elapsed(),
+            compile_stats: stats,
+            backend_name: backend.name(),
+        })
+    }
+
+    /// Starts compiling every pipeline of `prepared` on a worker and
+    /// returns immediately; the adaptive executor polls the returned
+    /// handle at morsel boundaries and swaps tiers when it completes.
+    /// The background compilation shares the service's code cache.
+    pub fn spawn_compile(
+        &self,
+        prepared: &PreparedQuery,
+        backend: &Arc<dyn Backend>,
+    ) -> PendingCompile {
+        let modules = prepared.ir.modules.clone();
+        let backend = Arc::clone(backend);
+        let cache = Arc::clone(&self.cache);
+        let (tx, rx) = channel::unbounded();
+        self.pool.submit(Box::new(move || {
+            let _ = tx.send(compile_all(&modules, &backend, &cache));
+        }));
+        PendingCompile { rx }
+    }
+}
+
+/// Compiles one module, preferring the cacheable artifact path.
+fn compile_one(
+    backend: &dyn Backend,
+    module: &Module,
+    trace: &TimeTrace,
+) -> Result<WorkerOut, BackendError> {
+    match backend.compile_artifact(module, trace)? {
+        Some(artifact) => Ok(WorkerOut::Artifact(Arc::from(artifact))),
+        None => backend.compile(module, trace).map(WorkerOut::Executable),
+    }
+}
+
+/// Sequentially compiles all modules of a query on the current (worker)
+/// thread, consulting and feeding the shared cache.
+fn compile_all(
+    modules: &[Arc<Module>],
+    backend: &Arc<dyn Backend>,
+    cache: &CodeCache,
+) -> Result<CompiledQuery, BackendError> {
+    let start = Instant::now();
+    let trace = TimeTrace::disabled();
+    let mut executables = Vec::with_capacity(modules.len());
+    let mut stats = CompileStats::default();
+    for module in modules {
+        let key = CacheKey::new(module, backend.as_ref());
+        let exe = match cache.lookup(&key) {
+            Some(artifact) => artifact.instantiate()?,
+            None => match compile_one(backend.as_ref(), module, &trace)? {
+                WorkerOut::Artifact(artifact) => {
+                    cache.insert(key, Arc::clone(&artifact));
+                    artifact.instantiate()?
+                }
+                WorkerOut::Executable(exe) => exe,
+            },
+        };
+        stats.merge(exe.compile_stats());
+        executables.push(exe);
+    }
+    Ok(CompiledQuery {
+        executables,
+        compile_time: start.elapsed(),
+        compile_stats: stats,
+        backend_name: backend.name(),
+    })
+}

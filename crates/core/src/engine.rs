@@ -98,6 +98,26 @@ impl fmt::Debug for CompiledQuery {
     }
 }
 
+/// Snapshot handed to an execution hook after each morsel (see
+/// [`Engine::execute_with_hook`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MorselEvent {
+    /// Index of the pipeline currently running.
+    pub pipeline: usize,
+    /// Morsels completed so far across all pipelines.
+    pub morsels_done: u64,
+    /// Deterministic cycles consumed so far, accumulated across any
+    /// earlier executable swaps.
+    pub cycles_so_far: u64,
+}
+
+fn sum_exec_stats(executables: &[Box<dyn Executable>]) -> (u64, u64) {
+    executables
+        .iter()
+        .map(|e| e.exec_stats())
+        .fold((0, 0), |(c, i), s| (c + s.cycles, i + s.insts))
+}
+
 /// Result of executing a query.
 #[derive(Debug)]
 pub struct ExecutionResult {
@@ -187,6 +207,29 @@ impl<'db> Engine<'db> {
         prepared: &PreparedQuery,
         compiled: &mut CompiledQuery,
     ) -> Result<ExecutionResult, EngineError> {
+        self.execute_with_hook(prepared, compiled, &mut |_| None)
+    }
+
+    /// Executes a compiled query, consulting `hook` after every morsel.
+    ///
+    /// When the hook returns a replacement [`CompiledQuery`] (e.g. the
+    /// optimizing tier finished compiling in the background), the swap
+    /// happens at that morsel boundary: the *next* morsel — and every
+    /// later pipeline — runs the replacement executables. Pipeline
+    /// state lives in the runtime context block, not in module code, so
+    /// a mid-pipeline swap is safe; `setup` is not re-run. Compile time
+    /// and statistics of the replaced query are merged into the
+    /// replacement so the returned totals cover both tiers, and
+    /// execution cycles are accumulated across the swap.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Trap`] when generated code traps.
+    pub fn execute_with_hook(
+        &self,
+        prepared: &PreparedQuery,
+        compiled: &mut CompiledQuery,
+        hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
+    ) -> Result<ExecutionResult, EngineError> {
         let mut state = RuntimeState::new();
         let plan = &prepared.plan;
 
@@ -213,19 +256,15 @@ impl<'db> Engine<'db> {
         }
         let ctx_addr = ctx.as_ptr() as u64;
 
-        let exec_before: u64 = compiled
-            .executables
-            .iter()
-            .map(|e| e.exec_stats().cycles)
-            .sum();
-        let insts_before: u64 = compiled
-            .executables
-            .iter()
-            .map(|e| e.exec_stats().insts)
-            .sum();
+        // Executable swaps discard the replaced tier's counters, so
+        // cycles are accumulated relative to a per-tier baseline.
+        let mut acc = ExecStats::default();
+        let (mut cycles_base, mut insts_base) = sum_exec_stats(&compiled.executables);
+        let mut morsels_done = 0u64;
 
-        for (pipe, exe) in plan.pipelines.iter().zip(compiled.executables.iter_mut()) {
-            exe.call(&mut state, "setup", &[ctx_addr])?;
+        for pipe_idx in 0..plan.pipelines.len() {
+            let pipe = &plan.pipelines[pipe_idx];
+            compiled.executables[pipe_idx].call(&mut state, "setup", &[ctx_addr])?;
             // Determine the scan range.
             let (total, morsel) = match &pipe.source {
                 Source::Table { name, .. } => {
@@ -250,10 +289,33 @@ impl<'db> Engine<'db> {
             let mut start = 0u64;
             while start < total {
                 let count = morsel.min(total - start);
-                exe.call(&mut state, "main", &[ctx_addr, start, count])?;
+                compiled.executables[pipe_idx].call(
+                    &mut state,
+                    "main",
+                    &[ctx_addr, start, count],
+                )?;
                 start += count;
+                morsels_done += 1;
+
+                let (cycles_now, _) = sum_exec_stats(&compiled.executables);
+                let event = MorselEvent {
+                    pipeline: pipe_idx,
+                    morsels_done,
+                    cycles_so_far: acc.cycles + (cycles_now - cycles_base),
+                };
+                if let Some(mut replacement) = hook(&event) {
+                    let (cyc, ins) = sum_exec_stats(&compiled.executables);
+                    acc.cycles += cyc - cycles_base;
+                    acc.insts += ins - insts_base;
+                    replacement.compile_time += compiled.compile_time;
+                    replacement.compile_stats.merge(&compiled.compile_stats);
+                    *compiled = replacement;
+                    let (cb, ib) = sum_exec_stats(&compiled.executables);
+                    cycles_base = cb;
+                    insts_base = ib;
+                }
             }
-            exe.call(&mut state, "finish", &[ctx_addr])?;
+            compiled.executables[pipe_idx].call(&mut state, "finish", &[ctx_addr])?;
         }
 
         // Decode the output buffer.
@@ -261,28 +323,21 @@ impl<'db> Engine<'db> {
         let out_handle = u64::from_le_bytes(ctx[out_off..out_off + 8].try_into().expect("8 bytes"));
         let rows = decode_rows(&state, out_handle, &plan.output);
 
-        let exec_after: u64 = compiled
-            .executables
-            .iter()
-            .map(|e| e.exec_stats().cycles)
-            .sum();
-        let insts_after: u64 = compiled
-            .executables
-            .iter()
-            .map(|e| e.exec_stats().insts)
-            .sum();
+        let (cycles_after, insts_after) = sum_exec_stats(&compiled.executables);
         Ok(ExecutionResult {
             rows,
             exec_stats: ExecStats {
-                cycles: exec_after - exec_before,
-                insts: insts_after - insts_before,
+                cycles: acc.cycles + (cycles_after - cycles_base),
+                insts: acc.insts + (insts_after - insts_base),
             },
             compile_time: compiled.compile_time,
             compile_stats: compiled.compile_stats.clone(),
         })
     }
 
-    /// Prepares, compiles, and executes a plan in one call.
+    /// Prepares, compiles, and executes a plan in one call. Pass a
+    /// [`TimeTrace`] to collect the per-phase compile-time breakdown,
+    /// or `None` to skip tracing overhead.
     ///
     /// # Errors
     /// Propagates planning, compilation, and execution errors.
@@ -290,9 +345,12 @@ impl<'db> Engine<'db> {
         &self,
         plan: &PlanNode,
         backend: &dyn Backend,
+        trace: Option<&TimeTrace>,
     ) -> Result<ExecutionResult, EngineError> {
         let prepared = self.prepare(plan, "q")?;
-        let mut compiled = self.compile(&prepared, backend, &TimeTrace::disabled())?;
+        let disabled = TimeTrace::disabled();
+        let trace = trace.unwrap_or(&disabled);
+        let mut compiled = self.compile(&prepared, backend, trace)?;
         self.execute(&prepared, &mut compiled)
     }
 }
@@ -362,7 +420,7 @@ mod tests {
         ];
         for backend in all {
             let got = engine
-                .run(plan, backend.as_ref())
+                .run(plan, backend.as_ref(), None)
                 .expect("engine execution");
             assert_eq!(
                 reference::normalize(&got.rows),
@@ -428,7 +486,7 @@ mod tests {
         let engine = Engine::new(&db);
         let expected = reference::execute(&plan, &db).unwrap();
         let backend = backends::interpreter();
-        let got = engine.run(&plan, backend.as_ref()).unwrap();
+        let got = engine.run(&plan, backend.as_ref(), None).unwrap();
         // Order matters here (sorted output with a unique tiebreaker).
         assert_eq!(got.rows.len(), expected.len());
         for (g, e) in got.rows.iter().zip(&expected) {
@@ -483,7 +541,7 @@ mod tests {
             PlanNode::scan("orders", &["o_orderkey"]).filter(col("o_orderkey").lt(lit_i64(-1)));
         let engine = Engine::new(&db);
         let backend = backends::interpreter();
-        let got = engine.run(&plan, backend.as_ref()).unwrap();
+        let got = engine.run(&plan, backend.as_ref(), None).unwrap();
         assert!(got.rows.is_empty());
     }
 }

@@ -18,15 +18,17 @@
 //! let plan = PlanNode::scan("orders", &["o_orderkey", "o_custkey"])
 //!     .filter(col("o_custkey").lt(lit_i64(5)));
 //! let backend = backends::interpreter();
-//! let result = engine.run(&plan, backend.as_ref()).unwrap();
+//! let result = engine.run(&plan, backend.as_ref(), None).unwrap();
 //! assert!(!result.rows.is_empty());
 //! ```
 
 mod adaptive;
+mod compile_service;
 mod engine;
 
-pub use adaptive::{AdaptiveExecution, AdaptiveOutcome};
-pub use engine::{CompiledQuery, Engine, EngineError, ExecutionResult, PreparedQuery};
+pub use adaptive::{AdaptiveExecution, AdaptiveOutcome, BackgroundReport};
+pub use compile_service::{CacheCounters, CompileService, CompileServiceConfig, PendingCompile};
+pub use engine::{CompiledQuery, Engine, EngineError, ExecutionResult, MorselEvent, PreparedQuery};
 
 /// Constructors for all back-ends, used by examples and the bench harness.
 pub mod backends {

@@ -29,7 +29,7 @@ fn hlike_queries_agree_across_all_backends() {
         let expected_norm = reference::normalize(&expected);
         for backend in all_backends() {
             let got = engine
-                .run(&q.plan, backend.as_ref())
+                .run(&q.plan, backend.as_ref(), None)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", backend.name(), q.name));
             assert_eq!(
                 reference::normalize(&got.rows),
@@ -52,7 +52,7 @@ fn dslike_queries_agree_across_all_backends() {
         let expected_norm = reference::normalize(&expected);
         for backend in all_backends() {
             let got = engine
-                .run(&q.plan, backend.as_ref())
+                .run(&q.plan, backend.as_ref(), None)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", backend.name(), q.name));
             assert_eq!(
                 reference::normalize(&got.rows),
@@ -128,7 +128,7 @@ fn randomized_plans_agree_across_all_backends() {
         let checksum = reference::checksum(&expected);
         for backend in all_backends() {
             let got = engine
-                .run(&plan, backend.as_ref())
+                .run(&plan, backend.as_ref(), None)
                 .unwrap_or_else(|e| panic!("case {case}, {}: {e}", backend.name()));
             assert_eq!(
                 reference::checksum(&got.rows),
@@ -151,7 +151,7 @@ fn overflow_traps_surface_identically() {
     )]);
     assert!(reference::execute(&plan, &db).is_err());
     for backend in all_backends() {
-        let r = engine.run(&plan, backend.as_ref());
+        let r = engine.run(&plan, backend.as_ref(), None);
         assert!(r.is_err(), "{} did not trap", backend.name());
     }
 }

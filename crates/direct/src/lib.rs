@@ -22,7 +22,9 @@
 
 pub mod codegen;
 
-use qc_backend::{Backend, BackendError, CompileStats, Executable, NativeExecutable};
+use qc_backend::{
+    Backend, BackendError, CodeArtifact, CompileStats, Executable, NativeArtifact, NativeExecutable,
+};
 use qc_ir::{Cfg, DomTree, Liveness, Loops, Module, ReversePostorder};
 use qc_runtime::resolve_runtime;
 use qc_target::{ImageBuilder, Isa};
@@ -53,59 +55,79 @@ impl Backend for DirectBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError> {
-        let mut image = ImageBuilder::new(Isa::Tx64);
-        let mut stats = CompileStats::default();
-        for func in module.functions() {
-            // --- Analysis pass ---
-            let analysis = {
-                let _t = trace.scope("analysis");
-                let cfg = {
-                    let _t = trace.scope("cfg");
-                    Cfg::compute(func)
-                };
-                let rpo = {
-                    let _t = trace.scope("cfg");
-                    ReversePostorder::compute(func, &cfg)
-                };
-                let (dt, loops) = {
-                    let _t = trace.scope("domtree_loops");
-                    let dt = DomTree::compute(func, &cfg, &rpo);
-                    let loops = Loops::compute(func, &cfg, &rpo, &dt);
-                    (dt, loops)
-                };
-                if loops.is_irreducible() {
-                    return Err(BackendError::new(format!(
-                        "DirectEmit cannot compile irreducible control flow in @{}",
-                        func.name
-                    )));
-                }
-                let live = {
-                    let _t = trace.scope("liveness");
-                    Liveness::compute(func, &cfg)
-                };
-                let _ = dt;
-                codegen::Analysis {
-                    cfg,
-                    rpo,
-                    loops,
-                    live,
-                }
-            };
-
-            // --- Code generation pass ---
-            {
-                let _t = trace.scope("codegen");
-                codegen::emit_function(func, module, &analysis, &mut image, &mut stats)?;
-            }
-        }
+        let (image, mut stats) = build_parts(module, trace)?;
         let _t = trace.scope("link");
         let linked = image
             .link(&|name| resolve_runtime(name))
             .map_err(|e| BackendError::new(e.to_string()))?;
-        stats.functions = module.len();
         stats.code_bytes = linked.len();
         Ok(Box::new(NativeExecutable::new(linked, stats)))
     }
+
+    fn compile_artifact(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
+        let (image, stats) = build_parts(module, trace)?;
+        Ok(Some(Box::new(NativeArtifact::new(image, stats))))
+    }
+}
+
+/// Runs both DirectEmit passes over every function, producing the
+/// unlinked image; `compile` links it immediately, `compile_artifact`
+/// defers linking to instantiation.
+fn build_parts(
+    module: &Module,
+    trace: &TimeTrace,
+) -> Result<(ImageBuilder, CompileStats), BackendError> {
+    let mut image = ImageBuilder::new(Isa::Tx64);
+    let mut stats = CompileStats::default();
+    for func in module.functions() {
+        // --- Analysis pass ---
+        let analysis = {
+            let _t = trace.scope("analysis");
+            let cfg = {
+                let _t = trace.scope("cfg");
+                Cfg::compute(func)
+            };
+            let rpo = {
+                let _t = trace.scope("cfg");
+                ReversePostorder::compute(func, &cfg)
+            };
+            let (dt, loops) = {
+                let _t = trace.scope("domtree_loops");
+                let dt = DomTree::compute(func, &cfg, &rpo);
+                let loops = Loops::compute(func, &cfg, &rpo, &dt);
+                (dt, loops)
+            };
+            if loops.is_irreducible() {
+                return Err(BackendError::new(format!(
+                    "DirectEmit cannot compile irreducible control flow in @{}",
+                    func.name
+                )));
+            }
+            let live = {
+                let _t = trace.scope("liveness");
+                Liveness::compute(func, &cfg)
+            };
+            let _ = dt;
+            codegen::Analysis {
+                cfg,
+                rpo,
+                loops,
+                live,
+            }
+        };
+
+        // --- Code generation pass ---
+        {
+            let _t = trace.scope("codegen");
+            codegen::emit_function(func, module, &analysis, &mut image, &mut stats)?;
+        }
+    }
+    stats.functions = module.len();
+    Ok((image, stats))
 }
 
 #[cfg(test)]

@@ -232,4 +232,23 @@ impl Program {
     pub fn op_count(&self) -> usize {
         self.funcs.iter().map(|f| f.code.len()).sum()
     }
+
+    /// Deterministic serialization of the whole program, used by the
+    /// engine's determinism tests to compare translations byte for
+    /// byte. Bytecode holds no addresses, so the `Debug` rendering of
+    /// each operation is already position independent.
+    pub fn content_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for f in &self.funcs {
+            out.extend_from_slice(f.name.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&(f.num_slots as u64).to_le_bytes());
+            out.extend_from_slice(&(f.frame_size as u64).to_le_bytes());
+            out.extend_from_slice(&(f.param_slots as u64).to_le_bytes());
+            for op in &f.code {
+                out.extend_from_slice(format!("{op:?};").as_bytes());
+            }
+        }
+        out
+    }
 }

@@ -14,13 +14,13 @@ mod exec;
 pub use bytecode::{BcFunc, BcOp, Program, BYTECODE_BASE};
 pub use compile::compile_module;
 
-use qc_backend::{Backend, BackendError, CompileStats, Executable};
+use qc_backend::{Backend, BackendError, CodeArtifact, CompileStats, Executable};
 use qc_ir::Module;
 use qc_runtime::RuntimeState;
 use qc_target::{ExecStats, Isa, Trap};
 use qc_timing::TimeTrace;
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The interpreter back-end.
 #[derive(Debug, Default)]
@@ -48,25 +48,67 @@ impl Backend for InterpBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError> {
-        let _t = trace.scope("bytecodegen");
-        let program = compile_module(module)?;
-        let mut stats = CompileStats {
-            functions: module.len(),
-            code_bytes: program.op_count() * 8,
-            ..Default::default()
-        };
-        stats.bump("bytecode_ops", program.op_count() as u64);
+        let artifact = build_artifact(module, trace)?;
+        artifact.instantiate()
+    }
+
+    fn compile_artifact(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
+        Ok(Some(Box::new(build_artifact(module, trace)?)))
+    }
+}
+
+fn build_artifact(module: &Module, trace: &TimeTrace) -> Result<InterpArtifact, BackendError> {
+    let _t = trace.scope("bytecodegen");
+    let program = compile_module(module)?;
+    let mut stats = CompileStats {
+        functions: module.len(),
+        code_bytes: program.op_count() * 8,
+        ..Default::default()
+    };
+    stats.bump("bytecode_ops", program.op_count() as u64);
+    Ok(InterpArtifact {
+        program: Arc::new(program),
+        stats,
+    })
+}
+
+/// [`CodeArtifact`] for the interpreter: bytecode is position
+/// independent, so instantiation just shares the translated
+/// [`Program`] and resets execution statistics.
+pub struct InterpArtifact {
+    program: Arc<Program>,
+    stats: CompileStats,
+}
+
+impl CodeArtifact for InterpArtifact {
+    fn instantiate(&self) -> Result<Box<dyn Executable>, BackendError> {
         Ok(Box::new(InterpExecutable {
-            program: Rc::new(program),
-            stats,
+            program: Arc::clone(&self.program),
+            stats: self.stats.clone(),
             exec: RefCell::new(ExecStats::default()),
         }))
+    }
+
+    fn compile_stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.program.op_count() * 8
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        self.program.content_bytes()
     }
 }
 
 /// Executable bytecode of one module.
 pub struct InterpExecutable {
-    program: Rc<Program>,
+    program: Arc<Program>,
     stats: CompileStats,
     exec: RefCell<ExecStats>,
 }

@@ -34,7 +34,9 @@ pub use lir::PairRepr;
 
 use qc_backend::memit::MirEmitter;
 use qc_backend::mir::{CallTarget, MInst};
-use qc_backend::{Backend, BackendError, CompileStats, Executable, NativeExecutable};
+use qc_backend::{
+    Backend, BackendError, CodeArtifact, CompileStats, Executable, NativeArtifact, NativeExecutable,
+};
 use qc_ir::Module;
 use qc_runtime::resolve_runtime;
 use qc_target::{ImageBuilder, Isa, SymbolRef, UnwindEntry};
@@ -160,12 +162,103 @@ impl Backend for LvmBackend {
         self.options.isa
     }
 
-    #[allow(clippy::too_many_lines)]
+    fn config_fingerprint(&self) -> u64 {
+        let o = self.options;
+        u64::from(o.pair_repr == PairRepr::Struct)
+            | u64::from(o.small_pic) << 1
+            | u64::from(o.fastisel_crc32) << 2
+            | u64::from(o.global_isel) << 3
+    }
+
     fn compile(
         &self,
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError> {
+        let Parts {
+            image,
+            mut stats,
+            func_names,
+            used_syms,
+            lir,
+        } = self.build_parts(module, trace)?;
+
+        // --- ORC-style 4-phase link ---
+        let linked = {
+            let _t = trace.scope("link");
+            {
+                let _p1 = trace.scope("phase1_alloc");
+                // Recover/prune symbols: hash every defined symbol name.
+                let mut h = 0u64;
+                for n in &func_names {
+                    h = h.wrapping_mul(31).wrapping_add(n.len() as u64);
+                }
+                std::hint::black_box(h);
+            }
+            {
+                let _p2 = trace.scope("phase2_resolve");
+                for s in &used_syms {
+                    std::hint::black_box(resolve_runtime(s));
+                }
+            }
+            let img = {
+                let _p3 = trace.scope("phase3_apply");
+                image
+                    .link(&|name| resolve_runtime(name))
+                    .map_err(|e| BackendError::new(e.to_string()))?
+            };
+            {
+                let _p4 = trace.scope("phase4_lookup");
+                for n in &func_names {
+                    std::hint::black_box(img.addr_of(n));
+                }
+            }
+            img
+        };
+
+        // --- IR destruction, measured separately. ---
+        {
+            let _t = trace.scope("irdtor");
+            drop(lir);
+        }
+
+        stats.code_bytes = linked.len();
+        Ok(Box::new(NativeExecutable::new(linked, stats)))
+    }
+
+    fn compile_artifact(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
+        let Parts {
+            image, stats, lir, ..
+        } = self.build_parts(module, trace)?;
+        {
+            let _t = trace.scope("irdtor");
+            drop(lir);
+        }
+        Ok(Some(Box::new(NativeArtifact::new(image, stats))))
+    }
+}
+
+/// Everything [`LvmBackend::build_parts`] produces before the ORC link:
+/// the unlinked image plus the side data the 4-phase link ceremony
+/// consumes.
+struct Parts {
+    image: ImageBuilder,
+    stats: CompileStats,
+    func_names: Vec<String>,
+    used_syms: HashSet<String>,
+    lir: Module,
+}
+
+impl LvmBackend {
+    /// Pipeline phases 1–8 short of linking (TargetMachine through
+    /// AsmPrinter and PLT+GOT synthesis); `compile` follows with the
+    /// ORC link, `compile_artifact` defers linking to instantiation.
+    #[allow(clippy::too_many_lines)]
+    fn build_parts(&self, module: &Module, trace: &TimeTrace) -> Result<Parts, BackendError> {
         let o = self.options;
         if o.global_isel && o.isa != Isa::Ta64 {
             return Err(BackendError::new("GlobalISel is only supported on TA64"));
@@ -444,48 +537,14 @@ impl Backend for LvmBackend {
             stats.bump("plt_entries", syms.len() as u64);
         }
 
-        // --- ORC-style 4-phase link ---
-        let linked = {
-            let _t = trace.scope("link");
-            {
-                let _p1 = trace.scope("phase1_alloc");
-                // Recover/prune symbols: hash every defined symbol name.
-                let mut h = 0u64;
-                for n in &func_names {
-                    h = h.wrapping_mul(31).wrapping_add(n.len() as u64);
-                }
-                std::hint::black_box(h);
-            }
-            {
-                let _p2 = trace.scope("phase2_resolve");
-                for s in &used_syms {
-                    std::hint::black_box(resolve_runtime(s));
-                }
-            }
-            let img = {
-                let _p3 = trace.scope("phase3_apply");
-                image
-                    .link(&|name| resolve_runtime(name))
-                    .map_err(|e| BackendError::new(e.to_string()))?
-            };
-            {
-                let _p4 = trace.scope("phase4_lookup");
-                for n in &func_names {
-                    std::hint::black_box(img.addr_of(n));
-                }
-            }
-            img
-        };
-
-        // --- IR destruction, measured separately. ---
-        {
-            let _t = trace.scope("irdtor");
-            drop(lir);
-        }
-
         stats.functions = module.len();
-        stats.code_bytes = linked.len();
-        Ok(Box::new(NativeExecutable::new(linked, stats)))
+        Ok(Parts {
+            image,
+            stats,
+            func_names,
+            used_syms,
+            lir,
+        })
     }
 }
 

@@ -54,6 +54,7 @@ impl fmt::Display for LinkError {
 
 impl std::error::Error for LinkError {}
 
+#[derive(Clone)]
 struct Item {
     name: String,
     bytes: Vec<u8>,
@@ -64,6 +65,12 @@ struct Item {
 
 /// Accumulates functions and data blobs, then links them into a
 /// [`CodeImage`].
+///
+/// Cloneable: a builder is a position-independent description of the
+/// image (payload bytes plus symbolic relocations), so the engine's
+/// compile-result cache stores unlinked builders and re-links a clone
+/// per use — only the link step is repeated, never code generation.
+#[derive(Clone)]
 pub struct ImageBuilder {
     isa: Isa,
     items: Vec<Item>,
@@ -132,6 +139,52 @@ impl ImageBuilder {
     /// provisional offset `off` by [`Self::add_function`].
     pub fn add_unwind(&mut self, off: u64, entry: UnwindEntry) {
         self.unwind.push((off, entry));
+    }
+
+    /// Approximate retained heap size in bytes (payload, relocations,
+    /// names), used by the engine's code cache for its byte bound.
+    pub fn approx_size(&self) -> usize {
+        self.items
+            .iter()
+            .map(|i| i.name.len() + i.bytes.len() + i.relocs.len() * 32)
+            .sum::<usize>()
+            + self.unwind.len() * 32
+    }
+
+    /// Stable, position-independent serialization of everything added
+    /// so far: item names, payload bytes, relocation records, and
+    /// unwind entries, in insertion order. Two builders with equal
+    /// content link to behaviorally identical images (the final images
+    /// themselves differ only in their embedded base address).
+    /// Determinism tests compare this instead of linked bytes.
+    pub fn content_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let push_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        for item in &self.items {
+            push_u64(&mut out, item.name.len() as u64);
+            out.extend_from_slice(item.name.as_bytes());
+            push_u64(&mut out, item.align);
+            out.push(u8::from(item.is_code));
+            push_u64(&mut out, item.bytes.len() as u64);
+            out.extend_from_slice(&item.bytes);
+            push_u64(&mut out, item.relocs.len() as u64);
+            for r in &item.relocs {
+                push_u64(&mut out, r.offset as u64);
+                out.push(r.kind as u8);
+                push_u64(&mut out, r.sym.name.len() as u64);
+                out.extend_from_slice(r.sym.name.as_bytes());
+                push_u64(&mut out, r.addend as u64);
+            }
+        }
+        push_u64(&mut out, self.unwind.len() as u64);
+        for &(off, e) in &self.unwind {
+            push_u64(&mut out, off);
+            push_u64(&mut out, e.start as u64);
+            push_u64(&mut out, e.end as u64);
+            push_u64(&mut out, u64::from(e.frame_size));
+            out.push(u8::from(e.synchronous_only));
+        }
+        out
     }
 
     /// Provisional (veneer-free) layout, used to key unwind entries.

@@ -37,7 +37,9 @@ fn main() {
     .sort(&[("l_returnflag", true)], None);
 
     for backend in [backends::interpreter(), backends::direct_emit()] {
-        let result = engine.run(&plan, backend.as_ref()).expect("query runs");
+        let result = engine
+            .run(&plan, backend.as_ref(), None)
+            .expect("query runs");
         println!("== {} ==", backend.name());
         println!(
             "compiled in {:?}, executed in {} model cycles",

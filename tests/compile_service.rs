@@ -1,0 +1,287 @@
+//! The compilation service: parallel pipeline compiles must produce
+//! bit-identical artifacts to sequential ones, warm cache hits must skip
+//! code generation, and background tier-up must swap at a deterministic
+//! morsel boundary without blocking the first morsel.
+
+use qc_backend::Backend;
+use qc_engine::{
+    backends, AdaptiveExecution, AdaptiveOutcome, CompileService, CompileServiceConfig, Engine,
+    PreparedQuery,
+};
+use qc_ir::Module;
+use qc_plan::reference;
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+use std::sync::Arc;
+
+/// Picks a query from the H-like suite that decomposes into several
+/// pipelines, so the fan-out path is actually exercised.
+fn multi_pipeline_query(engine: &Engine<'_>) -> PreparedQuery {
+    let suite = qc_workloads::hlike_suite();
+    for q in &suite {
+        if let Ok(p) = engine.prepare(&q.plan, &q.name) {
+            if p.ir.modules.len() >= 2 {
+                return p;
+            }
+        }
+    }
+    panic!("no multi-pipeline query in the suite");
+}
+
+fn artifact_bytes_sequential(backend: &dyn Backend, modules: &[Arc<Module>]) -> Vec<Vec<u8>> {
+    let trace = TimeTrace::disabled();
+    modules
+        .iter()
+        .map(|m| {
+            backend
+                .compile_artifact(m, &trace)
+                .expect("compile")
+                .expect("artifact support")
+                .content_bytes()
+        })
+        .collect()
+}
+
+fn artifact_bytes_parallel(backend: &dyn Backend, modules: &[Arc<Module>]) -> Vec<Vec<u8>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = modules
+            .iter()
+            .map(|m| {
+                s.spawn(move || {
+                    let trace = TimeTrace::disabled();
+                    backend
+                        .compile_artifact(m, &trace)
+                        .expect("compile")
+                        .expect("artifact support")
+                        .content_bytes()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("compile thread"))
+            .collect()
+    })
+}
+
+#[test]
+fn parallel_compilation_is_bit_identical_to_sequential() {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let prepared = multi_pipeline_query(&engine);
+    for backend in backends::all_for(Isa::Tx64) {
+        let seq = artifact_bytes_sequential(backend.as_ref(), &prepared.ir.modules);
+        let par = artifact_bytes_parallel(backend.as_ref(), &prepared.ir.modules);
+        assert_eq!(
+            seq,
+            par,
+            "{}: concurrent compilation changed artifact content",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn service_compile_matches_engine_compile() {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let prepared = multi_pipeline_query(&engine);
+    // Cache disabled so every module goes through the worker fan-out.
+    let service = CompileService::new(CompileServiceConfig {
+        workers: 4,
+        cache_capacity: 0,
+    });
+    let trace = TimeTrace::disabled();
+    for backend in backends::all_for(Isa::Tx64) {
+        let backend: Arc<dyn Backend> = Arc::from(backend);
+        let mut a = engine
+            .compile(&prepared, backend.as_ref(), &trace)
+            .expect("sequential compile");
+        let mut b = service
+            .compile(&prepared, &backend, &trace)
+            .expect("service compile");
+        let ra = engine.execute(&prepared, &mut a).expect("sequential run");
+        let rb = engine.execute(&prepared, &mut b).expect("parallel run");
+        assert_eq!(
+            reference::normalize(&ra.rows),
+            reference::normalize(&rb.rows),
+            "{}: results differ",
+            backend.name()
+        );
+        assert_eq!(
+            ra.exec_stats.cycles,
+            rb.exec_stats.cycles,
+            "{}: cycle counts differ",
+            backend.name()
+        );
+        assert_eq!(
+            ra.compile_stats.code_bytes,
+            rb.compile_stats.code_bytes,
+            "{}: emitted code size differs",
+            backend.name()
+        );
+        assert_eq!(
+            ra.compile_stats.functions,
+            rb.compile_stats.functions,
+            "{}: compiled function count differs",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn second_compile_hits_the_cache_and_reuses_code() {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let prepared = multi_pipeline_query(&engine);
+    let n = prepared.ir.modules.len() as u64;
+    let trace = TimeTrace::disabled();
+    for backend in backends::all_for(Isa::Tx64) {
+        let backend: Arc<dyn Backend> = Arc::from(backend);
+        let service = CompileService::new(CompileServiceConfig {
+            workers: 2,
+            cache_capacity: 64,
+        });
+        let mut cold = service
+            .compile(&prepared, &backend, &trace)
+            .expect("cold compile");
+        let after_cold = service.cache_stats();
+        assert_eq!(after_cold.hits, 0, "{}: cold run hit", backend.name());
+        assert_eq!(
+            after_cold.misses,
+            n,
+            "{}: expected one miss per pipeline",
+            backend.name()
+        );
+        assert_eq!(after_cold.entries, n as usize);
+        assert!(after_cold.resident_bytes > 0);
+
+        let mut warm = service
+            .compile(&prepared, &backend, &trace)
+            .expect("warm compile");
+        let after_warm = service.cache_stats();
+        assert_eq!(
+            after_warm.hits,
+            n,
+            "{}: warm run did not hit on every pipeline",
+            backend.name()
+        );
+        assert_eq!(after_warm.misses, n, "{}: warm run missed", backend.name());
+
+        // Cached code must behave identically to freshly compiled code.
+        let rc = engine.execute(&prepared, &mut cold).expect("cold run");
+        let rw = engine.execute(&prepared, &mut warm).expect("warm run");
+        assert_eq!(
+            reference::normalize(&rc.rows),
+            reference::normalize(&rw.rows)
+        );
+        assert_eq!(rc.exec_stats.cycles, rw.exec_stats.cycles);
+        assert_eq!(rc.compile_stats.code_bytes, rw.compile_stats.code_bytes);
+        assert_eq!(rc.compile_stats.functions, rw.compile_stats.functions);
+    }
+}
+
+#[test]
+fn distinct_configs_do_not_share_cached_code() {
+    // lvm cheap-mode variants share name and ISA but differ in options;
+    // the config fingerprint must keep their cache entries apart.
+    let mut opts_a = qc_lvm::LvmOptions::defaults(Isa::Tx64, qc_lvm::OptMode::Cheap);
+    opts_a.fastisel_crc32 = false;
+    let mut opts_b = opts_a;
+    opts_b.fastisel_crc32 = true;
+    let a = backends::lvm_with(opts_a);
+    let b = backends::lvm_with(opts_b);
+    assert_eq!(a.name(), b.name());
+    assert_ne!(
+        a.config_fingerprint(),
+        b.config_fingerprint(),
+        "option variants must have distinct fingerprints"
+    );
+
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let prepared = multi_pipeline_query(&engine);
+    let n = prepared.ir.modules.len() as u64;
+    let service = CompileService::default();
+    let trace = TimeTrace::disabled();
+    let a: Arc<dyn Backend> = Arc::from(a);
+    let b: Arc<dyn Backend> = Arc::from(b);
+    service.compile(&prepared, &a, &trace).expect("variant a");
+    service.compile(&prepared, &b, &trace).expect("variant b");
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, 0, "variant b must not reuse variant a's code");
+    assert_eq!(stats.misses, 2 * n);
+}
+
+#[test]
+fn background_tier_up_swaps_at_a_deterministic_boundary() {
+    let db = qc_storage::gen_hlike(0.05);
+    let mut engine = Engine::new(&db);
+    engine.morsel_size = 256; // many morsel boundaries
+    let prepared = multi_pipeline_query(&engine);
+    let service = CompileService::default();
+    let cheap: Arc<dyn Backend> = Arc::from(backends::interpreter());
+    let optimized: Arc<dyn Backend> = Arc::from(backends::lvm_opt(Isa::Tx64));
+    let policy = AdaptiveExecution::default();
+
+    let (result, report) = policy
+        .run_background(&engine, &service, &prepared, &cheap, &optimized, Some(3))
+        .expect("background run");
+    assert_eq!(report.outcome, AdaptiveOutcome::TieredUp);
+    assert_eq!(report.swapped_at_morsel, Some(3));
+    assert!(report.background_error.is_none());
+
+    // Results must match a plain single-tier execution.
+    let trace = TimeTrace::disabled();
+    let mut baseline_compiled = engine
+        .compile(&prepared, cheap.as_ref(), &trace)
+        .expect("baseline compile");
+    let baseline = engine
+        .execute(&prepared, &mut baseline_compiled)
+        .expect("baseline");
+    assert_eq!(
+        reference::normalize(&result.rows),
+        reference::normalize(&baseline.rows)
+    );
+
+    // Repeating the run swaps at the same boundary with the same cost.
+    let (again, report2) = policy
+        .run_background(&engine, &service, &prepared, &cheap, &optimized, Some(3))
+        .expect("second background run");
+    assert_eq!(report2.swapped_at_morsel, Some(3));
+    assert_eq!(result.exec_stats.cycles, again.exec_stats.cycles);
+}
+
+#[test]
+fn tier_up_merges_compile_stats_across_tiers() {
+    let db = qc_storage::gen_hlike(0.05);
+    let engine = Engine::new(&db);
+    let prepared = multi_pipeline_query(&engine);
+    let trace = TimeTrace::disabled();
+    let cheap = backends::interpreter();
+    let optimized = backends::clift(Isa::Tx64);
+    // Force the tier-up path with a policy whose threshold is trivially
+    // exceeded.
+    let policy = AdaptiveExecution {
+        expected_executions: u64::MAX / 2,
+        benefit_threshold: 1,
+    };
+    let (result, outcome) = policy
+        .run(&engine, &prepared, cheap.as_ref(), optimized.as_ref())
+        .expect("adaptive run");
+    assert_eq!(outcome, AdaptiveOutcome::TieredUp);
+    let mut cheap_only = engine
+        .compile(&prepared, cheap.as_ref(), &trace)
+        .expect("cheap compile");
+    let cheap_result = engine
+        .execute(&prepared, &mut cheap_only)
+        .expect("cheap run");
+    // Both tiers contribute: the merged stats must strictly exceed the
+    // cheap tier's own function count.
+    assert!(
+        result.compile_stats.functions > cheap_result.compile_stats.functions,
+        "tiered stats {} not above cheap-tier stats {}",
+        result.compile_stats.functions,
+        cheap_result.compile_stats.functions
+    );
+}

@@ -15,8 +15,12 @@ fn repeated_runs_are_cycle_identical() {
     for &i in &[0usize, 4, 12] {
         let q = &suite[i];
         let backend = backends::clift(Isa::Tx64);
-        let a = engine.run(&q.plan, backend.as_ref()).expect("first run");
-        let b = engine.run(&q.plan, backend.as_ref()).expect("second run");
+        let a = engine
+            .run(&q.plan, backend.as_ref(), None)
+            .expect("first run");
+        let b = engine
+            .run(&q.plan, backend.as_ref(), None)
+            .expect("second run");
         assert_eq!(
             a.exec_stats.cycles, b.exec_stats.cycles,
             "{}: cycle count is not deterministic",
@@ -44,8 +48,12 @@ fn results_are_isa_independent() {
             backends::lvm_opt,
             backends::cgen,
         ] {
-            let tx = engine.run(&q.plan, make(Isa::Tx64).as_ref()).expect("tx64");
-            let ta = engine.run(&q.plan, make(Isa::Ta64).as_ref()).expect("ta64");
+            let tx = engine
+                .run(&q.plan, make(Isa::Tx64).as_ref(), None)
+                .expect("tx64");
+            let ta = engine
+                .run(&q.plan, make(Isa::Ta64).as_ref(), None)
+                .expect("ta64");
             assert_eq!(
                 reference::normalize(&tx.rows),
                 reference::normalize(&ta.rows),
@@ -67,13 +75,13 @@ fn interpreter_costs_more_cycles_than_compiled_code() {
     let suite = qc_workloads::hlike_suite();
     let q = &suite[0]; // H01 shape: big scan + aggregation
     let interp = engine
-        .run(&q.plan, backends::interpreter().as_ref())
+        .run(&q.plan, backends::interpreter().as_ref(), None)
         .expect("interp");
     let direct = engine
-        .run(&q.plan, backends::direct_emit().as_ref())
+        .run(&q.plan, backends::direct_emit().as_ref(), None)
         .expect("direct");
     let clift = engine
-        .run(&q.plan, backends::clift(Isa::Tx64).as_ref())
+        .run(&q.plan, backends::clift(Isa::Tx64).as_ref(), None)
         .expect("clift");
     assert!(
         interp.exec_stats.cycles > direct.exec_stats.cycles,
@@ -99,12 +107,12 @@ fn optimized_code_is_never_slower_than_unoptimized_lvm() {
     for &i in &[0usize, 2, 5, 12] {
         let q = &suite[i];
         cheap_total += engine
-            .run(&q.plan, backends::lvm_cheap(Isa::Tx64).as_ref())
+            .run(&q.plan, backends::lvm_cheap(Isa::Tx64).as_ref(), None)
             .expect("cheap")
             .exec_stats
             .cycles;
         opt_total += engine
-            .run(&q.plan, backends::lvm_opt(Isa::Tx64).as_ref())
+            .run(&q.plan, backends::lvm_opt(Isa::Tx64).as_ref(), None)
             .expect("opt")
             .exec_stats
             .cycles;
@@ -124,8 +132,8 @@ fn data_generators_are_seed_stable() {
     let suite = qc_workloads::hlike_suite();
     let q = &suite[5];
     let backend = backends::interpreter();
-    let ra = engine_a.run(&q.plan, backend.as_ref()).expect("a");
-    let rb = engine_b.run(&q.plan, backend.as_ref()).expect("b");
+    let ra = engine_a.run(&q.plan, backend.as_ref(), None).expect("a");
+    let rb = engine_b.run(&q.plan, backend.as_ref(), None).expect("b");
     assert_eq!(
         reference::normalize(&ra.rows),
         reference::normalize(&rb.rows)

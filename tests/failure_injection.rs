@@ -244,7 +244,7 @@ fn trap_surfaces_through_the_engine_as_engine_error() {
             .mul(lit_i64(i64::MAX - 1)),
     )]);
     for backend in [backends::interpreter(), backends::clift(Isa::Tx64)] {
-        match engine.run(&plan, backend.as_ref()) {
+        match engine.run(&plan, backend.as_ref(), None) {
             Err(EngineError::Trap(_)) => {}
             other => panic!(
                 "{}: expected overflow trap through engine, got {:?}",
