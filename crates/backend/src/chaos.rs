@@ -1,0 +1,282 @@
+//! Deterministic fault injection for back-ends.
+//!
+//! [`ChaosBackend`] wraps any [`Backend`] and injects a configured
+//! fault — an error, a panic, or a delay — according to a deterministic
+//! schedule: on the Nth compile job, on every job, or pseudo-randomly
+//! from a seed. The compilation service's fault-tolerance layer (panic
+//! isolation, compile deadlines, retry policy, fallback chain) is
+//! driven end-to-end by tests built on this wrapper; nothing in here is
+//! used on the production compile path.
+
+use crate::{Backend, BackendError, CodeArtifact, Executable};
+use qc_ir::Module;
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What [`ChaosBackend`] injects when its schedule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Return a [`BackendError`] of kind `Transient` (retryable).
+    TransientError,
+    /// Return a [`BackendError`] of kind `Permanent` (not retryable;
+    /// forces a tier downgrade under a fallback chain).
+    PermanentError,
+    /// Panic inside the compile call. The service must catch this,
+    /// convert it to a `Panic`-kind error, and keep its workers alive.
+    Panic,
+    /// Sleep for the given duration before compiling normally, driving
+    /// compile-deadline overruns.
+    Delay(Duration),
+}
+
+/// When the fault fires, as a function of the 0-based compile-call
+/// index (each module compile — fresh or retried — is one call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Schedule {
+    /// Exactly the Nth call.
+    Nth(u64),
+    /// Every call.
+    Always,
+    /// Pseudo-random per call: fault with probability `permille`/1000,
+    /// derived from `seed` and the call index only — identical across
+    /// runs and thread schedules.
+    Seeded { seed: u64, permille: u16 },
+}
+
+/// SplitMix64: tiny, high-quality mixing for the seeded schedule (no
+/// dependency on the `rand` crate from the backend interface crate).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A fault-injecting [`Backend`] wrapper with a deterministic schedule.
+///
+/// The wrapper reports the inner back-end's `name` and `isa` so that
+/// downgrade records and compile stats name the real tier, but mixes
+/// the fault plan into `config_fingerprint` so chaos-compiled artifacts
+/// never alias clean cache entries.
+pub struct ChaosBackend {
+    inner: Arc<dyn Backend>,
+    fault: ChaosFault,
+    schedule: Schedule,
+    calls: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl std::fmt::Debug for ChaosBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ChaosBackend({}, {:?}, {:?}, {} injected)",
+            self.inner.name(),
+            self.fault,
+            self.schedule,
+            self.injected.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl ChaosBackend {
+    fn with_schedule(inner: Arc<dyn Backend>, fault: ChaosFault, schedule: Schedule) -> Self {
+        ChaosBackend {
+            inner,
+            fault,
+            schedule,
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Injects `fault` on the `n`-th (0-based) compile call only.
+    pub fn on_nth(inner: Arc<dyn Backend>, n: u64, fault: ChaosFault) -> Self {
+        Self::with_schedule(inner, fault, Schedule::Nth(n))
+    }
+
+    /// Injects `fault` on every compile call.
+    pub fn always(inner: Arc<dyn Backend>, fault: ChaosFault) -> Self {
+        Self::with_schedule(inner, fault, Schedule::Always)
+    }
+
+    /// Injects `fault` on each call independently with probability
+    /// `permille`/1000, deterministically derived from `seed` and the
+    /// call index.
+    pub fn seeded(inner: Arc<dyn Backend>, seed: u64, permille: u16, fault: ChaosFault) -> Self {
+        Self::with_schedule(inner, fault, Schedule::Seeded { seed, permille })
+    }
+
+    /// Total compile calls observed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Decides whether the fault fires for the next call and, when it
+    /// is an error or panic fault, raises it. `Delay` faults sleep and
+    /// then let the inner back-end compile normally.
+    fn maybe_inject(&self) -> Result<(), BackendError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        let fire = match self.schedule {
+            Schedule::Nth(k) => n == k,
+            Schedule::Always => true,
+            Schedule::Seeded { seed, permille } => {
+                (splitmix64(seed ^ n) % 1000) < u64::from(permille)
+            }
+        };
+        if !fire {
+            return Ok(());
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        match self.fault {
+            ChaosFault::TransientError => Err(BackendError::transient(format!(
+                "chaos: injected transient fault on call {n}"
+            ))),
+            ChaosFault::PermanentError => Err(BackendError::new(format!(
+                "chaos: injected fault on call {n}"
+            ))),
+            ChaosFault::Panic => panic!("chaos: injected panic on call {n}"),
+            ChaosFault::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Backend for ChaosBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn isa(&self) -> Isa {
+        self.inner.isa()
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        let plan = match self.schedule {
+            Schedule::Nth(k) => splitmix64(k ^ 1),
+            Schedule::Always => splitmix64(2),
+            Schedule::Seeded { seed, permille } => splitmix64(seed ^ u64::from(permille) ^ 3),
+        };
+        let fault = match self.fault {
+            ChaosFault::TransientError => 1,
+            ChaosFault::PermanentError => 2,
+            ChaosFault::Panic => 3,
+            ChaosFault::Delay(d) => splitmix64(4 ^ d.as_nanos() as u64),
+        };
+        // Never alias the clean back-end's cache entries.
+        self.inner.config_fingerprint() ^ plan ^ fault ^ 0x4348_414f_5321
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Box<dyn Executable>, BackendError> {
+        self.maybe_inject()?;
+        self.inner.compile(module, trace)
+    }
+
+    fn compile_artifact(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
+        self.maybe_inject()?;
+        self.inner.compile_artifact(module, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BackendErrorKind;
+
+    /// Minimal backend that always "succeeds" with no artifact support
+    /// and an unusable executable; enough to observe injection logic.
+    struct NullBackend;
+    impl Backend for NullBackend {
+        fn name(&self) -> &'static str {
+            "Null"
+        }
+        fn isa(&self) -> Isa {
+            Isa::Tx64
+        }
+        fn compile(
+            &self,
+            _module: &Module,
+            _trace: &TimeTrace,
+        ) -> Result<Box<dyn Executable>, BackendError> {
+            Err(BackendError::new("null backend compiles nothing"))
+        }
+    }
+
+    fn module() -> Module {
+        Module::new("m")
+    }
+
+    #[test]
+    fn nth_schedule_fires_once() {
+        let chaos = ChaosBackend::on_nth(Arc::new(NullBackend), 1, ChaosFault::TransientError);
+        let trace = TimeTrace::disabled();
+        // Call 0: clean (the null inner's artifact default is Ok(None)).
+        assert!(chaos.compile_artifact(&module(), &trace).is_ok());
+        // Call 1: the injected transient fault.
+        let e1 = chaos
+            .compile_artifact(&module(), &trace)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(e1.kind, BackendErrorKind::Transient);
+        // Call 2: clean again.
+        assert!(chaos.compile_artifact(&module(), &trace).is_ok());
+        assert_eq!(chaos.injected(), 1);
+        assert_eq!(chaos.calls(), 3);
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible() {
+        let mk = || {
+            ChaosBackend::seeded(
+                Arc::new(NullBackend),
+                0xC4A05,
+                250,
+                ChaosFault::TransientError,
+            )
+        };
+        let trace = TimeTrace::disabled();
+        let a = mk();
+        let b = mk();
+        let pattern = |c: &ChaosBackend| {
+            (0..64)
+                .map(|_| c.compile_artifact(&module(), &trace).is_err())
+                .collect::<Vec<_>>()
+        };
+        let pa = pattern(&a);
+        assert_eq!(pa, pattern(&b), "seeded schedule must be deterministic");
+        assert!(pa.iter().any(|&f| f), "some calls must fault");
+        assert!(pa.iter().any(|&f| !f), "some calls must pass");
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos: injected panic")]
+    fn panic_fault_panics() {
+        let chaos = ChaosBackend::always(Arc::new(NullBackend), ChaosFault::Panic);
+        let _ = chaos.compile_artifact(&module(), &TimeTrace::disabled());
+    }
+
+    #[test]
+    fn fingerprint_differs_from_inner() {
+        let inner: Arc<dyn Backend> = Arc::new(NullBackend);
+        let chaos = ChaosBackend::always(Arc::clone(&inner), ChaosFault::PermanentError);
+        assert_ne!(chaos.config_fingerprint(), inner.config_fingerprint());
+    }
+}

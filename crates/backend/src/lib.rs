@@ -7,6 +7,7 @@
 //! `compile` (the paper's primary metric) and deterministic cycles through
 //! [`Executable::exec_stats`].
 
+pub mod chaos;
 pub mod memit;
 pub mod mir;
 
@@ -18,25 +19,95 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+/// Failure class of a [`BackendError`], used by the compilation
+/// service's fault-tolerance layer to decide between retrying a job,
+/// falling back to a cheaper tier, or giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendErrorKind {
+    /// The back-end deterministically rejects this input (unsupported
+    /// construct, link failure, bad configuration). Retrying the same
+    /// tier cannot help; a different tier might.
+    Permanent,
+    /// Infrastructure hiccup (worker died, channel closed, injected
+    /// transient fault). Retrying the same tier may succeed.
+    Transient,
+    /// The compile job panicked; the panic was caught and isolated by
+    /// the compilation service.
+    Panic,
+    /// The compile job exceeded its `CompileBudget` deadline (the
+    /// budget type lives in the engine crate's compile service).
+    Deadline,
+}
+
 /// Error produced when a back-end cannot compile a module.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BackendError {
     /// Problem description.
     pub message: String,
+    /// Failure class; drives the service's retry/fallback policy.
+    pub kind: BackendErrorKind,
 }
 
 impl BackendError {
-    /// Creates an error from a message.
+    /// Creates a [`BackendErrorKind::Permanent`] error from a message
+    /// (the common case for back-ends rejecting an input).
     pub fn new(message: impl Into<String>) -> Self {
+        Self::with_kind(message, BackendErrorKind::Permanent)
+    }
+
+    /// Creates an error with an explicit failure class.
+    pub fn with_kind(message: impl Into<String>, kind: BackendErrorKind) -> Self {
         BackendError {
             message: message.into(),
+            kind,
         }
+    }
+
+    /// Creates a [`BackendErrorKind::Transient`] error.
+    pub fn transient(message: impl Into<String>) -> Self {
+        Self::with_kind(message, BackendErrorKind::Transient)
+    }
+
+    /// Creates a [`BackendErrorKind::Panic`] error from a caught panic
+    /// payload description.
+    pub fn panicked(message: impl Into<String>) -> Self {
+        Self::with_kind(message, BackendErrorKind::Panic)
+    }
+
+    /// Creates a [`BackendErrorKind::Deadline`] error.
+    pub fn deadline(message: impl Into<String>) -> Self {
+        Self::with_kind(message, BackendErrorKind::Deadline)
+    }
+
+    /// Whether a retry of the same back-end may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.kind == BackendErrorKind::Transient
+    }
+
+    /// Prefixes the message with the back-end's name so a failure
+    /// surfacing through a fallback chain names the tier that produced
+    /// it. No-op if the message already carries the prefix.
+    #[must_use]
+    pub fn in_backend(mut self, name: &str) -> Self {
+        if !self.message.starts_with(name) {
+            self.message = format!("{name}: {}", self.message);
+        }
+        self
     }
 }
 
 impl fmt::Display for BackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "backend error: {}", self.message)
+        match self.kind {
+            BackendErrorKind::Permanent => write!(f, "backend error: {}", self.message),
+            BackendErrorKind::Transient => {
+                write!(f, "backend error (transient): {}", self.message)
+            }
+            BackendErrorKind::Panic => write!(f, "backend panic: {}", self.message),
+            BackendErrorKind::Deadline => {
+                write!(f, "backend deadline exceeded: {}", self.message)
+            }
+        }
     }
 }
 

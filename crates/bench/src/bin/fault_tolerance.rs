@@ -1,0 +1,136 @@
+//! Fault-tolerance ablation: compile the suite through the standard
+//! fallback chain while a seeded `ChaosBackend` injects panics and
+//! errors into the optimizing tiers. Reports which tier served each
+//! query, the downgrade/retry/panic counters, and the compile-time
+//! overhead the faults added — the price of graceful degradation
+//! instead of query failure.
+//!
+//! Env knobs: `QC_SF` (scale factor), `QC_QUERIES` (suite prefix),
+//! `QC_CHAOS_SEED` (schedule seed), `QC_CHAOS_PERMILLE` (per-call
+//! fault probability, default 300 = 30%).
+
+use qc_backend::chaos::{ChaosBackend, ChaosFault};
+use qc_bench::{env_sf, env_suite, secs};
+use qc_engine::{CompileBudget, CompileService, Engine, FallbackChain};
+use qc_target::Isa;
+use qc_timing::TimeTrace;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    // The injected panics unwind through the service's catch_unwind;
+    // keep their default-hook backtraces off the report.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied());
+        if !msg.is_some_and(|m| m.contains("chaos: injected")) {
+            default_hook(info);
+        }
+    }));
+
+    let seed = env_u64("QC_CHAOS_SEED", 0xC4A05);
+    let permille = env_u64("QC_CHAOS_PERMILLE", 300).min(1000) as u16;
+    let db = qc_storage::gen_hlike(env_sf(0.05));
+    let suite = env_suite(qc_workloads::hlike_suite());
+    let engine = Engine::new(&db);
+    let service = CompileService::default();
+    let trace = TimeTrace::disabled();
+
+    // Top two tiers misbehave: the optimizer panics, the cheap JIT
+    // errors out, each on ~permille/1000 of compile calls.
+    let clean = FallbackChain::standard(Isa::Tx64);
+    let mut tiers = clean.tiers().to_vec();
+    tiers[0] = Arc::new(ChaosBackend::seeded(
+        Arc::clone(&clean.tiers()[0]),
+        seed,
+        permille,
+        ChaosFault::Panic,
+    ));
+    tiers[1] = Arc::new(ChaosBackend::seeded(
+        Arc::clone(&clean.tiers()[1]),
+        seed.wrapping_add(1),
+        permille,
+        ChaosFault::PermanentError,
+    ));
+    let chain = FallbackChain::new(tiers);
+    let tier_names: Vec<&str> = chain.tiers().iter().map(|t| t.name()).collect();
+
+    println!(
+        "Fault-tolerance ablation: seeded chaos (seed={seed:#x}, p={}%) on {}",
+        permille as f64 / 10.0,
+        tier_names.join(" → ")
+    );
+    println!(
+        "  {:<24} {:>12} {:>11} {:>10}",
+        "query", "tier used", "downgrades", "compile"
+    );
+
+    let mut served_by = vec![0u64; chain.tiers().len()];
+    let mut failed = 0u64;
+    let mut clean_time = Duration::ZERO;
+    let mut chaos_time = Duration::ZERO;
+    for q in &suite {
+        let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
+        // Clean baseline for the overhead column (cache-cold: the chaos
+        // wrappers have distinct fingerprints, so no cross-pollution).
+        if let Ok((c, _)) =
+            service.compile_with_fallback(&prepared, &clean, CompileBudget::default(), &trace)
+        {
+            clean_time += c.compile_time;
+        }
+        match service.compile_with_fallback(&prepared, &chain, CompileBudget::default(), &trace) {
+            Ok((compiled, report)) => {
+                served_by[report.tier_used] += 1;
+                chaos_time += compiled.compile_time;
+                println!(
+                    "  {:<24} {:>12} {:>11} {:>10}",
+                    q.name,
+                    report.backend_name,
+                    report.failures.len(),
+                    secs(compiled.compile_time)
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!("  {:<24} FAILED: {e}", q.name);
+            }
+        }
+    }
+
+    println!("\nTier occupancy under chaos:");
+    for (name, n) in tier_names.iter().zip(&served_by) {
+        println!("  {name:<12} served {n:>3} queries");
+    }
+    if failed > 0 {
+        println!("  {failed} queries failed every tier");
+    }
+    let f = service.fault_stats();
+    println!("\nService fault counters:");
+    println!("  panics caught      {:>6}", f.panics_caught);
+    println!("  retries            {:>6}", f.retries);
+    println!("  deadline overruns  {:>6}", f.deadline_overruns);
+    println!("  downgrades         {:>6}", f.downgrades);
+    println!("  workers respawned  {:>6}", f.workers_respawned);
+    println!("  inline fallbacks   {:>6}", f.inline_fallbacks);
+    println!(
+        "\nCompile time: clean chain {} vs. chaotic chain {} ({:+.1}% overhead)",
+        secs(clean_time),
+        secs(chaos_time),
+        if clean_time.is_zero() {
+            0.0
+        } else {
+            100.0 * (chaos_time.as_secs_f64() - clean_time.as_secs_f64()) / clean_time.as_secs_f64()
+        }
+    );
+}

@@ -63,13 +63,15 @@ impl Backend for CgenBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError> {
-        let (image, mut stats) = self.build_parts(module, trace)?;
+        let (image, mut stats) = self
+            .build_parts(module, trace)
+            .map_err(|e| e.in_backend(self.name()))?;
         // Final step of the `ld` phase: relocation + load.
         let linked = {
             let _t = trace.scope("ld");
             image
                 .link(&|name| resolve_runtime(name))
-                .map_err(|e| BackendError::new(e.to_string()))?
+                .map_err(|e| BackendError::new(e.to_string()).in_backend(self.name()))?
         };
         stats.code_bytes = linked.len();
         Ok(Box::new(NativeExecutable::new(linked, stats)))
@@ -80,7 +82,9 @@ impl Backend for CgenBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
-        let (image, stats) = self.build_parts(module, trace)?;
+        let (image, stats) = self
+            .build_parts(module, trace)
+            .map_err(|e| e.in_backend(self.name()))?;
         Ok(Some(Box::new(NativeArtifact::new(image, stats))))
     }
 }

@@ -116,13 +116,15 @@ impl Backend for CliftBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError> {
-        let (image, mut stats) = self.build_parts(module, trace)?;
+        let (image, mut stats) = self
+            .build_parts(module, trace)
+            .map_err(|e| e.in_backend(self.name()))?;
         // 7. Finish: relocations applied after all functions are compiled.
         let linked = {
             let _t = trace.scope("finish");
             image
                 .link(&|name| resolve_runtime(name))
-                .map_err(|e| BackendError::new(e.to_string()))?
+                .map_err(|e| BackendError::new(e.to_string()).in_backend(self.name()))?
         };
         stats.code_bytes = linked.len();
         Ok(Box::new(NativeExecutable::new(linked, stats)))
@@ -133,7 +135,9 @@ impl Backend for CliftBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
-        let (image, stats) = self.build_parts(module, trace)?;
+        let (image, stats) = self
+            .build_parts(module, trace)
+            .map_err(|e| e.in_backend(self.name()))?;
         Ok(Some(Box::new(NativeArtifact::new(image, stats))))
     }
 }

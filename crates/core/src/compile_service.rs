@@ -1,20 +1,42 @@
 //! Threaded compilation service: parallel pipeline compiles, an
-//! IR-keyed code cache, and background compilation for adaptive
-//! tier-up.
+//! IR-keyed code cache, background compilation for adaptive tier-up,
+//! and a fault-tolerance layer that keeps a failing back-end from
+//! killing a query.
 //!
 //! A query decomposes into independent pipelines, one IR module each;
 //! nothing in a back-end compilation reads another pipeline's state, so
 //! the service fans the modules of one query out to a persistent worker
 //! pool and reassembles the executables in pipeline order. Workers use
 //! thread-local [`TimeTrace`]s (the trace type is deliberately not
-//! `Send`) and ship immutable [`Report`] snapshots back for merging, so
-//! phase attribution survives the fan-out.
+//! `Send`) and ship immutable [`Report`](qc_timing::Report) snapshots
+//! back for merging, so phase attribution survives the fan-out.
 //!
 //! The cache stores *unlinked* [`CodeArtifact`]s keyed by the module's
 //! structural IR hash plus the back-end identity; a warm hit skips code
 //! generation entirely and pays only the link/unwind-registration step
 //! (see `DESIGN.md`, "Compilation service"). Parameterized re-runs of a
 //! prepared query therefore compile in roughly link time.
+//!
+//! # Failure domains
+//!
+//! Every compile job is one failure domain (see `DESIGN.md`, "Failure
+//! domains & fallback chain"):
+//!
+//! * a **panic** inside a back-end is caught with `catch_unwind`,
+//!   converted into a `Panic`-kind [`BackendError`], and never reaches
+//!   the cache or stalls the in-order reply merge — the job always
+//!   sends exactly one reply;
+//! * a [`CompileBudget`] bounds each job: a wall-clock **deadline**
+//!   (overruns are degraded into `Deadline`-kind errors, and the
+//!   too-slow artifact is discarded rather than cached) and a bounded
+//!   **retry** policy with exponential backoff for `Transient` errors;
+//! * a **dead worker thread** (a panic escaping the per-job guard) is
+//!   detected and respawned on the next submission; if no worker can be
+//!   spawned at all, jobs degrade to inline compilation on the caller
+//!   thread instead of aborting.
+//!
+//! [`FaultCounters`] exposes what the layer absorbed; the fallback
+//! chain built on top lives in [`crate::fallback`].
 
 use crate::engine::{CompiledQuery, EngineError, PreparedQuery};
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
@@ -23,10 +45,61 @@ use qc_backend::{Backend, BackendError, CodeArtifact, CompileStats, Executable};
 use qc_ir::{module_structural_hash, Module};
 use qc_timing::TimeTrace;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Per-job compile budget: a deadline plus a bounded retry policy,
+/// enforced by the [`CompileService`] around every module compilation
+/// (foreground fan-out and background tier-up alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileBudget {
+    /// Wall-clock deadline for compiling one module. A job that
+    /// finishes past the deadline — successfully or not — reports a
+    /// `Deadline`-kind [`BackendError`] so the caller can downgrade to
+    /// a cheaper tier; its artifact is discarded, never cached.
+    /// Compile time is the paper's wall-clock metric, so the deadline
+    /// is wall-clock too (execution cost is what the emulator's cycle
+    /// model accounts).
+    pub deadline: Option<Duration>,
+    /// Retries for `Transient`-kind failures. Permanent errors,
+    /// panics, and deadline overruns are never retried on the same
+    /// tier.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
+}
+
+impl Default for CompileBudget {
+    fn default() -> Self {
+        CompileBudget {
+            deadline: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl CompileBudget {
+    /// No deadline, no retries: every fault surfaces immediately.
+    pub fn strict() -> Self {
+        CompileBudget {
+            deadline: None,
+            max_retries: 0,
+            retry_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Default retry policy plus a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CompileBudget {
+            deadline: Some(deadline),
+            ..Default::default()
+        }
+    }
+}
 
 /// Configuration of a [`CompileService`].
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +108,10 @@ pub struct CompileServiceConfig {
     pub workers: usize,
     /// Maximum number of cached artifacts; 0 disables caching.
     pub cache_capacity: usize,
+    /// Budget applied to jobs submitted through [`CompileService::compile`]
+    /// and [`CompileService::spawn_compile`]; the `_budgeted` variants
+    /// override it per call.
+    pub budget: CompileBudget,
 }
 
 impl Default for CompileServiceConfig {
@@ -46,6 +123,7 @@ impl Default for CompileServiceConfig {
         CompileServiceConfig {
             workers,
             cache_capacity: 128,
+            budget: CompileBudget::default(),
         }
     }
 }
@@ -63,6 +141,51 @@ pub struct CacheCounters {
     pub entries: usize,
     /// Approximate bytes retained by resident artifacts.
     pub resident_bytes: usize,
+}
+
+/// Fault-tolerance counters snapshot, taken with
+/// [`CompileService::fault_stats`]: what the service absorbed instead
+/// of letting a query die.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Back-end panics caught and converted into `Panic` errors.
+    pub panics_caught: u64,
+    /// Jobs whose compile outlived the budget deadline.
+    pub deadline_overruns: u64,
+    /// Transient-failure retries performed.
+    pub retries: u64,
+    /// Tier downgrades recorded by the fallback chain.
+    pub downgrades: u64,
+    /// Dead worker threads replaced.
+    pub workers_respawned: u64,
+    /// Jobs compiled inline on the caller thread because no worker
+    /// could accept them.
+    pub inline_fallbacks: u64,
+}
+
+/// Internal atomic counters behind [`FaultCounters`], shared with
+/// worker jobs.
+#[derive(Debug, Default)]
+pub(crate) struct Faults {
+    panics_caught: AtomicU64,
+    deadline_overruns: AtomicU64,
+    retries: AtomicU64,
+    pub(crate) downgrades: AtomicU64,
+    workers_respawned: AtomicU64,
+    inline_fallbacks: AtomicU64,
+}
+
+impl Faults {
+    fn snapshot(&self) -> FaultCounters {
+        FaultCounters {
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            deadline_overruns: self.deadline_overruns.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            downgrades: self.downgrades.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            inline_fallbacks: self.inline_fallbacks.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Cache key: what must match for cached code to be reusable. The
@@ -191,43 +314,98 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Persistent worker threads consuming compile jobs from an MPMC
 /// channel. Dropping the pool closes the channel and joins the workers.
+///
+/// Compile jobs isolate back-end panics themselves, so a worker thread
+/// normally lives forever; should a panic nevertheless escape a job
+/// (a bug in the service layer, not a back-end), only that thread dies,
+/// and the next [`WorkerPool::submit`] reaps and respawns it.
 struct WorkerPool {
     job_tx: Option<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
+    /// Kept so respawned workers can attach to the same queue.
+    job_rx: Receiver<Job>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    spawn_counter: AtomicU64,
+    faults: Arc<Faults>,
 }
 
 impl WorkerPool {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, faults: Arc<Faults>) -> Self {
         let (job_tx, job_rx) = channel::unbounded::<Job>();
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let rx = job_rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("qc-compile-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("spawn compile worker")
-            })
-            .collect();
+        let spawn_counter = AtomicU64::new(0);
+        let mut handles = Vec::new();
+        for _ in 0..workers.max(1) {
+            let idx = spawn_counter.fetch_add(1, Ordering::Relaxed);
+            // A thread the OS refuses to spawn just shrinks the pool;
+            // zero live workers degrades submissions to inline compiles.
+            if let Ok(h) = Self::spawn_worker(job_rx.clone(), idx) {
+                handles.push(h);
+            }
+        }
         WorkerPool {
             job_tx: Some(job_tx),
-            handles,
+            job_rx,
+            handles: Mutex::new(handles),
+            spawn_counter,
+            faults,
         }
     }
 
-    fn submit(&self, job: Job) {
-        let sent = self.job_tx.as_ref().expect("pool alive").send(job);
-        assert!(sent.is_ok(), "compile workers alive");
+    fn spawn_worker(rx: Receiver<Job>, idx: u64) -> std::io::Result<JoinHandle<()>> {
+        std::thread::Builder::new()
+            .name(format!("qc-compile-{idx}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+    }
+
+    /// Replaces worker threads that have died. Called on every submit:
+    /// respawn cost is one `is_finished` check per worker in the happy
+    /// path.
+    fn reap_and_respawn(&self) {
+        let mut handles = self.handles.lock();
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let dead = handles.swap_remove(i);
+                let _ = dead.join();
+                let idx = self.spawn_counter.fetch_add(1, Ordering::Relaxed);
+                if let Ok(h) = Self::spawn_worker(self.job_rx.clone(), idx) {
+                    handles.push(h);
+                }
+                self.faults
+                    .workers_respawned
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn worker_count(&self) -> usize {
+        self.handles.lock().len()
+    }
+
+    /// Hands `job` to the pool, or hands it back when no worker can run
+    /// it (pool shut down, channel closed, or every spawn failed) so
+    /// the caller can run it inline instead of aborting.
+    fn submit(&self, job: Job) -> Result<(), Job> {
+        self.reap_and_respawn();
+        if self.worker_count() == 0 {
+            return Err(job);
+        }
+        match &self.job_tx {
+            Some(tx) => tx.send(job).map_err(|e| e.0),
+            None => Err(job),
+        }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         drop(self.job_tx.take());
-        for h in self.handles.drain(..) {
+        for h in self.handles.lock().drain(..) {
             let _ = h.join();
         }
     }
@@ -263,7 +441,7 @@ impl PendingCompile {
             Ok(r) => Some(r),
             Err(TryRecvError::Empty) => None,
             Err(TryRecvError::Disconnected) => {
-                Some(Err(BackendError::new("compile worker disconnected")))
+                Some(Err(BackendError::transient("compile worker disconnected")))
             }
         }
     }
@@ -275,7 +453,18 @@ impl PendingCompile {
     pub fn wait(self) -> Result<CompiledQuery, BackendError> {
         self.rx
             .recv()
-            .unwrap_or_else(|_| Err(BackendError::new("compile worker disconnected")))
+            .unwrap_or_else(|_| Err(BackendError::transient("compile worker disconnected")))
+    }
+}
+
+/// Text form of a panic payload, for `Panic`-kind [`BackendError`]s.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -285,15 +474,18 @@ impl PendingCompile {
 pub struct CompileService {
     pool: WorkerPool,
     cache: Arc<CodeCache>,
+    faults: Arc<Faults>,
+    default_budget: CompileBudget,
 }
 
 impl std::fmt::Debug for CompileService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "CompileService({} workers, {:?})",
-            self.pool.handles.len(),
-            self.cache.counters()
+            "CompileService({} workers, {:?}, {:?})",
+            self.pool.worker_count(),
+            self.cache.counters(),
+            self.faults.snapshot()
         )
     }
 }
@@ -307,9 +499,12 @@ impl Default for CompileService {
 impl CompileService {
     /// Creates the service, spawning its worker threads.
     pub fn new(config: CompileServiceConfig) -> Self {
+        let faults = Arc::new(Faults::default());
         CompileService {
-            pool: WorkerPool::new(config.workers),
+            pool: WorkerPool::new(config.workers, Arc::clone(&faults)),
             cache: Arc::new(CodeCache::new(config.cache_capacity)),
+            faults,
+            default_budget: config.budget,
         }
     }
 
@@ -318,11 +513,25 @@ impl CompileService {
         self.cache.counters()
     }
 
-    /// Compiles every pipeline of `prepared` with `backend`, fanning
-    /// cache misses out to the worker pool and reassembling the
-    /// executables in pipeline order. Per-phase timings from the
-    /// workers are merged into `trace` in pipeline order, so the merged
-    /// trace is deterministic regardless of completion order.
+    /// Snapshot of the fault-tolerance counters.
+    pub fn fault_stats(&self) -> FaultCounters {
+        self.faults.snapshot()
+    }
+
+    /// Shared fault counters, for the fallback chain in
+    /// [`crate::fallback`].
+    pub(crate) fn faults(&self) -> &Arc<Faults> {
+        &self.faults
+    }
+
+    /// Live worker threads (after any respawns).
+    pub fn worker_count(&self) -> usize {
+        self.pool.worker_count()
+    }
+
+    /// Compiles every pipeline of `prepared` with `backend` under the
+    /// service's default [`CompileBudget`]; see
+    /// [`CompileService::compile_budgeted`].
     ///
     /// # Errors
     /// Returns [`EngineError::Backend`] when any module is rejected.
@@ -330,6 +539,31 @@ impl CompileService {
         &self,
         prepared: &PreparedQuery,
         backend: &Arc<dyn Backend>,
+        trace: &TimeTrace,
+    ) -> Result<CompiledQuery, EngineError> {
+        self.compile_budgeted(prepared, backend, self.default_budget, trace)
+    }
+
+    /// Compiles every pipeline of `prepared` with `backend`, fanning
+    /// cache misses out to the worker pool and reassembling the
+    /// executables in pipeline order. Per-phase timings from the
+    /// workers are merged into `trace` in pipeline order, so the merged
+    /// trace is deterministic regardless of completion order.
+    ///
+    /// Each module compile is one isolated job under `budget`: panics
+    /// are caught, deadline overruns degrade into errors, transient
+    /// failures are retried with backoff. A failed job never poisons
+    /// the cache (only successful in-budget artifacts are inserted) and
+    /// never stalls the reply merge (every job replies exactly once).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Backend`] when any module is rejected;
+    /// the error of the lowest-numbered failing pipeline wins.
+    pub fn compile_budgeted(
+        &self,
+        prepared: &PreparedQuery,
+        backend: &Arc<dyn Backend>,
+        budget: CompileBudget,
         trace: &TimeTrace,
     ) -> Result<CompiledQuery, EngineError> {
         let start = Instant::now();
@@ -352,28 +586,44 @@ impl CompileService {
         for (i, key, module) in misses {
             let backend = Arc::clone(backend);
             let tx = tx.clone();
-            self.pool.submit(Box::new(move || {
+            let faults = Arc::clone(&self.faults);
+            let job: Job = Box::new(move || {
                 let local = if record {
                     TimeTrace::new()
                 } else {
                     TimeTrace::disabled()
                 };
-                let out = compile_one(backend.as_ref(), &module, &local);
-                let report = record.then(|| local.report());
+                let out = compile_one_budgeted(backend.as_ref(), &module, &local, budget, &faults);
+                // Timings of failed or partially retried jobs are not
+                // meaningful per phase; report only clean successes.
+                let report = match (&out, record) {
+                    (Ok(_), true) => Some(local.report()),
+                    _ => None,
+                };
                 let _ = tx.send((i, key, out, report));
-            }));
+            });
+            if let Err(job) = self.pool.submit(job) {
+                // No live worker: degrade to compiling on this thread.
+                self.faults.inline_fallbacks.fetch_add(1, Ordering::Relaxed);
+                job();
+            }
         }
         drop(tx);
 
         // Collect every reply before acting on any of them, then sort
         // by pipeline index: trace merging and cache insertion happen
-        // in a deterministic order.
+        // in a deterministic order. Jobs reply exactly once even when
+        // the back-end panics; a disconnect (worker died outside the
+        // job guard) just leaves slots unfilled, reported below.
         let mut replies = Vec::with_capacity(n_misses);
         for _ in 0..n_misses {
-            replies.push(rx.recv().expect("compile worker died"));
+            match rx.recv() {
+                Ok(r) => replies.push(r),
+                Err(_) => break,
+            }
         }
         replies.sort_by_key(|r| r.0);
-        let mut first_err = None;
+        let mut first_err: Option<BackendError> = None;
         for (i, key, out, report) in replies {
             if let Some(r) = &report {
                 trace.merge(r);
@@ -392,7 +642,7 @@ impl CompileService {
             }
         }
         if let Some(e) = first_err {
-            return Err(EngineError::Backend(e));
+            return Err(EngineError::Backend(e.in_backend(backend.name())));
         }
 
         // Reassemble in pipeline order; cached artifacts pay only the
@@ -400,10 +650,15 @@ impl CompileService {
         let mut executables = Vec::with_capacity(slots.len());
         let mut stats = CompileStats::default();
         for slot in slots {
-            let exe = match slot.expect("every slot filled") {
-                Slot::Cached(artifact) => artifact.instantiate()?,
-                Slot::Fresh(WorkerOut::Artifact(artifact)) => artifact.instantiate()?,
-                Slot::Fresh(WorkerOut::Executable(exe)) => exe,
+            let exe = match slot {
+                Some(Slot::Cached(artifact)) => artifact.instantiate()?,
+                Some(Slot::Fresh(WorkerOut::Artifact(artifact))) => artifact.instantiate()?,
+                Some(Slot::Fresh(WorkerOut::Executable(exe))) => exe,
+                None => {
+                    return Err(EngineError::Backend(BackendError::transient(
+                        "compile worker died before replying",
+                    )));
+                }
             };
             stats.merge(exe.compile_stats());
             executables.push(exe);
@@ -416,22 +671,42 @@ impl CompileService {
         })
     }
 
-    /// Starts compiling every pipeline of `prepared` on a worker and
-    /// returns immediately; the adaptive executor polls the returned
-    /// handle at morsel boundaries and swaps tiers when it completes.
-    /// The background compilation shares the service's code cache.
+    /// Starts compiling every pipeline of `prepared` on a worker under
+    /// the service's default budget and returns immediately; the
+    /// adaptive executor polls the returned handle at morsel boundaries
+    /// and swaps tiers when it completes. The background compilation
+    /// shares the service's code cache, and a panicking or over-budget
+    /// optimizing tier surfaces as an `Err` through the handle instead
+    /// of wedging the pool — the caller simply keeps executing its
+    /// current tier.
     pub fn spawn_compile(
         &self,
         prepared: &PreparedQuery,
         backend: &Arc<dyn Backend>,
     ) -> PendingCompile {
+        self.spawn_compile_budgeted(prepared, backend, self.default_budget)
+    }
+
+    /// [`CompileService::spawn_compile`] with an explicit per-job
+    /// budget.
+    pub fn spawn_compile_budgeted(
+        &self,
+        prepared: &PreparedQuery,
+        backend: &Arc<dyn Backend>,
+        budget: CompileBudget,
+    ) -> PendingCompile {
         let modules = prepared.ir.modules.clone();
         let backend = Arc::clone(backend);
         let cache = Arc::clone(&self.cache);
+        let faults = Arc::clone(&self.faults);
         let (tx, rx) = channel::unbounded();
-        self.pool.submit(Box::new(move || {
-            let _ = tx.send(compile_all(&modules, &backend, &cache));
-        }));
+        let job: Job = Box::new(move || {
+            let _ = tx.send(compile_all(&modules, &backend, &cache, budget, &faults));
+        });
+        if let Err(job) = self.pool.submit(job) {
+            self.faults.inline_fallbacks.fetch_add(1, Ordering::Relaxed);
+            job();
+        }
         PendingCompile { rx }
     }
 }
@@ -448,12 +723,68 @@ fn compile_one(
     }
 }
 
+/// [`compile_one`] inside the fault-tolerance envelope: panics caught,
+/// the budget deadline checked, transient failures retried with
+/// exponential backoff. Runs on a worker thread or, when the pool is
+/// unavailable, inline on the caller thread.
+fn compile_one_budgeted(
+    backend: &dyn Backend,
+    module: &Module,
+    trace: &TimeTrace,
+    budget: CompileBudget,
+    faults: &Faults,
+) -> Result<WorkerOut, BackendError> {
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| compile_one(backend, module, trace)))
+            .unwrap_or_else(|payload| {
+                faults.panics_caught.fetch_add(1, Ordering::Relaxed);
+                Err(BackendError::panicked(format!(
+                    "compile of `{}` panicked: {}",
+                    module.name,
+                    panic_message(payload.as_ref())
+                )))
+            });
+        // The deadline is checked post hoc — compiles are synchronous —
+        // and overrides even success: a tier too slow for its budget
+        // must degrade, and its artifact must not enter the cache.
+        let overrun = budget
+            .deadline
+            .is_some_and(|deadline| start.elapsed() > deadline);
+        if overrun {
+            faults.deadline_overruns.fetch_add(1, Ordering::Relaxed);
+            return Err(BackendError::deadline(format!(
+                "compile of `{}` exceeded its {:?} budget",
+                module.name,
+                budget.deadline.unwrap_or_default(),
+            )));
+        }
+        match outcome {
+            Ok(out) => return Ok(out),
+            Err(e) if e.is_transient() && attempt < budget.max_retries => {
+                faults.retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = budget.retry_backoff * 2u32.saturating_pow(attempt.min(16));
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Sequentially compiles all modules of a query on the current (worker)
-/// thread, consulting and feeding the shared cache.
+/// thread, consulting and feeding the shared cache. Used by background
+/// tier-up; the same per-module fault envelope applies, so a panicking
+/// optimizing tier reports an error instead of killing the worker.
 fn compile_all(
     modules: &[Arc<Module>],
     backend: &Arc<dyn Backend>,
     cache: &CodeCache,
+    budget: CompileBudget,
+    faults: &Faults,
 ) -> Result<CompiledQuery, BackendError> {
     let start = Instant::now();
     let trace = TimeTrace::disabled();
@@ -463,13 +794,17 @@ fn compile_all(
         let key = CacheKey::new(module, backend.as_ref());
         let exe = match cache.lookup(&key) {
             Some(artifact) => artifact.instantiate()?,
-            None => match compile_one(backend.as_ref(), module, &trace)? {
-                WorkerOut::Artifact(artifact) => {
-                    cache.insert(key, Arc::clone(&artifact));
-                    artifact.instantiate()?
+            None => {
+                match compile_one_budgeted(backend.as_ref(), module, &trace, budget, faults)
+                    .map_err(|e| e.in_backend(backend.name()))?
+                {
+                    WorkerOut::Artifact(artifact) => {
+                        cache.insert(key, Arc::clone(&artifact));
+                        artifact.instantiate()?
+                    }
+                    WorkerOut::Executable(exe) => exe,
                 }
-                WorkerOut::Executable(exe) => exe,
-            },
+            }
         };
         stats.merge(exe.compile_stats());
         executables.push(exe);
@@ -480,4 +815,133 @@ fn compile_all(
         compile_stats: stats,
         backend_name: backend.name(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A job that panics past the per-job guard kills its worker; the
+    /// pool must notice and replace the thread on the next submit.
+    #[test]
+    fn dead_workers_are_respawned() {
+        let faults = Arc::new(Faults::default());
+        let pool = WorkerPool::new(2, Arc::clone(&faults));
+        assert_eq!(pool.worker_count(), 2);
+        // Raw jobs bypass the compile-level catch_unwind, so this
+        // panic unwinds through the worker loop and kills the thread.
+        for _ in 0..2 {
+            pool.submit(Box::new(|| panic!("worker-fatal bug")))
+                .map_err(|_| ())
+                .expect("submit");
+        }
+        // Wait for both panicking jobs to take their workers down.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let finished = pool
+                .handles
+                .lock()
+                .iter()
+                .filter(|h| h.is_finished())
+                .count();
+            if finished == 2 || Instant::now() > deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // The next submission reaps the corpses and restores capacity.
+        let (tx, rx) = channel::unbounded();
+        pool.submit(Box::new(move || {
+            let _ = tx.send(42u64);
+        }))
+        .map_err(|_| ())
+        .expect("submit after respawn");
+        assert_eq!(rx.recv(), Ok(42));
+        assert_eq!(pool.worker_count(), 2);
+        assert_eq!(faults.snapshot().workers_respawned, 2);
+    }
+
+    #[test]
+    fn budget_deadline_degrades_slow_compiles() {
+        struct Sleeper;
+        impl Backend for Sleeper {
+            fn name(&self) -> &'static str {
+                "Sleeper"
+            }
+            fn isa(&self) -> qc_target::Isa {
+                qc_target::Isa::Tx64
+            }
+            fn compile(
+                &self,
+                _m: &Module,
+                _t: &TimeTrace,
+            ) -> Result<Box<dyn Executable>, BackendError> {
+                std::thread::sleep(Duration::from_millis(20));
+                Err(BackendError::new("sleeper compiles nothing"))
+            }
+        }
+        let faults = Faults::default();
+        let m = Module::new("m");
+        let err = compile_one_budgeted(
+            &Sleeper,
+            &m,
+            &TimeTrace::disabled(),
+            CompileBudget::with_deadline(Duration::from_millis(1)),
+            &faults,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err.kind, qc_backend::BackendErrorKind::Deadline);
+        assert_eq!(faults.snapshot().deadline_overruns, 1);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_within_budget() {
+        struct FlakyThenFail {
+            calls: AtomicU64,
+        }
+        impl Backend for FlakyThenFail {
+            fn name(&self) -> &'static str {
+                "Flaky"
+            }
+            fn isa(&self) -> qc_target::Isa {
+                qc_target::Isa::Tx64
+            }
+            fn compile(
+                &self,
+                _m: &Module,
+                _t: &TimeTrace,
+            ) -> Result<Box<dyn Executable>, BackendError> {
+                let n = self.calls.fetch_add(1, Ordering::Relaxed);
+                if n < 2 {
+                    Err(BackendError::transient("flaky"))
+                } else {
+                    // Still an error, but a permanent one: proves the
+                    // transient path retried exactly twice.
+                    Err(BackendError::new("permanent after retries"))
+                }
+            }
+        }
+        let backend = FlakyThenFail {
+            calls: AtomicU64::new(0),
+        };
+        let faults = Faults::default();
+        let m = Module::new("m");
+        let err = compile_one_budgeted(
+            &backend,
+            &m,
+            &TimeTrace::disabled(),
+            CompileBudget {
+                deadline: None,
+                max_retries: 5,
+                retry_backoff: Duration::ZERO,
+            },
+            &faults,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err.kind, qc_backend::BackendErrorKind::Permanent);
+        assert_eq!(backend.calls.load(Ordering::Relaxed), 3);
+        assert_eq!(faults.snapshot().retries, 2);
+    }
 }

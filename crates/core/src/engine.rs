@@ -20,6 +20,9 @@ pub enum EngineError {
     Backend(BackendError),
     /// Execution trapped.
     Trap(Trap),
+    /// A storage-layer invariant broke between planning and execution
+    /// (e.g. a planned table is gone from the database).
+    Storage(String),
 }
 
 impl fmt::Display for EngineError {
@@ -28,6 +31,7 @@ impl fmt::Display for EngineError {
             EngineError::Plan(e) => write!(f, "{e}"),
             EngineError::Backend(e) => write!(f, "{e}"),
             EngineError::Trap(t) => write!(f, "execution trapped: {t}"),
+            EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }
@@ -239,11 +243,19 @@ impl<'db> Engine<'db> {
             let off = plan.ctx_offset(entry) as usize;
             match entry {
                 CtxEntry::ColumnBase { table, column } => {
-                    let t = self
-                        .db
-                        .table(table)
-                        .unwrap_or_else(|| panic!("table `{table}` vanished"));
-                    let base = t.column_by_name(column).base_addr();
+                    let t = self.db.table(table).ok_or_else(|| {
+                        EngineError::Storage(format!(
+                            "table `{table}` vanished between planning and execution"
+                        ))
+                    })?;
+                    let base = t
+                        .try_column_by_name(column)
+                        .ok_or_else(|| {
+                            EngineError::Storage(format!(
+                                "column `{column}` vanished from table `{table}`"
+                            ))
+                        })?
+                        .base_addr();
                     ctx[off..off + 8].copy_from_slice(&base.to_le_bytes());
                 }
                 CtxEntry::StrConst(i) => {
@@ -272,7 +284,11 @@ impl<'db> Engine<'db> {
                         .db
                         .table(name)
                         .map(qc_storage::Table::row_count)
-                        .unwrap_or(0);
+                        .ok_or_else(|| {
+                            EngineError::Storage(format!(
+                                "scan table `{name}` vanished between planning and execution"
+                            ))
+                        })?;
                     (rows as u64, self.morsel_size as u64)
                 }
                 Source::Buffer { buffer, limit, .. } => {

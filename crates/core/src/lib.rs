@@ -22,13 +22,24 @@
 //! assert!(!result.rows.is_empty());
 //! ```
 
+// The engine sits above panicky layers and owns the fault-tolerance
+// story (catch_unwind isolation, budgets, fallback chain); a stray
+// `.unwrap()` here would undo it, so the lint is a hard error outside
+// tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod adaptive;
 mod compile_service;
 mod engine;
+mod fallback;
 
 pub use adaptive::{AdaptiveExecution, AdaptiveOutcome, BackgroundReport};
-pub use compile_service::{CacheCounters, CompileService, CompileServiceConfig, PendingCompile};
+pub use compile_service::{
+    CacheCounters, CompileBudget, CompileService, CompileServiceConfig, FaultCounters,
+    PendingCompile,
+};
 pub use engine::{CompiledQuery, Engine, EngineError, ExecutionResult, MorselEvent, PreparedQuery};
+pub use fallback::{FallbackChain, FallbackReport, TierFailure};
 
 /// Constructors for all back-ends, used by examples and the bench harness.
 pub mod backends {

@@ -55,11 +55,12 @@ impl Backend for DirectBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError> {
-        let (image, mut stats) = build_parts(module, trace)?;
+        let (image, mut stats) =
+            build_parts(module, trace).map_err(|e| e.in_backend(self.name()))?;
         let _t = trace.scope("link");
         let linked = image
             .link(&|name| resolve_runtime(name))
-            .map_err(|e| BackendError::new(e.to_string()))?;
+            .map_err(|e| BackendError::new(e.to_string()).in_backend(self.name()))?;
         stats.code_bytes = linked.len();
         Ok(Box::new(NativeExecutable::new(linked, stats)))
     }
@@ -69,7 +70,7 @@ impl Backend for DirectBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
-        let (image, stats) = build_parts(module, trace)?;
+        let (image, stats) = build_parts(module, trace).map_err(|e| e.in_backend(self.name()))?;
         Ok(Some(Box::new(NativeArtifact::new(image, stats))))
     }
 }

@@ -48,7 +48,9 @@ impl Backend for InterpBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Box<dyn Executable>, BackendError> {
-        let artifact = build_artifact(module, trace)?;
+        // Errors name the tier so fallback-chain downgrades are
+        // attributable (idem for the other back-ends).
+        let artifact = build_artifact(module, trace).map_err(|e| e.in_backend(self.name()))?;
         artifact.instantiate()
     }
 
@@ -57,7 +59,8 @@ impl Backend for InterpBackend {
         module: &Module,
         trace: &TimeTrace,
     ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
-        Ok(Some(Box::new(build_artifact(module, trace)?)))
+        let artifact = build_artifact(module, trace).map_err(|e| e.in_backend(self.name()))?;
+        Ok(Some(Box::new(artifact)))
     }
 }
 

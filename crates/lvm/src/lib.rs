@@ -181,7 +181,9 @@ impl Backend for LvmBackend {
             func_names,
             used_syms,
             lir,
-        } = self.build_parts(module, trace)?;
+        } = self
+            .build_parts(module, trace)
+            .map_err(|e| e.in_backend(self.name()))?;
 
         // --- ORC-style 4-phase link ---
         let linked = {
@@ -205,7 +207,7 @@ impl Backend for LvmBackend {
                 let _p3 = trace.scope("phase3_apply");
                 image
                     .link(&|name| resolve_runtime(name))
-                    .map_err(|e| BackendError::new(e.to_string()))?
+                    .map_err(|e| BackendError::new(e.to_string()).in_backend(self.name()))?
             };
             {
                 let _p4 = trace.scope("phase4_lookup");
@@ -233,7 +235,9 @@ impl Backend for LvmBackend {
     ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
         let Parts {
             image, stats, lir, ..
-        } = self.build_parts(module, trace)?;
+        } = self
+            .build_parts(module, trace)
+            .map_err(|e| e.in_backend(self.name()))?;
         {
             let _t = trace.scope("irdtor");
             drop(lir);

@@ -131,11 +131,15 @@ impl Table {
     /// # Panics
     /// Panics when the column does not exist.
     pub fn column_by_name(&self, name: &str) -> &Column {
-        let i = self
-            .schema
-            .index_of(name)
-            .unwrap_or_else(|| panic!("no column `{name}` in `{}`", self.name));
-        &self.columns[i]
+        self.try_column_by_name(name)
+            .unwrap_or_else(|| panic!("no column `{name}` in `{}`", self.name))
+    }
+
+    /// Non-panicking [`Table::column_by_name`], for execution paths
+    /// that must degrade gracefully when the schema changed under a
+    /// prepared query.
+    pub fn try_column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
     }
 
     /// Splits the table into morsels of at most `size` rows.

@@ -3,7 +3,9 @@
 //! code generation, and background tier-up must swap at a deterministic
 //! morsel boundary without blocking the first morsel.
 
+use qc_backend::chaos::{ChaosBackend, ChaosFault};
 use qc_backend::Backend;
+use qc_backend::BackendErrorKind;
 use qc_engine::{
     backends, AdaptiveExecution, AdaptiveOutcome, CompileService, CompileServiceConfig, Engine,
     PreparedQuery,
@@ -90,6 +92,7 @@ fn service_compile_matches_engine_compile() {
     let service = CompileService::new(CompileServiceConfig {
         workers: 4,
         cache_capacity: 0,
+        ..Default::default()
     });
     let trace = TimeTrace::disabled();
     for backend in backends::all_for(Isa::Tx64) {
@@ -141,6 +144,7 @@ fn second_compile_hits_the_cache_and_reuses_code() {
         let service = CompileService::new(CompileServiceConfig {
             workers: 2,
             cache_capacity: 64,
+            ..Default::default()
         });
         let mut cold = service
             .compile(&prepared, &backend, &trace)
@@ -250,6 +254,89 @@ fn background_tier_up_swaps_at_a_deterministic_boundary() {
         .expect("second background run");
     assert_eq!(report2.swapped_at_morsel, Some(3));
     assert_eq!(result.exec_stats.cycles, again.exec_stats.cycles);
+}
+
+#[test]
+fn background_tier_failure_keeps_the_cheap_tier_result() {
+    // Injected panics unwind through catch_unwind inside the service;
+    // silence their default-hook spam without hiding real panics.
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied());
+        if !msg.is_some_and(|m| m.contains("chaos: injected")) {
+            default(info);
+        }
+    }));
+
+    let db = qc_storage::gen_hlike(0.05);
+    let mut engine = Engine::new(&db);
+    engine.morsel_size = 256;
+    let prepared = multi_pipeline_query(&engine);
+    let service = CompileService::default();
+    let cheap: Arc<dyn Backend> = Arc::from(backends::interpreter());
+    let policy = AdaptiveExecution::default();
+
+    let trace = TimeTrace::disabled();
+    let mut baseline_compiled = engine
+        .compile(&prepared, cheap.as_ref(), &trace)
+        .expect("baseline compile");
+    let baseline = engine
+        .execute(&prepared, &mut baseline_compiled)
+        .expect("baseline");
+
+    for fault in [ChaosFault::Panic, ChaosFault::PermanentError] {
+        let optimized: Arc<dyn Backend> = Arc::new(ChaosBackend::always(
+            Arc::from(backends::lvm_opt(Isa::Tx64)),
+            fault,
+        ));
+        let (result, report) = policy
+            .run_background(&engine, &service, &prepared, &cheap, &optimized, Some(3))
+            .unwrap_or_else(|e| panic!("{fault:?}: background run must survive: {e}"));
+
+        // The failed tier-up must not disturb the cheap-tier execution:
+        // same outcome shape, same rows, same stats as a plain run.
+        assert_eq!(
+            report.outcome,
+            AdaptiveOutcome::StayedCheap,
+            "{fault:?}: failed background compile must not swap"
+        );
+        assert_eq!(report.swapped_at_morsel, None);
+        let err = report
+            .background_error
+            .unwrap_or_else(|| panic!("{fault:?}: background failure must be reported"));
+        match fault {
+            ChaosFault::Panic => assert_eq!(err.kind, BackendErrorKind::Panic),
+            _ => assert_eq!(err.kind, BackendErrorKind::Permanent),
+        }
+        assert_eq!(
+            reference::normalize(&result.rows),
+            reference::normalize(&baseline.rows),
+            "{fault:?}: cheap-tier rows disturbed"
+        );
+        assert_eq!(result.exec_stats.cycles, baseline.exec_stats.cycles);
+        assert_eq!(
+            result.compile_stats.functions, baseline.compile_stats.functions,
+            "{fault:?}: cheap-tier compile stats disturbed"
+        );
+        assert_eq!(
+            result.compile_stats.code_bytes,
+            baseline.compile_stats.code_bytes
+        );
+    }
+
+    // Panics were isolated, and the pool is still healthy: a genuine
+    // tier-up through the same service succeeds afterwards.
+    assert!(service.fault_stats().panics_caught > 0);
+    let optimized: Arc<dyn Backend> = Arc::from(backends::lvm_opt(Isa::Tx64));
+    let (_, report) = policy
+        .run_background(&engine, &service, &prepared, &cheap, &optimized, Some(3))
+        .expect("clean background run after faults");
+    assert_eq!(report.outcome, AdaptiveOutcome::TieredUp);
+    assert!(report.background_error.is_none());
 }
 
 #[test]

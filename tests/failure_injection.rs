@@ -1,8 +1,11 @@
 //! Failure-injection tests spanning the whole stack: planning errors,
-//! runtime traps on every back-end, emulator guards, and link errors.
+//! runtime traps on every back-end, emulator guards, link errors, and
+//! chaos-driven faults inside the compilation service (panic isolation,
+//! compile deadlines, transient-retry, storage races).
 
-use qc_backend::Backend;
-use qc_engine::{backends, Engine, EngineError};
+use qc_backend::chaos::{ChaosBackend, ChaosFault};
+use qc_backend::{Backend, BackendErrorKind};
+use qc_engine::{backends, CompileBudget, CompileService, Engine, EngineError};
 use qc_ir::{FunctionBuilder, Module, Opcode, Signature, Type};
 use qc_plan::{col, lit_i64, PlanNode};
 use qc_runtime::RuntimeState;
@@ -229,6 +232,170 @@ fn verifier_rejects_type_mismatch() {
     let mut m = Module::new("m");
     m.push_function(b.finish());
     assert!(qc_ir::verify_module(&m).is_err());
+}
+
+/// A representative prepared query for service-level fault injection.
+fn prepared_scan(engine: &Engine<'_>) -> qc_engine::PreparedQuery {
+    let plan = PlanNode::scan("lineitem", &["l_orderkey", "l_partkey"])
+        .filter(col("l_orderkey").gt(lit_i64(10)));
+    engine.prepare(&plan, "fi_scan").expect("prepare")
+}
+
+#[test]
+fn compile_panic_is_isolated_and_the_pool_survives() {
+    // Silence the default panic hook for the injected panics only.
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied());
+        if !msg.is_some_and(|m| m.contains("chaos: injected")) {
+            default(info);
+        }
+    }));
+
+    let db = qc_storage::gen_hlike(0.01);
+    let engine = Engine::new(&db);
+    let prepared = prepared_scan(&engine);
+    let service = CompileService::default();
+    let trace = TimeTrace::disabled();
+    let workers_before = service.worker_count();
+
+    let chaotic: std::sync::Arc<dyn Backend> = std::sync::Arc::new(ChaosBackend::always(
+        std::sync::Arc::from(backends::lvm_cheap(Isa::Tx64)),
+        ChaosFault::Panic,
+    ));
+    match service.compile(&prepared, &chaotic, &trace) {
+        Err(EngineError::Backend(e)) => {
+            assert_eq!(e.kind, BackendErrorKind::Panic, "{e}");
+            assert!(e.message.contains("panicked"), "{e}");
+        }
+        Err(other) => panic!("expected isolated panic error, got {other:?}"),
+        Ok(_) => panic!("expected isolated panic error, got a compiled query"),
+    }
+    assert!(service.fault_stats().panics_caught > 0);
+
+    // Nothing from the failed compile may be cached, and the pool must
+    // still serve clean work at full strength.
+    assert_eq!(service.cache_stats().entries, 0, "poisoned cache");
+    let clean: std::sync::Arc<dyn Backend> = std::sync::Arc::from(backends::lvm_cheap(Isa::Tx64));
+    let mut compiled = service
+        .compile(&prepared, &clean, &trace)
+        .expect("pool must survive a panicked job");
+    engine
+        .execute(&prepared, &mut compiled)
+        .expect("post-panic execution");
+    assert_eq!(service.worker_count(), workers_before);
+}
+
+#[test]
+fn compile_deadline_overrun_is_a_deadline_error_and_never_cached() {
+    let db = qc_storage::gen_hlike(0.01);
+    let engine = Engine::new(&db);
+    let prepared = prepared_scan(&engine);
+    let service = CompileService::default();
+    let trace = TimeTrace::disabled();
+
+    let slow: std::sync::Arc<dyn Backend> = std::sync::Arc::new(ChaosBackend::always(
+        std::sync::Arc::from(backends::lvm_cheap(Isa::Tx64)),
+        ChaosFault::Delay(std::time::Duration::from_millis(20)),
+    ));
+    let budget = CompileBudget::with_deadline(std::time::Duration::from_millis(2));
+    match service.compile_budgeted(&prepared, &slow, budget, &trace) {
+        Err(EngineError::Backend(e)) => {
+            assert_eq!(e.kind, BackendErrorKind::Deadline, "{e}");
+        }
+        Err(other) => panic!("expected deadline error, got {other:?}"),
+        Ok(_) => panic!("expected deadline error, got a compiled query"),
+    }
+    assert!(service.fault_stats().deadline_overruns > 0);
+    // The delayed compile actually finished; its artifact must still be
+    // rejected from the cache because it blew the budget.
+    assert_eq!(
+        service.cache_stats().entries,
+        0,
+        "over-budget artifact cached"
+    );
+
+    // Without the deadline the same backend compiles fine.
+    service
+        .compile_budgeted(&prepared, &slow, CompileBudget::default(), &trace)
+        .expect("no deadline, no failure");
+}
+
+#[test]
+fn transient_compile_fault_is_retried_to_success() {
+    let db = qc_storage::gen_hlike(0.01);
+    let engine = Engine::new(&db);
+    let prepared = prepared_scan(&engine);
+    let service = CompileService::default();
+    let trace = TimeTrace::disabled();
+
+    let flaky: std::sync::Arc<dyn Backend> = std::sync::Arc::new(ChaosBackend::on_nth(
+        std::sync::Arc::from(backends::lvm_cheap(Isa::Tx64)),
+        0,
+        ChaosFault::TransientError,
+    ));
+    let mut compiled = service
+        .compile(&prepared, &flaky, &trace)
+        .expect("one transient fault must be absorbed by the retry policy");
+    assert!(service.fault_stats().retries >= 1);
+    engine
+        .execute(&prepared, &mut compiled)
+        .expect("execution after retry");
+}
+
+#[test]
+fn transient_faults_beyond_the_retry_budget_fail_with_the_last_error() {
+    let db = qc_storage::gen_hlike(0.01);
+    let engine = Engine::new(&db);
+    let prepared = prepared_scan(&engine);
+    let service = CompileService::default();
+    let trace = TimeTrace::disabled();
+
+    let broken: std::sync::Arc<dyn Backend> = std::sync::Arc::new(ChaosBackend::always(
+        std::sync::Arc::from(backends::lvm_cheap(Isa::Tx64)),
+        ChaosFault::TransientError,
+    ));
+    match service.compile(&prepared, &broken, &trace) {
+        Err(EngineError::Backend(e)) => {
+            assert_eq!(e.kind, BackendErrorKind::Transient, "{e}");
+        }
+        Err(other) => panic!("expected transient exhaustion, got {other:?}"),
+        Ok(_) => panic!("expected transient exhaustion, got a compiled query"),
+    }
+    assert!(
+        service.fault_stats().retries >= 2,
+        "retries must be attempted"
+    );
+}
+
+#[test]
+fn vanished_table_is_a_storage_error_not_a_panic() {
+    // Prepare against an H-like catalog, execute against a DS-like one:
+    // the table referenced by the plan no longer exists at execution
+    // time, which must surface as EngineError::Storage.
+    let db_h = qc_storage::gen_hlike(0.01);
+    let engine_h = Engine::new(&db_h);
+    let prepared = prepared_scan(&engine_h);
+    let trace = TimeTrace::disabled();
+    let backend = backends::interpreter();
+    let mut compiled = engine_h
+        .compile(&prepared, backend.as_ref(), &trace)
+        .expect("compile");
+
+    let db_ds = qc_storage::gen_dslike(0.01);
+    let engine_ds = Engine::new(&db_ds);
+    match engine_ds.execute(&prepared, &mut compiled) {
+        Err(EngineError::Storage(msg)) => {
+            assert!(msg.contains("lineitem"), "{msg}");
+            assert!(msg.contains("vanished"), "{msg}");
+        }
+        Err(other) => panic!("expected storage error, got {other:?}"),
+        Ok(r) => panic!("expected storage error, got {} rows", r.rows.len()),
+    }
 }
 
 #[test]
