@@ -10,7 +10,7 @@
 //! fault probability, default 300 = 30%).
 
 use qc_backend::chaos::{ChaosBackend, ChaosFault};
-use qc_bench::{env_sf, env_suite, secs};
+use qc_bench::{env_sf, env_suite, secs, LatencyStats};
 use qc_engine::{CompileBudget, CompileService, Engine, FallbackChain};
 use qc_target::Isa;
 use qc_timing::TimeTrace;
@@ -80,6 +80,8 @@ fn main() {
     let mut failed = 0u64;
     let mut clean_time = Duration::ZERO;
     let mut chaos_time = Duration::ZERO;
+    let mut clean_lat = Vec::new();
+    let mut chaos_lat = Vec::new();
     for q in &suite {
         let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
         // Clean baseline for the overhead column (cache-cold: the chaos
@@ -88,11 +90,13 @@ fn main() {
             service.compile_with_fallback(&prepared, &clean, CompileBudget::default(), &trace)
         {
             clean_time += c.compile_time;
+            clean_lat.push(c.compile_time);
         }
         match service.compile_with_fallback(&prepared, &chain, CompileBudget::default(), &trace) {
             Ok((compiled, report)) => {
                 served_by[report.tier_used] += 1;
                 chaos_time += compiled.compile_time;
+                chaos_lat.push(compiled.compile_time);
                 println!(
                     "  {:<24} {:>12} {:>11} {:>10}",
                     q.name,
@@ -115,6 +119,14 @@ fn main() {
     if failed > 0 {
         println!("  {failed} queries failed every tier");
     }
+    // Fault injection mostly shows up in tail latency: retries and
+    // tier downgrades hit a minority of queries hard.
+    for (label, samples) in [("clean", &clean_lat), ("chaotic", &chaos_lat)] {
+        if let Some(stats) = LatencyStats::from_samples(samples) {
+            println!("Compile latency ({label}): {}", stats.render());
+        }
+    }
+
     let f = service.fault_stats();
     println!("\nService fault counters:");
     println!("  panics caught      {:>6}", f.panics_caught);

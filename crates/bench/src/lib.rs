@@ -139,3 +139,79 @@ pub fn env_suite(mut suite: Vec<BenchQuery>) -> Vec<BenchQuery> {
     }
     suite
 }
+
+/// Percentile summary (nearest-rank) of raw latency samples, shared by
+/// the serving and fault-tolerance harnesses.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Worst sample.
+    pub max: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+impl LatencyStats {
+    /// Computes the summary from raw samples (any order). Returns
+    /// `None` for an empty slice.
+    pub fn from_samples(samples: &[Duration]) -> Option<LatencyStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pick = |p: f64| {
+            let rank = (p / 100.0 * sorted.len() as f64).ceil().max(1.0) as usize;
+            sorted[rank.min(sorted.len()) - 1]
+        };
+        let total: Duration = sorted.iter().sum();
+        let max = *sorted.last().expect("non-empty samples");
+        Some(LatencyStats {
+            p50: pick(50.0),
+            p95: pick(95.0),
+            p99: pick(99.0),
+            max,
+            mean: total / sorted.len() as u32,
+        })
+    }
+
+    /// One-line rendering, e.g. for harness summaries.
+    pub fn render(&self) -> String {
+        format!(
+            "p50 {} p95 {} p99 {} max {}",
+            secs(self.p50),
+            secs(self.p95),
+            secs(self.p99),
+            secs(self.max)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencyStats::from_samples(&samples).expect("non-empty");
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p95, Duration::from_millis(95));
+        assert_eq!(s.p99, Duration::from_millis(99));
+        assert_eq!(s.max, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn latency_empty_and_singleton() {
+        assert!(LatencyStats::from_samples(&[]).is_none());
+        let one = LatencyStats::from_samples(&[Duration::from_secs(2)]).expect("one");
+        assert_eq!(one.p50, Duration::from_secs(2));
+        assert_eq!(one.p99, Duration::from_secs(2));
+        assert_eq!(one.mean, Duration::from_secs(2));
+    }
+}

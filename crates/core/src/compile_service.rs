@@ -648,12 +648,15 @@ impl CompileService {
         // Reassemble in pipeline order; cached artifacts pay only the
         // link/unwind-registration step here.
         let mut executables = Vec::with_capacity(slots.len());
+        let mut artifacts = Vec::with_capacity(slots.len());
         let mut stats = CompileStats::default();
         for slot in slots {
-            let exe = match slot {
-                Some(Slot::Cached(artifact)) => artifact.instantiate()?,
-                Some(Slot::Fresh(WorkerOut::Artifact(artifact))) => artifact.instantiate()?,
-                Some(Slot::Fresh(WorkerOut::Executable(exe))) => exe,
+            let (exe, artifact) = match slot {
+                Some(Slot::Cached(artifact)) => (artifact.instantiate()?, Some(artifact)),
+                Some(Slot::Fresh(WorkerOut::Artifact(artifact))) => {
+                    (artifact.instantiate()?, Some(artifact))
+                }
+                Some(Slot::Fresh(WorkerOut::Executable(exe))) => (exe, None),
                 None => {
                     return Err(EngineError::Backend(BackendError::transient(
                         "compile worker died before replying",
@@ -662,9 +665,11 @@ impl CompileService {
             };
             stats.merge(exe.compile_stats());
             executables.push(exe);
+            artifacts.push(artifact);
         }
         Ok(CompiledQuery {
             executables,
+            artifacts,
             compile_time: start.elapsed(),
             compile_stats: stats,
             backend_name: backend.name(),
@@ -789,28 +794,31 @@ fn compile_all(
     let start = Instant::now();
     let trace = TimeTrace::disabled();
     let mut executables = Vec::with_capacity(modules.len());
+    let mut artifacts = Vec::with_capacity(modules.len());
     let mut stats = CompileStats::default();
     for module in modules {
         let key = CacheKey::new(module, backend.as_ref());
-        let exe = match cache.lookup(&key) {
-            Some(artifact) => artifact.instantiate()?,
+        let (exe, artifact) = match cache.lookup(&key) {
+            Some(artifact) => (artifact.instantiate()?, Some(artifact)),
             None => {
                 match compile_one_budgeted(backend.as_ref(), module, &trace, budget, faults)
                     .map_err(|e| e.in_backend(backend.name()))?
                 {
                     WorkerOut::Artifact(artifact) => {
                         cache.insert(key, Arc::clone(&artifact));
-                        artifact.instantiate()?
+                        (artifact.instantiate()?, Some(artifact))
                     }
-                    WorkerOut::Executable(exe) => exe,
+                    WorkerOut::Executable(exe) => (exe, None),
                 }
             }
         };
         stats.merge(exe.compile_stats());
         executables.push(exe);
+        artifacts.push(artifact);
     }
     Ok(CompiledQuery {
         executables,
+        artifacts,
         compile_time: start.elapsed(),
         compile_stats: stats,
         backend_name: backend.name(),

@@ -1,14 +1,16 @@
 //! Query preparation, compilation, and morsel-wise execution.
 
-use qc_backend::{Backend, BackendError, CompileStats, Executable};
+use crate::morsel_exec::{QueryExecution, StepProgress};
+use qc_backend::{Backend, BackendError, CodeArtifact, CompileStats, Executable};
 use qc_codegen::{generate, GeneratedQuery};
-use qc_plan::{CtxEntry, PhysicalPlan, PlanError, PlanNode, RowLayout, Source};
+use qc_plan::{PhysicalPlan, PlanError, PlanNode, RowLayout};
 use qc_runtime::{RtString, RuntimeState, SqlValue};
 use qc_storage::{ColumnType, Database};
 use qc_target::{ExecStats, Trap};
 use qc_timing::TimeTrace;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Error produced by engine operations.
@@ -82,12 +84,29 @@ impl PreparedQuery {
 pub struct CompiledQuery {
     /// Executables in pipeline order.
     pub executables: Vec<Box<dyn Executable>>,
+    /// Reusable code artifacts in pipeline order, when the back-end
+    /// produces them (`None` for executable-only back-ends). The
+    /// morsel-parallel executor instantiates one executable per worker
+    /// from these, so every worker runs the same machine code.
+    pub artifacts: Vec<Option<Arc<dyn CodeArtifact>>>,
     /// Wall-clock compile time (sum over pipelines).
     pub compile_time: Duration,
     /// Merged compile statistics.
     pub compile_stats: CompileStats,
     /// Name of the back-end used.
     pub backend_name: &'static str,
+}
+
+impl CompiledQuery {
+    /// Folds a background-compiled `replacement` tier into this query
+    /// in place: compile time and statistics of the replaced tier are
+    /// merged so the totals cover both tiers (the accounting contract
+    /// of [`Engine::execute_with_hook`]).
+    pub(crate) fn adopt_replacement(&mut self, mut replacement: CompiledQuery) {
+        replacement.compile_time += self.compile_time;
+        replacement.compile_stats.merge(&self.compile_stats);
+        *self = replacement;
+    }
 }
 
 impl fmt::Debug for CompiledQuery {
@@ -115,46 +134,69 @@ pub struct MorselEvent {
     pub cycles_so_far: u64,
 }
 
-fn sum_exec_stats(executables: &[Box<dyn Executable>]) -> (u64, u64) {
-    executables
-        .iter()
-        .map(|e| e.exec_stats())
-        .fold((0, 0), |(c, i), s| (c + s.cycles, i + s.insts))
-}
-
 /// Result of executing a query.
 #[derive(Debug)]
 pub struct ExecutionResult {
     /// Output rows.
     pub rows: Vec<Vec<SqlValue>>,
-    /// Deterministic execution cost (cycles/instructions).
+    /// Deterministic execution cost (cycles/instructions). Under
+    /// morsel-parallel execution this is the total work across all
+    /// workers, not elapsed model time.
     pub exec_stats: ExecStats,
+    /// Model-time critical path: serial sections plus, per parallel
+    /// pipeline, the busiest worker's cycles. Equals
+    /// `exec_stats.cycles` on the single-threaded path; the ratio of
+    /// the two is the model-time speedup parallel execution would see
+    /// on real cores.
+    pub critical_path_cycles: u64,
     /// Wall-clock compile time.
     pub compile_time: Duration,
     /// Merged compile statistics.
     pub compile_stats: CompileStats,
 }
 
+/// Execution-side tuning knobs for [`Engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Rows per morsel for base-table scans. Smaller morsels mean more
+    /// tier-up/swap opportunities and finer parallel work units at the
+    /// cost of more per-morsel call overhead.
+    pub morsel_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { morsel_size: 2048 }
+    }
+}
+
 /// The execution engine over one database.
 #[derive(Debug, Clone, Copy)]
 pub struct Engine<'db> {
     db: &'db Database,
-    /// Rows per morsel for base-table scans.
-    pub morsel_size: usize,
+    config: EngineConfig,
 }
 
 impl<'db> Engine<'db> {
-    /// Creates an engine over `db`.
+    /// Creates an engine over `db` with default configuration.
     pub fn new(db: &'db Database) -> Self {
-        Engine {
-            db,
-            morsel_size: 2048,
-        }
+        Engine::with_config(db, EngineConfig::default())
+    }
+
+    /// Creates an engine over `db` with explicit configuration.
+    pub fn with_config(db: &'db Database, config: EngineConfig) -> Self {
+        assert!(config.morsel_size > 0, "morsel size must be positive");
+        Engine { db, config }
     }
 
     /// The underlying database.
     pub fn database(&self) -> &'db Database {
         self.db
+    }
+
+    /// Rows per morsel for base-table scans.
+    pub fn morsel_size(&self) -> usize {
+        self.config.morsel_size
     }
 
     /// Plans a query and generates its IR.
@@ -188,14 +230,33 @@ impl<'db> Engine<'db> {
     ) -> Result<CompiledQuery, EngineError> {
         let start = Instant::now();
         let mut executables = Vec::with_capacity(prepared.ir.modules.len());
+        let mut artifacts = Vec::with_capacity(prepared.ir.modules.len());
         let mut stats = CompileStats::default();
         for module in &prepared.ir.modules {
-            let exe = backend.compile(module, trace)?;
+            // Prefer the artifact path: it yields a handle the
+            // morsel-parallel executor can instantiate per worker.
+            // Timed compiles take the one-shot path instead, because
+            // artifact instantiation defers the final link outside the
+            // trace and would drop that phase from the breakdowns.
+            let artifact = if trace.is_enabled() {
+                None
+            } else {
+                backend.compile_artifact(module, trace)?
+            };
+            let (exe, artifact) = match artifact {
+                Some(artifact) => {
+                    let artifact: Arc<dyn CodeArtifact> = Arc::from(artifact);
+                    (artifact.instantiate()?, Some(artifact))
+                }
+                None => (backend.compile(module, trace)?, None),
+            };
             stats.merge(exe.compile_stats());
             executables.push(exe);
+            artifacts.push(artifact);
         }
         Ok(CompiledQuery {
             executables,
+            artifacts,
             compile_time: start.elapsed(),
             compile_stats: stats,
             backend_name: backend.name(),
@@ -234,121 +295,13 @@ impl<'db> Engine<'db> {
         compiled: &mut CompiledQuery,
         hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
     ) -> Result<ExecutionResult, EngineError> {
-        let mut state = RuntimeState::new();
-        let plan = &prepared.plan;
-
-        // Build and fill the query context block.
-        let mut ctx = vec![0u8; plan.ctx_size().max(8)];
-        for entry in &plan.ctx {
-            let off = plan.ctx_offset(entry) as usize;
-            match entry {
-                CtxEntry::ColumnBase { table, column } => {
-                    let t = self.db.table(table).ok_or_else(|| {
-                        EngineError::Storage(format!(
-                            "table `{table}` vanished between planning and execution"
-                        ))
-                    })?;
-                    let base = t
-                        .try_column_by_name(column)
-                        .ok_or_else(|| {
-                            EngineError::Storage(format!(
-                                "column `{column}` vanished from table `{table}`"
-                            ))
-                        })?
-                        .base_addr();
-                    ctx[off..off + 8].copy_from_slice(&base.to_le_bytes());
-                }
-                CtxEntry::StrConst(i) => {
-                    let s = state.intern_string(&plan.str_literals[*i]);
-                    ctx[off..off + 8].copy_from_slice(&s.lo.to_le_bytes());
-                    ctx[off + 8..off + 16].copy_from_slice(&s.hi.to_le_bytes());
-                }
-                _ => {} // handles are written by generated setup functions
+        let mut exec = QueryExecution::new(self, prepared)?;
+        while let StepProgress::Ran(event) = exec.step(self, prepared, compiled, 1)? {
+            if let Some(replacement) = hook(&event) {
+                compiled.adopt_replacement(replacement);
             }
         }
-        let ctx_addr = ctx.as_ptr() as u64;
-
-        // Executable swaps discard the replaced tier's counters, so
-        // cycles are accumulated relative to a per-tier baseline.
-        let mut acc = ExecStats::default();
-        let (mut cycles_base, mut insts_base) = sum_exec_stats(&compiled.executables);
-        let mut morsels_done = 0u64;
-
-        for pipe_idx in 0..plan.pipelines.len() {
-            let pipe = &plan.pipelines[pipe_idx];
-            compiled.executables[pipe_idx].call(&mut state, "setup", &[ctx_addr])?;
-            // Determine the scan range.
-            let (total, morsel) = match &pipe.source {
-                Source::Table { name, .. } => {
-                    let rows = self
-                        .db
-                        .table(name)
-                        .map(qc_storage::Table::row_count)
-                        .ok_or_else(|| {
-                            EngineError::Storage(format!(
-                                "scan table `{name}` vanished between planning and execution"
-                            ))
-                        })?;
-                    (rows as u64, self.morsel_size as u64)
-                }
-                Source::Buffer { buffer, limit, .. } => {
-                    let off = plan.ctx_offset(buffer) as usize;
-                    let handle = u64::from_le_bytes(ctx[off..off + 8].try_into().expect("8 bytes"));
-                    let len = state.buffer(handle).len() as u64;
-                    let len = match limit {
-                        Some(l) => len.min(*l as u64),
-                        None => len,
-                    };
-                    (len, len.max(1)) // buffer scans run as one morsel
-                }
-            };
-            let mut start = 0u64;
-            while start < total {
-                let count = morsel.min(total - start);
-                compiled.executables[pipe_idx].call(
-                    &mut state,
-                    "main",
-                    &[ctx_addr, start, count],
-                )?;
-                start += count;
-                morsels_done += 1;
-
-                let (cycles_now, _) = sum_exec_stats(&compiled.executables);
-                let event = MorselEvent {
-                    pipeline: pipe_idx,
-                    morsels_done,
-                    cycles_so_far: acc.cycles + (cycles_now - cycles_base),
-                };
-                if let Some(mut replacement) = hook(&event) {
-                    let (cyc, ins) = sum_exec_stats(&compiled.executables);
-                    acc.cycles += cyc - cycles_base;
-                    acc.insts += ins - insts_base;
-                    replacement.compile_time += compiled.compile_time;
-                    replacement.compile_stats.merge(&compiled.compile_stats);
-                    *compiled = replacement;
-                    let (cb, ib) = sum_exec_stats(&compiled.executables);
-                    cycles_base = cb;
-                    insts_base = ib;
-                }
-            }
-            compiled.executables[pipe_idx].call(&mut state, "finish", &[ctx_addr])?;
-        }
-
-        // Decode the output buffer.
-        let out_off = plan.ctx_offset(&CtxEntry::OutputBuf) as usize;
-        let out_handle = u64::from_le_bytes(ctx[out_off..out_off + 8].try_into().expect("8 bytes"));
-        let rows = decode_rows(&state, out_handle, &plan.output);
-
-        let (cycles_after, insts_after) = sum_exec_stats(&compiled.executables);
-        Ok(ExecutionResult {
-            rows,
-            exec_stats: ExecStats {
-                cycles: acc.cycles + (cycles_after - cycles_base),
-                insts: acc.insts + (insts_after - insts_base),
-            },
-            compile_time: compiled.compile_time,
-            compile_stats: compiled.compile_stats.clone(),
-        })
+        exec.into_result(prepared, compiled)
     }
 
     /// Prepares, compiles, and executes a plan in one call. Pass a
@@ -371,7 +324,11 @@ impl<'db> Engine<'db> {
     }
 }
 
-fn decode_rows(state: &RuntimeState, buf: u64, layout: &RowLayout) -> Vec<Vec<SqlValue>> {
+pub(crate) fn decode_rows(
+    state: &RuntimeState,
+    buf: u64,
+    layout: &RowLayout,
+) -> Vec<Vec<SqlValue>> {
     let buffer = state.buffer(buf);
     let mut rows = Vec::with_capacity(buffer.len());
     for i in 0..buffer.len() {

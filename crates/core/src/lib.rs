@@ -32,14 +32,20 @@ mod adaptive;
 mod compile_service;
 mod engine;
 mod fallback;
+mod morsel_exec;
+mod scheduler;
 
 pub use adaptive::{AdaptiveExecution, AdaptiveOutcome, BackgroundReport};
 pub use compile_service::{
     CacheCounters, CompileBudget, CompileService, CompileServiceConfig, FaultCounters,
     PendingCompile,
 };
-pub use engine::{CompiledQuery, Engine, EngineError, ExecutionResult, MorselEvent, PreparedQuery};
+pub use engine::{
+    CompiledQuery, Engine, EngineConfig, EngineError, ExecutionResult, MorselEvent, PreparedQuery,
+};
 pub use fallback::{FallbackChain, FallbackReport, TierFailure};
+pub use morsel_exec::{MorselExecConfig, MorselExecutor, MorselSchedule};
+pub use scheduler::{QueryOutcome, QueryScheduler, SchedulerConfig, ServeReport, SessionRequest};
 
 /// Constructors for all back-ends, used by examples and the bench harness.
 pub mod backends {

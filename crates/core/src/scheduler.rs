@@ -1,0 +1,457 @@
+//! Multi-query serving scheduler.
+//!
+//! [`QueryScheduler::serve`] drives many concurrent query sessions over
+//! one shared [`Engine`] + [`CompileService`] (and therefore one shared
+//! code cache — repeated query shapes compile once and hit the cache
+//! afterwards). The scheduler provides the *inter*-query parallelism
+//! axis of the serving story; [`crate::MorselExecutor`] provides the
+//! *intra*-query axis. A serving deployment picks one per tier of the
+//! workload: many small queries → scheduler, one huge query → morsel
+//! executor.
+//!
+//! Mechanics:
+//!
+//! * **Bounded admission.** At most [`SchedulerConfig::admission_limit`]
+//!   queries are admitted (prepared + compiled) at a time; the rest
+//!   wait in a FIFO submission queue. This bounds memory (each admitted
+//!   query holds executables and runtime state) and keeps the cache
+//!   warm-up serial enough to be effective.
+//! * **Fairness.** Admitted queries sit in a round-robin ready queue.
+//!   A worker pops the front, runs a slice of
+//!   [`SchedulerConfig::morsel_credits`] morsels through the
+//!   incremental [`QueryExecution`] stepper, and pushes the query to
+//!   the back. No query can starve another by more than one slice.
+//! * **Tier-up priority.** When a background tier is configured, a
+//!   small number of in-flight background compiles
+//!   ([`SchedulerConfig::tier_up_inflight`]) is granted to the admitted
+//!   queries with the **most remaining morsels** — the queries with the
+//!   most execution left to amortize an expensive compile, mirroring
+//!   the paper's adaptive-execution argument. Completed tiers are
+//!   adopted at the next slice boundary (a morsel boundary, so the
+//!   swap is exactly as safe as the single-query adaptive path).
+
+use crate::compile_service::{CompileService, PendingCompile};
+use crate::engine::{CompiledQuery, Engine, EngineError, PreparedQuery};
+use crate::morsel_exec::{QueryExecution, StepProgress};
+use qc_backend::Backend;
+use qc_plan::PlanNode;
+use qc_runtime::SqlValue;
+use qc_timing::TimeTrace;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`QueryScheduler`].
+#[derive(Clone)]
+pub struct SchedulerConfig {
+    /// Serving worker threads (each runs one query slice at a time).
+    pub workers: usize,
+    /// Maximum concurrently admitted (prepared + compiled) queries.
+    pub admission_limit: usize,
+    /// Morsels a query may run per slice before yielding the worker.
+    pub morsel_credits: u64,
+    /// Optional background tier: queries tier up to this back-end while
+    /// executing their first tier.
+    pub tier_up_backend: Option<Arc<dyn Backend>>,
+    /// Maximum concurrent background tier-up compiles.
+    pub tier_up_inflight: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 4,
+            admission_limit: 16,
+            morsel_credits: 8,
+            tier_up_backend: None,
+            tier_up_inflight: 2,
+        }
+    }
+}
+
+/// One query session submitted to the scheduler.
+pub struct SessionRequest {
+    /// Session name (used in module names and the outcome).
+    pub name: String,
+    /// The logical plan to serve.
+    pub plan: PlanNode,
+}
+
+/// Result of one served session.
+pub struct QueryOutcome {
+    /// Session name.
+    pub name: String,
+    /// Result rows (empty when `error` is set).
+    pub rows: Vec<Vec<SqlValue>>,
+    /// Time from submission to admission (prepare/compile start).
+    pub queue_wait: Duration,
+    /// Time from submission to completion.
+    pub latency: Duration,
+    /// Deterministic execution cycles.
+    pub cycles: u64,
+    /// Whether a background tier was adopted mid-query.
+    pub tiered_up: bool,
+    /// Failure description, if the session failed.
+    pub error: Option<String>,
+}
+
+/// Aggregate result of one [`QueryScheduler::serve`] call.
+pub struct ServeReport {
+    /// Per-session outcomes in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Wall-clock time of the whole serve.
+    pub wall: Duration,
+    /// Total worker busy time (admission + execution slices).
+    pub busy: Duration,
+    /// Per-worker busy time. On a host with fewer cores than workers,
+    /// wall clock under-reports the scheduling parallelism; the spread
+    /// of this vector shows the work distribution directly.
+    pub worker_busy: Vec<Duration>,
+    /// Worker count used.
+    pub workers: usize,
+}
+
+impl ServeReport {
+    /// Completed queries per wall-clock second.
+    pub fn throughput_qps(&self) -> f64 {
+        self.outcomes.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of worker time spent busy, in `0.0..=1.0`.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.workers as f64;
+        (self.busy.as_secs_f64() / capacity.max(1e-9)).min(1.0)
+    }
+
+    /// Sessions that failed.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.error.is_some()).count()
+    }
+
+    /// Work-distribution speedup: total busy time over the busiest
+    /// worker's busy time. This is the model-time speedup the serve
+    /// would achieve on one core per worker — `workers`-ideal when the
+    /// round-robin credits balance perfectly, 1.0 when one worker did
+    /// everything. Unlike wall-clock throughput it is meaningful even
+    /// when the host has fewer cores than serving workers.
+    pub fn parallel_speedup(&self) -> f64 {
+        let max = self
+            .worker_busy
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64();
+        self.busy.as_secs_f64() / max.max(1e-9)
+    }
+}
+
+/// One admitted query session.
+struct Active {
+    index: usize,
+    name: String,
+    prepared: PreparedQuery,
+    compiled: CompiledQuery,
+    exec: QueryExecution,
+    queue_wait: Duration,
+    /// Estimated morsels left (tier-up priority key).
+    remaining: u64,
+    pending_tier: Option<PendingCompile>,
+    tiered_up: bool,
+}
+
+/// Scheduler state shared by the serving workers.
+struct SchedState {
+    pending: VecDeque<(usize, SessionRequest)>,
+    ready: VecDeque<Active>,
+    outcomes: Vec<Option<QueryOutcome>>,
+    active: usize,
+    done: usize,
+    tier_inflight: usize,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+/// The serving scheduler. See the module docs.
+pub struct QueryScheduler {
+    config: SchedulerConfig,
+}
+
+impl QueryScheduler {
+    /// Creates a scheduler with `config`.
+    ///
+    /// # Panics
+    /// Panics when `workers`, `admission_limit` or `morsel_credits` is
+    /// zero.
+    pub fn new(config: SchedulerConfig) -> Self {
+        assert!(config.workers > 0, "scheduler needs at least one worker");
+        assert!(config.admission_limit > 0, "admission limit must be > 0");
+        assert!(config.morsel_credits > 0, "morsel credits must be > 0");
+        QueryScheduler { config }
+    }
+
+    /// Serves `requests` to completion and reports per-session
+    /// outcomes plus aggregate throughput/utilization.
+    pub fn serve(
+        &self,
+        engine: &Engine<'_>,
+        service: &CompileService,
+        backend: &Arc<dyn Backend>,
+        requests: Vec<SessionRequest>,
+    ) -> ServeReport {
+        let total = requests.len();
+        let start = Instant::now();
+        let shared = Shared {
+            state: Mutex::new(SchedState {
+                pending: requests.into_iter().enumerate().collect(),
+                ready: VecDeque::new(),
+                outcomes: (0..total).map(|_| None).collect(),
+                active: 0,
+                done: 0,
+                tier_inflight: 0,
+            }),
+            cv: Condvar::new(),
+        };
+
+        let worker_busy: Vec<Duration> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.config.workers)
+                .map(|_| {
+                    let shared = &shared;
+                    let config = &self.config;
+                    s.spawn(move || {
+                        serve_worker(engine, service, backend, config, shared, total, start)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serving worker panicked"))
+                .collect()
+        })
+        .expect("serving scope");
+
+        let state = shared.state.into_inner().expect("scheduler state poisoned");
+        let outcomes = state
+            .outcomes
+            .into_iter()
+            .map(|o| o.expect("every session reports an outcome"))
+            .collect();
+        ServeReport {
+            outcomes,
+            wall: start.elapsed(),
+            busy: worker_busy.iter().sum(),
+            worker_busy,
+            workers: self.config.workers,
+        }
+    }
+}
+
+/// One serving worker: admits pending sessions while admission slots
+/// are free, otherwise runs ready sessions one credit slice at a time.
+/// Returns this worker's busy time.
+fn serve_worker(
+    engine: &Engine<'_>,
+    service: &CompileService,
+    backend: &Arc<dyn Backend>,
+    config: &SchedulerConfig,
+    shared: &Shared,
+    total: usize,
+    start: Instant,
+) -> Duration {
+    let mut busy = Duration::ZERO;
+    loop {
+        let mut g = shared.state.lock().expect("scheduler state poisoned");
+        loop {
+            if g.done == total {
+                shared.cv.notify_all();
+                return busy;
+            }
+            let can_admit = g.active < config.admission_limit && !g.pending.is_empty();
+            if can_admit || !g.ready.is_empty() {
+                break;
+            }
+            g = shared.cv.wait(g).expect("scheduler state poisoned");
+        }
+
+        if g.active < config.admission_limit && !g.pending.is_empty() {
+            let (index, req) = g.pending.pop_front().expect("pending checked non-empty");
+            g.active += 1;
+            drop(g);
+            let t0 = Instant::now();
+            let queue_wait = start.elapsed();
+            let admitted = admit(engine, service, backend, index, req, queue_wait);
+            busy += t0.elapsed();
+            let mut g = shared.state.lock().expect("scheduler state poisoned");
+            match admitted {
+                Ok(active) => {
+                    g.ready.push_back(active);
+                    tier_up_governor(service, config, &mut g);
+                }
+                Err((index, name, err)) => {
+                    let outcome = failed_outcome(name, queue_wait, start, &err);
+                    finalize(&mut g, (index, outcome));
+                }
+            }
+            shared.cv.notify_all();
+            continue;
+        }
+
+        let mut a = g.ready.pop_front().expect("ready checked non-empty");
+        drop(g);
+        let t0 = Instant::now();
+
+        // Adopt a completed background tier at the slice boundary (a
+        // morsel boundary — the same safety contract as the adaptive
+        // single-query path).
+        let mut tier_done = false;
+        if let Some(pending) = a.pending_tier.as_mut() {
+            if let Some(result) = pending.try_take() {
+                tier_done = true;
+                a.pending_tier = None;
+                if let Ok(replacement) = result {
+                    a.compiled.adopt_replacement(replacement);
+                    a.tiered_up = true;
+                }
+            }
+        }
+
+        let step = a
+            .exec
+            .step(engine, &a.prepared, &mut a.compiled, config.morsel_credits);
+        busy += t0.elapsed();
+
+        let mut g = shared.state.lock().expect("scheduler state poisoned");
+        if tier_done {
+            g.tier_inflight -= 1;
+        }
+        match step {
+            Ok(StepProgress::Ran(_)) => {
+                a.remaining = a.exec.remaining_morsels(engine, &a.prepared);
+                g.ready.push_back(a);
+                tier_up_governor(service, config, &mut g);
+            }
+            Ok(StepProgress::Done) => {
+                let outcome = finish_outcome(a, start);
+                finalize(&mut g, outcome);
+            }
+            Err(err) => {
+                if a.pending_tier.is_some() {
+                    g.tier_inflight -= 1; // abandoned in-flight compile
+                }
+                let outcome = (a.index, failed_outcome(a.name, a.queue_wait, start, &err));
+                finalize(&mut g, outcome);
+            }
+        }
+        shared.cv.notify_all();
+    }
+}
+
+type AdmitError = (usize, String, EngineError);
+
+/// Prepares and compiles one session through the shared service (and
+/// therefore the shared code cache).
+fn admit(
+    engine: &Engine<'_>,
+    service: &CompileService,
+    backend: &Arc<dyn Backend>,
+    index: usize,
+    req: SessionRequest,
+    queue_wait: Duration,
+) -> Result<Active, AdmitError> {
+    let fail = |name: &str, e: EngineError| (index, name.to_string(), e);
+    let prepared = engine
+        .prepare(&req.plan, &req.name)
+        .map_err(|e| fail(&req.name, e))?;
+    let compiled = service
+        .compile(&prepared, backend, &TimeTrace::disabled())
+        .map_err(|e| fail(&req.name, e))?;
+    let exec = QueryExecution::new(engine, &prepared).map_err(|e| fail(&req.name, e))?;
+    let remaining = exec.remaining_morsels(engine, &prepared);
+    Ok(Active {
+        index,
+        name: req.name,
+        prepared,
+        compiled,
+        exec,
+        queue_wait,
+        remaining,
+        pending_tier: None,
+        tiered_up: false,
+    })
+}
+
+/// Grants free tier-up slots to the ready queries with the most
+/// remaining morsels (the queries with the most execution left to
+/// amortize the expensive compile).
+fn tier_up_governor(service: &CompileService, config: &SchedulerConfig, g: &mut SchedState) {
+    let Some(opt_backend) = config.tier_up_backend.as_ref() else {
+        return;
+    };
+    while g.tier_inflight < config.tier_up_inflight {
+        let candidate = g
+            .ready
+            .iter_mut()
+            .filter(|a| a.pending_tier.is_none() && !a.tiered_up)
+            .max_by_key(|a| a.remaining);
+        let Some(a) = candidate else { return };
+        if a.remaining == 0 {
+            return;
+        }
+        a.pending_tier = Some(service.spawn_compile(&a.prepared, opt_backend));
+        g.tier_inflight += 1;
+    }
+}
+
+fn finalize(g: &mut SchedState, outcome: (usize, QueryOutcome)) {
+    g.outcomes[outcome.0] = Some(outcome.1);
+    g.active -= 1;
+    g.done += 1;
+}
+
+fn finish_outcome(a: Active, start: Instant) -> (usize, QueryOutcome) {
+    let Active {
+        index,
+        name,
+        prepared,
+        compiled,
+        exec,
+        queue_wait,
+        tiered_up,
+        ..
+    } = a;
+    match exec.into_result(&prepared, &compiled) {
+        Ok(result) => (
+            index,
+            QueryOutcome {
+                name,
+                rows: result.rows,
+                queue_wait,
+                latency: start.elapsed(),
+                cycles: result.exec_stats.cycles,
+                tiered_up,
+                error: None,
+            },
+        ),
+        Err(err) => (index, failed_outcome(name, queue_wait, start, &err)),
+    }
+}
+
+fn failed_outcome(
+    name: String,
+    queue_wait: Duration,
+    start: Instant,
+    err: &EngineError,
+) -> QueryOutcome {
+    QueryOutcome {
+        name,
+        rows: Vec::new(),
+        queue_wait,
+        latency: start.elapsed(),
+        cycles: 0,
+        tiered_up: false,
+        error: Some(err.to_string()),
+    }
+}

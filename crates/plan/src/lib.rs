@@ -22,6 +22,6 @@ pub mod reference;
 
 pub use expr::{col, ArithOp, CmpKind, Expr};
 pub use expr::{lit_bool, lit_date, lit_dec, lit_f64, lit_i32, lit_i64, lit_str};
-pub use layout::{RowField, RowLayout};
+pub use layout::{field_size, RowField, RowLayout};
 pub use node::{AggFunc, CatalogFn, PlanError, PlanNode, TableSchema};
 pub use physical::{CtxEntry, PhysicalPlan, Pipeline, Sink, Source, StreamOp};

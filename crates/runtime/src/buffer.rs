@@ -28,6 +28,17 @@ impl TupleBuffer {
         self.row_size
     }
 
+    /// Clones the buffer for a morsel-parallel worker: row pointers are
+    /// copied (rows stay in the parent's arena and are only read through
+    /// the clone); rows the worker appends afterwards live in its own
+    /// arena.
+    pub fn fork(&self) -> TupleBuffer {
+        TupleBuffer {
+            row_size: self.row_size,
+            rows: self.rows.clone(),
+        }
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -25,11 +25,23 @@ pub struct HashTable {
     buckets: Vec<u64>,
     count: usize,
     mask: u64,
+    /// Payload addresses in insertion order. Bucket chains are LIFO, so
+    /// chain order alone cannot reconstruct the global insert sequence;
+    /// the morsel-parallel merge replays a worker's inserts into the
+    /// canonical table in exactly this order to keep downstream probe
+    /// order byte-identical to single-threaded execution.
+    insert_log: Vec<u64>,
 }
 
 fn read_u64(addr: u64) -> u64 {
     // SAFETY: addresses come from this table's own arena entries.
     unsafe { std::ptr::read_unaligned(addr as *const u64) }
+}
+
+/// Reads the stored 64-bit hash of the entry whose payload starts at
+/// `payload` (the address form returned by [`HashTable::insert`]).
+pub fn entry_hash(payload: u64) -> u64 {
+    read_u64(payload - (ENTRY_PAYLOAD_OFFSET - ENTRY_HASH_OFFSET) as u64)
 }
 
 fn write_u64(addr: u64, v: u64) {
@@ -45,7 +57,28 @@ impl HashTable {
             buckets: vec![0; cap],
             count: 0,
             mask: cap as u64 - 1,
+            insert_log: Vec::new(),
         }
+    }
+
+    /// Clones the table structure for a morsel-parallel worker: bucket
+    /// heads, count, and mask are copied (entries stay in the parent's
+    /// arena and are only *read* through the clone), while the insert
+    /// log restarts empty so it records exactly the worker's own
+    /// inserts.
+    pub fn fork(&self) -> HashTable {
+        HashTable {
+            buckets: self.buckets.clone(),
+            count: self.count,
+            mask: self.mask,
+            insert_log: Vec::new(),
+        }
+    }
+
+    /// Payload addresses inserted into this table instance, in order
+    /// (excludes entries inherited through [`HashTable::fork`]).
+    pub fn insert_log(&self) -> &[u64] {
+        &self.insert_log
     }
 
     /// Number of inserted entries.
@@ -70,7 +103,9 @@ impl HashTable {
         write_u64(entry + 8, hash);
         self.buckets[bucket] = entry;
         self.count += 1;
-        entry + ENTRY_PAYLOAD_OFFSET as u64
+        let payload = entry + ENTRY_PAYLOAD_OFFSET as u64;
+        self.insert_log.push(payload);
+        payload
     }
 
     /// Finalizes the build side (chains are maintained incrementally, so
@@ -132,6 +167,29 @@ mod tests {
         assert_eq!(found.len(), 1);
         assert_eq!(read_u64(found[0]), 777);
         assert!(ht.matching_entries(hash_u64(8)).is_empty());
+    }
+
+    #[test]
+    fn fork_reads_parent_entries_and_logs_only_its_own() {
+        let mut arena = Arena::new();
+        let mut ht = HashTable::new(4);
+        let h1 = hash_u64(1);
+        let p1 = ht.insert(&mut arena, h1, 8);
+        write_u64(p1, 11);
+        assert_eq!(ht.insert_log(), &[p1]);
+        assert_eq!(entry_hash(p1), h1);
+
+        let mut child = ht.fork();
+        assert_eq!(child.len(), 1);
+        assert!(child.insert_log().is_empty());
+        // Parent entries are visible through the fork...
+        assert_eq!(child.matching_entries(h1), vec![p1]);
+        // ...and new inserts land only in the fork's log.
+        let h2 = hash_u64(2);
+        let p2 = child.insert(&mut arena, h2, 8);
+        assert_eq!(child.insert_log(), &[p2]);
+        assert_eq!(ht.insert_log(), &[p1]);
+        assert!(ht.matching_entries(h2).is_empty());
     }
 
     #[test]

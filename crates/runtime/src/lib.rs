@@ -31,7 +31,9 @@ mod values;
 pub use arena::Arena;
 pub use buffer::TupleBuffer;
 pub use hash::{hash_combine, hash_string, hash_u64, long_mul_fold, HASH_SEED1, HASH_SEED2};
-pub use hashtable::{HashTable, ENTRY_HASH_OFFSET, ENTRY_NEXT_OFFSET, ENTRY_PAYLOAD_OFFSET};
+pub use hashtable::{
+    entry_hash, HashTable, ENTRY_HASH_OFFSET, ENTRY_NEXT_OFFSET, ENTRY_PAYLOAD_OFFSET,
+};
 pub use state::{resolve_runtime, rt_index, rtfn, EmuHost, RuntimeState};
 pub use strings::RtString;
 pub use values::SqlValue;

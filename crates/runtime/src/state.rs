@@ -157,6 +157,81 @@ impl RuntimeState {
         self.buffers.len()
     }
 
+    /// Access to a hash table by handle (used by the morsel-parallel
+    /// merge and by tests).
+    pub fn table(&self, id: u64) -> &HashTable {
+        &self.tables[id as usize]
+    }
+
+    /// Number of live hash tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Forks a worker-local state for morsel-parallel execution.
+    ///
+    /// Hash tables and buffers are structurally cloned — their entries
+    /// and rows stay in this state's arena and are only *read* through
+    /// the fork — and the fork gets a fresh arena of its own, so handle
+    /// numbering stays aligned: containers the worker creates receive
+    /// the same indices canonical execution would assign next. The fork
+    /// must never mutate an inherited container (workers only write
+    /// through sink handles their own `setup` created); the parent must
+    /// stay alive and unmutated while forks run, since forked containers
+    /// hold raw addresses into its arena.
+    pub fn fork_worker(&self) -> RuntimeState {
+        RuntimeState {
+            arena: Arena::new(),
+            tables: self.tables.iter().map(HashTable::fork).collect(),
+            buffers: self.buffers.iter().map(TupleBuffer::fork).collect(),
+            call_counts: [0; rtfn::NAMES.len()],
+        }
+    }
+
+    /// Adds another state's runtime-call counters into this one (used
+    /// when folding worker states back into the canonical state).
+    pub fn merge_counts_from(&mut self, other: &RuntimeState) {
+        for (c, o) in self.call_counts.iter_mut().zip(&other.call_counts) {
+            *c += o;
+        }
+    }
+
+    /// Inserts an entry into hash table `id` and fills its payload by
+    /// copying `size` bytes from the raw address `src` (a live payload
+    /// in some worker state's arena). Replay primitive of the
+    /// morsel-parallel merge; does not bump `call_counts` — the worker
+    /// that produced the source entry already counted the insert.
+    ///
+    /// Returns the canonical payload address.
+    pub fn ht_insert_from(&mut self, id: u64, hash: u64, src: u64, size: usize) -> u64 {
+        let dst = self.tables[id as usize].insert(&mut self.arena, hash, size);
+        // SAFETY: `src` points at a live `size`-byte payload in a worker
+        // arena the caller keeps alive; `dst` is a fresh allocation of at
+        // least `size` bytes in this state's arena.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src as *const u8, dst as *mut u8, size);
+        }
+        dst
+    }
+
+    /// Appends one row to buffer `id`, copying the row bytes from the
+    /// raw address `src`. Replay primitive of the morsel-parallel merge;
+    /// does not bump `call_counts` (see [`RuntimeState::ht_insert_from`]).
+    ///
+    /// Returns the canonical row address.
+    pub fn buf_append_from(&mut self, id: u64, src: u64) -> u64 {
+        let (buffers, arena) = (&mut self.buffers, &mut self.arena);
+        let buf = &mut buffers[id as usize];
+        let size = buf.row_size();
+        let dst = buf.alloc_row(arena);
+        // SAFETY: `src` points at a live row of `size` bytes in a worker
+        // arena the caller keeps alive; `dst` is freshly allocated.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src as *const u8, dst as *mut u8, size);
+        }
+        dst
+    }
+
     /// Model cost in cycles of runtime function `index` with `args`.
     pub fn cost(&self, index: usize, args: &[u64]) -> u64 {
         match index {

@@ -143,8 +143,17 @@ impl Table {
     }
 
     /// Splits the table into morsels of at most `size` rows.
+    ///
+    /// An empty table yields an empty vector — consumers that drive a
+    /// per-morsel loop simply run zero iterations, which matches the
+    /// engine's `while start < total` scan loop. Use
+    /// [`Table::morsels_covering`] when at least one morsel is required.
+    ///
+    /// # Panics
+    /// Panics when `size` is zero.
     pub fn morsels(&self, size: usize) -> Vec<Morsel> {
-        let mut out = Vec::new();
+        assert!(size > 0, "morsel size must be positive");
+        let mut out = Vec::with_capacity(self.rows.div_ceil(size));
         let mut start = 0usize;
         while start < self.rows {
             let count = size.min(self.rows - start);
@@ -154,6 +163,15 @@ impl Table {
             });
             start += count;
         }
+        out
+    }
+
+    /// Like [`Table::morsels`], but guarantees at least one morsel: an
+    /// empty table yields the degenerate `Morsel { start: 0, count: 0 }`.
+    /// For pipelines whose generated `main` must run at least once even
+    /// over zero rows (e.g. to observe a trap deterministically).
+    pub fn morsels_covering(&self, size: usize) -> Vec<Morsel> {
+        let mut out = self.morsels(size);
         if out.is_empty() {
             out.push(Morsel { start: 0, count: 0 });
         }
@@ -233,6 +251,17 @@ mod tests {
         assert_eq!(ms[1], Morsel { start: 2, count: 1 });
         let total: u64 = ms.iter().map(|m| m.count).sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn empty_table_yields_no_morsels_unless_covering() {
+        let schema = Schema::new(vec![("k", ColumnType::I64)]);
+        let t = Table::new("empty", schema, vec![Column::I64(vec![])]);
+        assert!(t.morsels(1024).is_empty());
+        assert_eq!(
+            t.morsels_covering(1024),
+            vec![Morsel { start: 0, count: 0 }]
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use qc_backend::Backend;
 use qc_backend::BackendErrorKind;
 use qc_engine::{
     backends, AdaptiveExecution, AdaptiveOutcome, CompileService, CompileServiceConfig, Engine,
-    PreparedQuery,
+    EngineConfig, PreparedQuery,
 };
 use qc_ir::Module;
 use qc_plan::reference;
@@ -220,8 +220,8 @@ fn distinct_configs_do_not_share_cached_code() {
 #[test]
 fn background_tier_up_swaps_at_a_deterministic_boundary() {
     let db = qc_storage::gen_hlike(0.05);
-    let mut engine = Engine::new(&db);
-    engine.morsel_size = 256; // many morsel boundaries
+    // Small morsels: many morsel boundaries.
+    let engine = Engine::with_config(&db, EngineConfig { morsel_size: 256 });
     let prepared = multi_pipeline_query(&engine);
     let service = CompileService::default();
     let cheap: Arc<dyn Backend> = Arc::from(backends::interpreter());
@@ -273,8 +273,7 @@ fn background_tier_failure_keeps_the_cheap_tier_result() {
     }));
 
     let db = qc_storage::gen_hlike(0.05);
-    let mut engine = Engine::new(&db);
-    engine.morsel_size = 256;
+    let engine = Engine::with_config(&db, EngineConfig { morsel_size: 256 });
     let prepared = multi_pipeline_query(&engine);
     let service = CompileService::default();
     let cheap: Arc<dyn Backend> = Arc::from(backends::interpreter());
