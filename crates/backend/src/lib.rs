@@ -188,6 +188,16 @@ pub trait CodeArtifact: Send + Sync {
     /// code, used by determinism tests to compare compilations without
     /// the linked image's embedded base address.
     fn content_bytes(&self) -> Vec<u8>;
+
+    /// Serializes the artifact for the engine's persistent store, or
+    /// `None` when this artifact kind cannot round-trip through bytes
+    /// (e.g. interpreter executables that hold live bytecode tables).
+    /// The default is `None`: persistence is strictly opt-in per
+    /// artifact kind, and a non-serializable artifact simply stays
+    /// memory-only.
+    fn serialize(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// A query-compilation back-end.
@@ -253,6 +263,60 @@ impl NativeArtifact {
     pub fn new(builder: ImageBuilder, stats: CompileStats) -> Self {
         NativeArtifact { builder, stats }
     }
+
+    /// Restores an artifact from [`CodeArtifact::serialize`] output.
+    ///
+    /// # Errors
+    /// Returns a [`BackendError`] for truncated or malformed input; the
+    /// persistent store treats that as a corrupt file and recompiles.
+    pub fn deserialize(bytes: &[u8]) -> Result<NativeArtifact, BackendError> {
+        fn corrupt(what: &str) -> BackendError {
+            BackendError::new(format!("corrupt artifact payload: {what}"))
+        }
+        fn take_slice<'a>(
+            bytes: &'a [u8],
+            at: &mut usize,
+            len: u64,
+        ) -> Result<&'a [u8], BackendError> {
+            let len = usize::try_from(len).map_err(|_| corrupt("oversized field"))?;
+            let end = at
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| corrupt("truncated field"))?;
+            let s = &bytes[*at..end];
+            *at = end;
+            Ok(s)
+        }
+        fn take_u64(bytes: &[u8], at: &mut usize) -> Result<u64, BackendError> {
+            let s = take_slice(bytes, at, 8).map_err(|_| corrupt("truncated length field"))?;
+            Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+        }
+        let mut at = 0usize;
+        let builder_len = take_u64(bytes, &mut at)?;
+        let builder_bytes = take_slice(bytes, &mut at, builder_len)?;
+        let builder = ImageBuilder::deserialize_bytes(builder_bytes)
+            .map_err(|e| BackendError::new(e.to_string()))?;
+        let mut stats = CompileStats {
+            functions: usize::try_from(take_u64(bytes, &mut at)?)
+                .map_err(|_| corrupt("function count"))?,
+            code_bytes: usize::try_from(take_u64(bytes, &mut at)?)
+                .map_err(|_| corrupt("code byte count"))?,
+            counters: BTreeMap::new(),
+        };
+        let n_counters = take_u64(bytes, &mut at)?;
+        for _ in 0..n_counters {
+            let name_len = take_u64(bytes, &mut at)?;
+            let name = std::str::from_utf8(take_slice(bytes, &mut at, name_len)?)
+                .map_err(|_| corrupt("non-UTF-8 counter name"))?
+                .to_string();
+            let value = take_u64(bytes, &mut at)?;
+            stats.counters.insert(name, value);
+        }
+        if at != bytes.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(NativeArtifact { builder, stats })
+    }
 }
 
 impl fmt::Debug for NativeArtifact {
@@ -283,6 +347,23 @@ impl CodeArtifact for NativeArtifact {
 
     fn content_bytes(&self) -> Vec<u8> {
         self.builder.content_bytes()
+    }
+
+    fn serialize(&self) -> Option<Vec<u8>> {
+        let builder_bytes = self.builder.serialize_bytes();
+        let mut out = Vec::with_capacity(builder_bytes.len() + 64);
+        let push_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        push_u64(&mut out, builder_bytes.len() as u64);
+        out.extend_from_slice(&builder_bytes);
+        push_u64(&mut out, self.stats.functions as u64);
+        push_u64(&mut out, self.stats.code_bytes as u64);
+        push_u64(&mut out, self.stats.counters.len() as u64);
+        for (name, value) in &self.stats.counters {
+            push_u64(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+            push_u64(&mut out, *value);
+        }
+        Some(out)
     }
 }
 
@@ -386,6 +467,35 @@ mod tests {
         let r = exe.call(&mut state, "f", &[2, 40]).unwrap();
         assert_eq!(r[0], 42);
         assert!(exe.exec_stats().insts > 0);
+    }
+
+    #[test]
+    fn native_artifact_serialize_roundtrip() {
+        let mut asm = Tx64Assembler::new();
+        asm.ret();
+        let (code, relocs) = asm.finish();
+        let mut ib = ImageBuilder::new(Isa::Tx64);
+        ib.add_function("f", code, relocs);
+        let mut stats = CompileStats {
+            functions: 1,
+            code_bytes: 0,
+            ..Default::default()
+        };
+        stats.bump("isel_fallbacks", 3);
+        let artifact = NativeArtifact::new(ib, stats);
+        let bytes = artifact.serialize().expect("native artifacts serialize");
+        let back = NativeArtifact::deserialize(&bytes).expect("roundtrip");
+        assert_eq!(artifact.content_bytes(), back.content_bytes());
+        assert_eq!(back.compile_stats().functions, 1);
+        assert_eq!(back.compile_stats().counters["isel_fallbacks"], 3);
+        // The restored artifact must still link and run.
+        let mut exe = back.instantiate().expect("instantiate");
+        let mut state = RuntimeState::new();
+        exe.call(&mut state, "f", &[]).expect("call");
+        // Corruption must be detected, not misparsed.
+        for cut in [0, 7, bytes.len() - 1] {
+            assert!(NativeArtifact::deserialize(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]

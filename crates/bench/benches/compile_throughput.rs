@@ -1,10 +1,13 @@
 //! Criterion micro-benchmarks: per-back-end compile throughput on one
 //! representative query, plus interpreter vs. compiled execution.
+//!
+//! Uses the session's direct compile path: sequential, uncached, no
+//! worker pool — every iteration pays the full compile.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qc_engine::{backends, Engine};
+use qc_engine::{backends, Session};
 use qc_target::Isa;
-use qc_timing::TimeTrace;
+use std::sync::Arc;
 
 fn representative_query() -> qc_workloads::BenchQuery {
     qc_workloads::hlike_suite().remove(2) // H03: joins + group + sort
@@ -12,17 +15,18 @@ fn representative_query() -> qc_workloads::BenchQuery {
 
 fn bench_compile(c: &mut Criterion) {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let q = representative_query();
-    let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
+    let stmt = session.statement(&q.plan).expect("prepare");
     let mut group = c.benchmark_group("compile");
     for backend in backends::all_for(Isa::Tx64) {
+        let backend: Arc<dyn qc_backend::Backend> = Arc::from(backend);
+        let run = session
+            .run(stmt.clone())
+            .backend(Arc::clone(&backend))
+            .direct();
         group.bench_function(backend.name(), |b| {
-            b.iter(|| {
-                engine
-                    .compile(&prepared, backend.as_ref(), &TimeTrace::disabled())
-                    .expect("compile")
-            });
+            b.iter(|| run.compile().expect("compile"));
         });
     }
     group.finish();
@@ -30,16 +34,19 @@ fn bench_compile(c: &mut Criterion) {
 
 fn bench_execute(c: &mut Criterion) {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let q = representative_query();
-    let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
+    let stmt = session.statement(&q.plan).expect("prepare");
     let mut group = c.benchmark_group("execute_wallclock");
     for backend in [backends::interpreter(), backends::direct_emit()] {
-        let mut compiled = engine
-            .compile(&prepared, backend.as_ref(), &TimeTrace::disabled())
-            .expect("compile");
+        let backend: Arc<dyn qc_backend::Backend> = Arc::from(backend);
+        let run = session
+            .run(stmt.clone())
+            .backend(Arc::clone(&backend))
+            .direct();
+        let mut compiled = run.compile().expect("compile");
         group.bench_function(backend.name(), |b| {
-            b.iter(|| engine.execute(&prepared, &mut compiled).expect("execute"));
+            b.iter(|| run.execute_compiled(&mut compiled).expect("execute"));
         });
     }
     group.finish();

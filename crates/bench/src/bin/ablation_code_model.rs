@@ -3,7 +3,7 @@
 //! SelectionDAG on every call) at the cost of a PLT double-jump — which,
 //! as the paper reports, makes no measurable run-time difference.
 
-use qc_bench::{env_sf, env_suite, run_suite, secs};
+use qc_bench::{env_sf, env_suite, run_suite, secs, shared};
 use qc_engine::backends;
 use qc_lvm::{LvmOptions, OptMode};
 use qc_target::Isa;
@@ -18,7 +18,7 @@ fn main() {
         let mut o = LvmOptions::defaults(Isa::Tx64, OptMode::Cheap);
         o.small_pic = small_pic;
         let backend = backends::lvm_with(o);
-        let r = run_suite(&db, &suite, backend.as_ref(), &trace).expect("suite");
+        let r = run_suite(&db, &suite, &shared(backend), &trace).expect("suite");
         let fallbacks: u64 = r
             .queries
             .iter()

@@ -1,64 +1,126 @@
 //! Compile-service ablation: cold vs. warm compilation through the
-//! IR-keyed code cache, per back-end. A warm run re-compiles the same
-//! suite against a populated cache and should pay only the
-//! link/unwind-registration step, so the warm/cold ratio bounds how much
-//! of each back-end's compile time is code generation.
+//! two-tier artifact cache, per back-end.
+//!
+//! Three passes per back-end:
+//!
+//! * **cold** — fresh service, empty in-memory cache (the persistent
+//!   store may still answer if a previous *process* populated it; that
+//!   is the warm-restart effect this harness exists to show);
+//! * **warm-lru** — same service, second pass: pure L1 hits, pays only
+//!   the link/unwind-registration step;
+//! * **warm-disk** — a fresh service (empty L1) over the same artifact
+//!   directory: every compile is an L1 miss served from disk, the cost
+//!   profile of a process restart.
+//!
+//! Set `QC_ARTIFACT_DIR` to persist the store across invocations — a
+//! second run then reports `disk_hits > 0` in its cold pass (the CI
+//! warm-restart smoke asserts exactly that, grepping the final
+//! `artifact-store:` summary line). Without the variable a private
+//! temporary directory is used and removed at exit.
 
 use qc_backend::Backend;
 use qc_bench::{env_sf, env_suite, secs};
-use qc_engine::{backends, CompileService, CompileServiceConfig, Engine};
+use qc_engine::{backends, ArtifactStoreConfig, Session, SessionConfig};
+use qc_storage::Database;
 use qc_target::Isa;
 use qc_timing::TimeTrace;
+use qc_workloads::BenchQuery;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
+
+fn session_with_store<'db>(db: &'db Database, dir: &Path) -> Session<'db> {
+    let mut config = SessionConfig::with_artifact_store(ArtifactStoreConfig::at(dir.to_path_buf()));
+    config.compile.cache_capacity = 4096;
+    Session::with_config(db, config)
+}
+
+fn compile_pass(
+    session: &Session<'_>,
+    suite: &[BenchQuery],
+    backend: &Arc<dyn Backend>,
+    trace: &TimeTrace,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for q in suite {
+        let compiled = session
+            .prepare(&q.plan)
+            .expect("prepare")
+            .backend(Arc::clone(backend))
+            .trace(trace)
+            .compile()
+            .expect("compile");
+        total += compiled.compile_time;
+    }
+    total
+}
 
 fn main() {
     let db = qc_storage::gen_dslike(env_sf(1.0));
     let suite = env_suite(qc_workloads::dslike_suite());
-    let engine = Engine::new(&db);
     let trace = TimeTrace::disabled();
-    println!("Compile-service ablation: cold vs. warm code cache (TX64)");
+    let (dir, persistent) = match std::env::var_os("QC_ARTIFACT_DIR") {
+        Some(d) => (PathBuf::from(d), true),
+        None => (
+            std::env::temp_dir().join(format!("qc-ablation-cache-{}", std::process::id())),
+            false,
+        ),
+    };
+
+    println!("Compile-service ablation: cold vs. warm artifact cache (TX64)");
     println!(
-        "  {:<12} {:>10} {:>10} {:>7} {:>9}",
-        "backend", "cold", "warm", "ratio", "hit-rate"
+        "  artifact dir: {} (persistent: {persistent})",
+        dir.display()
     );
+    println!(
+        "  {:<12} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "backend", "cold", "warm-lru", "warm-disk", "lru-x", "disk-x"
+    );
+
+    let mut disk_hits_total = 0u64;
+    let mut disk_writes_total = 0u64;
+    let mut corrupt_total = 0u64;
     for backend in backends::all_for(Isa::Tx64) {
         let backend: Arc<dyn Backend> = Arc::from(backend);
-        let service = CompileService::new(CompileServiceConfig {
-            cache_capacity: 4096,
-            ..Default::default()
-        });
-        let mut cold = Duration::ZERO;
-        let mut warm = Duration::ZERO;
-        for pass in 0..2 {
-            let total = if pass == 0 { &mut cold } else { &mut warm };
-            for q in &suite {
-                let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
-                let compiled = service
-                    .compile(&prepared, &backend, &trace)
-                    .expect("compile");
-                *total += compiled.compile_time;
+
+        // Pass 1+2: one session, cold then warm-LRU.
+        let session = session_with_store(&db, &dir);
+        let cold = compile_pass(&session, &suite, &backend, &trace);
+        let warm_lru = compile_pass(&session, &suite, &backend, &trace);
+        let stats = session.compile_service().cache_stats();
+
+        // Pass 3: a fresh service (empty L1) over the same store — the
+        // warm-restart profile.
+        let restarted = session_with_store(&db, &dir);
+        let warm_disk = compile_pass(&restarted, &suite, &backend, &trace);
+        let rstats = restarted.compile_service().cache_stats();
+
+        disk_hits_total += stats.disk_hits + rstats.disk_hits;
+        disk_writes_total += stats.disk_writes + rstats.disk_writes;
+        corrupt_total += stats.disk_corrupt_rejected + rstats.disk_corrupt_rejected;
+
+        let ratio = |base: Duration, v: Duration| {
+            if v.is_zero() {
+                f64::INFINITY
+            } else {
+                base.as_secs_f64() / v.as_secs_f64()
             }
-        }
-        let stats = service.cache_stats();
-        let lookups = stats.hits + stats.misses;
-        let hit_rate = if lookups == 0 {
-            0.0
-        } else {
-            100.0 * stats.hits as f64 / lookups as f64
-        };
-        let ratio = if warm.is_zero() {
-            f64::INFINITY
-        } else {
-            cold.as_secs_f64() / warm.as_secs_f64()
         };
         println!(
-            "  {:<12} {:>10} {:>10} {:>6.1}x {:>8.1}%",
+            "  {:<12} {:>10} {:>10} {:>10} {:>7.1}x {:>7.1}x",
             backend.name(),
             secs(cold),
-            secs(warm),
-            ratio,
-            hit_rate
+            secs(warm_lru),
+            secs(warm_disk),
+            ratio(cold, warm_lru),
+            ratio(cold, warm_disk),
         );
+    }
+
+    // Machine-readable summary for the CI warm-restart smoke.
+    println!("artifact-store: disk_hits={disk_hits_total} disk_writes={disk_writes_total} corrupt_rejected={corrupt_total}");
+
+    if !persistent {
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,7 +1,7 @@
 //! Sec. V-A2 ablation: `{i64,i64}` struct representation vs. two scalar
 //! values — compile time and FastISel fallback counts.
 
-use qc_bench::{compile_suite, env_sf, env_suite, secs};
+use qc_bench::{compile_suite, env_sf, env_suite, secs, shared};
 use qc_engine::backends;
 use qc_lvm::{LvmOptions, OptMode, PairRepr};
 use qc_target::Isa;
@@ -18,7 +18,7 @@ fn main() {
             let backend = backends::lvm_with(o);
             let trace = TimeTrace::disabled();
             let (total, stats) =
-                compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+                compile_suite(&db, &suite, &shared(backend), &trace).expect("compile");
             let fb: u64 = ["fallback_calls", "fallback_i128", "fallback_struct"]
                 .iter()
                 .filter_map(|k| stats.counters.get(*k))

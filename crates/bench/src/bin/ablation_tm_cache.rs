@@ -1,7 +1,7 @@
 //! Sec. V-A2 ablation: TargetMachine construction cached per thread vs.
 //! rebuilt per compilation.
 
-use qc_bench::{compile_suite, env_sf, env_suite, secs};
+use qc_bench::{compile_suite, env_sf, env_suite, secs, shared};
 use qc_engine::backends;
 use qc_lvm::{LvmOptions, OptMode};
 use qc_target::Isa;
@@ -16,7 +16,7 @@ fn main() {
         o.cache_target_machine = cached;
         let backend = backends::lvm_with(o);
         let trace = TimeTrace::new();
-        let (total, _) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+        let (total, _) = compile_suite(&db, &suite, &shared(backend), &trace).expect("compile");
         let tm = trace.report().total("targetmachine").unwrap_or_default();
         println!(
             "  cached={cached}: compile {} (targetmachine {})",

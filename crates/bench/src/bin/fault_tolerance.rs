@@ -11,7 +11,7 @@
 
 use qc_backend::chaos::{ChaosBackend, ChaosFault};
 use qc_bench::{env_sf, env_suite, secs, LatencyStats};
-use qc_engine::{CompileBudget, CompileService, Engine, FallbackChain};
+use qc_engine::{CompileBudget, CompileService, FallbackChain, Session};
 use qc_target::Isa;
 use qc_timing::TimeTrace;
 use std::sync::Arc;
@@ -43,7 +43,7 @@ fn main() {
     let permille = env_u64("QC_CHAOS_PERMILLE", 300).min(1000) as u16;
     let db = qc_storage::gen_hlike(env_sf(0.05));
     let suite = env_suite(qc_workloads::hlike_suite());
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
 
@@ -83,16 +83,17 @@ fn main() {
     let mut clean_lat = Vec::new();
     let mut chaos_lat = Vec::new();
     for q in &suite {
-        let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
+        let prepared = session.statement(&q.plan).expect("prepare");
+        let prepared = prepared.query();
         // Clean baseline for the overhead column (cache-cold: the chaos
         // wrappers have distinct fingerprints, so no cross-pollution).
         if let Ok((c, _)) =
-            service.compile_with_fallback(&prepared, &clean, CompileBudget::default(), &trace)
+            service.compile_with_fallback(prepared, &clean, CompileBudget::default(), &trace)
         {
             clean_time += c.compile_time;
             clean_lat.push(c.compile_time);
         }
-        match service.compile_with_fallback(&prepared, &chain, CompileBudget::default(), &trace) {
+        match service.compile_with_fallback(prepared, &chain, CompileBudget::default(), &trace) {
             Ok((compiled, report)) => {
                 served_by[report.tier_used] += 1;
                 chaos_time += compiled.compile_time;

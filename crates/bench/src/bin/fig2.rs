@@ -2,7 +2,7 @@
 //! (-O0 + FastISel) vs. optimized (-O2 + SelectionDAG), plus the FastISel
 //! fallback statistics of Sec. V-B3.
 
-use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs};
+use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs, shared};
 use qc_engine::backends;
 use qc_target::Isa;
 use qc_timing::TimeTrace;
@@ -18,7 +18,7 @@ fn main() {
         ),
     ] {
         let trace = TimeTrace::new();
-        let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+        let (total, stats) = compile_suite(&db, &suite, &shared(backend), &trace).expect("compile");
         let report = trace.report();
         print_breakdown(&format!("Figure 2: LVM {label} on TX64"), &report);
         println!("total: {}  (functions: {})", secs(total), stats.functions);

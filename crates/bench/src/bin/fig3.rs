@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use qc_bench::{compile_suite, env_sf, env_suite, secs};
+use qc_bench::{compile_suite, env_sf, env_suite, secs, shared};
 use qc_engine::backends;
 use qc_lvm::{LvmOptions, OptMode};
 use qc_target::Isa;
@@ -32,12 +32,12 @@ fn main() {
     ] {
         let mut o = LvmOptions::defaults(Isa::Ta64, mode);
         o.global_isel = gisel;
-        let backend = backends::lvm_with(o);
+        let backend = shared(backends::lvm_with(o));
         let mut totals = Vec::new();
         let mut isels = Vec::new();
         for _ in 0..REPS {
             let trace = TimeTrace::new();
-            let (total, _) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+            let (total, _) = compile_suite(&db, &suite, &backend, &trace).expect("compile");
             totals.push(total);
             isels.push(trace.report().total("isel").unwrap_or_default());
         }

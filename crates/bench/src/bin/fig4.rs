@@ -1,7 +1,7 @@
 //! Figure 4: compile-time breakdown of the Cranelift-analog on TX64
 //! (IRGen, IRPasses, ISelPrepare+ISel, RegAlloc, Emit, Finish).
 
-use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs};
+use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs, shared};
 use qc_engine::backends;
 use qc_target::Isa;
 use qc_timing::TimeTrace;
@@ -11,7 +11,7 @@ fn main() {
     let suite = env_suite(qc_workloads::dslike_suite());
     let trace = TimeTrace::new();
     let backend = backends::clift(Isa::Tx64);
-    let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+    let (total, stats) = compile_suite(&db, &suite, &shared(backend), &trace).expect("compile");
     let report = trace.report();
     print_breakdown("Figure 4: Clift compile-time breakdown (TX64)", &report);
     println!("total: {}  functions: {}", secs(total), stats.functions);

@@ -1,7 +1,7 @@
 //! Figure 5: DirectEmit compile-time breakdown (analysis vs. codegen;
 //! liveness dominating the analysis pass).
 
-use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs};
+use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs, shared};
 use qc_engine::backends;
 use qc_timing::TimeTrace;
 
@@ -10,7 +10,7 @@ fn main() {
     let suite = env_suite(qc_workloads::dslike_suite());
     let trace = TimeTrace::new();
     let backend = backends::direct_emit();
-    let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+    let (total, stats) = compile_suite(&db, &suite, &shared(backend), &trace).expect("compile");
     let report = trace.report();
     print_breakdown(
         "Figure 5: DirectEmit compile-time breakdown (TX64)",

@@ -1,7 +1,7 @@
 //! Figure 6: per-query compile time vs. execution time for every back-end
 //! (CSV series, one line per query per back-end).
 
-use qc_bench::{env_sf, env_suite, run_suite, MODEL_HZ};
+use qc_bench::{env_sf, env_suite, run_suite, shared, MODEL_HZ};
 use qc_engine::backends;
 use qc_target::Isa;
 use qc_timing::TimeTrace;
@@ -13,7 +13,8 @@ fn main() {
     println!("backend,isa,query,compile_secs,exec_model_secs,rows");
     for isa in [Isa::Tx64, Isa::Ta64] {
         for backend in backends::all_for(isa) {
-            let r = run_suite(&db, &suite, backend.as_ref(), &trace).expect("suite");
+            let backend = shared(backend);
+            let r = run_suite(&db, &suite, &backend, &trace).expect("suite");
             for q in &r.queries {
                 println!(
                     "{},{},{},{:.6},{:.6},{}",

@@ -5,7 +5,7 @@
 //! `REPS` times and the median per-query compile time is used (execution
 //! cycles are deterministic and identical across runs).
 
-use qc_bench::{env_sf, run_suite, MODEL_HZ};
+use qc_bench::{env_sf, run_suite, shared, MODEL_HZ};
 use qc_engine::backends;
 use qc_target::Isa;
 use qc_timing::TimeTrace;
@@ -21,9 +21,10 @@ fn main() {
         let mut per_query: Vec<(String, Vec<(String, f64)>)> =
             suite.iter().map(|q| (q.name.clone(), Vec::new())).collect();
         for backend in backends::all_for(Isa::Tx64) {
+            let backend = shared(backend);
             let mut reps = Vec::new();
             for _ in 0..REPS {
-                reps.push(run_suite(&db, &suite, backend.as_ref(), &trace).expect("suite"));
+                reps.push(run_suite(&db, &suite, &backend, &trace).expect("suite"));
             }
             for (qi, slot) in per_query.iter_mut().enumerate() {
                 let mut compiles: Vec<f64> = reps

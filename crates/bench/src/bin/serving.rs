@@ -15,8 +15,8 @@
 
 use qc_bench::{env_sf, secs, LatencyStats, MODEL_HZ};
 use qc_engine::{
-    backends, CompileService, Engine, EngineConfig, MorselExecConfig, MorselExecutor,
-    MorselSchedule, QueryScheduler, SchedulerConfig, ServeReport, SessionRequest,
+    backends, EngineConfig, MorselSchedule, QueryScheduler, SchedulerConfig, ServeReport, Session,
+    SessionConfig, SessionRequest,
 };
 use qc_runtime::SqlValue;
 use qc_target::Isa;
@@ -40,7 +40,7 @@ fn main() {
 
     let sf = env_sf(0.02);
     let db = qc_storage::gen_dslike(sf);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let suite = qc_workloads::dslike_suite();
     let backend: Arc<dyn qc_backend::Backend> = Arc::from(backends::clift(Isa::Tx64));
 
@@ -52,8 +52,9 @@ fn main() {
     let mut reference: HashMap<String, Vec<Vec<SqlValue>>> = HashMap::new();
     let mut ref_cycles: HashMap<String, u64> = HashMap::new();
     for q in &suite {
-        let result = engine
-            .run(&q.plan, backend.as_ref(), None)
+        let result = session
+            .prepare(&q.plan)
+            .and_then(|run| run.backend(Arc::clone(&backend)).execute())
             .unwrap_or_else(|e| panic!("serial reference {} failed: {e}", q.name));
         ref_cycles.insert(q.name.clone(), result.exec_stats.cycles);
         reference.insert(q.name.clone(), result.rows);
@@ -78,10 +79,12 @@ fn main() {
         tier_up_inflight: 2,
     };
     let serve = |w: usize| -> ServeReport {
-        // A fresh service per run: identical cold-cache conditions for
-        // the 1-worker baseline and the W-worker measurement.
-        let service = CompileService::default();
-        QueryScheduler::new(config(w)).serve(&engine, &service, &backend, requests(n_queries))
+        // A fresh session per run: identical cold-cache conditions for
+        // the 1-worker baseline and the W-worker measurement. Serving
+        // through the session threads its prepared-statement cache
+        // under admission, so repeated plan shapes skip planning too.
+        let run_session = Session::new(&db);
+        QueryScheduler::new(config(w)).serve_session(&run_session, &backend, requests(n_queries))
     };
 
     let baseline = serve(1);
@@ -147,30 +150,30 @@ fn main() {
         .iter()
         .max_by_key(|q| ref_cycles[&q.name])
         .expect("non-empty suite");
-    let intra_engine = Engine::with_config(&db, EngineConfig { morsel_size: 256 });
-    let prepared = intra_engine
-        .prepare(&heavy.plan, &heavy.name)
-        .expect("prepare");
+    let intra_session = Session::with_config(
+        &db,
+        SessionConfig {
+            engine: EngineConfig { morsel_size: 256 },
+            ..Default::default()
+        },
+    );
+    let stmt = intra_session.statement(&heavy.plan).expect("prepare");
     let mut serial_cycles = 0u64;
     for w in [1usize, 2, 4] {
-        let mut compiled = intra_engine
-            .compile(
-                &prepared,
-                backend.as_ref(),
-                &qc_timing::TimeTrace::disabled(),
-            )
-            .expect("compile");
         // Static schedule: on a host with fewer cores than workers,
         // work-stealing degenerates to claim-order luck (the first
         // scheduled thread drains the deques), so the deterministic
         // partition is the honest picture of the model-time scaling.
-        let executor = MorselExecutor::new(MorselExecConfig {
-            workers: w,
-            schedule: MorselSchedule::Static,
-        });
+        let run = intra_session
+            .run(stmt.clone())
+            .backend(Arc::clone(&backend))
+            .workers(w)
+            .schedule(MorselSchedule::Static)
+            .direct();
+        let mut compiled = run.compile().expect("compile");
         let t0 = Instant::now();
-        let result = executor
-            .execute(&intra_engine, &prepared, &mut compiled)
+        let result = run
+            .execute_compiled(&mut compiled)
             .expect("parallel execute");
         let wall = t0.elapsed();
         if result.rows != reference[&heavy.name] {

@@ -1,7 +1,7 @@
 //! Table I: compile-time breakdown of the GCC/C back-end on the DS-like
 //! suite (parse share, optimization/codegen, assembler, linker).
 
-use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs};
+use qc_bench::{compile_suite, env_sf, env_suite, print_breakdown, secs, shared};
 use qc_engine::backends;
 use qc_timing::TimeTrace;
 
@@ -10,7 +10,7 @@ fn main() {
     let suite = env_suite(qc_workloads::dslike_suite());
     let trace = TimeTrace::new();
     let backend = backends::cgen(qc_target::Isa::Tx64);
-    let (total, stats) = compile_suite(&db, &suite, backend.as_ref(), &trace).expect("compile");
+    let (total, stats) = compile_suite(&db, &suite, &shared(backend), &trace).expect("compile");
     let report = trace.report();
     print_breakdown(
         "Table I: GCC/C compile-time breakdown (TX64, DS-like suite)",

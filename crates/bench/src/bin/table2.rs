@@ -2,7 +2,7 @@
 //! instructions (crc32, overflow arithmetic, combined multiplication):
 //! average and maximum speedup across the DS-like suite.
 
-use qc_bench::{env_sf, env_suite, run_suite};
+use qc_bench::{env_sf, env_suite, run_suite, shared};
 use qc_clift::CliftExtensions;
 use qc_engine::backends;
 use qc_target::Isa;
@@ -15,7 +15,7 @@ fn main() {
     let base = run_suite(
         &db,
         &suite,
-        backends::clift_with(Isa::Tx64, CliftExtensions::default()).as_ref(),
+        &shared(backends::clift_with(Isa::Tx64, CliftExtensions::default())),
         &trace,
     )
     .expect("baseline");
@@ -47,7 +47,7 @@ fn main() {
         let without = run_suite(
             &db,
             &suite,
-            backends::clift_with(Isa::Tx64, ext).as_ref(),
+            &shared(backends::clift_with(Isa::Tx64, ext)),
             &trace,
         )
         .expect("variant");

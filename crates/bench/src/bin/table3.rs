@@ -1,7 +1,7 @@
 //! Table III: compile time and execution performance of all back-ends on
 //! the DS-like suite, TX64 and TA64 (DirectEmit is TX64-only).
 
-use qc_bench::{env_sf, env_suite, run_suite, secs};
+use qc_bench::{env_sf, env_suite, run_suite, secs, shared};
 use qc_engine::backends;
 use qc_target::Isa;
 use qc_timing::TimeTrace;
@@ -38,7 +38,7 @@ fn main() {
             };
             match backend {
                 Some(b) => {
-                    let r = run_suite(&db, &suite, b.as_ref(), &trace).expect(backend_name);
+                    let r = run_suite(&db, &suite, &shared(b), &trace).expect(backend_name);
                     cells.push((
                         secs(r.total_compile()),
                         format!("{:.3}s", r.total_exec_secs()),

@@ -7,10 +7,11 @@
 //! (Figures 6–7).
 
 use qc_backend::{Backend, CompileStats};
-use qc_engine::{Engine, EngineError};
+use qc_engine::{EngineError, Session};
 use qc_storage::Database;
 use qc_timing::{Report, TimeTrace};
 use qc_workloads::BenchQuery;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Model clock used to convert cycles into seconds (1 model-GHz).
@@ -58,22 +59,28 @@ impl SuiteRun {
 }
 
 /// Compiles and executes a whole suite with `backend`, collecting phase
-/// timings into `trace`.
+/// timings into `trace`. Compilation uses the direct (uncached,
+/// sequential) path so every iteration pays the full compile — this is
+/// the paper's measurement configuration, not the serving one.
 ///
 /// # Errors
 /// Propagates engine errors (with the offending query named).
 pub fn run_suite(
     db: &Database,
     suite: &[BenchQuery],
-    backend: &dyn Backend,
+    backend: &Arc<dyn Backend>,
     trace: &TimeTrace,
 ) -> Result<SuiteRun, EngineError> {
-    let engine = Engine::new(db);
+    let session = Session::new(db);
     let mut out = SuiteRun::default();
     for q in suite {
-        let prepared = engine.prepare(&q.plan, &q.name)?;
-        let mut compiled = engine.compile(&prepared, backend, trace)?;
-        let result = engine.execute(&prepared, &mut compiled)?;
+        let run = session
+            .prepare(&q.plan)?
+            .backend(Arc::clone(backend))
+            .trace(trace)
+            .direct();
+        let mut compiled = run.compile()?;
+        let result = run.execute_compiled(&mut compiled)?;
         out.functions += compiled.compile_stats.functions;
         out.queries.push(QueryRun {
             name: q.name.clone(),
@@ -87,25 +94,35 @@ pub fn run_suite(
 }
 
 /// Compiles a whole suite without executing (compile-time studies).
+/// Uses the same direct, uncached compile path as [`run_suite`].
 ///
 /// # Errors
 /// Propagates engine errors.
 pub fn compile_suite(
     db: &Database,
     suite: &[BenchQuery],
-    backend: &dyn Backend,
+    backend: &Arc<dyn Backend>,
     trace: &TimeTrace,
 ) -> Result<(Duration, CompileStats), EngineError> {
-    let engine = Engine::new(db);
+    let session = Session::new(db);
     let mut total = Duration::ZERO;
     let mut stats = CompileStats::default();
     for q in suite {
-        let prepared = engine.prepare(&q.plan, &q.name)?;
-        let compiled = engine.compile(&prepared, backend, trace)?;
+        let compiled = session
+            .prepare(&q.plan)?
+            .backend(Arc::clone(backend))
+            .trace(trace)
+            .direct()
+            .compile()?;
         total += compiled.compile_time;
         stats.merge(&compiled.compile_stats);
     }
     Ok((total, stats))
+}
+
+/// Wraps a boxed back-end in the shared handle the session API takes.
+pub fn shared(backend: Box<dyn Backend>) -> Arc<dyn Backend> {
+    Arc::from(backend)
 }
 
 /// Prints a phase-breakdown report scaled to percent, in a stable order.

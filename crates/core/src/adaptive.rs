@@ -87,13 +87,13 @@ impl AdaptiveExecution {
         optimized: &dyn Backend,
     ) -> Result<(ExecutionResult, AdaptiveOutcome), EngineError> {
         let trace = TimeTrace::disabled();
-        let mut compiled = engine.compile(prepared, cheap, &trace)?;
-        let first = engine.execute(prepared, &mut compiled)?;
+        let mut compiled = engine.compile_internal(prepared, cheap, &trace)?;
+        let first = engine.execute_internal(prepared, &mut compiled)?;
         if !self.should_tier_up(prepared.ir_size(), first.exec_stats.cycles) {
             return Ok((first, AdaptiveOutcome::StayedCheap));
         }
-        let mut opt = engine.compile(prepared, optimized, &trace)?;
-        let mut second = engine.execute(prepared, &mut opt)?;
+        let mut opt = engine.compile_internal(prepared, optimized, &trace)?;
+        let mut second = engine.execute_internal(prepared, &mut opt)?;
         second.compile_time += first.compile_time;
         second.compile_stats.merge(&first.compile_stats);
         Ok((second, AdaptiveOutcome::TieredUp))
@@ -134,7 +134,7 @@ impl AdaptiveExecution {
         let policy = *self;
         let ir_size = prepared.ir_size();
 
-        let result = engine.execute_with_hook(prepared, &mut compiled, &mut |event| {
+        let result = engine.execute_with_hook_internal(prepared, &mut compiled, &mut |event| {
             if swapped_at.is_some() || background_error.is_some() {
                 return None;
             }

@@ -38,6 +38,7 @@
 //! [`FaultCounters`] exposes what the layer absorbed; the fallback
 //! chain built on top lives in [`crate::fallback`].
 
+use crate::artifact_store::{ArtifactKey, ArtifactStore};
 use crate::engine::{CompiledQuery, EngineError, PreparedQuery};
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -129,6 +130,10 @@ impl Default for CompileServiceConfig {
 }
 
 /// Cache counters snapshot, taken with [`CompileService::cache_stats`].
+/// The `hits`/`misses`/`evictions` fields describe the in-memory LRU
+/// (L1); the `disk_*` fields describe the persistent
+/// [`ArtifactStore`] (L2) when one is attached, and stay zero
+/// otherwise.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Lookups that found a usable artifact.
@@ -141,6 +146,18 @@ pub struct CacheCounters {
     pub entries: usize,
     /// Approximate bytes retained by resident artifacts.
     pub resident_bytes: usize,
+    /// L1 misses served by the persistent store (pays a file read +
+    /// link instead of a compile).
+    pub disk_hits: u64,
+    /// Probes of the persistent store that found nothing usable.
+    pub disk_misses: u64,
+    /// Artifacts persisted to the store.
+    pub disk_writes: u64,
+    /// Store files rejected by checksum/header verification (each one
+    /// forced a recompile).
+    pub disk_corrupt_rejected: u64,
+    /// Store files evicted to respect the on-disk size budget.
+    pub disk_evictions: u64,
 }
 
 /// Fault-tolerance counters snapshot, taken with
@@ -161,6 +178,11 @@ pub struct FaultCounters {
     /// Jobs compiled inline on the caller thread because no worker
     /// could accept them.
     pub inline_fallbacks: u64,
+    /// Persistent-store files that failed verification and were
+    /// replaced by a recompile (mirrors
+    /// [`CacheCounters::disk_corrupt_rejected`]; surfaced here because
+    /// a corrupt artifact is a fault the service absorbed).
+    pub artifact_corruptions: u64,
 }
 
 /// Internal atomic counters behind [`FaultCounters`], shared with
@@ -184,6 +206,7 @@ impl Faults {
             downgrades: self.downgrades.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             inline_fallbacks: self.inline_fallbacks.load(Ordering::Relaxed),
+            artifact_corruptions: 0,
         }
     }
 }
@@ -209,6 +232,16 @@ impl CacheKey {
             config: backend.config_fingerprint(),
         }
     }
+
+    /// The same identity in the persistent store's key type.
+    fn artifact_key(&self) -> ArtifactKey {
+        ArtifactKey {
+            module_hash: self.module_hash,
+            backend: self.backend,
+            isa: self.isa,
+            config: self.config,
+        }
+    }
 }
 
 struct CacheEntry {
@@ -221,24 +254,32 @@ struct CacheInner {
     tick: u64,
 }
 
-/// Bounded LRU over compiled artifacts, shared between the caller
-/// thread and the workers.
+/// Bounded LRU over compiled artifacts (L1), shared between the caller
+/// thread and the workers, optionally backed by a persistent
+/// [`ArtifactStore`] (L2). An L1 miss probes the store; a disk hit is
+/// promoted into L1 and pays only deserialize + link. Fresh artifacts
+/// are written through to the store. Either tier degrades to
+/// pass-through independently: `capacity == 0` disables L1 but the
+/// store still serves warm restarts, and a missing/disabled store
+/// leaves the LRU behaving exactly as before.
 struct CodeCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    store: Option<Arc<ArtifactStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
 impl CodeCache {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, store: Option<Arc<ArtifactStore>>) -> Self {
         CodeCache {
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
                 tick: 0,
             }),
             capacity,
+            store,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -246,27 +287,30 @@ impl CodeCache {
     }
 
     fn lookup(&self, key: &CacheKey) -> Option<Arc<dyn CodeArtifact>> {
-        if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(key) {
-            Some(entry) => {
+        if self.capacity > 0 {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(key) {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.artifact))
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                return Some(Arc::clone(&entry.artifact));
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // L2: a verified disk artifact is promoted into L1 (not written
+        // back to disk — it just came from there).
+        if let Some(store) = &self.store {
+            if let Some(artifact) = store.load(&key.artifact_key()) {
+                self.insert_l1(*key, Arc::clone(&artifact));
+                return Some(artifact);
+            }
+        }
+        None
     }
 
-    fn insert(&self, key: CacheKey, artifact: Arc<dyn CodeArtifact>) {
+    /// Inserts into the in-memory tier only.
+    fn insert_l1(&self, key: CacheKey, artifact: Arc<dyn CodeArtifact>) {
         if self.capacity == 0 {
             return;
         }
@@ -298,7 +342,21 @@ impl CodeCache {
         );
     }
 
+    /// Inserts a freshly compiled artifact: L1, written through to the
+    /// persistent store when one is attached.
+    fn insert(&self, key: CacheKey, artifact: Arc<dyn CodeArtifact>) {
+        self.insert_l1(key, Arc::clone(&artifact));
+        if let Some(store) = &self.store {
+            store.store(&key.artifact_key(), artifact.as_ref());
+        }
+    }
+
     fn counters(&self) -> CacheCounters {
+        let disk = self
+            .store
+            .as_deref()
+            .map(ArtifactStore::counters)
+            .unwrap_or_default();
         let inner = self.inner.lock();
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
@@ -306,6 +364,11 @@ impl CodeCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: inner.map.len(),
             resident_bytes: inner.map.values().map(|e| e.artifact.size_bytes()).sum(),
+            disk_hits: disk.hits,
+            disk_misses: disk.misses,
+            disk_writes: disk.writes,
+            disk_corrupt_rejected: disk.corrupt_rejected,
+            disk_evictions: disk.evictions,
         }
     }
 }
@@ -433,6 +496,15 @@ pub struct PendingCompile {
 }
 
 impl PendingCompile {
+    /// Wraps an already finished compilation, so a foreground
+    /// [`CompileRequest`] hands back the same ticket type as a
+    /// background one.
+    fn ready(result: Result<CompiledQuery, BackendError>) -> PendingCompile {
+        let (tx, rx) = channel::unbounded();
+        let _ = tx.send(result);
+        PendingCompile { rx }
+    }
+
     /// Returns the finished compilation if it is ready, without
     /// blocking. Returns `None` while the worker is still compiling;
     /// at most one call ever returns `Some`.
@@ -497,25 +569,46 @@ impl Default for CompileService {
 }
 
 impl CompileService {
-    /// Creates the service, spawning its worker threads.
+    /// Creates the service, spawning its worker threads. The code cache
+    /// is in-memory only; use [`CompileService::with_store`] to attach
+    /// a persistent artifact store under it.
     pub fn new(config: CompileServiceConfig) -> Self {
+        Self::with_store(config, None)
+    }
+
+    /// Creates the service with a persistent [`ArtifactStore`] as the
+    /// second cache tier: L1 misses probe the store, fresh artifacts
+    /// are written through to it, and a warm restart (new process, same
+    /// store directory) skips codegen for every previously compiled
+    /// module. `None` behaves exactly like [`CompileService::new`].
+    pub fn with_store(config: CompileServiceConfig, store: Option<Arc<ArtifactStore>>) -> Self {
         let faults = Arc::new(Faults::default());
         CompileService {
             pool: WorkerPool::new(config.workers, Arc::clone(&faults)),
-            cache: Arc::new(CodeCache::new(config.cache_capacity)),
+            cache: Arc::new(CodeCache::new(config.cache_capacity, store)),
             faults,
             default_budget: config.budget,
         }
     }
 
-    /// Snapshot of the cache counters.
+    /// The attached persistent store, when one was configured.
+    pub fn artifact_store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.cache.store.as_ref()
+    }
+
+    /// Snapshot of the cache counters (both tiers).
     pub fn cache_stats(&self) -> CacheCounters {
         self.cache.counters()
     }
 
-    /// Snapshot of the fault-tolerance counters.
+    /// Snapshot of the fault-tolerance counters, including corrupt
+    /// artifact-store files the service absorbed by recompiling.
     pub fn fault_stats(&self) -> FaultCounters {
-        self.faults.snapshot()
+        let mut snapshot = self.faults.snapshot();
+        if let Some(store) = &self.cache.store {
+            snapshot.artifact_corruptions = store.counters().corrupt_rejected;
+        }
+        snapshot
     }
 
     /// Shared fault counters, for the fallback chain in
@@ -527,6 +620,40 @@ impl CompileService {
     /// Live worker threads (after any respawns).
     pub fn worker_count(&self) -> usize {
         self.pool.worker_count()
+    }
+
+    /// Starts building a compile request for every pipeline of
+    /// `prepared` with `backend`. This is the single entry point all
+    /// compile variants route through:
+    ///
+    /// ```text
+    /// service.request(&prepared, &backend)
+    ///     .budget(CompileBudget::with_deadline(d))  // default: service budget
+    ///     .trace(&trace)                            // default: no trace
+    ///     .background()                             // default: foreground
+    ///     .submit()                                 // -> PendingCompile
+    /// ```
+    ///
+    /// A foreground submit compiles before returning (the ticket is
+    /// already resolved); a background submit returns immediately and
+    /// compiles on a worker. [`CompileService::compile`],
+    /// [`CompileService::compile_budgeted`],
+    /// [`CompileService::spawn_compile`] and
+    /// [`CompileService::spawn_compile_budgeted`] are thin wrappers
+    /// over this builder.
+    pub fn request<'a>(
+        &'a self,
+        prepared: &'a PreparedQuery,
+        backend: &'a Arc<dyn Backend>,
+    ) -> CompileRequest<'a> {
+        CompileRequest {
+            service: self,
+            prepared,
+            backend,
+            budget: None,
+            background: false,
+            trace: None,
+        }
     }
 
     /// Compiles every pipeline of `prepared` with `backend` under the
@@ -541,7 +668,11 @@ impl CompileService {
         backend: &Arc<dyn Backend>,
         trace: &TimeTrace,
     ) -> Result<CompiledQuery, EngineError> {
-        self.compile_budgeted(prepared, backend, self.default_budget, trace)
+        Ok(self
+            .request(prepared, backend)
+            .trace(trace)
+            .submit()
+            .wait()?)
     }
 
     /// Compiles every pipeline of `prepared` with `backend`, fanning
@@ -566,6 +697,24 @@ impl CompileService {
         budget: CompileBudget,
         trace: &TimeTrace,
     ) -> Result<CompiledQuery, EngineError> {
+        Ok(self
+            .request(prepared, backend)
+            .budget(budget)
+            .trace(trace)
+            .submit()
+            .wait()?)
+    }
+
+    /// The foreground path behind [`CompileRequest::submit`]: probes
+    /// the cache on the caller thread, fans misses out to the pool,
+    /// merges worker traces and reassembles in pipeline order.
+    fn compile_fanout(
+        &self,
+        prepared: &PreparedQuery,
+        backend: &Arc<dyn Backend>,
+        budget: CompileBudget,
+        trace: &TimeTrace,
+    ) -> Result<CompiledQuery, BackendError> {
         let start = Instant::now();
         let modules = &prepared.ir.modules;
         let mut slots: Vec<Option<Slot>> = modules.iter().map(|_| None).collect();
@@ -642,38 +791,9 @@ impl CompileService {
             }
         }
         if let Some(e) = first_err {
-            return Err(EngineError::Backend(e.in_backend(backend.name())));
+            return Err(e.in_backend(backend.name()));
         }
-
-        // Reassemble in pipeline order; cached artifacts pay only the
-        // link/unwind-registration step here.
-        let mut executables = Vec::with_capacity(slots.len());
-        let mut artifacts = Vec::with_capacity(slots.len());
-        let mut stats = CompileStats::default();
-        for slot in slots {
-            let (exe, artifact) = match slot {
-                Some(Slot::Cached(artifact)) => (artifact.instantiate()?, Some(artifact)),
-                Some(Slot::Fresh(WorkerOut::Artifact(artifact))) => {
-                    (artifact.instantiate()?, Some(artifact))
-                }
-                Some(Slot::Fresh(WorkerOut::Executable(exe))) => (exe, None),
-                None => {
-                    return Err(EngineError::Backend(BackendError::transient(
-                        "compile worker died before replying",
-                    )));
-                }
-            };
-            stats.merge(exe.compile_stats());
-            executables.push(exe);
-            artifacts.push(artifact);
-        }
-        Ok(CompiledQuery {
-            executables,
-            artifacts,
-            compile_time: start.elapsed(),
-            compile_stats: stats,
-            backend_name: backend.name(),
-        })
+        assemble(slots, start, backend.name())
     }
 
     /// Starts compiling every pipeline of `prepared` on a worker under
@@ -689,12 +809,28 @@ impl CompileService {
         prepared: &PreparedQuery,
         backend: &Arc<dyn Backend>,
     ) -> PendingCompile {
-        self.spawn_compile_budgeted(prepared, backend, self.default_budget)
+        self.request(prepared, backend).background().submit()
     }
 
     /// [`CompileService::spawn_compile`] with an explicit per-job
     /// budget.
     pub fn spawn_compile_budgeted(
+        &self,
+        prepared: &PreparedQuery,
+        backend: &Arc<dyn Backend>,
+        budget: CompileBudget,
+    ) -> PendingCompile {
+        self.request(prepared, backend)
+            .budget(budget)
+            .background()
+            .submit()
+    }
+
+    /// The background path behind [`CompileRequest::submit`]: one
+    /// worker compiles all modules sequentially (tier-up runs beside a
+    /// live query; monopolizing the pool would starve foreground
+    /// compiles), consulting and feeding the shared cache.
+    fn spawn_background(
         &self,
         prepared: &PreparedQuery,
         backend: &Arc<dyn Backend>,
@@ -713,6 +849,75 @@ impl CompileService {
             job();
         }
         PendingCompile { rx }
+    }
+}
+
+/// A builder-style compile request, created by
+/// [`CompileService::request`]: the one entry point unifying
+/// foreground/background compilation, budget overrides and trace
+/// capture. Submission always yields a [`PendingCompile`] ticket; for
+/// a foreground request the ticket is already resolved when `submit`
+/// returns, so `submit().wait()` does not block.
+pub struct CompileRequest<'a> {
+    service: &'a CompileService,
+    prepared: &'a PreparedQuery,
+    backend: &'a Arc<dyn Backend>,
+    budget: Option<CompileBudget>,
+    background: bool,
+    trace: Option<&'a TimeTrace>,
+}
+
+impl<'a> CompileRequest<'a> {
+    /// Overrides the service's default per-job [`CompileBudget`].
+    #[must_use]
+    pub fn budget(mut self, budget: CompileBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Compiles on a worker and returns immediately; the caller polls
+    /// or waits on the ticket. Background jobs compile the query's
+    /// modules sequentially on one worker and record no per-phase
+    /// trace ([`TimeTrace`] is deliberately thread-local).
+    #[must_use]
+    pub fn background(mut self) -> Self {
+        self.background = true;
+        self
+    }
+
+    /// Merges per-phase worker timings into `trace`. Honored by
+    /// foreground requests; background requests ignore it.
+    #[must_use]
+    pub fn trace(mut self, trace: &'a TimeTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Submits the request. Every compile job runs under the request's
+    /// (or the service's default) budget inside the fault envelope:
+    /// panics caught, deadline overruns degraded to errors, transient
+    /// failures retried — see the module docs.
+    pub fn submit(self) -> PendingCompile {
+        let budget = self.budget.unwrap_or(self.service.default_budget);
+        if self.background {
+            self.service
+                .spawn_background(self.prepared, self.backend, budget)
+        } else {
+            let disabled;
+            let trace = match self.trace {
+                Some(t) => t,
+                None => {
+                    disabled = TimeTrace::disabled();
+                    &disabled
+                }
+            };
+            PendingCompile::ready(self.service.compile_fanout(
+                self.prepared,
+                self.backend,
+                budget,
+                trace,
+            ))
+        }
     }
 }
 
@@ -793,23 +998,47 @@ fn compile_all(
 ) -> Result<CompiledQuery, BackendError> {
     let start = Instant::now();
     let trace = TimeTrace::disabled();
-    let mut executables = Vec::with_capacity(modules.len());
-    let mut artifacts = Vec::with_capacity(modules.len());
-    let mut stats = CompileStats::default();
+    let mut slots = Vec::with_capacity(modules.len());
     for module in modules {
         let key = CacheKey::new(module, backend.as_ref());
-        let (exe, artifact) = match cache.lookup(&key) {
-            Some(artifact) => (artifact.instantiate()?, Some(artifact)),
+        let slot = match cache.lookup(&key) {
+            Some(artifact) => Slot::Cached(artifact),
             None => {
-                match compile_one_budgeted(backend.as_ref(), module, &trace, budget, faults)
-                    .map_err(|e| e.in_backend(backend.name()))?
-                {
-                    WorkerOut::Artifact(artifact) => {
-                        cache.insert(key, Arc::clone(&artifact));
-                        (artifact.instantiate()?, Some(artifact))
-                    }
-                    WorkerOut::Executable(exe) => (exe, None),
+                let out = compile_one_budgeted(backend.as_ref(), module, &trace, budget, faults)
+                    .map_err(|e| e.in_backend(backend.name()))?;
+                if let WorkerOut::Artifact(artifact) = &out {
+                    cache.insert(key, Arc::clone(artifact));
                 }
+                Slot::Fresh(out)
+            }
+        };
+        slots.push(Some(slot));
+    }
+    assemble(slots, start, backend.name())
+}
+
+/// Reassembles compiled slots in pipeline order into a
+/// [`CompiledQuery`]; cached and disk artifacts pay only the
+/// link/unwind-registration step here. Shared by the foreground
+/// fan-out and the background sequential path.
+fn assemble(
+    slots: Vec<Option<Slot>>,
+    start: Instant,
+    backend_name: &'static str,
+) -> Result<CompiledQuery, BackendError> {
+    let mut executables = Vec::with_capacity(slots.len());
+    let mut artifacts = Vec::with_capacity(slots.len());
+    let mut stats = CompileStats::default();
+    for slot in slots {
+        let (exe, artifact) = match slot {
+            Some(Slot::Cached(artifact)) | Some(Slot::Fresh(WorkerOut::Artifact(artifact))) => {
+                (artifact.instantiate()?, Some(artifact))
+            }
+            Some(Slot::Fresh(WorkerOut::Executable(exe))) => (exe, None),
+            None => {
+                return Err(BackendError::transient(
+                    "compile worker died before replying",
+                ));
             }
         };
         stats.merge(exe.compile_stats());
@@ -821,7 +1050,7 @@ fn compile_all(
         artifacts,
         compile_time: start.elapsed(),
         compile_stats: stats,
-        backend_name: backend.name(),
+        backend_name,
     })
 }
 

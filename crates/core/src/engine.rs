@@ -203,7 +203,16 @@ impl<'db> Engine<'db> {
     ///
     /// # Errors
     /// Returns [`EngineError::Plan`] for schema/type errors.
+    #[deprecated(note = "use `Session::statement` (cached) or `Session::prepare` instead")]
     pub fn prepare(&self, plan: &PlanNode, name: &str) -> Result<PreparedQuery, EngineError> {
+        self.prepare_internal(plan, name)
+    }
+
+    pub(crate) fn prepare_internal(
+        &self,
+        plan: &PlanNode,
+        name: &str,
+    ) -> Result<PreparedQuery, EngineError> {
         let catalog = |t: &str| {
             self.db
                 .table(t)
@@ -222,7 +231,17 @@ impl<'db> Engine<'db> {
     ///
     /// # Errors
     /// Returns [`EngineError::Backend`] when a module is rejected.
+    #[deprecated(note = "use `QueryRun::direct` (same semantics) or `QueryRun::compile` instead")]
     pub fn compile(
+        &self,
+        prepared: &PreparedQuery,
+        backend: &dyn Backend,
+        trace: &TimeTrace,
+    ) -> Result<CompiledQuery, EngineError> {
+        self.compile_internal(prepared, backend, trace)
+    }
+
+    pub(crate) fn compile_internal(
         &self,
         prepared: &PreparedQuery,
         backend: &dyn Backend,
@@ -267,12 +286,21 @@ impl<'db> Engine<'db> {
     ///
     /// # Errors
     /// Returns [`EngineError::Trap`] when generated code traps.
+    #[deprecated(note = "use `QueryRun::execute` or `QueryRun::execute_compiled` instead")]
     pub fn execute(
         &self,
         prepared: &PreparedQuery,
         compiled: &mut CompiledQuery,
     ) -> Result<ExecutionResult, EngineError> {
-        self.execute_with_hook(prepared, compiled, &mut |_| None)
+        self.execute_internal(prepared, compiled)
+    }
+
+    pub(crate) fn execute_internal(
+        &self,
+        prepared: &PreparedQuery,
+        compiled: &mut CompiledQuery,
+    ) -> Result<ExecutionResult, EngineError> {
+        self.execute_with_hook_internal(prepared, compiled, &mut |_| None)
     }
 
     /// Executes a compiled query, consulting `hook` after every morsel.
@@ -289,7 +317,17 @@ impl<'db> Engine<'db> {
     ///
     /// # Errors
     /// Returns [`EngineError::Trap`] when generated code traps.
+    #[deprecated(note = "use `QueryRun::execute_compiled_with_hook` instead")]
     pub fn execute_with_hook(
+        &self,
+        prepared: &PreparedQuery,
+        compiled: &mut CompiledQuery,
+        hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
+    ) -> Result<ExecutionResult, EngineError> {
+        self.execute_with_hook_internal(prepared, compiled, hook)
+    }
+
+    pub(crate) fn execute_with_hook_internal(
         &self,
         prepared: &PreparedQuery,
         compiled: &mut CompiledQuery,
@@ -310,17 +348,18 @@ impl<'db> Engine<'db> {
     ///
     /// # Errors
     /// Propagates planning, compilation, and execution errors.
+    #[deprecated(note = "use `Session::prepare(plan)?.execute()` instead")]
     pub fn run(
         &self,
         plan: &PlanNode,
         backend: &dyn Backend,
         trace: Option<&TimeTrace>,
     ) -> Result<ExecutionResult, EngineError> {
-        let prepared = self.prepare(plan, "q")?;
+        let prepared = self.prepare_internal(plan, "q")?;
         let disabled = TimeTrace::disabled();
         let trace = trace.unwrap_or(&disabled);
-        let mut compiled = self.compile(&prepared, backend, trace)?;
-        self.execute(&prepared, &mut compiled)
+        let mut compiled = self.compile_internal(&prepared, backend, trace)?;
+        self.execute_internal(&prepared, &mut compiled)
     }
 }
 
@@ -377,7 +416,7 @@ mod tests {
     use qc_plan::{col, lit_dec, lit_i64, lit_str, AggFunc};
 
     fn check_against_reference(plan: &PlanNode, db: &Database) {
-        let engine = Engine::new(db);
+        let session = crate::Session::new(db);
         let expected = reference::execute(plan, db).expect("reference execution");
         let all: Vec<Box<dyn qc_backend::Backend>> = vec![
             backends::interpreter(),
@@ -392,8 +431,12 @@ mod tests {
             backends::cgen(qc_target::Isa::Ta64),
         ];
         for backend in all {
-            let got = engine
-                .run(plan, backend.as_ref(), None)
+            let backend: Arc<dyn qc_backend::Backend> = Arc::from(backend);
+            let got = session
+                .prepare(plan)
+                .expect("prepare")
+                .backend(Arc::clone(&backend))
+                .execute()
                 .expect("engine execution");
             assert_eq!(
                 reference::normalize(&got.rows),
@@ -456,10 +499,9 @@ mod tests {
         let db = qc_storage::gen_hlike(0.02);
         let plan = PlanNode::scan("orders", &["o_orderkey", "o_totalprice"])
             .sort(&[("o_totalprice", false), ("o_orderkey", true)], Some(7));
-        let engine = Engine::new(&db);
+        let session = crate::Session::new(&db);
         let expected = reference::execute(&plan, &db).unwrap();
-        let backend = backends::interpreter();
-        let got = engine.run(&plan, backend.as_ref(), None).unwrap();
+        let got = session.prepare(&plan).unwrap().execute().unwrap();
         // Order matters here (sorted output with a unique tiebreaker).
         assert_eq!(got.rows.len(), expected.len());
         for (g, e) in got.rows.iter().zip(&expected) {
@@ -512,9 +554,8 @@ mod tests {
         let db = qc_storage::gen_hlike(0.02);
         let plan =
             PlanNode::scan("orders", &["o_orderkey"]).filter(col("o_orderkey").lt(lit_i64(-1)));
-        let engine = Engine::new(&db);
-        let backend = backends::interpreter();
-        let got = engine.run(&plan, backend.as_ref(), None).unwrap();
+        let session = crate::Session::new(&db);
+        let got = session.prepare(&plan).unwrap().execute().unwrap();
         assert!(got.rows.is_empty());
     }
 }

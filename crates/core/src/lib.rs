@@ -10,15 +10,14 @@
 //! # Example
 //!
 //! ```
-//! use qc_engine::{Engine, backends};
+//! use qc_engine::Session;
 //! use qc_plan::{col, lit_i64, PlanNode};
 //!
 //! let db = qc_storage::gen_hlike(0.02);
-//! let engine = Engine::new(&db);
+//! let session = Session::new(&db);
 //! let plan = PlanNode::scan("orders", &["o_orderkey", "o_custkey"])
 //!     .filter(col("o_custkey").lt(lit_i64(5)));
-//! let backend = backends::interpreter();
-//! let result = engine.run(&plan, backend.as_ref(), None).unwrap();
+//! let result = session.prepare(&plan).unwrap().execute().unwrap();
 //! assert!(!result.rows.is_empty());
 //! ```
 
@@ -29,16 +28,19 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod adaptive;
+mod artifact_store;
 mod compile_service;
 mod engine;
 mod fallback;
 mod morsel_exec;
 mod scheduler;
+mod session;
 
 pub use adaptive::{AdaptiveExecution, AdaptiveOutcome, BackgroundReport};
+pub use artifact_store::{ArtifactKey, ArtifactStore, ArtifactStoreConfig, ArtifactStoreCounters};
 pub use compile_service::{
-    CacheCounters, CompileBudget, CompileService, CompileServiceConfig, FaultCounters,
-    PendingCompile,
+    CacheCounters, CompileBudget, CompileRequest, CompileService, CompileServiceConfig,
+    FaultCounters, PendingCompile,
 };
 pub use engine::{
     CompiledQuery, Engine, EngineConfig, EngineError, ExecutionResult, MorselEvent, PreparedQuery,
@@ -46,6 +48,7 @@ pub use engine::{
 pub use fallback::{FallbackChain, FallbackReport, TierFailure};
 pub use morsel_exec::{MorselExecConfig, MorselExecutor, MorselSchedule};
 pub use scheduler::{QueryOutcome, QueryScheduler, SchedulerConfig, ServeReport, SessionRequest};
+pub use session::{PreparedStatement, QueryRun, Session, SessionConfig, StatementCacheStats};
 
 /// Constructors for all back-ends, used by examples and the bench harness.
 pub mod backends {

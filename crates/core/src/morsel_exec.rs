@@ -455,7 +455,7 @@ impl MorselExecutor {
         hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
     ) -> Result<ExecutionResult, EngineError> {
         if self.config.workers <= 1 {
-            return engine.execute_with_hook(prepared, compiled, hook);
+            return engine.execute_with_hook_internal(prepared, compiled, hook);
         }
 
         let plan = &prepared.plan;

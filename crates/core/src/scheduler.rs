@@ -33,6 +33,7 @@
 use crate::compile_service::{CompileService, PendingCompile};
 use crate::engine::{CompiledQuery, Engine, EngineError, PreparedQuery};
 use crate::morsel_exec::{QueryExecution, StepProgress};
+use crate::session::{Session, StatementCache};
 use qc_backend::Backend;
 use qc_plan::PlanNode;
 use qc_runtime::SqlValue;
@@ -146,11 +147,13 @@ impl ServeReport {
     }
 }
 
-/// One admitted query session.
+/// One admitted query session. The prepared query is shared (`Arc`)
+/// because admission may have answered it from a session's
+/// prepared-statement cache.
 struct Active {
     index: usize,
     name: String,
-    prepared: PreparedQuery,
+    prepared: Arc<PreparedQuery>,
     compiled: CompiledQuery,
     exec: QueryExecution,
     queue_wait: Duration,
@@ -202,6 +205,37 @@ impl QueryScheduler {
         backend: &Arc<dyn Backend>,
         requests: Vec<SessionRequest>,
     ) -> ServeReport {
+        self.serve_inner(engine, service, backend, None, requests)
+    }
+
+    /// Serves `requests` on top of a [`Session`]: admission consults
+    /// the session's prepared-statement cache (repeated plan shapes
+    /// skip planning and IR generation, not just back-end compilation)
+    /// and its compile service with any attached persistent artifact
+    /// store.
+    pub fn serve_session(
+        &self,
+        session: &Session<'_>,
+        backend: &Arc<dyn Backend>,
+        requests: Vec<SessionRequest>,
+    ) -> ServeReport {
+        self.serve_inner(
+            session.engine(),
+            session.compile_service(),
+            backend,
+            Some(session.statements().as_ref()),
+            requests,
+        )
+    }
+
+    fn serve_inner(
+        &self,
+        engine: &Engine<'_>,
+        service: &CompileService,
+        backend: &Arc<dyn Backend>,
+        statements: Option<&StatementCache>,
+        requests: Vec<SessionRequest>,
+    ) -> ServeReport {
         let total = requests.len();
         let start = Instant::now();
         let shared = Shared {
@@ -222,7 +256,9 @@ impl QueryScheduler {
                     let shared = &shared;
                     let config = &self.config;
                     s.spawn(move || {
-                        serve_worker(engine, service, backend, config, shared, total, start)
+                        serve_worker(
+                            engine, service, backend, statements, config, shared, total, start,
+                        )
                     })
                 })
                 .collect();
@@ -252,10 +288,12 @@ impl QueryScheduler {
 /// One serving worker: admits pending sessions while admission slots
 /// are free, otherwise runs ready sessions one credit slice at a time.
 /// Returns this worker's busy time.
+#[allow(clippy::too_many_arguments)]
 fn serve_worker(
     engine: &Engine<'_>,
     service: &CompileService,
     backend: &Arc<dyn Backend>,
+    statements: Option<&StatementCache>,
     config: &SchedulerConfig,
     shared: &Shared,
     total: usize,
@@ -282,7 +320,7 @@ fn serve_worker(
             drop(g);
             let t0 = Instant::now();
             let queue_wait = start.elapsed();
-            let admitted = admit(engine, service, backend, index, req, queue_wait);
+            let admitted = admit(engine, service, backend, statements, index, req, queue_wait);
             busy += t0.elapsed();
             let mut g = shared.state.lock().expect("scheduler state poisoned");
             match admitted {
@@ -352,19 +390,34 @@ fn serve_worker(
 type AdmitError = (usize, String, EngineError);
 
 /// Prepares and compiles one session through the shared service (and
-/// therefore the shared code cache).
+/// therefore the shared code cache). With a statement cache, repeated
+/// plan shapes skip planning and IR generation too — the prepared
+/// query is then shared under the cache's canonical module name, which
+/// is free because the code cache keys on structural hashes that
+/// exclude names.
 fn admit(
     engine: &Engine<'_>,
     service: &CompileService,
     backend: &Arc<dyn Backend>,
+    statements: Option<&StatementCache>,
     index: usize,
     req: SessionRequest,
     queue_wait: Duration,
 ) -> Result<Active, AdmitError> {
     let fail = |name: &str, e: EngineError| (index, name.to_string(), e);
-    let prepared = engine
-        .prepare(&req.plan, &req.name)
-        .map_err(|e| fail(&req.name, e))?;
+    let prepared = match statements {
+        Some(cache) => {
+            cache
+                .get_or_prepare(engine, &req.plan)
+                .map_err(|e| fail(&req.name, e))?
+                .prepared
+        }
+        None => Arc::new(
+            engine
+                .prepare_internal(&req.plan, &req.name)
+                .map_err(|e| fail(&req.name, e))?,
+        ),
+    };
     let compiled = service
         .compile(&prepared, backend, &TimeTrace::disabled())
         .map_err(|e| fail(&req.name, e))?;

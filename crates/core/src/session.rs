@@ -1,0 +1,632 @@
+//! The prepared-statement session: one façade over preparation,
+//! compilation, caching, and execution.
+//!
+//! A [`Session`] owns the pieces a serving process keeps alive between
+//! queries — the [`CompileService`] with its two-tier artifact cache,
+//! a prepared-statement cache keyed by canonical plan text, and a
+//! default back-end — and exposes one builder-style entry point:
+//!
+//! ```
+//! use qc_engine::Session;
+//! use qc_plan::{col, lit_i64, PlanNode};
+//!
+//! let db = qc_storage::gen_hlike(0.02);
+//! let session = Session::new(&db);
+//! let plan = PlanNode::scan("orders", &["o_orderkey", "o_custkey"])
+//!     .filter(col("o_custkey").lt(lit_i64(5)));
+//! let result = session.prepare(&plan).unwrap().workers(1).execute().unwrap();
+//! assert!(!result.rows.is_empty());
+//! ```
+//!
+//! Statements are keyed by [`PlanNode::canonical_text`] — the engine's
+//! stand-in for SQL text — so re-preparing the same plan skips
+//! planning and IR generation entirely. A [`PreparedStatement`] is a
+//! cheap clonable handle (`String` + `Arc`) with no borrow of the
+//! session or database: it survives across [`Engine`] instances, and
+//! [`Session::reopen`] carries the whole statement cache, compile
+//! service, and persistent artifact store over to a new database
+//! snapshot, so a reopened session re-runs its statements in roughly
+//! link time.
+
+use crate::artifact_store::ArtifactStoreConfig;
+use crate::compile_service::{CompileBudget, CompileService, CompileServiceConfig};
+use crate::engine::{
+    CompiledQuery, Engine, EngineConfig, EngineError, ExecutionResult, MorselEvent, PreparedQuery,
+};
+use crate::morsel_exec::{MorselExecConfig, MorselExecutor, MorselSchedule};
+use crate::ArtifactStore;
+use parking_lot::Mutex;
+use qc_backend::Backend;
+use qc_plan::PlanNode;
+use qc_storage::Database;
+use qc_timing::TimeTrace;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Module name used for all session-prepared statements. The code
+/// cache keys on the *structural* IR hash, which excludes module names
+/// (and generated function names are fixed per pipeline role), so a
+/// constant name costs nothing and keeps cache keys stable across
+/// sessions and processes.
+const STATEMENT_NAME: &str = "q";
+
+/// Counters of the prepared-statement cache, taken with
+/// [`Session::statement_cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatementCacheStats {
+    /// Lookups answered from the cache (planning + codegen skipped).
+    pub hits: u64,
+    /// Lookups that had to plan and generate IR.
+    pub misses: u64,
+    /// Statements displaced to respect the capacity bound.
+    pub evictions: u64,
+    /// Statements currently resident.
+    pub entries: usize,
+}
+
+struct StmtEntry {
+    prepared: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+struct StatementCacheInner {
+    map: HashMap<String, StmtEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Bounded LRU of prepared statements keyed by canonical plan text.
+/// Shared (behind `Arc`) between a session, its reopened descendants,
+/// and any scheduler serving on top of it.
+pub(crate) struct StatementCache {
+    inner: Mutex<StatementCacheInner>,
+    capacity: usize,
+}
+
+impl StatementCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        StatementCache {
+            inner: Mutex::new(StatementCacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Returns the cached statement for `plan`, preparing and caching
+    /// it on a miss. `capacity == 0` degrades to pass-through: every
+    /// call prepares, nothing is retained, the miss is still counted.
+    pub(crate) fn get_or_prepare(
+        &self,
+        engine: &Engine<'_>,
+        plan: &PlanNode,
+    ) -> Result<PreparedStatement, EngineError> {
+        let text = plan.canonical_text();
+        if self.capacity > 0 {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&text) {
+                entry.last_used = tick;
+                let prepared = Arc::clone(&entry.prepared);
+                inner.hits += 1;
+                return Ok(PreparedStatement { text, prepared });
+            }
+        }
+        // Prepare outside the lock: planning + codegen can be slow, and
+        // a concurrent duplicate prepare is harmless (first insert wins).
+        let prepared = Arc::new(engine.prepare_internal(plan, STATEMENT_NAME)?);
+        let mut inner = self.inner.lock();
+        inner.misses += 1;
+        if self.capacity == 0 {
+            return Ok(PreparedStatement { text, prepared });
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&text) {
+            if inner.map.len() >= self.capacity {
+                if let Some(victim) = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    inner.map.remove(&victim);
+                    inner.evictions += 1;
+                }
+            }
+            inner.map.insert(
+                text.clone(),
+                StmtEntry {
+                    prepared: Arc::clone(&prepared),
+                    last_used: tick,
+                },
+            );
+        }
+        Ok(PreparedStatement { text, prepared })
+    }
+
+    pub(crate) fn stats(&self) -> StatementCacheStats {
+        let inner = self.inner.lock();
+        StatementCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+/// A prepared statement: canonical plan text plus the planned and
+/// IR-generated query. Cheap to clone (`String` + `Arc`), `'static`,
+/// and independent of any [`Engine`] borrow — a statement prepared in
+/// one session can be executed by a [`Session::reopen`]ed one over a
+/// fresh [`Database`] snapshot.
+#[derive(Clone)]
+pub struct PreparedStatement {
+    text: String,
+    pub(crate) prepared: Arc<PreparedQuery>,
+}
+
+impl PreparedStatement {
+    /// The canonical plan text this statement was cached under.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The planned pipelines and generated IR.
+    pub fn query(&self) -> &PreparedQuery {
+        &self.prepared
+    }
+
+    /// Total IR instruction count (the tiering heuristic input).
+    pub fn ir_size(&self) -> usize {
+        self.prepared.ir_size()
+    }
+}
+
+impl std::fmt::Debug for PreparedStatement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PreparedStatement({} pipelines, {:?})",
+            self.prepared.plan.pipelines.len(),
+            self.text
+        )
+    }
+}
+
+/// Configuration of a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Execution-side knobs (morsel size).
+    pub engine: EngineConfig,
+    /// Compilation-service knobs (workers, in-memory cache capacity,
+    /// default budget).
+    pub compile: CompileServiceConfig,
+    /// Persistent artifact store (L2) under the in-memory code cache.
+    /// `None` keeps compilation purely in-memory; `Some` makes compiled
+    /// code survive process restarts. An unusable directory degrades to
+    /// pass-through rather than failing the session.
+    pub artifact_store: Option<ArtifactStoreConfig>,
+    /// Prepared statements retained; 0 disables statement caching.
+    pub statement_cache_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            engine: EngineConfig::default(),
+            compile: CompileServiceConfig::default(),
+            artifact_store: None,
+            statement_cache_capacity: 64,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Default configuration plus a persistent artifact store.
+    pub fn with_artifact_store(store: ArtifactStoreConfig) -> Self {
+        SessionConfig {
+            artifact_store: Some(store),
+            ..Default::default()
+        }
+    }
+}
+
+/// A query session over one database: the prepared-statement API.
+///
+/// Construction order of the run builder:
+/// `session.prepare(&plan)?.backend(b).workers(4).execute()`.
+/// See the module docs for the full picture.
+pub struct Session<'db> {
+    engine: Engine<'db>,
+    service: Arc<CompileService>,
+    statements: Arc<StatementCache>,
+    default_backend: Arc<dyn Backend>,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Session({:?}, default {}, {:?})",
+            self.engine,
+            self.default_backend.name(),
+            self.statements.stats()
+        )
+    }
+}
+
+impl<'db> Session<'db> {
+    /// Creates a session over `db` with default configuration: no
+    /// persistent store, interpreter as the default back-end.
+    pub fn new(db: &'db Database) -> Self {
+        Session::with_config(db, SessionConfig::default())
+    }
+
+    /// Creates a session over `db` with explicit configuration. Opening
+    /// never fails: an unusable artifact-store directory degrades the
+    /// store to pass-through (visible via
+    /// [`ArtifactStore::disabled_reason`]).
+    pub fn with_config(db: &'db Database, config: SessionConfig) -> Self {
+        let store = config
+            .artifact_store
+            .map(|c| Arc::new(ArtifactStore::open(c)));
+        let service = Arc::new(CompileService::with_store(config.compile, store));
+        Session {
+            engine: Engine::with_config(db, config.engine),
+            service,
+            statements: Arc::new(StatementCache::new(config.statement_cache_capacity)),
+            default_backend: Arc::from(crate::backends::interpreter()),
+        }
+    }
+
+    /// Replaces the default back-end used by runs that do not pick one
+    /// explicitly.
+    #[must_use]
+    pub fn default_backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.default_backend = backend;
+        self
+    }
+
+    /// Reopens the session over another database snapshot, carrying the
+    /// compile service (and its persistent store), the statement cache,
+    /// and the default back-end over — prepared statements and compiled
+    /// code survive; only the execution engine is rebound.
+    pub fn reopen<'b>(&self, db: &'b Database) -> Session<'b> {
+        Session {
+            engine: Engine::with_config(
+                db,
+                EngineConfig {
+                    morsel_size: self.engine.morsel_size(),
+                },
+            ),
+            service: Arc::clone(&self.service),
+            statements: Arc::clone(&self.statements),
+            default_backend: Arc::clone(&self.default_backend),
+        }
+    }
+
+    /// The execution engine bound to this session's database.
+    pub fn engine(&self) -> &Engine<'db> {
+        &self.engine
+    }
+
+    /// The compilation service (worker pool, code cache, fault layer).
+    pub fn compile_service(&self) -> &Arc<CompileService> {
+        &self.service
+    }
+
+    /// Counters of the prepared-statement cache.
+    pub fn statement_cache_stats(&self) -> StatementCacheStats {
+        self.statements.stats()
+    }
+
+    /// The shared statement cache, for schedulers serving on top of
+    /// this session.
+    pub(crate) fn statements(&self) -> &Arc<StatementCache> {
+        &self.statements
+    }
+
+    /// Plans `plan` (or returns the cached statement for it) without
+    /// building a run.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Plan`] for schema/type errors.
+    pub fn statement(&self, plan: &PlanNode) -> Result<PreparedStatement, EngineError> {
+        self.statements.get_or_prepare(&self.engine, plan)
+    }
+
+    /// Builds a run of an already prepared statement — including one
+    /// prepared by an earlier session incarnation (see
+    /// [`Session::reopen`]).
+    pub fn run(&self, statement: PreparedStatement) -> QueryRun<'_, 'db> {
+        QueryRun {
+            session: self,
+            statement,
+            backend: None,
+            trace: None,
+            workers: 1,
+            schedule: MorselSchedule::Stealing,
+            budget: None,
+            direct: false,
+        }
+    }
+
+    /// Plans `plan` (consulting the statement cache) and builds a run:
+    /// `session.prepare(&plan)?.backend(b).workers(4).execute()`.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Plan`] for schema/type errors.
+    pub fn prepare(&self, plan: &PlanNode) -> Result<QueryRun<'_, 'db>, EngineError> {
+        Ok(self.run(self.statement(plan)?))
+    }
+}
+
+/// A builder-style query run over a [`Session`], created by
+/// [`Session::prepare`] or [`Session::run`]. Defaults: the session's
+/// default back-end, no trace, single-threaded execution, the compile
+/// service's default budget.
+pub struct QueryRun<'s, 'db> {
+    session: &'s Session<'db>,
+    statement: PreparedStatement,
+    backend: Option<Arc<dyn Backend>>,
+    trace: Option<&'s TimeTrace>,
+    workers: usize,
+    schedule: MorselSchedule,
+    budget: Option<CompileBudget>,
+    direct: bool,
+}
+
+impl<'s, 'db> QueryRun<'s, 'db> {
+    /// Compiles with `backend` instead of the session default.
+    #[must_use]
+    pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Collects the per-phase compile-time breakdown into `trace`.
+    #[must_use]
+    pub fn trace(mut self, trace: &'s TimeTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Executes morsel-parallel with `workers` threads (`0` and `1`
+    /// both mean the exact serial path).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Morsel claim discipline for parallel execution.
+    #[must_use]
+    pub fn schedule(mut self, schedule: MorselSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the compile service's default [`CompileBudget`].
+    #[must_use]
+    pub fn budget(mut self, budget: CompileBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Compiles directly on the calling thread, bypassing the compile
+    /// service — no worker fan-out, no code cache, no persistent store,
+    /// no fault envelope. This is the measurement path: benchmarks use
+    /// it so every iteration pays the full, uncached compile and traced
+    /// compiles keep the link phase inside the trace.
+    #[must_use]
+    pub fn direct(mut self) -> Self {
+        self.direct = true;
+        self
+    }
+
+    /// The statement this run executes.
+    pub fn statement(&self) -> &PreparedStatement {
+        &self.statement
+    }
+
+    /// Compiles the statement without executing it.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Backend`] when a module is rejected.
+    pub fn compile(&self) -> Result<CompiledQuery, EngineError> {
+        let backend = self
+            .backend
+            .clone()
+            .unwrap_or_else(|| Arc::clone(&self.session.default_backend));
+        if self.direct {
+            let disabled;
+            let trace = match self.trace {
+                Some(t) => t,
+                None => {
+                    disabled = TimeTrace::disabled();
+                    &disabled
+                }
+            };
+            return self.session.engine.compile_internal(
+                self.statement.query(),
+                backend.as_ref(),
+                trace,
+            );
+        }
+        let mut request = self
+            .session
+            .service
+            .request(self.statement.query(), &backend);
+        if let Some(trace) = self.trace {
+            request = request.trace(trace);
+        }
+        if let Some(budget) = self.budget {
+            request = request.budget(budget);
+        }
+        Ok(request.submit().wait()?)
+    }
+
+    /// Compiles and executes the statement.
+    ///
+    /// # Errors
+    /// Propagates compilation and execution errors.
+    pub fn execute(&self) -> Result<ExecutionResult, EngineError> {
+        let mut compiled = self.compile()?;
+        self.execute_compiled(&mut compiled)
+    }
+
+    /// Executes an already compiled query (e.g. one compiled by an
+    /// earlier run of the same statement).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Trap`] when generated code traps.
+    pub fn execute_compiled(
+        &self,
+        compiled: &mut CompiledQuery,
+    ) -> Result<ExecutionResult, EngineError> {
+        self.execute_compiled_with_hook(compiled, &mut |_| None)
+    }
+
+    /// Executes an already compiled query, consulting `hook` after
+    /// every morsel; a replacement returned by the hook is swapped in
+    /// at that morsel boundary with compile time and statistics merged
+    /// (the adaptive tier-up contract).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Trap`] when generated code traps.
+    pub fn execute_compiled_with_hook(
+        &self,
+        compiled: &mut CompiledQuery,
+        hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
+    ) -> Result<ExecutionResult, EngineError> {
+        let exec = MorselExecutor::new(MorselExecConfig {
+            workers: self.workers,
+            schedule: self.schedule,
+        });
+        exec.execute_with_hook(&self.session.engine, self.statement.query(), compiled, hook)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_plan::{col, lit_i64};
+
+    fn plan_a() -> PlanNode {
+        PlanNode::scan("orders", &["o_orderkey", "o_custkey"])
+            .filter(col("o_custkey").lt(lit_i64(100)))
+    }
+
+    #[test]
+    fn statement_cache_hits_on_identical_plans() {
+        let db = qc_storage::gen_hlike(0.02);
+        let session = Session::new(&db);
+        let s1 = session.statement(&plan_a()).expect("prepare");
+        let s2 = session.statement(&plan_a()).expect("prepare");
+        assert!(Arc::ptr_eq(&s1.prepared, &s2.prepared));
+        let stats = session.statement_cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn distinct_plans_get_distinct_statements() {
+        let db = qc_storage::gen_hlike(0.02);
+        let session = Session::new(&db);
+        let s1 = session.statement(&plan_a()).expect("prepare");
+        let other = PlanNode::scan("orders", &["o_orderkey", "o_custkey"])
+            .filter(col("o_custkey").lt(lit_i64(101)));
+        let s2 = session.statement(&other).expect("prepare");
+        assert_ne!(s1.text(), s2.text());
+        assert!(!Arc::ptr_eq(&s1.prepared, &s2.prepared));
+    }
+
+    #[test]
+    fn zero_capacity_statement_cache_is_passthrough() {
+        let db = qc_storage::gen_hlike(0.02);
+        let session = Session::with_config(
+            &db,
+            SessionConfig {
+                statement_cache_capacity: 0,
+                ..Default::default()
+            },
+        );
+        let _ = session.statement(&plan_a()).expect("prepare");
+        let _ = session.statement(&plan_a()).expect("prepare");
+        let stats = session.statement_cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+        // And the run path still executes fine.
+        let got = session.prepare(&plan_a()).expect("prepare").execute();
+        assert!(got.is_ok());
+    }
+
+    #[test]
+    fn statement_cache_evicts_least_recently_used() {
+        let db = qc_storage::gen_hlike(0.02);
+        let session = Session::with_config(
+            &db,
+            SessionConfig {
+                statement_cache_capacity: 2,
+                ..Default::default()
+            },
+        );
+        let plans: Vec<PlanNode> = (0..3)
+            .map(|i| {
+                PlanNode::scan("orders", &["o_orderkey", "o_custkey"])
+                    .filter(col("o_custkey").lt(lit_i64(i)))
+            })
+            .collect();
+        for p in &plans {
+            session.statement(p).expect("prepare");
+        }
+        let stats = session.statement_cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // plans[0] was evicted: preparing it again is a miss.
+        session.statement(&plans[0]).expect("prepare");
+        assert_eq!(session.statement_cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn reopen_carries_statements_and_compiled_code() {
+        let db = qc_storage::gen_hlike(0.02);
+        let session = Session::new(&db);
+        let stmt = session.statement(&plan_a()).expect("prepare");
+        let backend: Arc<dyn Backend> = Arc::from(crate::backends::clift(qc_target::Isa::Tx64));
+        let r1 = session
+            .run(stmt.clone())
+            .backend(Arc::clone(&backend))
+            .execute()
+            .expect("run 1");
+
+        // A fresh database snapshot, a rebound engine — same statement
+        // handle, and the compile is now a pure cache hit.
+        let db2 = qc_storage::gen_hlike(0.02);
+        let session2 = session.reopen(&db2);
+        let before = session2.compile_service().cache_stats();
+        let r2 = session2
+            .run(stmt)
+            .backend(backend)
+            .execute()
+            .expect("run 2");
+        let after = session2.compile_service().cache_stats();
+        assert_eq!(
+            qc_plan::reference::normalize(&r1.rows),
+            qc_plan::reference::normalize(&r2.rows)
+        );
+        assert!(after.hits > before.hits, "reopen lost the code cache");
+        assert_eq!(session2.statement_cache_stats().misses, 1);
+    }
+}

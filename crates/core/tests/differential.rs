@@ -2,23 +2,24 @@
 //! bit-identical result multisets to the plan-level reference evaluator,
 //! on workload queries and on randomized plans.
 
-use qc_engine::{backends, Engine};
+use qc_engine::{backends, Session};
 use qc_plan::reference;
 use qc_plan::{col, lit_dec, lit_i32, lit_i64, AggFunc, Expr, PlanNode};
 use qc_target::Isa;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
-fn all_backends() -> Vec<Box<dyn qc_backend::Backend>> {
+fn all_backends() -> Vec<Arc<dyn qc_backend::Backend>> {
     let mut v = backends::all_for(Isa::Tx64);
     v.extend(backends::all_for(Isa::Ta64));
-    v
+    v.into_iter().map(Arc::from).collect()
 }
 
 #[test]
 fn hlike_queries_agree_across_all_backends() {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     // A representative subset across operator shapes (full suites run in
     // the bench harness).
     let suite = qc_workloads::hlike_suite();
@@ -28,8 +29,10 @@ fn hlike_queries_agree_across_all_backends() {
         let expected = reference::execute(&q.plan, &db).expect("reference");
         let expected_norm = reference::normalize(&expected);
         for backend in all_backends() {
-            let got = engine
-                .run(&q.plan, backend.as_ref(), None)
+            let got = session
+                .prepare(&q.plan)
+                .map(|run| run.backend(Arc::clone(&backend)))
+                .and_then(|run| run.execute())
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", backend.name(), q.name));
             assert_eq!(
                 reference::normalize(&got.rows),
@@ -45,14 +48,16 @@ fn hlike_queries_agree_across_all_backends() {
 #[test]
 fn dslike_queries_agree_across_all_backends() {
     let db = qc_storage::gen_dslike(0.05);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let suite = qc_workloads::dslike_suite();
     for q in suite.iter().step_by(17) {
         let expected = reference::execute(&q.plan, &db).expect("reference");
         let expected_norm = reference::normalize(&expected);
         for backend in all_backends() {
-            let got = engine
-                .run(&q.plan, backend.as_ref(), None)
+            let got = session
+                .prepare(&q.plan)
+                .map(|run| run.backend(Arc::clone(&backend)))
+                .and_then(|run| run.execute())
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", backend.name(), q.name));
             assert_eq!(
                 reference::normalize(&got.rows),
@@ -120,15 +125,17 @@ fn random_plan(rng: &mut StdRng) -> PlanNode {
 #[test]
 fn randomized_plans_agree_across_all_backends() {
     let db = qc_storage::gen_hlike(0.03);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let mut rng = StdRng::seed_from_u64(0xD1FF);
     for case in 0..12 {
         let plan = random_plan(&mut rng);
         let expected = reference::execute(&plan, &db).expect("reference");
         let checksum = reference::checksum(&expected);
         for backend in all_backends() {
-            let got = engine
-                .run(&plan, backend.as_ref(), None)
+            let got = session
+                .prepare(&plan)
+                .map(|run| run.backend(Arc::clone(&backend)))
+                .and_then(|run| run.execute())
                 .unwrap_or_else(|e| panic!("case {case}, {}: {e}", backend.name()));
             assert_eq!(
                 reference::checksum(&got.rows),
@@ -143,7 +150,7 @@ fn randomized_plans_agree_across_all_backends() {
 #[test]
 fn overflow_traps_surface_identically() {
     let db = qc_storage::gen_hlike(0.02);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     // Force a decimal overflow in every back-end.
     let plan = PlanNode::scan("lineitem", &["l_extendedprice"]).map(vec![(
         "boom",
@@ -151,7 +158,10 @@ fn overflow_traps_surface_identically() {
     )]);
     assert!(reference::execute(&plan, &db).is_err());
     for backend in all_backends() {
-        let r = engine.run(&plan, backend.as_ref(), None);
+        let r = session
+            .prepare(&plan)
+            .map(|run| run.backend(Arc::clone(&backend)))
+            .and_then(|run| run.execute());
         assert!(r.is_err(), "{} did not trap", backend.name());
     }
 }

@@ -247,6 +247,16 @@ fn hash_function_into(h: &mut Fnv, func: &Function) {
     }
 }
 
+/// Stable FNV-1a hash of a raw byte string — the same primitive the
+/// structural hash builds on, exported for callers that need a
+/// platform-independent content checksum (the engine's persistent
+/// artifact store uses it to detect corrupt or truncated files).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(bytes);
+    h.0
+}
+
 /// Stable structural hash of one function (name, signature, stack
 /// slots, external declarations, and every instruction in block layout
 /// order).

@@ -61,7 +61,7 @@ pub use cfg::{Cfg, ReversePostorder};
 pub use domtree::DomTree;
 pub use entities::{Block, EntityMap, ExtFuncId, FuncId, Inst, StackSlot, Value};
 pub use function::{ExtFuncDecl, Function, Module, Signature, StackSlotData, ValueDef};
-pub use hash::{function_structural_hash, module_structural_hash};
+pub use hash::{fnv1a_64, function_structural_hash, module_structural_hash};
 pub use instr::{CastOp, CmpOp, InstData, Opcode};
 pub use liveness::{Liveness, ValueSet};
 pub use loops::{LoopInfo, Loops};

@@ -314,6 +314,106 @@ impl PlanNode {
         }
     }
 
+    /// Renders the plan as canonical, deterministic text — the engine's
+    /// stand-in for SQL query text, used as the prepared-statement cache
+    /// key. Two plans render identically exactly when they are equal:
+    /// every operator, column list, expression, and option is spelled
+    /// out in a fixed order with unambiguous delimiters.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write;
+        fn agg_text(out: &mut String, agg: &AggFunc) {
+            let _ = match agg {
+                AggFunc::CountStar => write!(out, "count(*)"),
+                AggFunc::Sum(e) => write!(out, "sum({e})"),
+                AggFunc::Min(e) => write!(out, "min({e})"),
+                AggFunc::Max(e) => write!(out, "max({e})"),
+                AggFunc::Avg(e) => write!(out, "avg({e})"),
+            };
+        }
+        fn node_text(out: &mut String, node: &PlanNode) {
+            match node {
+                PlanNode::Scan {
+                    table,
+                    columns,
+                    filter,
+                } => {
+                    let _ = write!(out, "scan({table};{}", columns.join(","));
+                    if let Some(f) = filter {
+                        let _ = write!(out, ";where {f}");
+                    }
+                    out.push(')');
+                }
+                PlanNode::Filter { input, predicate } => {
+                    let _ = write!(out, "filter({predicate};");
+                    node_text(out, input);
+                    out.push(')');
+                }
+                PlanNode::Map { input, exprs } => {
+                    out.push_str("map(");
+                    for (i, (name, e)) in exprs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{name}={e}");
+                    }
+                    out.push(';');
+                    node_text(out, input);
+                    out.push(')');
+                }
+                PlanNode::HashJoin {
+                    build,
+                    probe,
+                    build_keys,
+                    probe_keys,
+                    payload,
+                } => {
+                    let _ = write!(
+                        out,
+                        "join({}={};payload {};build ",
+                        probe_keys.join(","),
+                        build_keys.join(","),
+                        payload.join(","),
+                    );
+                    node_text(out, build);
+                    out.push_str(";probe ");
+                    node_text(out, probe);
+                    out.push(')');
+                }
+                PlanNode::GroupBy { input, keys, aggs } => {
+                    let _ = write!(out, "groupby({};", keys.join(","));
+                    for (i, (name, agg)) in aggs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{name}=");
+                        agg_text(out, agg);
+                    }
+                    out.push(';');
+                    node_text(out, input);
+                    out.push(')');
+                }
+                PlanNode::Sort { input, keys, limit } => {
+                    out.push_str("sort(");
+                    for (i, (name, asc)) in keys.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{name} {}", if *asc { "asc" } else { "desc" });
+                    }
+                    if let Some(l) = limit {
+                        let _ = write!(out, ";limit {l}");
+                    }
+                    out.push(';');
+                    node_text(out, input);
+                    out.push(')');
+                }
+            }
+        }
+        let mut out = String::new();
+        node_text(&mut out, self);
+        out
+    }
+
     /// Counts the pipeline breakers below (and including) this node —
     /// a quick complexity metric used by the workload generators.
     pub fn breaker_count(&self) -> usize {

@@ -54,6 +54,94 @@ impl fmt::Display for LinkError {
 
 impl std::error::Error for LinkError {}
 
+/// Version tag written by [`ImageBuilder::serialize_bytes`]; bumped on
+/// any incompatible layout change so stale on-disk artifacts are
+/// rejected instead of misparsed.
+const IMAGE_FORMAT_VERSION: u32 = 1;
+
+/// An error decoding [`ImageBuilder::serialize_bytes`] output
+/// (truncation, bad tags, version mismatch, trailing garbage).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImageCodecError(pub String);
+
+impl fmt::Display for ImageCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "image decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ImageCodecError {}
+
+/// Little-endian byte-stream writer for [`ImageBuilder::serialize_bytes`].
+#[derive(Default)]
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.blob(s.as_bytes());
+    }
+    fn blob(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.0.extend_from_slice(b);
+    }
+}
+
+/// Bounds-checked reader over [`ImageBuilder::serialize_bytes`] output.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], ImageCodecError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ImageCodecError("truncated image payload".into()))?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, ImageCodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, ImageCodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(ImageCodecError(format!("invalid bool tag {t}"))),
+        }
+    }
+    fn u32(&mut self) -> Result<u32, ImageCodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, ImageCodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn str(&mut self) -> Result<String, ImageCodecError> {
+        let bytes = self.blob()?;
+        String::from_utf8(bytes).map_err(|_| ImageCodecError("non-UTF-8 name".into()))
+    }
+    fn blob(&mut self) -> Result<Vec<u8>, ImageCodecError> {
+        let len = self.u64()?;
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&l| l <= self.buf.len().saturating_sub(self.at))
+            .ok_or_else(|| ImageCodecError("truncated image payload".into()))?;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
 #[derive(Clone)]
 struct Item {
     name: String,
@@ -185,6 +273,118 @@ impl ImageBuilder {
             out.push(u8::from(e.synchronous_only));
         }
         out
+    }
+
+    /// Serializes the builder into a self-describing, versioned byte
+    /// stream that [`ImageBuilder::deserialize_bytes`] restores exactly:
+    /// ISA, every item (name, alignment, kind, payload, relocations),
+    /// and the unwind entries. Unlike [`ImageBuilder::content_bytes`]
+    /// (a comparison digest), this format carries explicit counts so it
+    /// can be parsed back — it is what the engine's persistent artifact
+    /// store writes to disk.
+    pub fn serialize_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.u32(IMAGE_FORMAT_VERSION);
+        w.u8(match self.isa {
+            Isa::Tx64 => 0,
+            Isa::Ta64 => 1,
+        });
+        w.u64(self.items.len() as u64);
+        for item in &self.items {
+            w.str(&item.name);
+            w.u64(item.align);
+            w.u8(u8::from(item.is_code));
+            w.blob(&item.bytes);
+            w.u64(item.relocs.len() as u64);
+            for r in &item.relocs {
+                w.u64(r.offset as u64);
+                w.u8(r.kind as u8);
+                w.str(&r.sym.name);
+                w.u64(r.addend as u64);
+            }
+        }
+        w.u64(self.unwind.len() as u64);
+        for &(off, e) in &self.unwind {
+            w.u64(off);
+            w.u64(e.start as u64);
+            w.u64(e.end as u64);
+            w.u64(u64::from(e.frame_size));
+            w.u8(u8::from(e.synchronous_only));
+        }
+        w.0
+    }
+
+    /// Restores a builder from [`ImageBuilder::serialize_bytes`] output.
+    ///
+    /// # Errors
+    /// Returns [`ImageCodecError`] for a version mismatch, truncated
+    /// input, invalid tags, or trailing bytes — the caller (the
+    /// artifact store) treats any of these as a corrupt file and falls
+    /// back to recompilation.
+    pub fn deserialize_bytes(bytes: &[u8]) -> Result<ImageBuilder, ImageCodecError> {
+        let mut r = Reader { buf: bytes, at: 0 };
+        let version = r.u32()?;
+        if version != IMAGE_FORMAT_VERSION {
+            return Err(ImageCodecError(format!(
+                "unsupported image format version {version} (expected {IMAGE_FORMAT_VERSION})"
+            )));
+        }
+        let isa = match r.u8()? {
+            0 => Isa::Tx64,
+            1 => Isa::Ta64,
+            t => return Err(ImageCodecError(format!("invalid ISA tag {t}"))),
+        };
+        let mut builder = ImageBuilder::new(isa);
+        let n_items = r.u64()?;
+        for _ in 0..n_items {
+            let name = r.str()?;
+            let align = r.u64()?;
+            if !align.is_power_of_two() {
+                return Err(ImageCodecError(format!("invalid alignment {align}")));
+            }
+            let is_code = r.bool()?;
+            let payload = r.blob()?;
+            let n_relocs = r.u64()?;
+            let mut relocs = Vec::new();
+            for _ in 0..n_relocs {
+                let offset = r.u64()? as usize;
+                let kind = match r.u8()? {
+                    t if t == RelocKind::Rel32 as u8 => RelocKind::Rel32,
+                    t if t == RelocKind::Abs64 as u8 => RelocKind::Abs64,
+                    t if t == RelocKind::Rel24Words as u8 => RelocKind::Rel24Words,
+                    t if t == RelocKind::MovSeqAbs64 as u8 => RelocKind::MovSeqAbs64,
+                    t => return Err(ImageCodecError(format!("invalid reloc kind {t}"))),
+                };
+                let sym = crate::reloc::SymbolRef::named(&r.str()?);
+                let addend = r.u64()? as i64;
+                relocs.push(Reloc {
+                    offset,
+                    kind,
+                    sym,
+                    addend,
+                });
+            }
+            builder.add_item(&name, payload, relocs, align, is_code);
+        }
+        let n_unwind = r.u64()?;
+        for _ in 0..n_unwind {
+            let off = r.u64()?;
+            let entry = UnwindEntry {
+                start: r.u64()? as usize,
+                end: r.u64()? as usize,
+                frame_size: u32::try_from(r.u64()?)
+                    .map_err(|_| ImageCodecError("frame size out of range".into()))?,
+                synchronous_only: r.bool()?,
+            };
+            builder.add_unwind(off, entry);
+        }
+        if r.at != bytes.len() {
+            return Err(ImageCodecError(format!(
+                "{} trailing bytes after image payload",
+                bytes.len() - r.at
+            )));
+        }
+        Ok(builder)
     }
 
     /// Provisional (veneer-free) layout, used to key unwind entries.
@@ -512,5 +712,87 @@ impl CodeImage {
     /// pairs.
     pub fn unwind_entries(&self) -> &[(u64, UnwindEntry)] {
         &self.unwind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reloc::SymbolRef;
+
+    fn sample_builder() -> ImageBuilder {
+        let mut ib = ImageBuilder::new(Isa::Tx64);
+        let off = ib.add_function(
+            "f",
+            vec![0x90; 24],
+            vec![Reloc {
+                offset: 3,
+                kind: RelocKind::Rel32,
+                sym: SymbolRef::named("rt_helper"),
+                addend: -4,
+            }],
+        );
+        ib.add_unwind(
+            off,
+            UnwindEntry {
+                start: 0,
+                end: 24,
+                frame_size: 32,
+                synchronous_only: true,
+            },
+        );
+        ib.add_data(
+            "pool",
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            8,
+            vec![Reloc {
+                offset: 0,
+                kind: RelocKind::Abs64,
+                sym: SymbolRef::named("f"),
+                addend: 8,
+            }],
+        );
+        ib
+    }
+
+    #[test]
+    fn serialize_roundtrip_preserves_content() {
+        let ib = sample_builder();
+        let bytes = ib.serialize_bytes();
+        let back = ImageBuilder::deserialize_bytes(&bytes).expect("roundtrip");
+        assert_eq!(ib.content_bytes(), back.content_bytes());
+        assert_eq!(back.isa, Isa::Tx64);
+        // The restored builder must link like the original.
+        let resolve = |name: &str| (name == "rt_helper").then_some(0xdead_0000u64);
+        let a = ib.link(&resolve).expect("link original");
+        let b = back.link(&resolve).expect("link restored");
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.unwind_entries().len(), b.unwind_entries().len());
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let bytes = sample_builder().serialize_bytes();
+        for cut in [0, 3, 5, 17, bytes.len() - 1] {
+            assert!(
+                ImageBuilder::deserialize_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample_builder().serialize_bytes();
+        bytes.push(0);
+        assert!(ImageBuilder::deserialize_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample_builder().serialize_bytes();
+        bytes[0] = bytes[0].wrapping_add(1);
+        let err = ImageBuilder::deserialize_bytes(&bytes).err().expect("err");
+        assert!(err.to_string().contains("version"));
     }
 }

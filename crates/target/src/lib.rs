@@ -37,7 +37,7 @@ pub use emu::{
     CALL_DISPATCH_COST,
 };
 pub use hash::crc32c_u64;
-pub use image::{CodeImage, ImageBuilder, LinkError};
+pub use image::{CodeImage, ImageBuilder, ImageCodecError, LinkError};
 pub use isa::{Abi, AluOp, Cond, FReg, FaluOp, Isa, MemArg, Reg, Width, TA64_ABI, TX64_ABI};
 pub use masm::{new_masm, MLabel, MacroAssembler};
 pub use reloc::{Reloc, RelocKind, SymbolRef};

@@ -4,23 +4,28 @@
 //!
 //! Run with: `cargo run --release --example adaptive`
 
-use qc_engine::{backends, AdaptiveExecution, Engine};
+use qc_engine::{backends, AdaptiveExecution, Session};
 
 fn main() {
     let db = qc_storage::gen_hlike(1.0);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let cheap = backends::direct_emit();
     let optimized = backends::lvm_opt(qc_target::Isa::Tx64);
 
     for (label, expected_executions) in [("one-shot query", 1), ("hot recurring query", 500)] {
         let query = qc_workloads::hlike_suite().remove(0); // H01
-        let prepared = engine.prepare(&query.plan, &query.name).expect("prepare");
+        let stmt = session.statement(&query.plan).expect("prepare");
         let policy = AdaptiveExecution {
             expected_executions,
             ..Default::default()
         };
         let (result, outcome) = policy
-            .run(&engine, &prepared, cheap.as_ref(), optimized.as_ref())
+            .run(
+                session.engine(),
+                stmt.query(),
+                cheap.as_ref(),
+                optimized.as_ref(),
+            )
             .expect("adaptive run");
         println!(
             "{label}: {outcome:?} — total compile {:?}, {} rows, {} cycles",

@@ -4,19 +4,20 @@
 //!
 //! Run with: `cargo run --release --example backend_tour`
 
-use qc_engine::{backends, Engine};
+use qc_engine::{backends, Session};
 use qc_target::Isa;
+use std::sync::Arc;
 
 fn main() {
     let db = qc_storage::gen_hlike(0.5);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let query = qc_workloads::hlike_suite().remove(2); // H03: joins + group + top-k
-    let prepared = engine.prepare(&query.plan, &query.name).expect("prepare");
+    let stmt = session.statement(&query.plan).expect("prepare");
     println!(
         "query {} → {} pipelines, {} IR instructions\n",
         query.name,
-        prepared.plan.pipelines.len(),
-        prepared.ir_size()
+        stmt.query().plan.pipelines.len(),
+        stmt.ir_size()
     );
     println!(
         "{:<14} {:<6} {:>12} {:>14} {:>10}",
@@ -24,14 +25,13 @@ fn main() {
     );
     for isa in [Isa::Tx64, Isa::Ta64] {
         for backend in backends::all_for(isa) {
-            let mut compiled = engine
-                .compile(
-                    &prepared,
-                    backend.as_ref(),
-                    &qc_timing::TimeTrace::disabled(),
-                )
-                .expect("compile");
-            let result = engine.execute(&prepared, &mut compiled).expect("execute");
+            let backend: Arc<dyn qc_backend::Backend> = Arc::from(backend);
+            let run = session
+                .run(stmt.clone())
+                .backend(Arc::clone(&backend))
+                .direct();
+            let mut compiled = run.compile().expect("compile");
+            let result = run.execute_compiled(&mut compiled).expect("execute");
             println!(
                 "{:<14} {:<6} {:>12?} {:>14} {:>10}",
                 backend.name(),

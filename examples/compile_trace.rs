@@ -4,20 +4,26 @@
 //!
 //! Run with: `cargo run --release --example compile_trace`
 
-use qc_engine::{backends, Engine};
+use qc_engine::{backends, Session};
 use qc_target::Isa;
 use qc_timing::TimeTrace;
+use std::sync::Arc;
 
 fn main() {
     let db = qc_storage::gen_hlike(0.2);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let query = qc_workloads::hlike_suite().remove(4); // H05: long join chain
-    let prepared = engine.prepare(&query.plan, &query.name).expect("prepare");
+    let stmt = session.statement(&query.plan).expect("prepare");
 
     for backend in [backends::lvm_opt(Isa::Tx64), backends::clift(Isa::Tx64)] {
+        let backend: Arc<dyn qc_backend::Backend> = Arc::from(backend);
         let trace = TimeTrace::new();
-        let _ = engine
-            .compile(&prepared, backend.as_ref(), &trace)
+        let _ = session
+            .run(stmt.clone())
+            .backend(Arc::clone(&backend))
+            .trace(&trace)
+            .direct()
+            .compile()
             .expect("compile");
         println!(
             "== {} phase breakdown for {} ==",

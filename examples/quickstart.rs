@@ -3,13 +3,14 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use qc_engine::{backends, Engine};
+use qc_engine::{backends, Session};
 use qc_plan::{col, lit_dec, AggFunc, PlanNode};
+use std::sync::Arc;
 
 fn main() {
     // A TPC-H-shaped database at a small scale factor.
     let db = qc_storage::gen_hlike(0.5);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
 
     // SELECT l_returnflag, sum(l_extendedprice * (1 - l_discount)), count(*)
     // FROM lineitem WHERE l_quantity < 30 GROUP BY l_returnflag
@@ -37,8 +38,12 @@ fn main() {
     .sort(&[("l_returnflag", true)], None);
 
     for backend in [backends::interpreter(), backends::direct_emit()] {
-        let result = engine
-            .run(&plan, backend.as_ref(), None)
+        let backend: Arc<dyn qc_backend::Backend> = Arc::from(backend);
+        let result = session
+            .prepare(&plan)
+            .expect("plan prepares")
+            .backend(Arc::clone(&backend))
+            .execute()
             .expect("query runs");
         println!("== {} ==", backend.name());
         println!(

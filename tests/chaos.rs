@@ -8,8 +8,8 @@
 use qc_backend::chaos::{ChaosBackend, ChaosFault};
 use qc_backend::{Backend, BackendErrorKind};
 use qc_engine::{
-    backends, CompileBudget, CompileService, CompileServiceConfig, Engine, EngineError,
-    FallbackChain,
+    backends, CompileBudget, CompileService, CompileServiceConfig, EngineError, FallbackChain,
+    Session,
 };
 use qc_plan::reference;
 use qc_plan::PlanNode;
@@ -75,7 +75,7 @@ fn chaotic_chain(faulty_through: usize, fault: ChaosFault) -> FallbackChain {
 fn every_pick_survives_a_faulty_top_tier() {
     quiet_chaos_panics();
     let db = qc_storage::gen_hlike(0.03);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
     let faults = [
@@ -87,9 +87,10 @@ fn every_pick_survives_a_faulty_top_tier() {
         let chain = chaotic_chain(0, fault);
         for (name, plan) in suite_picks() {
             let expected = reference::execute(&plan, &db).expect("reference");
-            let prepared = engine.prepare(&plan, &name).expect("prepare");
+            let stmt = session.statement(&plan).expect("prepare");
+            let prepared = stmt.query();
             let (mut compiled, report) = service
-                .compile_with_fallback(&prepared, &chain, CompileBudget::default(), &trace)
+                .compile_with_fallback(prepared, &chain, CompileBudget::default(), &trace)
                 .unwrap_or_else(|e| panic!("{name} under {fault:?}: {e}"));
             assert!(report.degraded(), "{name}: downgrade expected");
             assert_eq!(report.tier_used, 1, "{name}: LVM-cheap must serve");
@@ -104,7 +105,10 @@ fn every_pick_survives_a_faulty_top_tier() {
                 compiled.compile_stats.counters.get("fallback_from_LVM-opt"),
                 Some(&1)
             );
-            let got = engine.execute(&prepared, &mut compiled).expect("execute");
+            let got = session
+                .run(stmt.clone())
+                .execute_compiled(&mut compiled)
+                .expect("execute");
             assert_eq!(
                 reference::normalize(&got.rows),
                 reference::normalize(&expected),
@@ -124,17 +128,18 @@ fn every_pick_survives_a_faulty_top_tier() {
 fn cascade_degrades_to_the_first_healthy_tier() {
     quiet_chaos_panics();
     let db = qc_storage::gen_hlike(0.03);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
-    let (name, plan) = suite_picks().remove(0);
+    let (_, plan) = suite_picks().remove(0);
     let expected = reference::execute(&plan, &db).expect("reference");
-    let prepared = engine.prepare(&plan, &name).expect("prepare");
+    let stmt = session.statement(&plan).expect("prepare");
+    let prepared = stmt.query();
     let chain_len = FallbackChain::standard(Isa::Tx64).tiers().len();
     for k in 0..chain_len - 1 {
         let chain = chaotic_chain(k, ChaosFault::Panic);
         let (mut compiled, report) = service
-            .compile_with_fallback(&prepared, &chain, CompileBudget::default(), &trace)
+            .compile_with_fallback(prepared, &chain, CompileBudget::default(), &trace)
             .unwrap_or_else(|e| panic!("cascade k={k}: {e}"));
         assert_eq!(report.tier_used, k + 1, "cascade k={k}");
         assert_eq!(report.failures.len(), k + 1);
@@ -142,7 +147,10 @@ fn cascade_degrades_to_the_first_healthy_tier() {
             compiled.compile_stats.counters.get("fallback_downgrades"),
             Some(&((k + 1) as u64))
         );
-        let got = engine.execute(&prepared, &mut compiled).expect("execute");
+        let got = session
+            .run(stmt.clone())
+            .execute_compiled(&mut compiled)
+            .expect("execute");
         assert_eq!(
             reference::normalize(&got.rows),
             reference::normalize(&expected),
@@ -157,14 +165,15 @@ fn cascade_degrades_to_the_first_healthy_tier() {
 fn all_tiers_faulty_is_a_clean_error() {
     quiet_chaos_panics();
     let db = qc_storage::gen_hlike(0.02);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let service = CompileService::default();
-    let (name, plan) = suite_picks().remove(0);
-    let prepared = engine.prepare(&plan, &name).expect("prepare");
+    let (_, plan) = suite_picks().remove(0);
+    let stmt = session.statement(&plan).expect("prepare");
+    let prepared = stmt.query();
     let chain_len = FallbackChain::standard(Isa::Tx64).tiers().len();
     let chain = chaotic_chain(chain_len - 1, ChaosFault::Panic);
     match service.compile_with_fallback(
-        &prepared,
+        prepared,
         &chain,
         CompileBudget::default(),
         &TimeTrace::disabled(),
@@ -180,7 +189,7 @@ fn all_tiers_faulty_is_a_clean_error() {
     // The pool survives total chain failure: a clean compile works.
     let clean: Arc<dyn Backend> = Arc::from(backends::interpreter());
     service
-        .compile(&prepared, &clean, &TimeTrace::disabled())
+        .compile(prepared, &clean, &TimeTrace::disabled())
         .expect("service must stay usable");
 }
 
@@ -190,12 +199,13 @@ fn all_tiers_faulty_is_a_clean_error() {
 #[test]
 fn deadline_overrun_downgrades_and_does_not_pollute_the_cache() {
     let db = qc_storage::gen_hlike(0.03);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
-    let (name, plan) = suite_picks().remove(0);
+    let (_, plan) = suite_picks().remove(0);
     let expected = reference::execute(&plan, &db).expect("reference");
-    let prepared = engine.prepare(&plan, &name).expect("prepare");
+    let stmt = session.statement(&plan).expect("prepare");
+    let prepared = stmt.query();
 
     let clean = FallbackChain::standard(Isa::Tx64);
     let slow: Arc<dyn Backend> = Arc::new(ChaosBackend::always(
@@ -209,11 +219,14 @@ fn deadline_overrun_downgrades_and_does_not_pollute_the_cache() {
     let entries_before = service.cache_stats().entries;
     let budget = CompileBudget::with_deadline(Duration::from_millis(20));
     let (mut compiled, report) = service
-        .compile_with_fallback(&prepared, &chain, budget, &trace)
+        .compile_with_fallback(prepared, &chain, budget, &trace)
         .expect("fallback under deadline");
     assert_eq!(report.tier_used, 1, "LVM-cheap must take over");
     assert_eq!(report.failures[0].error.kind, BackendErrorKind::Deadline);
-    let got = engine.execute(&prepared, &mut compiled).expect("execute");
+    let got = session
+        .run(stmt.clone())
+        .execute_compiled(&mut compiled)
+        .expect("execute");
     assert_eq!(
         reference::normalize(&got.rows),
         reference::normalize(&expected)
@@ -233,12 +246,13 @@ fn deadline_overrun_downgrades_and_does_not_pollute_the_cache() {
 #[test]
 fn transient_fault_is_retried_on_the_same_tier() {
     let db = qc_storage::gen_hlike(0.03);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
-    let (name, plan) = suite_picks().remove(0);
+    let (_, plan) = suite_picks().remove(0);
     let expected = reference::execute(&plan, &db).expect("reference");
-    let prepared = engine.prepare(&plan, &name).expect("prepare");
+    let stmt = session.statement(&plan).expect("prepare");
+    let prepared = stmt.query();
 
     let clean = FallbackChain::standard(Isa::Tx64);
     let flaky: Arc<dyn Backend> = Arc::new(ChaosBackend::on_nth(
@@ -251,12 +265,15 @@ fn transient_fault_is_retried_on_the_same_tier() {
     let chain = FallbackChain::new(tiers);
 
     let (mut compiled, report) = service
-        .compile_with_fallback(&prepared, &chain, CompileBudget::default(), &trace)
+        .compile_with_fallback(prepared, &chain, CompileBudget::default(), &trace)
         .expect("retry should succeed");
     assert!(!report.degraded(), "retry must avoid the downgrade");
     assert_eq!(report.backend_name, "LVM-opt");
     assert!(service.fault_stats().retries >= 1);
-    let got = engine.execute(&prepared, &mut compiled).expect("execute");
+    let got = session
+        .run(stmt.clone())
+        .execute_compiled(&mut compiled)
+        .expect("execute");
     assert_eq!(
         reference::normalize(&got.rows),
         reference::normalize(&expected)
@@ -270,7 +287,7 @@ fn transient_fault_is_retried_on_the_same_tier() {
 fn seeded_chaos_soak_keeps_results_correct() {
     quiet_chaos_panics();
     let db = qc_storage::gen_hlike(0.03);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let service = CompileService::new(CompileServiceConfig {
         workers: 4,
         cache_capacity: 256,
@@ -296,11 +313,15 @@ fn seeded_chaos_soak_keeps_results_correct() {
 
     for (name, plan) in suite_picks() {
         let expected = reference::execute(&plan, &db).expect("reference");
-        let prepared = engine.prepare(&plan, &name).expect("prepare");
+        let stmt = session.statement(&plan).expect("prepare");
+        let prepared = stmt.query();
         let (mut compiled, _report) = service
-            .compile_with_fallback(&prepared, &chain, CompileBudget::default(), &trace)
+            .compile_with_fallback(prepared, &chain, CompileBudget::default(), &trace)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let got = engine.execute(&prepared, &mut compiled).expect("execute");
+        let got = session
+            .run(stmt.clone())
+            .execute_compiled(&mut compiled)
+            .expect("execute");
         assert_eq!(
             reference::normalize(&got.rows),
             reference::normalize(&expected),
@@ -313,11 +334,15 @@ fn seeded_chaos_soak_keeps_results_correct() {
     let cheap: Arc<dyn Backend> = Arc::from(backends::lvm_cheap(Isa::Tx64));
     for (name, plan) in suite_picks() {
         let expected = reference::execute(&plan, &db).expect("reference");
-        let prepared = engine.prepare(&plan, &name).expect("prepare");
+        let stmt = session.statement(&plan).expect("prepare");
+        let prepared = stmt.query();
         let mut compiled = service
-            .compile(&prepared, &cheap, &trace)
+            .compile(prepared, &cheap, &trace)
             .unwrap_or_else(|e| panic!("clean pass {name}: {e}"));
-        let got = engine.execute(&prepared, &mut compiled).expect("execute");
+        let got = session
+            .run(stmt.clone())
+            .execute_compiled(&mut compiled)
+            .expect("execute");
         assert_eq!(
             reference::normalize(&got.rows),
             reference::normalize(&expected),

@@ -7,8 +7,8 @@ use qc_backend::chaos::{ChaosBackend, ChaosFault};
 use qc_backend::Backend;
 use qc_backend::BackendErrorKind;
 use qc_engine::{
-    backends, AdaptiveExecution, AdaptiveOutcome, CompileService, CompileServiceConfig, Engine,
-    EngineConfig, PreparedQuery,
+    backends, AdaptiveExecution, AdaptiveOutcome, CompileService, CompileServiceConfig,
+    EngineConfig, PreparedStatement, Session, SessionConfig,
 };
 use qc_ir::Module;
 use qc_plan::reference;
@@ -18,16 +18,40 @@ use std::sync::Arc;
 
 /// Picks a query from the H-like suite that decomposes into several
 /// pipelines, so the fan-out path is actually exercised.
-fn multi_pipeline_query(engine: &Engine<'_>) -> PreparedQuery {
+fn multi_pipeline_query(session: &Session<'_>) -> PreparedStatement {
     let suite = qc_workloads::hlike_suite();
     for q in &suite {
-        if let Ok(p) = engine.prepare(&q.plan, &q.name) {
-            if p.ir.modules.len() >= 2 {
-                return p;
+        if let Ok(stmt) = session.statement(&q.plan) {
+            if stmt.query().ir.modules.len() >= 2 {
+                return stmt;
             }
         }
     }
     panic!("no multi-pipeline query in the suite");
+}
+
+fn direct_compile(
+    session: &Session<'_>,
+    stmt: &PreparedStatement,
+    backend: &Arc<dyn Backend>,
+) -> qc_engine::CompiledQuery {
+    session
+        .run(stmt.clone())
+        .backend(Arc::clone(backend))
+        .direct()
+        .compile()
+        .expect("direct compile")
+}
+
+fn execute(
+    session: &Session<'_>,
+    stmt: &PreparedStatement,
+    compiled: &mut qc_engine::CompiledQuery,
+) -> qc_engine::ExecutionResult {
+    session
+        .run(stmt.clone())
+        .execute_compiled(compiled)
+        .expect("execute")
 }
 
 fn artifact_bytes_sequential(backend: &dyn Backend, modules: &[Arc<Module>]) -> Vec<Vec<u8>> {
@@ -69,8 +93,9 @@ fn artifact_bytes_parallel(backend: &dyn Backend, modules: &[Arc<Module>]) -> Ve
 #[test]
 fn parallel_compilation_is_bit_identical_to_sequential() {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
-    let prepared = multi_pipeline_query(&engine);
+    let session = Session::new(&db);
+    let stmt = multi_pipeline_query(&session);
+    let prepared = stmt.query();
     for backend in backends::all_for(Isa::Tx64) {
         let seq = artifact_bytes_sequential(backend.as_ref(), &prepared.ir.modules);
         let par = artifact_bytes_parallel(backend.as_ref(), &prepared.ir.modules);
@@ -86,8 +111,9 @@ fn parallel_compilation_is_bit_identical_to_sequential() {
 #[test]
 fn service_compile_matches_engine_compile() {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
-    let prepared = multi_pipeline_query(&engine);
+    let session = Session::new(&db);
+    let stmt = multi_pipeline_query(&session);
+    let prepared = stmt.query();
     // Cache disabled so every module goes through the worker fan-out.
     let service = CompileService::new(CompileServiceConfig {
         workers: 4,
@@ -97,14 +123,12 @@ fn service_compile_matches_engine_compile() {
     let trace = TimeTrace::disabled();
     for backend in backends::all_for(Isa::Tx64) {
         let backend: Arc<dyn Backend> = Arc::from(backend);
-        let mut a = engine
-            .compile(&prepared, backend.as_ref(), &trace)
-            .expect("sequential compile");
+        let mut a = direct_compile(&session, &stmt, &backend);
         let mut b = service
-            .compile(&prepared, &backend, &trace)
+            .compile(prepared, &backend, &trace)
             .expect("service compile");
-        let ra = engine.execute(&prepared, &mut a).expect("sequential run");
-        let rb = engine.execute(&prepared, &mut b).expect("parallel run");
+        let ra = execute(&session, &stmt, &mut a);
+        let rb = execute(&session, &stmt, &mut b);
         assert_eq!(
             reference::normalize(&ra.rows),
             reference::normalize(&rb.rows),
@@ -135,8 +159,9 @@ fn service_compile_matches_engine_compile() {
 #[test]
 fn second_compile_hits_the_cache_and_reuses_code() {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
-    let prepared = multi_pipeline_query(&engine);
+    let session = Session::new(&db);
+    let stmt = multi_pipeline_query(&session);
+    let prepared = stmt.query();
     let n = prepared.ir.modules.len() as u64;
     let trace = TimeTrace::disabled();
     for backend in backends::all_for(Isa::Tx64) {
@@ -147,7 +172,7 @@ fn second_compile_hits_the_cache_and_reuses_code() {
             ..Default::default()
         });
         let mut cold = service
-            .compile(&prepared, &backend, &trace)
+            .compile(prepared, &backend, &trace)
             .expect("cold compile");
         let after_cold = service.cache_stats();
         assert_eq!(after_cold.hits, 0, "{}: cold run hit", backend.name());
@@ -161,7 +186,7 @@ fn second_compile_hits_the_cache_and_reuses_code() {
         assert!(after_cold.resident_bytes > 0);
 
         let mut warm = service
-            .compile(&prepared, &backend, &trace)
+            .compile(prepared, &backend, &trace)
             .expect("warm compile");
         let after_warm = service.cache_stats();
         assert_eq!(
@@ -173,8 +198,8 @@ fn second_compile_hits_the_cache_and_reuses_code() {
         assert_eq!(after_warm.misses, n, "{}: warm run missed", backend.name());
 
         // Cached code must behave identically to freshly compiled code.
-        let rc = engine.execute(&prepared, &mut cold).expect("cold run");
-        let rw = engine.execute(&prepared, &mut warm).expect("warm run");
+        let rc = execute(&session, &stmt, &mut cold);
+        let rw = execute(&session, &stmt, &mut warm);
         assert_eq!(
             reference::normalize(&rc.rows),
             reference::normalize(&rw.rows)
@@ -203,15 +228,16 @@ fn distinct_configs_do_not_share_cached_code() {
     );
 
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
-    let prepared = multi_pipeline_query(&engine);
+    let session = Session::new(&db);
+    let stmt = multi_pipeline_query(&session);
+    let prepared = stmt.query();
     let n = prepared.ir.modules.len() as u64;
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
     let a: Arc<dyn Backend> = Arc::from(a);
     let b: Arc<dyn Backend> = Arc::from(b);
-    service.compile(&prepared, &a, &trace).expect("variant a");
-    service.compile(&prepared, &b, &trace).expect("variant b");
+    service.compile(prepared, &a, &trace).expect("variant a");
+    service.compile(prepared, &b, &trace).expect("variant b");
     let stats = service.cache_stats();
     assert_eq!(stats.hits, 0, "variant b must not reuse variant a's code");
     assert_eq!(stats.misses, 2 * n);
@@ -221,28 +247,37 @@ fn distinct_configs_do_not_share_cached_code() {
 fn background_tier_up_swaps_at_a_deterministic_boundary() {
     let db = qc_storage::gen_hlike(0.05);
     // Small morsels: many morsel boundaries.
-    let engine = Engine::with_config(&db, EngineConfig { morsel_size: 256 });
-    let prepared = multi_pipeline_query(&engine);
+    let session = Session::with_config(
+        &db,
+        SessionConfig {
+            engine: EngineConfig { morsel_size: 256 },
+            ..Default::default()
+        },
+    );
+    let stmt = multi_pipeline_query(&session);
+    let prepared = stmt.query();
     let service = CompileService::default();
     let cheap: Arc<dyn Backend> = Arc::from(backends::interpreter());
     let optimized: Arc<dyn Backend> = Arc::from(backends::lvm_opt(Isa::Tx64));
     let policy = AdaptiveExecution::default();
 
     let (result, report) = policy
-        .run_background(&engine, &service, &prepared, &cheap, &optimized, Some(3))
+        .run_background(
+            session.engine(),
+            &service,
+            prepared,
+            &cheap,
+            &optimized,
+            Some(3),
+        )
         .expect("background run");
     assert_eq!(report.outcome, AdaptiveOutcome::TieredUp);
     assert_eq!(report.swapped_at_morsel, Some(3));
     assert!(report.background_error.is_none());
 
     // Results must match a plain single-tier execution.
-    let trace = TimeTrace::disabled();
-    let mut baseline_compiled = engine
-        .compile(&prepared, cheap.as_ref(), &trace)
-        .expect("baseline compile");
-    let baseline = engine
-        .execute(&prepared, &mut baseline_compiled)
-        .expect("baseline");
+    let mut baseline_compiled = direct_compile(&session, &stmt, &cheap);
+    let baseline = execute(&session, &stmt, &mut baseline_compiled);
     assert_eq!(
         reference::normalize(&result.rows),
         reference::normalize(&baseline.rows)
@@ -250,7 +285,14 @@ fn background_tier_up_swaps_at_a_deterministic_boundary() {
 
     // Repeating the run swaps at the same boundary with the same cost.
     let (again, report2) = policy
-        .run_background(&engine, &service, &prepared, &cheap, &optimized, Some(3))
+        .run_background(
+            session.engine(),
+            &service,
+            prepared,
+            &cheap,
+            &optimized,
+            Some(3),
+        )
         .expect("second background run");
     assert_eq!(report2.swapped_at_morsel, Some(3));
     assert_eq!(result.exec_stats.cycles, again.exec_stats.cycles);
@@ -273,19 +315,21 @@ fn background_tier_failure_keeps_the_cheap_tier_result() {
     }));
 
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::with_config(&db, EngineConfig { morsel_size: 256 });
-    let prepared = multi_pipeline_query(&engine);
+    let session = Session::with_config(
+        &db,
+        SessionConfig {
+            engine: EngineConfig { morsel_size: 256 },
+            ..Default::default()
+        },
+    );
+    let stmt = multi_pipeline_query(&session);
+    let prepared = stmt.query();
     let service = CompileService::default();
     let cheap: Arc<dyn Backend> = Arc::from(backends::interpreter());
     let policy = AdaptiveExecution::default();
 
-    let trace = TimeTrace::disabled();
-    let mut baseline_compiled = engine
-        .compile(&prepared, cheap.as_ref(), &trace)
-        .expect("baseline compile");
-    let baseline = engine
-        .execute(&prepared, &mut baseline_compiled)
-        .expect("baseline");
+    let mut baseline_compiled = direct_compile(&session, &stmt, &cheap);
+    let baseline = execute(&session, &stmt, &mut baseline_compiled);
 
     for fault in [ChaosFault::Panic, ChaosFault::PermanentError] {
         let optimized: Arc<dyn Backend> = Arc::new(ChaosBackend::always(
@@ -293,7 +337,14 @@ fn background_tier_failure_keeps_the_cheap_tier_result() {
             fault,
         ));
         let (result, report) = policy
-            .run_background(&engine, &service, &prepared, &cheap, &optimized, Some(3))
+            .run_background(
+                session.engine(),
+                &service,
+                prepared,
+                &cheap,
+                &optimized,
+                Some(3),
+            )
             .unwrap_or_else(|e| panic!("{fault:?}: background run must survive: {e}"));
 
         // The failed tier-up must not disturb the cheap-tier execution:
@@ -332,7 +383,14 @@ fn background_tier_failure_keeps_the_cheap_tier_result() {
     assert!(service.fault_stats().panics_caught > 0);
     let optimized: Arc<dyn Backend> = Arc::from(backends::lvm_opt(Isa::Tx64));
     let (_, report) = policy
-        .run_background(&engine, &service, &prepared, &cheap, &optimized, Some(3))
+        .run_background(
+            session.engine(),
+            &service,
+            prepared,
+            &cheap,
+            &optimized,
+            Some(3),
+        )
         .expect("clean background run after faults");
     assert_eq!(report.outcome, AdaptiveOutcome::TieredUp);
     assert!(report.background_error.is_none());
@@ -341,10 +399,10 @@ fn background_tier_failure_keeps_the_cheap_tier_result() {
 #[test]
 fn tier_up_merges_compile_stats_across_tiers() {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
-    let prepared = multi_pipeline_query(&engine);
-    let trace = TimeTrace::disabled();
-    let cheap = backends::interpreter();
+    let session = Session::new(&db);
+    let stmt = multi_pipeline_query(&session);
+    let prepared = stmt.query();
+    let cheap: Arc<dyn Backend> = Arc::from(backends::interpreter());
     let optimized = backends::clift(Isa::Tx64);
     // Force the tier-up path with a policy whose threshold is trivially
     // exceeded.
@@ -353,15 +411,16 @@ fn tier_up_merges_compile_stats_across_tiers() {
         benefit_threshold: 1,
     };
     let (result, outcome) = policy
-        .run(&engine, &prepared, cheap.as_ref(), optimized.as_ref())
+        .run(
+            session.engine(),
+            prepared,
+            cheap.as_ref(),
+            optimized.as_ref(),
+        )
         .expect("adaptive run");
     assert_eq!(outcome, AdaptiveOutcome::TieredUp);
-    let mut cheap_only = engine
-        .compile(&prepared, cheap.as_ref(), &trace)
-        .expect("cheap compile");
-    let cheap_result = engine
-        .execute(&prepared, &mut cheap_only)
-        .expect("cheap run");
+    let mut cheap_only = direct_compile(&session, &stmt, &cheap);
+    let cheap_result = execute(&session, &stmt, &mut cheap_only);
     // Both tiers contribute: the merged stats must strictly exceed the
     // cheap tier's own function count.
     assert!(

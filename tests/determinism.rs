@@ -3,24 +3,29 @@
 //! relative execution-cost ordering the paper's run-time numbers rest on
 //! must hold on representative queries.
 
-use qc_engine::{backends, Engine};
+use qc_engine::{backends, ExecutionResult, Session};
 use qc_plan::reference;
 use qc_target::Isa;
+use std::sync::Arc;
+
+fn run_on(
+    session: &Session<'_>,
+    plan: &qc_plan::PlanNode,
+    backend: Box<dyn qc_backend::Backend>,
+) -> Result<ExecutionResult, qc_engine::EngineError> {
+    let backend: Arc<dyn qc_backend::Backend> = Arc::from(backend);
+    session.prepare(plan)?.backend(backend).execute()
+}
 
 #[test]
 fn repeated_runs_are_cycle_identical() {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let suite = qc_workloads::hlike_suite();
     for &i in &[0usize, 4, 12] {
         let q = &suite[i];
-        let backend = backends::clift(Isa::Tx64);
-        let a = engine
-            .run(&q.plan, backend.as_ref(), None)
-            .expect("first run");
-        let b = engine
-            .run(&q.plan, backend.as_ref(), None)
-            .expect("second run");
+        let a = run_on(&session, &q.plan, backends::clift(Isa::Tx64)).expect("first run");
+        let b = run_on(&session, &q.plan, backends::clift(Isa::Tx64)).expect("second run");
         assert_eq!(
             a.exec_stats.cycles, b.exec_stats.cycles,
             "{}: cycle count is not deterministic",
@@ -38,7 +43,7 @@ fn repeated_runs_are_cycle_identical() {
 #[test]
 fn results_are_isa_independent() {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let suite = qc_workloads::hlike_suite();
     for &i in &[2usize, 5, 16] {
         let q = &suite[i];
@@ -48,12 +53,8 @@ fn results_are_isa_independent() {
             backends::lvm_opt,
             backends::cgen,
         ] {
-            let tx = engine
-                .run(&q.plan, make(Isa::Tx64).as_ref(), None)
-                .expect("tx64");
-            let ta = engine
-                .run(&q.plan, make(Isa::Ta64).as_ref(), None)
-                .expect("ta64");
+            let tx = run_on(&session, &q.plan, make(Isa::Tx64)).expect("tx64");
+            let ta = run_on(&session, &q.plan, make(Isa::Ta64)).expect("ta64");
             assert_eq!(
                 reference::normalize(&tx.rows),
                 reference::normalize(&ta.rows),
@@ -71,18 +72,12 @@ fn interpreter_costs_more_cycles_than_compiled_code() {
     // compiling back-end at execution time. Check the per-query cycle
     // ordering on a scan-heavy query where dispatch dominates.
     let db = qc_storage::gen_hlike(0.1);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let suite = qc_workloads::hlike_suite();
     let q = &suite[0]; // H01 shape: big scan + aggregation
-    let interp = engine
-        .run(&q.plan, backends::interpreter().as_ref(), None)
-        .expect("interp");
-    let direct = engine
-        .run(&q.plan, backends::direct_emit().as_ref(), None)
-        .expect("direct");
-    let clift = engine
-        .run(&q.plan, backends::clift(Isa::Tx64).as_ref(), None)
-        .expect("clift");
+    let interp = run_on(&session, &q.plan, backends::interpreter()).expect("interp");
+    let direct = run_on(&session, &q.plan, backends::direct_emit()).expect("direct");
+    let clift = run_on(&session, &q.plan, backends::clift(Isa::Tx64)).expect("clift");
     assert!(
         interp.exec_stats.cycles > direct.exec_stats.cycles,
         "interpreter ({}) not slower than DirectEmit ({})",
@@ -100,19 +95,17 @@ fn interpreter_costs_more_cycles_than_compiled_code() {
 #[test]
 fn optimized_code_is_never_slower_than_unoptimized_lvm() {
     let db = qc_storage::gen_hlike(0.05);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let suite = qc_workloads::hlike_suite();
     let mut cheap_total = 0u64;
     let mut opt_total = 0u64;
     for &i in &[0usize, 2, 5, 12] {
         let q = &suite[i];
-        cheap_total += engine
-            .run(&q.plan, backends::lvm_cheap(Isa::Tx64).as_ref(), None)
+        cheap_total += run_on(&session, &q.plan, backends::lvm_cheap(Isa::Tx64))
             .expect("cheap")
             .exec_stats
             .cycles;
-        opt_total += engine
-            .run(&q.plan, backends::lvm_opt(Isa::Tx64).as_ref(), None)
+        opt_total += run_on(&session, &q.plan, backends::lvm_opt(Isa::Tx64))
             .expect("opt")
             .exec_stats
             .cycles;
@@ -127,13 +120,12 @@ fn optimized_code_is_never_slower_than_unoptimized_lvm() {
 fn data_generators_are_seed_stable() {
     let a = qc_storage::gen_hlike(0.03);
     let b = qc_storage::gen_hlike(0.03);
-    let engine_a = Engine::new(&a);
-    let engine_b = Engine::new(&b);
+    let session_a = Session::new(&a);
+    let session_b = Session::new(&b);
     let suite = qc_workloads::hlike_suite();
     let q = &suite[5];
-    let backend = backends::interpreter();
-    let ra = engine_a.run(&q.plan, backend.as_ref(), None).expect("a");
-    let rb = engine_b.run(&q.plan, backend.as_ref(), None).expect("b");
+    let ra = run_on(&session_a, &q.plan, backends::interpreter()).expect("a");
+    let rb = run_on(&session_b, &q.plan, backends::interpreter()).expect("b");
     assert_eq!(
         reference::normalize(&ra.rows),
         reference::normalize(&rb.rows)

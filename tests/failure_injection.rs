@@ -5,7 +5,7 @@
 
 use qc_backend::chaos::{ChaosBackend, ChaosFault};
 use qc_backend::{Backend, BackendErrorKind};
-use qc_engine::{backends, CompileBudget, CompileService, Engine, EngineError};
+use qc_engine::{backends, CompileBudget, CompileService, EngineError, PreparedStatement, Session};
 use qc_ir::{FunctionBuilder, Module, Opcode, Signature, Type};
 use qc_plan::{col, lit_i64, PlanNode};
 use qc_runtime::RuntimeState;
@@ -59,9 +59,9 @@ fn call_on(backend: &dyn Backend, m: &Module, x: i64, y: i64) -> Result<u64, Tra
 #[test]
 fn unknown_table_is_a_plan_error() {
     let db = qc_storage::gen_hlike(0.01);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let plan = PlanNode::scan("no_such_table", &["x"]);
-    match engine.prepare(&plan, "q") {
+    match session.statement(&plan) {
         Err(EngineError::Plan(_)) => {}
         other => panic!("expected plan error, got {other:?}"),
     }
@@ -70,10 +70,10 @@ fn unknown_table_is_a_plan_error() {
 #[test]
 fn unknown_column_is_a_plan_error() {
     let db = qc_storage::gen_hlike(0.01);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let plan =
         PlanNode::scan("lineitem", &["l_orderkey"]).filter(col("no_such_column").gt(lit_i64(0)));
-    match engine.prepare(&plan, "q") {
+    match session.statement(&plan) {
         Err(EngineError::Plan(_)) => {}
         other => panic!("expected plan error, got {other:?}"),
     }
@@ -234,11 +234,11 @@ fn verifier_rejects_type_mismatch() {
     assert!(qc_ir::verify_module(&m).is_err());
 }
 
-/// A representative prepared query for service-level fault injection.
-fn prepared_scan(engine: &Engine<'_>) -> qc_engine::PreparedQuery {
+/// A representative prepared statement for service-level fault injection.
+fn prepared_scan(session: &Session<'_>) -> PreparedStatement {
     let plan = PlanNode::scan("lineitem", &["l_orderkey", "l_partkey"])
         .filter(col("l_orderkey").gt(lit_i64(10)));
-    engine.prepare(&plan, "fi_scan").expect("prepare")
+    session.statement(&plan).expect("prepare")
 }
 
 #[test]
@@ -257,8 +257,9 @@ fn compile_panic_is_isolated_and_the_pool_survives() {
     }));
 
     let db = qc_storage::gen_hlike(0.01);
-    let engine = Engine::new(&db);
-    let prepared = prepared_scan(&engine);
+    let session = Session::new(&db);
+    let stmt = prepared_scan(&session);
+    let prepared = stmt.query();
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
     let workers_before = service.worker_count();
@@ -267,7 +268,7 @@ fn compile_panic_is_isolated_and_the_pool_survives() {
         std::sync::Arc::from(backends::lvm_cheap(Isa::Tx64)),
         ChaosFault::Panic,
     ));
-    match service.compile(&prepared, &chaotic, &trace) {
+    match service.compile(prepared, &chaotic, &trace) {
         Err(EngineError::Backend(e)) => {
             assert_eq!(e.kind, BackendErrorKind::Panic, "{e}");
             assert!(e.message.contains("panicked"), "{e}");
@@ -282,10 +283,11 @@ fn compile_panic_is_isolated_and_the_pool_survives() {
     assert_eq!(service.cache_stats().entries, 0, "poisoned cache");
     let clean: std::sync::Arc<dyn Backend> = std::sync::Arc::from(backends::lvm_cheap(Isa::Tx64));
     let mut compiled = service
-        .compile(&prepared, &clean, &trace)
+        .compile(prepared, &clean, &trace)
         .expect("pool must survive a panicked job");
-    engine
-        .execute(&prepared, &mut compiled)
+    session
+        .run(stmt.clone())
+        .execute_compiled(&mut compiled)
         .expect("post-panic execution");
     assert_eq!(service.worker_count(), workers_before);
 }
@@ -293,8 +295,9 @@ fn compile_panic_is_isolated_and_the_pool_survives() {
 #[test]
 fn compile_deadline_overrun_is_a_deadline_error_and_never_cached() {
     let db = qc_storage::gen_hlike(0.01);
-    let engine = Engine::new(&db);
-    let prepared = prepared_scan(&engine);
+    let session = Session::new(&db);
+    let stmt = prepared_scan(&session);
+    let prepared = stmt.query();
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
 
@@ -303,7 +306,7 @@ fn compile_deadline_overrun_is_a_deadline_error_and_never_cached() {
         ChaosFault::Delay(std::time::Duration::from_millis(20)),
     ));
     let budget = CompileBudget::with_deadline(std::time::Duration::from_millis(2));
-    match service.compile_budgeted(&prepared, &slow, budget, &trace) {
+    match service.compile_budgeted(prepared, &slow, budget, &trace) {
         Err(EngineError::Backend(e)) => {
             assert_eq!(e.kind, BackendErrorKind::Deadline, "{e}");
         }
@@ -321,15 +324,16 @@ fn compile_deadline_overrun_is_a_deadline_error_and_never_cached() {
 
     // Without the deadline the same backend compiles fine.
     service
-        .compile_budgeted(&prepared, &slow, CompileBudget::default(), &trace)
+        .compile_budgeted(prepared, &slow, CompileBudget::default(), &trace)
         .expect("no deadline, no failure");
 }
 
 #[test]
 fn transient_compile_fault_is_retried_to_success() {
     let db = qc_storage::gen_hlike(0.01);
-    let engine = Engine::new(&db);
-    let prepared = prepared_scan(&engine);
+    let session = Session::new(&db);
+    let stmt = prepared_scan(&session);
+    let prepared = stmt.query();
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
 
@@ -339,19 +343,21 @@ fn transient_compile_fault_is_retried_to_success() {
         ChaosFault::TransientError,
     ));
     let mut compiled = service
-        .compile(&prepared, &flaky, &trace)
+        .compile(prepared, &flaky, &trace)
         .expect("one transient fault must be absorbed by the retry policy");
     assert!(service.fault_stats().retries >= 1);
-    engine
-        .execute(&prepared, &mut compiled)
+    session
+        .run(stmt.clone())
+        .execute_compiled(&mut compiled)
         .expect("execution after retry");
 }
 
 #[test]
 fn transient_faults_beyond_the_retry_budget_fail_with_the_last_error() {
     let db = qc_storage::gen_hlike(0.01);
-    let engine = Engine::new(&db);
-    let prepared = prepared_scan(&engine);
+    let session = Session::new(&db);
+    let stmt = prepared_scan(&session);
+    let prepared = stmt.query();
     let service = CompileService::default();
     let trace = TimeTrace::disabled();
 
@@ -359,7 +365,7 @@ fn transient_faults_beyond_the_retry_budget_fail_with_the_last_error() {
         std::sync::Arc::from(backends::lvm_cheap(Isa::Tx64)),
         ChaosFault::TransientError,
     ));
-    match service.compile(&prepared, &broken, &trace) {
+    match service.compile(prepared, &broken, &trace) {
         Err(EngineError::Backend(e)) => {
             assert_eq!(e.kind, BackendErrorKind::Transient, "{e}");
         }
@@ -378,17 +384,19 @@ fn vanished_table_is_a_storage_error_not_a_panic() {
     // the table referenced by the plan no longer exists at execution
     // time, which must surface as EngineError::Storage.
     let db_h = qc_storage::gen_hlike(0.01);
-    let engine_h = Engine::new(&db_h);
-    let prepared = prepared_scan(&engine_h);
-    let trace = TimeTrace::disabled();
-    let backend = backends::interpreter();
-    let mut compiled = engine_h
-        .compile(&prepared, backend.as_ref(), &trace)
+    let session_h = Session::new(&db_h);
+    let stmt = prepared_scan(&session_h);
+    let backend: std::sync::Arc<dyn Backend> = std::sync::Arc::from(backends::interpreter());
+    let mut compiled = session_h
+        .run(stmt.clone())
+        .backend(backend)
+        .direct()
+        .compile()
         .expect("compile");
 
     let db_ds = qc_storage::gen_dslike(0.01);
-    let engine_ds = Engine::new(&db_ds);
-    match engine_ds.execute(&prepared, &mut compiled) {
+    let session_ds = Session::new(&db_ds);
+    match session_ds.run(stmt.clone()).execute_compiled(&mut compiled) {
         Err(EngineError::Storage(msg)) => {
             assert!(msg.contains("lineitem"), "{msg}");
             assert!(msg.contains("vanished"), "{msg}");
@@ -403,7 +411,7 @@ fn trap_surfaces_through_the_engine_as_engine_error() {
     // quantity * extendedprice * extendedprice overflows a 128-bit decimal
     // eventually? Keep it deterministic instead: big literal multiply.
     let db = qc_storage::gen_hlike(0.02);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let plan = PlanNode::scan("lineitem", &["l_orderkey"]).map(vec![(
         "boom",
         col("l_orderkey")
@@ -411,11 +419,16 @@ fn trap_surfaces_through_the_engine_as_engine_error() {
             .mul(lit_i64(i64::MAX - 1)),
     )]);
     for backend in [backends::interpreter(), backends::clift(Isa::Tx64)] {
-        match engine.run(&plan, backend.as_ref(), None) {
+        let backend: std::sync::Arc<dyn Backend> = std::sync::Arc::from(backend);
+        let name = backend.name();
+        match session
+            .prepare(&plan)
+            .map(|run| run.backend(backend))
+            .and_then(|run| run.execute())
+        {
             Err(EngineError::Trap(_)) => {}
             other => panic!(
-                "{}: expected overflow trap through engine, got {:?}",
-                backend.name(),
+                "{name}: expected overflow trap through engine, got {:?}",
                 other.map(|r| r.rows.len())
             ),
         }

@@ -6,8 +6,8 @@
 //! see the `morsel_exec` module docs for the full cycle story.)
 
 use qc_engine::{
-    backends, CompileService, Engine, EngineConfig, MorselExecConfig, MorselExecutor,
-    MorselSchedule, QueryScheduler, SchedulerConfig, SessionRequest,
+    backends, CompileService, EngineConfig, MorselExecConfig, MorselExecutor, MorselSchedule,
+    QueryScheduler, SchedulerConfig, Session, SessionConfig, SessionRequest,
 };
 use qc_target::Isa;
 use qc_timing::TimeTrace;
@@ -18,24 +18,35 @@ fn rows_byte_identical_across_worker_counts() {
     let db = qc_storage::gen_hlike(0.02);
     // Tiny morsels: hlike tables at sf 0.02 have ~10–120 rows, so 16
     // rows per morsel makes every scan split across workers.
-    let engine = Engine::with_config(&db, EngineConfig { morsel_size: 16 });
-    let backend = backends::clift(Isa::Tx64);
+    let session = Session::with_config(
+        &db,
+        SessionConfig {
+            engine: EngineConfig { morsel_size: 16 },
+            ..Default::default()
+        },
+    );
+    let backend: Arc<dyn qc_backend::Backend> = Arc::from(backends::clift(Isa::Tx64));
     let trace = TimeTrace::disabled();
     for q in qc_workloads::hlike_suite() {
-        let serial = engine
-            .run(&q.plan, backend.as_ref(), None)
+        let serial = session
+            .prepare(&q.plan)
+            .map(|run| run.backend(Arc::clone(&backend)))
+            .and_then(|run| run.execute())
             .unwrap_or_else(|e| panic!("serial {} failed: {e}", q.name));
-        let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
+        let stmt = session.statement(&q.plan).expect("prepare");
         for workers in [1usize, 2, 8] {
-            let mut compiled = engine
-                .compile(&prepared, backend.as_ref(), &trace)
-                .expect("compile");
+            let run = session
+                .run(stmt.clone())
+                .backend(Arc::clone(&backend))
+                .trace(&trace)
+                .direct();
+            let mut compiled = run.compile().expect("compile");
             let executor = MorselExecutor::new(MorselExecConfig {
                 workers,
                 schedule: MorselSchedule::Stealing,
             });
             let result = executor
-                .execute(&engine, &prepared, &mut compiled)
+                .execute(session.engine(), stmt.query(), &mut compiled)
                 .unwrap_or_else(|e| panic!("{} at {workers} workers failed: {e}", q.name));
             assert_eq!(
                 result.rows, serial.rows,
@@ -72,11 +83,17 @@ fn rows_byte_identical_across_worker_counts() {
 fn static_schedule_cycles_are_reproducible() {
     let db = qc_storage::gen_hlike(0.02);
     // 16-row morsels split the 120-row lineitem scan into 8 morsels.
-    let engine = Engine::with_config(&db, EngineConfig { morsel_size: 16 });
-    let backend = backends::clift(Isa::Tx64);
+    let session = Session::with_config(
+        &db,
+        SessionConfig {
+            engine: EngineConfig { morsel_size: 16 },
+            ..Default::default()
+        },
+    );
+    let backend: Arc<dyn qc_backend::Backend> = Arc::from(backends::clift(Isa::Tx64));
     let trace = TimeTrace::disabled();
     let q = &qc_workloads::hlike_suite()[0];
-    let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
+    let stmt = session.statement(&q.plan).expect("prepare");
     let executor = MorselExecutor::new(MorselExecConfig {
         workers: 4,
         schedule: MorselSchedule::Static,
@@ -84,11 +101,14 @@ fn static_schedule_cycles_are_reproducible() {
     let mut cycles = Vec::new();
     let mut critical = Vec::new();
     for _ in 0..3 {
-        let mut compiled = engine
-            .compile(&prepared, backend.as_ref(), &trace)
-            .expect("compile");
+        let run = session
+            .run(stmt.clone())
+            .backend(Arc::clone(&backend))
+            .trace(&trace)
+            .direct();
+        let mut compiled = run.compile().expect("compile");
         let result = executor
-            .execute(&engine, &prepared, &mut compiled)
+            .execute(session.engine(), stmt.query(), &mut compiled)
             .expect("static parallel run");
         cycles.push(result.exec_stats.cycles);
         critical.push(result.critical_path_cycles);
@@ -113,30 +133,42 @@ fn static_schedule_cycles_are_reproducible() {
 fn background_tier_up_lands_mid_query_under_four_workers() {
     let db = qc_storage::gen_hlike(0.05);
     // Many morsel boundaries so the swap lands mid-pipeline.
-    let engine = Engine::with_config(&db, EngineConfig { morsel_size: 128 });
-    let backend_cheap = backends::interpreter();
-    let backend_opt = backends::clift(Isa::Tx64);
+    let session = Session::with_config(
+        &db,
+        SessionConfig {
+            engine: EngineConfig { morsel_size: 128 },
+            ..Default::default()
+        },
+    );
+    let backend_cheap: Arc<dyn qc_backend::Backend> = Arc::from(backends::interpreter());
+    let backend_opt: Arc<dyn qc_backend::Backend> = Arc::from(backends::clift(Isa::Tx64));
     let trace = TimeTrace::disabled();
     for q in &qc_workloads::hlike_suite()[..4] {
-        let serial = engine
-            .run(&q.plan, backend_cheap.as_ref(), None)
+        let serial = session
+            .prepare(&q.plan)
+            .map(|run| run.backend(Arc::clone(&backend_cheap)))
+            .and_then(|run| run.execute())
             .expect("serial run");
-        let prepared = engine.prepare(&q.plan, &q.name).expect("prepare");
-        let mut compiled = engine
-            .compile(&prepared, backend_cheap.as_ref(), &trace)
-            .expect("cheap compile");
-        let mut replacement = Some(
-            engine
-                .compile(&prepared, backend_opt.as_ref(), &trace)
-                .expect("optimized compile"),
-        );
+        let stmt = session.statement(&q.plan).expect("prepare");
+        let cheap_run = session
+            .run(stmt.clone())
+            .backend(Arc::clone(&backend_cheap))
+            .trace(&trace)
+            .direct();
+        let mut compiled = cheap_run.compile().expect("cheap compile");
+        let opt_run = session
+            .run(stmt.clone())
+            .backend(Arc::clone(&backend_opt))
+            .trace(&trace)
+            .direct();
+        let mut replacement = Some(opt_run.compile().expect("optimized compile"));
         let executor = MorselExecutor::new(MorselExecConfig {
             workers: 4,
             schedule: MorselSchedule::Stealing,
         });
         let mut fired_at = None;
         let result = executor
-            .execute_with_hook(&engine, &prepared, &mut compiled, &mut |ev| {
+            .execute_with_hook(session.engine(), stmt.query(), &mut compiled, &mut |ev| {
                 // Land the optimized tier a few morsels into the query.
                 if ev.morsels_done >= 3 {
                     fired_at.get_or_insert(ev.morsels_done);
@@ -163,7 +195,7 @@ fn background_tier_up_lands_mid_query_under_four_workers() {
 #[test]
 fn scheduler_rows_match_serial_for_every_session() {
     let db = qc_storage::gen_hlike(0.02);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let backend: Arc<dyn qc_backend::Backend> = Arc::from(backends::clift(Isa::Tx64));
     let suite = qc_workloads::hlike_suite();
     let shapes = &suite[..6];
@@ -187,15 +219,17 @@ fn scheduler_rows_match_serial_for_every_session() {
         tier_up_backend: Some(Arc::from(backends::lvm_cheap(Isa::Tx64))),
         tier_up_inflight: 2,
     });
-    let report = scheduler.serve(&engine, &service, &backend, requests);
+    let report = scheduler.serve(session.engine(), &service, &backend, requests);
 
     assert_eq!(report.outcomes.len(), 18);
     assert_eq!(report.failures(), 0, "no session may fail");
     for (i, outcome) in report.outcomes.iter().enumerate() {
         let q = &shapes[i % shapes.len()];
         assert_eq!(outcome.name, q.name, "outcomes keep submission order");
-        let serial = engine
-            .run(&q.plan, backend.as_ref(), None)
+        let serial = session
+            .prepare(&q.plan)
+            .map(|run| run.backend(Arc::clone(&backend)))
+            .and_then(|run| run.execute())
             .expect("serial reference");
         assert_eq!(
             outcome.rows, serial.rows,

@@ -3,17 +3,25 @@
 //! rows of the paper's Figures 2–5 and Table I) so a refactor cannot
 //! silently rename a phase out of the published breakdowns.
 
-use qc_engine::{backends, Engine};
+use qc_engine::{backends, Session};
 use qc_target::Isa;
 use qc_timing::TimeTrace;
+use std::sync::Arc;
 
-fn trace_for(backend: &dyn qc_backend::Backend) -> qc_timing::Report {
+fn trace_for(backend: Box<dyn qc_backend::Backend>) -> qc_timing::Report {
     let db = qc_storage::gen_hlike(0.02);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let suite = qc_workloads::hlike_suite();
-    let prepared = engine.prepare(&suite[2].plan, "q").expect("prepare");
+    let backend: Arc<dyn qc_backend::Backend> = Arc::from(backend);
     let trace = TimeTrace::new();
-    engine.compile(&prepared, backend, &trace).expect("compile");
+    session
+        .prepare(&suite[2].plan)
+        .expect("prepare")
+        .backend(backend)
+        .trace(&trace)
+        .direct()
+        .compile()
+        .expect("compile");
     trace.report()
 }
 
@@ -48,14 +56,14 @@ fn assert_fractions_sum(report: &qc_timing::Report, backend: &str) {
 
 #[test]
 fn interpreter_phases() {
-    let r = trace_for(backends::interpreter().as_ref());
+    let r = trace_for(backends::interpreter());
     assert_phases(&r, "Interpreter", &["bytecodegen"]);
     assert_fractions_sum(&r, "Interpreter");
 }
 
 #[test]
 fn direct_emit_phases_match_figure5() {
-    let r = trace_for(backends::direct_emit().as_ref());
+    let r = trace_for(backends::direct_emit());
     assert_phases(
         &r,
         "DirectEmit",
@@ -83,14 +91,14 @@ fn direct_emit_phases_match_figure5() {
 
 #[test]
 fn clift_phases_match_figure4() {
-    let r = trace_for(backends::clift(Isa::Tx64).as_ref());
+    let r = trace_for(backends::clift(Isa::Tx64));
     assert_phases(&r, "Clift", &["irgen", "regalloc", "emit", "finish"]);
     assert_fractions_sum(&r, "Clift");
 }
 
 #[test]
 fn lvm_cheap_phases_match_figure2() {
-    let r = trace_for(backends::lvm_cheap(Isa::Tx64).as_ref());
+    let r = trace_for(backends::lvm_cheap(Isa::Tx64));
     assert_phases(
         &r,
         "LVM-cheap",
@@ -107,7 +115,7 @@ fn lvm_cheap_phases_match_figure2() {
 
 #[test]
 fn lvm_opt_runs_the_pass_pipeline() {
-    let r = trace_for(backends::lvm_opt(Isa::Tx64).as_ref());
+    let r = trace_for(backends::lvm_opt(Isa::Tx64));
     assert_phases(
         &r,
         "LVM-opt",
@@ -118,7 +126,7 @@ fn lvm_opt_runs_the_pass_pipeline() {
 
 #[test]
 fn cgen_phases_match_table1() {
-    let r = trace_for(backends::cgen(Isa::Tx64).as_ref());
+    let r = trace_for(backends::cgen(Isa::Tx64));
     assert_phases(
         &r,
         "GCC/C",
@@ -142,12 +150,17 @@ fn cgen_phases_match_table1() {
 #[test]
 fn disabled_traces_record_nothing() {
     let db = qc_storage::gen_hlike(0.02);
-    let engine = Engine::new(&db);
+    let session = Session::new(&db);
     let suite = qc_workloads::hlike_suite();
-    let prepared = engine.prepare(&suite[0].plan, "q").expect("prepare");
+    let backend: Arc<dyn qc_backend::Backend> = Arc::from(backends::clift(Isa::Tx64));
     let trace = TimeTrace::disabled();
-    engine
-        .compile(&prepared, backends::clift(Isa::Tx64).as_ref(), &trace)
+    session
+        .prepare(&suite[0].plan)
+        .expect("prepare")
+        .backend(backend)
+        .trace(&trace)
+        .direct()
+        .compile()
         .expect("compile");
     assert_eq!(trace.event_count(), 0);
 }
