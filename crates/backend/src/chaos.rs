@@ -7,10 +7,18 @@
 //! isolation, compile deadlines, retry policy, fallback chain) is
 //! driven end-to-end by tests built on this wrapper; nothing in here is
 //! used on the production compile path.
+//!
+//! [`ChaosExecBackend`] is the execution-phase counterpart: compiles
+//! pass through untouched, but every `main` (per-morsel) call of the
+//! produced executables can panic, trap, stall, or inflate its reported
+//! cycle cost on the same deterministic schedules. It drives the
+//! engine's *execution* fault envelope — worker panic isolation, query
+//! budgets, the runaway governor, and the serving-path circuit breaker.
 
-use crate::{Backend, BackendError, CodeArtifact, Executable};
+use crate::{Backend, BackendError, CodeArtifact, CompileStats, Executable};
 use qc_ir::Module;
-use qc_target::Isa;
+use qc_runtime::RuntimeState;
+use qc_target::{ExecStats, Isa, Trap};
 use qc_timing::TimeTrace;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -196,6 +204,253 @@ impl Backend for ChaosBackend {
     }
 }
 
+/// What [`ChaosExecBackend`] injects into a `main` (per-morsel) call
+/// when its schedule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecFault {
+    /// Panic inside the morsel call. The morsel executor must contain
+    /// this with its per-worker `catch_unwind`, replay the lost
+    /// morsels, and keep the merged result byte-identical.
+    Panic,
+    /// Return [`Trap::Runtime`] with the given code, as a miscompiled
+    /// or resource-starved kernel would. Drives the serving scheduler's
+    /// per-tier circuit breaker.
+    Trap(u8),
+    /// Sleep for the given duration before executing normally, driving
+    /// query-deadline overruns without corrupting results.
+    Delay(Duration),
+    /// Execute normally but inflate the executable's reported cycle
+    /// count by this much per injection. Results stay correct; only the
+    /// modeled cost lies, which is exactly what the runaway governor
+    /// and cycle budgets must react to.
+    BurnCycles(u64),
+}
+
+/// The shared fault plan of one [`ChaosExecBackend`]: fault, schedule,
+/// and the global `main`-call counter. Shared (`Arc`) across every
+/// executable the back-end produces — including re-instantiations of a
+/// cached artifact — so the schedule indexes *morsel calls across the
+/// whole serving run*, not calls per executable.
+struct ExecPlan {
+    fault: ExecFault,
+    schedule: Schedule,
+    calls: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl ExecPlan {
+    /// Advances the call counter; returns the 0-based call index when
+    /// the fault fires for this call.
+    fn fires(&self) -> Option<u64> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        let fire = match self.schedule {
+            Schedule::Nth(k) => n == k,
+            Schedule::Always => true,
+            Schedule::Seeded { seed, permille } => {
+                (splitmix64(seed ^ n) % 1000) < u64::from(permille)
+            }
+        };
+        if fire {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            Some(n)
+        } else {
+            None
+        }
+    }
+}
+
+/// A [`Backend`] wrapper whose *executables* misbehave: compilation is
+/// delegated untouched, but each produced [`Executable`] consults the
+/// shared [`ExecPlan`] on every `main` call (`setup`/`finish` stay
+/// clean so pipelines always reach the morsel loop). Deterministic for
+/// a serial reference run; under parallel execution the *set* of faulted
+/// call indices is fixed even though their thread assignment is not.
+pub struct ChaosExecBackend {
+    inner: Arc<dyn Backend>,
+    plan: Arc<ExecPlan>,
+}
+
+impl std::fmt::Debug for ChaosExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ChaosExecBackend({}, {:?}, {:?}, {} injected)",
+            self.inner.name(),
+            self.plan.fault,
+            self.plan.schedule,
+            self.plan.injected.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl ChaosExecBackend {
+    fn with_schedule(inner: Arc<dyn Backend>, fault: ExecFault, schedule: Schedule) -> Self {
+        ChaosExecBackend {
+            inner,
+            plan: Arc::new(ExecPlan {
+                fault,
+                schedule,
+                calls: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Injects `fault` on the `n`-th (0-based) `main` call only.
+    pub fn on_nth(inner: Arc<dyn Backend>, n: u64, fault: ExecFault) -> Self {
+        Self::with_schedule(inner, fault, Schedule::Nth(n))
+    }
+
+    /// Injects `fault` on every `main` call.
+    pub fn always(inner: Arc<dyn Backend>, fault: ExecFault) -> Self {
+        Self::with_schedule(inner, fault, Schedule::Always)
+    }
+
+    /// Injects `fault` on each `main` call independently with
+    /// probability `permille`/1000, deterministically derived from
+    /// `seed` and the global call index.
+    pub fn seeded(inner: Arc<dyn Backend>, seed: u64, permille: u16, fault: ExecFault) -> Self {
+        Self::with_schedule(inner, fault, Schedule::Seeded { seed, permille })
+    }
+
+    /// Total `main` calls observed across all produced executables.
+    pub fn calls(&self) -> u64 {
+        self.plan.calls.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.plan.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl Backend for ChaosExecBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn isa(&self) -> Isa {
+        self.inner.isa()
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        let plan = match self.plan.schedule {
+            Schedule::Nth(k) => splitmix64(k ^ 1),
+            Schedule::Always => splitmix64(2),
+            Schedule::Seeded { seed, permille } => splitmix64(seed ^ u64::from(permille) ^ 3),
+        };
+        let fault = match self.plan.fault {
+            ExecFault::Panic => 5,
+            ExecFault::Trap(code) => splitmix64(6 ^ u64::from(code)),
+            ExecFault::Delay(d) => splitmix64(7 ^ d.as_nanos() as u64),
+            ExecFault::BurnCycles(c) => splitmix64(8 ^ c),
+        };
+        // Never alias the clean back-end's cache entries ("EXEC" salt,
+        // distinct from the compile-phase wrapper's salt).
+        self.inner.config_fingerprint() ^ plan ^ fault ^ 0x4558_4543_2121
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Box<dyn Executable>, BackendError> {
+        let exe = self.inner.compile(module, trace)?;
+        Ok(Box::new(ChaosExecutable {
+            inner: exe,
+            plan: Arc::clone(&self.plan),
+            extra_cycles: 0,
+        }))
+    }
+
+    fn compile_artifact(
+        &self,
+        module: &Module,
+        trace: &TimeTrace,
+    ) -> Result<Option<Box<dyn CodeArtifact>>, BackendError> {
+        Ok(self
+            .inner
+            .compile_artifact(module, trace)?
+            .map(|art| -> Box<dyn CodeArtifact> {
+                Box::new(ChaosExecArtifact {
+                    inner: art,
+                    plan: Arc::clone(&self.plan),
+                })
+            }))
+    }
+}
+
+/// [`CodeArtifact`] wrapper keeping chaos attached across the engine's
+/// compile-result cache: a cached artifact re-instantiated for a later
+/// query still consults the shared plan. Never serialized — a fault
+/// plan must not escape into the persistent artifact store.
+struct ChaosExecArtifact {
+    inner: Box<dyn CodeArtifact>,
+    plan: Arc<ExecPlan>,
+}
+
+impl CodeArtifact for ChaosExecArtifact {
+    fn instantiate(&self) -> Result<Box<dyn Executable>, BackendError> {
+        Ok(Box::new(ChaosExecutable {
+            inner: self.inner.instantiate()?,
+            plan: Arc::clone(&self.plan),
+            extra_cycles: 0,
+        }))
+    }
+
+    fn compile_stats(&self) -> &CompileStats {
+        self.inner.compile_stats()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        self.inner.content_bytes()
+    }
+}
+
+/// [`Executable`] that injects its plan's fault into `main` calls.
+struct ChaosExecutable {
+    inner: Box<dyn Executable>,
+    plan: Arc<ExecPlan>,
+    /// Cycles added by `BurnCycles` injections, reported on top of the
+    /// inner executable's honest stats.
+    extra_cycles: u64,
+}
+
+impl Executable for ChaosExecutable {
+    fn call(
+        &mut self,
+        state: &mut RuntimeState,
+        name: &str,
+        args: &[u64],
+    ) -> Result<[u64; 2], Trap> {
+        if name == "main" {
+            if let Some(n) = self.plan.fires() {
+                match self.plan.fault {
+                    ExecFault::Panic => panic!("chaos: injected exec panic on call {n}"),
+                    ExecFault::Trap(code) => return Err(Trap::Runtime(code)),
+                    ExecFault::Delay(d) => std::thread::sleep(d),
+                    ExecFault::BurnCycles(c) => self.extra_cycles += c,
+                }
+            }
+        }
+        self.inner.call(state, name, args)
+    }
+
+    fn exec_stats(&self) -> ExecStats {
+        let mut stats = self.inner.exec_stats();
+        stats.cycles += self.extra_cycles;
+        stats
+    }
+
+    fn compile_stats(&self) -> &CompileStats {
+        self.inner.compile_stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +533,109 @@ mod tests {
         let inner: Arc<dyn Backend> = Arc::new(NullBackend);
         let chaos = ChaosBackend::always(Arc::clone(&inner), ChaosFault::PermanentError);
         assert_ne!(chaos.config_fingerprint(), inner.config_fingerprint());
+    }
+
+    /// Executable that records call names and reports fixed stats, so
+    /// the exec-chaos wrapper's behavior is observable.
+    struct EchoExecutable {
+        stats: CompileStats,
+    }
+    impl Executable for EchoExecutable {
+        fn call(
+            &mut self,
+            _state: &mut RuntimeState,
+            _name: &str,
+            _args: &[u64],
+        ) -> Result<[u64; 2], Trap> {
+            Ok([7, 0])
+        }
+        fn exec_stats(&self) -> ExecStats {
+            ExecStats {
+                cycles: 100,
+                insts: 10,
+            }
+        }
+        fn compile_stats(&self) -> &CompileStats {
+            &self.stats
+        }
+    }
+
+    struct EchoBackend;
+    impl Backend for EchoBackend {
+        fn name(&self) -> &'static str {
+            "Echo"
+        }
+        fn isa(&self) -> Isa {
+            Isa::Tx64
+        }
+        fn compile(
+            &self,
+            _module: &Module,
+            _trace: &TimeTrace,
+        ) -> Result<Box<dyn Executable>, BackendError> {
+            Ok(Box::new(EchoExecutable {
+                stats: CompileStats::default(),
+            }))
+        }
+    }
+
+    #[test]
+    fn exec_trap_fires_on_main_only() {
+        let chaos = ChaosExecBackend::on_nth(Arc::new(EchoBackend), 0, ExecFault::Trap(9));
+        let mut exe = chaos.compile(&module(), &TimeTrace::disabled()).unwrap();
+        let mut state = RuntimeState::new();
+        // setup/finish never consult the schedule.
+        assert!(exe.call(&mut state, "setup", &[]).is_ok());
+        assert_eq!(
+            exe.call(&mut state, "main", &[]),
+            Err(Trap::Runtime(9)),
+            "call 0 must trap"
+        );
+        assert!(exe.call(&mut state, "main", &[]).is_ok(), "call 1 is clean");
+        assert!(exe.call(&mut state, "finish", &[]).is_ok());
+        assert_eq!(chaos.calls(), 2);
+        assert_eq!(chaos.injected(), 1);
+    }
+
+    #[test]
+    fn exec_burn_cycles_inflates_stats_without_failing() {
+        let chaos = ChaosExecBackend::always(Arc::new(EchoBackend), ExecFault::BurnCycles(1000));
+        let mut exe = chaos.compile(&module(), &TimeTrace::disabled()).unwrap();
+        let mut state = RuntimeState::new();
+        assert_eq!(exe.call(&mut state, "main", &[]).unwrap()[0], 7);
+        assert_eq!(exe.call(&mut state, "main", &[]).unwrap()[0], 7);
+        assert_eq!(exe.exec_stats().cycles, 100 + 2000);
+        assert_eq!(exe.exec_stats().insts, 10, "insts stay honest");
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos: injected exec panic")]
+    fn exec_panic_fault_panics_on_main() {
+        let chaos = ChaosExecBackend::always(Arc::new(EchoBackend), ExecFault::Panic);
+        let mut exe = chaos.compile(&module(), &TimeTrace::disabled()).unwrap();
+        let _ = exe.call(&mut RuntimeState::new(), "main", &[]);
+    }
+
+    #[test]
+    fn exec_schedule_is_shared_across_executables() {
+        // Two executables from the same back-end share one call counter:
+        // Nth(1) fires on the second main call overall, regardless of
+        // which executable makes it.
+        let chaos = ChaosExecBackend::on_nth(Arc::new(EchoBackend), 1, ExecFault::Trap(1));
+        let trace = TimeTrace::disabled();
+        let mut a = chaos.compile(&module(), &trace).unwrap();
+        let mut b = chaos.compile(&module(), &trace).unwrap();
+        let mut state = RuntimeState::new();
+        assert!(a.call(&mut state, "main", &[]).is_ok());
+        assert_eq!(b.call(&mut state, "main", &[]), Err(Trap::Runtime(1)));
+    }
+
+    #[test]
+    fn exec_fingerprint_differs_from_inner_and_compile_chaos() {
+        let inner: Arc<dyn Backend> = Arc::new(EchoBackend);
+        let exec = ChaosExecBackend::always(Arc::clone(&inner), ExecFault::Panic);
+        let comp = ChaosBackend::always(Arc::clone(&inner), ChaosFault::Panic);
+        assert_ne!(exec.config_fingerprint(), inner.config_fingerprint());
+        assert_ne!(exec.config_fingerprint(), comp.config_fingerprint());
     }
 }

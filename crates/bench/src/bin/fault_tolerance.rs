@@ -5,13 +5,25 @@
 //! overhead the faults added — the price of graceful degradation
 //! instead of query failure.
 //!
+//! A second section exercises the *execution* fault envelope: a seeded
+//! [`ChaosExecBackend`] panics inside ~10% of morsel calls while the
+//! serving scheduler drives a batch of sessions. The process must not
+//! crash, every surviving result must stay byte-identical to the
+//! serial reference, and the section reports throughput and latency
+//! percentiles under injection.
+//!
 //! Env knobs: `QC_SF` (scale factor), `QC_QUERIES` (suite prefix),
 //! `QC_CHAOS_SEED` (schedule seed), `QC_CHAOS_PERMILLE` (per-call
-//! fault probability, default 300 = 30%).
+//! compile-fault probability, default 300 = 30%), `QC_EXEC_PERMILLE`
+//! (per-morsel exec-fault probability, default 100 = 10%),
+//! `QC_SESSIONS` (serving-section session count, default 256).
 
-use qc_backend::chaos::{ChaosBackend, ChaosFault};
+use qc_backend::chaos::{ChaosBackend, ChaosExecBackend, ChaosFault, ExecFault};
 use qc_bench::{env_sf, env_suite, secs, LatencyStats};
-use qc_engine::{CompileBudget, CompileService, FallbackChain, Session};
+use qc_engine::{
+    backends, CompileBudget, CompileService, FallbackChain, OutcomeStatus, QueryScheduler,
+    SchedulerConfig, Session, SessionRequest,
+};
 use qc_target::Isa;
 use qc_timing::TimeTrace;
 use std::sync::Arc;
@@ -145,5 +157,90 @@ fn main() {
         } else {
             100.0 * (chaos_time.as_secs_f64() - clean_time.as_secs_f64()) / clean_time.as_secs_f64()
         }
+    );
+
+    // ---- Execution-phase chaos: serving under injected morsel panics.
+    let exec_permille = env_u64("QC_EXEC_PERMILLE", 100).min(1000) as u16;
+    let n_sessions = env_u64("QC_SESSIONS", 256) as usize;
+    println!(
+        "\nServing under execution chaos: {n_sessions} sessions, {}% of morsel calls panic",
+        exec_permille as f64 / 10.0
+    );
+
+    // Serial reference on the clean back-end, one result per shape.
+    let clean_backend: Arc<dyn qc_backend::Backend> = Arc::from(backends::clift(Isa::Tx64));
+    let mut reference = std::collections::HashMap::new();
+    for q in &suite {
+        let result = session
+            .prepare(&q.plan)
+            .and_then(|run| run.backend(Arc::clone(&clean_backend)).execute())
+            .unwrap_or_else(|e| panic!("serial reference {} failed: {e}", q.name));
+        reference.insert(q.name.clone(), result.rows);
+    }
+
+    let chaos_exec = Arc::new(ChaosExecBackend::seeded(
+        Arc::clone(&clean_backend),
+        seed.wrapping_add(2),
+        exec_permille,
+        ExecFault::Panic,
+    ));
+    let serve_backend: Arc<dyn qc_backend::Backend> = Arc::clone(&chaos_exec) as _;
+    let requests: Vec<SessionRequest> = (0..n_sessions)
+        .map(|i| {
+            let q = &suite[i % suite.len()];
+            SessionRequest::new(q.name.clone(), q.plan.clone())
+        })
+        .collect();
+    let scheduler = QueryScheduler::try_new(SchedulerConfig {
+        workers: 4,
+        admission_limit: 8,
+        morsel_credits: 4,
+        ..Default::default()
+    })
+    .expect("valid scheduler config");
+    let serve_session = Session::new(&db);
+    let report = scheduler.serve_session(&serve_session, &serve_backend, requests);
+
+    let mut divergent = 0usize;
+    for o in &report.outcomes {
+        if o.status == OutcomeStatus::Ok && o.rows != reference[&o.name] {
+            eprintln!("session {} diverged from serial rows under chaos", o.name);
+            divergent += 1;
+        }
+    }
+    let ok = report
+        .outcomes
+        .iter()
+        .filter(|o| o.status == OutcomeStatus::Ok)
+        .count();
+    let latencies: Vec<_> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.status != OutcomeStatus::Shed)
+        .map(|o| o.latency)
+        .collect();
+    println!(
+        "  outcomes: {ok} ok, {} failed, {} shed, {} killed  ({} morsel faults injected)",
+        report.failed(),
+        report.shed(),
+        report.killed(),
+        chaos_exec.injected()
+    );
+    println!(
+        "  {:>8.1} q/s  util {:>5.1}%  wall {}",
+        report.throughput_qps(),
+        100.0 * report.utilization(),
+        secs(report.wall)
+    );
+    if let Some(stats) = LatencyStats::from_samples(&latencies) {
+        println!("  latency under injection: {}", stats.render());
+    }
+    if divergent > 0 {
+        eprintln!("\n{divergent} surviving session(s) diverged under execution chaos");
+        std::process::exit(1);
+    }
+    println!(
+        "  all {ok} surviving results byte-identical to serial; process survived \
+         every injected panic"
     );
 }

@@ -11,12 +11,17 @@
 //! the parallel-correctness smoke test).
 //!
 //! Flags: `--queries N` (default 1024), `--workers W` (default 4),
-//! `--tier-up` (background-optimize long queries). Env: `QC_SF`.
+//! `--tier-up` (background-optimize long queries), `--max-queue N`
+//! (admission queue depth; excess sessions are shed), `--shed
+//! reject|oldest` (shed policy when `--max-queue` is set). Env:
+//! `QC_SF`. Shed sessions are reported (greppable `shed sessions:`
+//! line) and excluded from the byte-identical check — shedding is a
+//! correct outcome under overload, not a divergence.
 
 use qc_bench::{env_sf, secs, LatencyStats, MODEL_HZ};
 use qc_engine::{
-    backends, EngineConfig, MorselSchedule, QueryScheduler, SchedulerConfig, ServeReport, Session,
-    SessionConfig, SessionRequest,
+    backends, EngineConfig, MorselSchedule, OutcomeStatus, QueryScheduler, SchedulerConfig,
+    ServeReport, Session, SessionConfig, SessionRequest, ShedPolicy,
 };
 use qc_runtime::SqlValue;
 use qc_target::Isa;
@@ -37,6 +42,20 @@ fn main() {
     let n_queries = flag_usize(&args, "--queries", 1024);
     let workers = flag_usize(&args, "--workers", 4).max(1);
     let tier_up = args.iter().any(|a| a == "--tier-up");
+    let max_queue = args
+        .iter()
+        .position(|a| a == "--max-queue")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let shed_policy = match args
+        .iter()
+        .position(|a| a == "--shed")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("oldest") => ShedPolicy::DropOldest,
+        _ => ShedPolicy::RejectNew,
+    };
 
     let sf = env_sf(0.02);
     let db = qc_storage::gen_dslike(sf);
@@ -64,10 +83,7 @@ fn main() {
         (0..n)
             .map(|i| {
                 let q = &suite[i % suite.len()];
-                SessionRequest {
-                    name: q.name.clone(),
-                    plan: q.plan.clone(),
-                }
+                SessionRequest::new(q.name.clone(), q.plan.clone())
             })
             .collect()
     };
@@ -77,6 +93,9 @@ fn main() {
         morsel_credits: 8,
         tier_up_backend: tier_up.then(|| Arc::from(backends::lvm_opt(Isa::Tx64))),
         tier_up_inflight: 2,
+        max_queue_depth: max_queue,
+        shed_policy,
+        ..Default::default()
     };
     let serve = |w: usize| -> ServeReport {
         // A fresh session per run: identical cold-cache conditions for
@@ -84,20 +103,35 @@ fn main() {
         // through the session threads its prepared-statement cache
         // under admission, so repeated plan shapes skip planning too.
         let run_session = Session::new(&db);
-        QueryScheduler::new(config(w)).serve_session(&run_session, &backend, requests(n_queries))
+        QueryScheduler::try_new(config(w))
+            .expect("valid scheduler config")
+            .serve_session(&run_session, &backend, requests(n_queries))
     };
 
     let baseline = serve(1);
     let report = serve(workers);
 
     let mut divergent = 0usize;
+    let mut checked = 0usize;
+    let mut shed_total = 0usize;
     for run in [&baseline, &report] {
         for o in &run.outcomes {
-            if let Some(err) = &o.error {
-                eprintln!("session {} failed: {err}", o.name);
-                divergent += 1;
-                continue;
+            match o.status {
+                // Shedding under an explicit queue bound is a correct
+                // overload outcome, not a failure.
+                OutcomeStatus::Shed => {
+                    shed_total += 1;
+                    continue;
+                }
+                OutcomeStatus::Failed | OutcomeStatus::Killed => {
+                    let err = o.error.as_deref().unwrap_or("unknown error");
+                    eprintln!("session {} failed: {err}", o.name);
+                    divergent += 1;
+                    continue;
+                }
+                OutcomeStatus::Ok => {}
             }
+            checked += 1;
             let expected = &reference[&o.name];
             if &o.rows != expected {
                 eprintln!(
@@ -110,9 +144,23 @@ fn main() {
             }
         }
     }
+    if max_queue.is_some() {
+        println!(
+            "  shed sessions: {shed_total} (policy {:?}, queue depth {})",
+            shed_policy,
+            max_queue.unwrap_or(0)
+        );
+    }
 
     for (label, r) in [("1 worker", &baseline), ("parallel", &report)] {
-        let latencies: Vec<_> = r.outcomes.iter().map(|o| o.latency).collect();
+        // Shed sessions never ran; their zero latency would skew the
+        // percentiles downward.
+        let latencies: Vec<_> = r
+            .outcomes
+            .iter()
+            .filter(|o| o.status != OutcomeStatus::Shed)
+            .map(|o| o.latency)
+            .collect();
         let stats = LatencyStats::from_samples(&latencies).expect("non-empty run");
         let tiered = r.outcomes.iter().filter(|o| o.tiered_up).count();
         println!(
@@ -205,6 +253,6 @@ fn main() {
     }
     println!(
         "\nall {} parallel results byte-identical to serial",
-        2 * n_queries + 3
+        checked + 3
     );
 }

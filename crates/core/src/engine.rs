@@ -1,6 +1,6 @@
 //! Query preparation, compilation, and morsel-wise execution.
 
-use crate::morsel_exec::{QueryExecution, StepProgress};
+use crate::morsel_exec::{ExecTally, QueryExecution, StepProgress};
 use qc_backend::{Backend, BackendError, CodeArtifact, CompileStats, Executable};
 use qc_codegen::{generate, GeneratedQuery};
 use qc_plan::{PhysicalPlan, PlanError, PlanNode, RowLayout};
@@ -10,6 +10,7 @@ use qc_target::{ExecStats, Trap};
 use qc_timing::TimeTrace;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,6 +26,41 @@ pub enum EngineError {
     /// A storage-layer invariant broke between planning and execution
     /// (e.g. a planned table is gone from the database).
     Storage(String),
+    /// The wall-clock deadline of a [`QueryBudget`] passed. Carries the
+    /// partial work accounted up to the morsel boundary where execution
+    /// stopped.
+    DeadlineExceeded {
+        /// Wall-clock time spent before the budget check tripped.
+        elapsed: Duration,
+        /// The configured deadline.
+        limit: Duration,
+        /// Cycles/instructions charged before execution stopped.
+        partial: ExecTally,
+    },
+    /// A deterministic [`QueryBudget`] bound ran out (model cycles or
+    /// result rows). Execution stops at the next morsel boundary.
+    BudgetExhausted {
+        /// Which bound tripped (`"model cycles"` / `"result rows"`).
+        what: &'static str,
+        /// Amount consumed when the check tripped.
+        used: u64,
+        /// The configured bound.
+        limit: u64,
+        /// Cycles/instructions charged before execution stopped.
+        partial: ExecTally,
+    },
+    /// The query was cancelled through its [`CancelToken`].
+    Cancelled {
+        /// Cycles/instructions charged before execution stopped.
+        partial: ExecTally,
+    },
+    /// A morsel worker panicked and the single retry pass could not
+    /// recover the query (or panicked again). The process survives; the
+    /// query fails with this typed error.
+    WorkerPanic(String),
+    /// A configuration was rejected (see
+    /// [`crate::SchedulerConfig::validate`]).
+    Config(String),
 }
 
 impl fmt::Display for EngineError {
@@ -34,7 +70,164 @@ impl fmt::Display for EngineError {
             EngineError::Backend(e) => write!(f, "{e}"),
             EngineError::Trap(t) => write!(f, "execution trapped: {t}"),
             EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
+            EngineError::DeadlineExceeded {
+                elapsed,
+                limit,
+                partial,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed:?} elapsed of {limit:?} budget \
+                 ({} cycles charged)",
+                partial.cycles
+            ),
+            EngineError::BudgetExhausted {
+                what,
+                used,
+                limit,
+                partial,
+            } => write!(
+                f,
+                "budget exhausted: {used} {what} of {limit} allowed \
+                 ({} cycles charged)",
+                partial.cycles
+            ),
+            EngineError::Cancelled { partial } => {
+                write!(f, "query cancelled ({} cycles charged)", partial.cycles)
+            }
+            EngineError::WorkerPanic(msg) => write!(f, "morsel worker panicked: {msg}"),
+            EngineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
+    }
+}
+
+/// A shared cooperative cancellation flag. Clone the token, hand one
+/// copy to [`QueryBudget::cancelled_by`], and call
+/// [`CancelToken::cancel`] from any thread: every executing worker
+/// observes the flag at its next morsel claim and the query fails with
+/// [`EngineError::Cancelled`] within one morsel.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Execution-side resource bounds for one query, checked at every
+/// morsel claim (serial stepper and parallel workers alike), so a
+/// tripped budget stops the query within one morsel. The default is
+/// unlimited.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBudget {
+    /// Wall-clock deadline from execution start (serving SLA guard).
+    pub deadline: Option<Duration>,
+    /// Deterministic model-cycle cap across all workers.
+    pub max_model_cycles: Option<u64>,
+    /// Cap on materialized result rows.
+    pub max_result_rows: Option<u64>,
+    /// Cooperative cancellation flag.
+    pub cancel: Option<CancelToken>,
+}
+
+impl QueryBudget {
+    /// No bounds at all (the `Default`).
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the model-cycle cap.
+    #[must_use]
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_model_cycles = Some(cycles);
+        self
+    }
+
+    /// Sets the result-row cap.
+    #[must_use]
+    pub fn with_max_rows(mut self, rows: u64) -> Self {
+        self.max_result_rows = Some(rows);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn cancelled_by(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether every bound is absent (the fast path skips checks).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_model_cycles.is_none()
+            && self.max_result_rows.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// One budget check at a morsel boundary: `started` is the
+    /// execution start, `tally` the work charged so far, `rows` the
+    /// result rows materialized so far.
+    pub(crate) fn check(
+        &self,
+        started: Instant,
+        tally: ExecTally,
+        rows: u64,
+    ) -> Result<(), EngineError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(EngineError::Cancelled { partial: tally });
+            }
+        }
+        if let Some(limit) = self.deadline {
+            let elapsed = started.elapsed();
+            if elapsed >= limit {
+                return Err(EngineError::DeadlineExceeded {
+                    elapsed,
+                    limit,
+                    partial: tally,
+                });
+            }
+        }
+        if let Some(limit) = self.max_model_cycles {
+            if tally.cycles >= limit {
+                return Err(EngineError::BudgetExhausted {
+                    what: "model cycles",
+                    used: tally.cycles,
+                    limit,
+                    partial: tally,
+                });
+            }
+        }
+        if let Some(limit) = self.max_result_rows {
+            if rows > limit {
+                return Err(EngineError::BudgetExhausted {
+                    what: "result rows",
+                    used: rows,
+                    limit,
+                    partial: tally,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -333,7 +526,17 @@ impl<'db> Engine<'db> {
         compiled: &mut CompiledQuery,
         hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
     ) -> Result<ExecutionResult, EngineError> {
-        let mut exec = QueryExecution::new(self, prepared)?;
+        self.execute_budgeted_internal(prepared, compiled, &QueryBudget::unlimited(), hook)
+    }
+
+    pub(crate) fn execute_budgeted_internal(
+        &self,
+        prepared: &PreparedQuery,
+        compiled: &mut CompiledQuery,
+        budget: &QueryBudget,
+        hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
+    ) -> Result<ExecutionResult, EngineError> {
+        let mut exec = QueryExecution::with_budget(self, prepared, budget.clone())?;
         while let StepProgress::Ran(event) = exec.step(self, prepared, compiled, 1)? {
             if let Some(replacement) = hook(&event) {
                 compiled.adopt_replacement(replacement);

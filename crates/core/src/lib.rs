@@ -32,7 +32,12 @@ mod artifact_store;
 mod compile_service;
 mod engine;
 mod fallback;
+// The serving path proper additionally bans non-test `.expect()`: these
+// two modules sit inside the execution fault envelope, where a stray
+// expect would turn a contained per-query fault into a process abort.
+#[cfg_attr(not(test), deny(clippy::expect_used))]
 mod morsel_exec;
+#[cfg_attr(not(test), deny(clippy::expect_used))]
 mod scheduler;
 mod session;
 
@@ -43,11 +48,15 @@ pub use compile_service::{
     FaultCounters, PendingCompile,
 };
 pub use engine::{
-    CompiledQuery, Engine, EngineConfig, EngineError, ExecutionResult, MorselEvent, PreparedQuery,
+    CancelToken, CompiledQuery, Engine, EngineConfig, EngineError, ExecutionResult, MorselEvent,
+    PreparedQuery, QueryBudget,
 };
 pub use fallback::{FallbackChain, FallbackReport, TierFailure};
-pub use morsel_exec::{MorselExecConfig, MorselExecutor, MorselSchedule};
-pub use scheduler::{QueryOutcome, QueryScheduler, SchedulerConfig, ServeReport, SessionRequest};
+pub use morsel_exec::{ExecTally, MorselExecConfig, MorselExecutor, MorselSchedule};
+pub use scheduler::{
+    BreakerPolicy, OutcomeStatus, QueryOutcome, QueryScheduler, RunawayPolicy, SchedulerConfig,
+    ServeReport, SessionRequest, ShedPolicy,
+};
 pub use session::{PreparedStatement, QueryRun, Session, SessionConfig, StatementCacheStats};
 
 /// Constructors for all back-ends, used by examples and the bench harness.

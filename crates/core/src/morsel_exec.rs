@@ -61,6 +61,7 @@
 
 use crate::engine::{
     decode_rows, CompiledQuery, Engine, EngineError, ExecutionResult, MorselEvent, PreparedQuery,
+    QueryBudget,
 };
 use qc_backend::{CodeArtifact, Executable};
 use qc_plan::{AggFunc, CtxEntry, Pipeline, RowLayout, Sink, Source};
@@ -71,18 +72,22 @@ use qc_runtime::{
 use qc_storage::{ColumnType, Morsel};
 use qc_target::{ExecStats, Trap};
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 // ---------------------------------------------------------------------
 // Swap-safe cycle accounting
 // ---------------------------------------------------------------------
 
 /// Accumulated deterministic execution cost, charged per generated-code
-/// call rather than against a per-tier baseline.
+/// call rather than against a per-tier baseline. Budget errors
+/// ([`EngineError::BudgetExhausted`] and friends) carry one of these as
+/// the partial accounting of the work done before the budget tripped.
 #[derive(Debug, Default, Clone, Copy)]
-pub(crate) struct ExecTally {
+pub struct ExecTally {
     /// Deterministic cycles.
     pub cycles: u64,
     /// Emulated instructions.
@@ -105,6 +110,23 @@ impl ExecTally {
         self.cycles += after.cycles - before.cycles;
         self.insts += after.insts - before.insts;
         out
+    }
+}
+
+/// Charges one generated-code call with panic containment: a panic in
+/// the callee surfaces as a typed [`EngineError::WorkerPanic`] instead
+/// of unwinding through the executor. Used for the *serial* sections of
+/// a parallel execution (canonical setup/finish, serial-fallback
+/// pipelines) where there is no surviving worker to replay onto — the
+/// query fails cleanly, the process never does.
+fn charge_contained(
+    tally: &mut ExecTally,
+    exe: &mut dyn Executable,
+    f: impl FnOnce(&mut dyn Executable) -> Result<[u64; 2], Trap>,
+) -> Result<[u64; 2], EngineError> {
+    match catch_unwind(AssertUnwindSafe(|| tally.charge(exe, f))) {
+        Ok(r) => r.map_err(EngineError::from),
+        Err(payload) => Err(EngineError::WorkerPanic(panic_text(payload.as_ref()))),
     }
 }
 
@@ -154,7 +176,30 @@ pub(crate) fn build_ctx(
 }
 
 fn ctx_handle(ctx: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(ctx[off..off + 8].try_into().expect("8-byte ctx slot"))
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&ctx[off..off + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+/// Locks a mutex, recovering the data on poisoning. Every mutex in this
+/// module guards plain claim/publication data whose invariants hold at
+/// every await-free point, so a panicking worker cannot leave them in a
+/// torn state; recovery keeps the query (and the serve loop above it)
+/// alive instead of cascading the panic.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Text form of a panic payload (mirrors the compile service's
+/// fault-envelope helper).
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -186,16 +231,26 @@ pub(crate) struct QueryExecution {
     morsel: u64,
     morsels_done: u64,
     tally: ExecTally,
+    budget: QueryBudget,
+    started: Instant,
+    /// Ctx offset of the output buffer slot (result-row budget checks).
+    out_off: usize,
+    /// Whether the output pipeline's `setup` has created the buffer.
+    out_ready: bool,
 }
 
 impl QueryExecution {
-    /// Creates the execution: runtime state plus filled context block.
-    pub(crate) fn new(
+    /// Creates the execution with per-morsel budget enforcement: runtime
+    /// state plus filled context block. An unbudgeted run passes
+    /// [`QueryBudget::unlimited`].
+    pub(crate) fn with_budget(
         engine: &Engine<'_>,
         prepared: &PreparedQuery,
+        budget: QueryBudget,
     ) -> Result<QueryExecution, EngineError> {
         let mut state = RuntimeState::new();
         let ctx = build_ctx(engine, prepared, &mut state)?;
+        let out_off = prepared.plan.ctx_offset(&CtxEntry::OutputBuf) as usize;
         Ok(QueryExecution {
             state,
             ctx,
@@ -206,7 +261,26 @@ impl QueryExecution {
             morsel: 1,
             morsels_done: 0,
             tally: ExecTally::default(),
+            budget,
+            started: Instant::now(),
+            out_off,
+            out_ready: false,
         })
+    }
+
+    /// Work charged so far (partial accounting for killed queries).
+    pub(crate) fn tally(&self) -> ExecTally {
+        self.tally
+    }
+
+    /// Result rows materialized so far (0 until the output pipeline's
+    /// setup has created the buffer — handle numbering makes 0 a valid
+    /// handle, so an explicit readiness flag gates the read).
+    fn result_rows(&self) -> u64 {
+        if !self.out_ready {
+            return 0;
+        }
+        self.state.buffer(ctx_handle(&self.ctx, self.out_off)).len() as u64
     }
 
     /// Scan range `(total rows, morsel size)` of a pipeline source.
@@ -256,6 +330,7 @@ impl QueryExecution {
     ) -> Result<StepProgress, EngineError> {
         let plan = &prepared.plan;
         let ctx_addr = self.ctx.as_ptr() as u64;
+        let has_budget = !self.budget.is_unlimited();
         let mut ran = 0u64;
         while self.pipe_idx < plan.pipelines.len() {
             if !self.setup_done {
@@ -264,6 +339,9 @@ impl QueryExecution {
                 self.tally
                     .charge(exe, |e| e.call(state, "setup", &[ctx_addr]))?;
                 let pipe = &plan.pipelines[self.pipe_idx];
+                if matches!(pipe.sink, Sink::Output { .. }) {
+                    self.out_ready = true;
+                }
                 let (total, morsel) =
                     Self::scan_range(engine, prepared, &self.state, &self.ctx, pipe)?;
                 self.total = total;
@@ -272,6 +350,12 @@ impl QueryExecution {
                 self.setup_done = true;
             }
             while self.cursor < self.total {
+                // Budget check at every morsel claim: a tripped bound
+                // stops the query before the next morsel runs.
+                if has_budget {
+                    self.budget
+                        .check(self.started, self.tally, self.result_rows())?;
+                }
                 let count = self.morsel.min(self.total - self.cursor);
                 let start = self.cursor;
                 let exe = compiled.executables[self.pipe_idx].as_mut();
@@ -288,6 +372,13 @@ impl QueryExecution {
                         cycles_so_far: self.tally.cycles,
                     }));
                 }
+            }
+            // The pipeline's last morsel may itself overflow the row
+            // cap; one check at the barrier catches it before `finish`
+            // seals the pipeline.
+            if has_budget {
+                self.budget
+                    .check(self.started, self.tally, self.result_rows())?;
             }
             let exe = compiled.executables[self.pipe_idx].as_mut();
             let state = &mut self.state;
@@ -454,14 +545,55 @@ impl MorselExecutor {
         compiled: &mut CompiledQuery,
         hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
     ) -> Result<ExecutionResult, EngineError> {
+        self.execute_budgeted(engine, prepared, compiled, &QueryBudget::unlimited(), hook)
+    }
+
+    /// Executes a compiled query under a [`QueryBudget`], consulting
+    /// `hook` after every morsel. Budget bounds are checked at every
+    /// morsel claim — serial or parallel — so a tripped budget stops
+    /// the query within one morsel and surfaces the typed budget error
+    /// with partial [`ExecTally`] accounting.
+    ///
+    /// Worker panics are isolated: a panicking morsel worker poisons
+    /// only itself; its unclaimed morsels are requeued onto surviving
+    /// workers and its claimed-but-unmerged morsels are replayed once
+    /// by a retry pass so the deterministic barrier merge stays
+    /// byte-identical. A second fault fails the query cleanly with
+    /// [`EngineError::WorkerPanic`] instead of the process. Panics in
+    /// the *serial* sections — canonical setup/finish, serial-fallback
+    /// pipelines, and single-worker runs — have no surviving worker to
+    /// replay onto, so they are contained to the same typed error
+    /// without a retry: the query fails, the process never does.
+    ///
+    /// # Errors
+    /// Propagates traps, storage errors, budget overruns, and
+    /// unrecovered worker panics.
+    pub fn execute_budgeted(
+        &self,
+        engine: &Engine<'_>,
+        prepared: &PreparedQuery,
+        compiled: &mut CompiledQuery,
+        budget: &QueryBudget,
+        hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
+    ) -> Result<ExecutionResult, EngineError> {
         if self.config.workers <= 1 {
-            return engine.execute_with_hook_internal(prepared, compiled, hook);
+            // Single-threaded runs still get the process-survival
+            // guarantee: a panic in generated code fails the query with
+            // a typed error, not the caller.
+            return catch_unwind(AssertUnwindSafe(|| {
+                engine.execute_budgeted_internal(prepared, compiled, budget, hook)
+            }))
+            .unwrap_or_else(|payload| Err(EngineError::WorkerPanic(panic_text(payload.as_ref()))));
         }
 
         let plan = &prepared.plan;
+        let started = Instant::now();
+        let has_budget = !budget.is_unlimited();
         let mut state = RuntimeState::new();
         let ctx = build_ctx(engine, prepared, &mut state)?;
         let ctx_addr = ctx.as_ptr() as u64;
+        let out_off = plan.ctx_offset(&CtxEntry::OutputBuf) as usize;
+        let mut out_ready = false;
         let mut tally = ExecTally::default();
         let mut morsels_done = 0u64;
         let mut critical = 0u64;
@@ -469,12 +601,37 @@ impl MorselExecutor {
         for pipe_idx in 0..plan.pipelines.len() {
             let pipe = &plan.pipelines[pipe_idx];
             let serial_before = tally.cycles;
+            if has_budget {
+                let rows = if out_ready {
+                    state.buffer(ctx_handle(&ctx, out_off)).len() as u64
+                } else {
+                    0
+                };
+                budget.check(started, tally, rows)?;
+            }
             // Canonical setup creates the canonical sink containers the
             // barrier merge writes into.
             {
                 let exe = compiled.executables[pipe_idx].as_mut();
-                tally.charge(exe, |e| e.call(&mut state, "setup", &[ctx_addr]))?;
+                charge_contained(&mut tally, exe, |e| {
+                    e.call(&mut state, "setup", &[ctx_addr])
+                })?;
             }
+            let counts_rows = matches!(pipe.sink, Sink::Output { .. });
+            if counts_rows {
+                out_ready = true;
+            }
+            let rows_before = if out_ready {
+                state.buffer(ctx_handle(&ctx, out_off)).len() as u64
+            } else {
+                0
+            };
+            let bctx = BudgetCtx {
+                budget,
+                started,
+                rows_before,
+                counts_rows,
+            };
             // Morsel decomposition. `Table::morsels` yields no morsels
             // for an empty table — the loop below must run zero
             // iterations, matching the serial `while start < total`
@@ -533,13 +690,22 @@ impl MorselExecutor {
                         &mut tally,
                         &mut morsels_done,
                         exes,
+                        &bctx,
                         hook,
                     )?;
                 }
                 None => {
                     for m in &morsels {
+                        if has_budget {
+                            let rows = if out_ready {
+                                state.buffer(ctx_handle(&ctx, out_off)).len() as u64
+                            } else {
+                                0
+                            };
+                            budget.check(started, tally, rows)?;
+                        }
                         let exe = compiled.executables[pipe_idx].as_mut();
-                        tally.charge(exe, |e| {
+                        charge_contained(&mut tally, exe, |e| {
                             e.call(&mut state, "main", &[ctx_addr, m.start, m.count])
                         })?;
                         morsels_done += 1;
@@ -555,11 +721,23 @@ impl MorselExecutor {
                 }
             }
 
+            // Barrier check before `finish`: the pipeline's last morsel
+            // (or the merged parallel rows) may overflow the row cap.
+            if has_budget {
+                let rows = if out_ready {
+                    state.buffer(ctx_handle(&ctx, out_off)).len() as u64
+                } else {
+                    0
+                };
+                budget.check(started, tally, rows)?;
+            }
             // Canonical finish (hash-table build / sort) runs on the
             // merged containers, so its cost envelope matches serial.
             {
                 let exe = compiled.executables[pipe_idx].as_mut();
-                tally.charge(exe, |e| e.call(&mut state, "finish", &[ctx_addr]))?;
+                charge_contained(&mut tally, exe, |e| {
+                    e.call(&mut state, "finish", &[ctx_addr])
+                })?;
             }
             // Critical path: serial sections (canonical setup/finish,
             // serial-fallback morsels) in full, plus only the busiest
@@ -613,6 +791,14 @@ enum Claimer {
     Striped {
         deques: Vec<Mutex<VecDeque<usize>>>,
         steal: bool,
+        /// Whether a panicked worker's stranded morsels may be
+        /// re-claimed by survivors. Off for aggregation pipelines: a
+        /// late out-of-order claim would break the ascending-claim
+        /// invariant the merge depends on, so their stranded morsels
+        /// go to the serial retry pass instead.
+        poison_steal: bool,
+        /// Workers that panicked; their deques become stealable.
+        poisoned: Vec<AtomicBool>,
     },
 }
 
@@ -620,7 +806,7 @@ impl Claimer {
     fn new(n_morsels: usize, workers: usize, schedule: MorselSchedule, ordered: bool) -> Claimer {
         match (schedule, ordered) {
             (MorselSchedule::Stealing, true) => Claimer::Ordered(AtomicUsize::new(0)),
-            (schedule, _) => {
+            (schedule, ordered) => {
                 let mut deques: Vec<VecDeque<usize>> =
                     (0..workers).map(|_| VecDeque::new()).collect();
                 for m in 0..n_morsels {
@@ -629,8 +815,20 @@ impl Claimer {
                 Claimer::Striped {
                     deques: deques.into_iter().map(Mutex::new).collect(),
                     steal: schedule == MorselSchedule::Stealing,
+                    poison_steal: !ordered,
+                    poisoned: (0..workers).map(|_| AtomicBool::new(false)).collect(),
                 }
             }
+        }
+    }
+
+    /// Marks a panicked worker: its remaining morsels become claimable
+    /// by surviving workers (the panic-requeue path). The ordered
+    /// claimer never assigns morsels ahead of time, so it has nothing
+    /// to requeue.
+    fn poison(&self, worker: usize) {
+        if let Claimer::Striped { poisoned, .. } = self {
+            poisoned[worker].store(true, Ordering::Release);
         }
     }
 
@@ -640,20 +838,22 @@ impl Claimer {
                 let m = next.fetch_add(1, Ordering::Relaxed);
                 (m < n_morsels).then_some(m)
             }
-            Claimer::Striped { deques, steal } => {
-                if let Some(m) = deques[worker]
-                    .lock()
-                    .expect("deque mutex poisoned")
-                    .pop_front()
-                {
+            Claimer::Striped {
+                deques,
+                steal,
+                poison_steal,
+                poisoned,
+            } => {
+                if let Some(m) = lock_recover(&deques[worker]).pop_front() {
                     return Some(m);
-                }
-                if !steal {
-                    return None;
                 }
                 let w = deques.len();
                 for v in (worker + 1..w).chain(0..worker) {
-                    if let Some(m) = deques[v].lock().expect("deque mutex poisoned").pop_back() {
+                    let may_take = *steal || (*poison_steal && poisoned[v].load(Ordering::Acquire));
+                    if !may_take {
+                        continue;
+                    }
+                    if let Some(m) = lock_recover(&deques[v]).pop_back() {
                         return Some(m);
                     }
                 }
@@ -684,7 +884,7 @@ impl SwapCell {
     }
 
     fn publish(&self, artifact: Arc<dyn CodeArtifact>) {
-        *self.artifact.lock().expect("swap mutex poisoned") = Some(artifact);
+        *lock_recover(&self.artifact) = Some(artifact);
         self.generation.fetch_add(1, Ordering::Release);
     }
 
@@ -696,7 +896,7 @@ impl SwapCell {
             return None;
         }
         *seen = g;
-        self.artifact.lock().expect("swap mutex poisoned").clone()
+        lock_recover(&self.artifact).clone()
     }
 }
 
@@ -746,6 +946,9 @@ enum WorkerMsg {
     Morsel {
         cycles: u64,
         insts: u64,
+        /// Result rows this morsel produced (output-sink pipelines
+        /// only) — drives the coordinator's in-flight row-cap check.
+        rows: u64,
     },
     /// Cycle remainder not tied to a completed morsel (idle worker
     /// setup, a trapped morsel's partial cost) — accounting only.
@@ -754,6 +957,26 @@ enum WorkerMsg {
         insts: u64,
     },
     Done,
+}
+
+/// Budget context a pipeline run checks against: the query budget, the
+/// execution start instant, and how result rows are counted while this
+/// pipeline's output is still distributed across workers.
+struct BudgetCtx<'a> {
+    budget: &'a QueryBudget,
+    started: Instant,
+    /// Result rows materialized before this pipeline started.
+    rows_before: u64,
+    /// Whether this pipeline's sink is the output buffer (its morsels
+    /// add result rows).
+    counts_rows: bool,
+}
+
+impl BudgetCtx<'_> {
+    fn check(&self, tally: ExecTally, rows_delta: u64) -> Result<(), EngineError> {
+        self.budget
+            .check(self.started, tally, self.rows_before + rows_delta)
+    }
 }
 
 struct ParallelPipeline<'a> {
@@ -789,6 +1012,7 @@ impl ParallelPipeline<'_> {
         tally: &mut ExecTally,
         morsels_done: &mut u64,
         worker_exes: Vec<Box<dyn Executable>>,
+        bctx: &BudgetCtx<'_>,
         hook: &mut dyn FnMut(&MorselEvent) -> Option<CompiledQuery>,
     ) -> Result<(u64, u64), EngineError> {
         let workers = worker_exes.len();
@@ -796,6 +1020,9 @@ impl ParallelPipeline<'_> {
         let claimer = Claimer::new(self.morsels.len(), workers, self.schedule, ordered);
         let swap = SwapCell::new();
         let sink = self.sink_info();
+        let stop = AtomicBool::new(false);
+        let has_budget = !bctx.budget.is_unlimited();
+        let counts_rows = bctx.counts_rows;
         let (tx, rx) = crossbeam::channel::unbounded();
 
         // Fork worker states before entering the scope: the forks hold
@@ -805,7 +1032,8 @@ impl ParallelPipeline<'_> {
             .map(|_| (state.fork_worker(), ctx.to_vec()))
             .collect();
 
-        let outputs: Vec<WorkerOutput> = crossbeam::thread::scope(|s| {
+        let mut budget_err: Option<EngineError> = None;
+        let scope_out = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = forks
                 .into_iter()
                 .zip(worker_exes)
@@ -814,9 +1042,22 @@ impl ParallelPipeline<'_> {
                     let tx = tx.clone();
                     let claimer = &claimer;
                     let swap = &swap;
+                    let stop = &stop;
                     let morsels = self.morsels;
                     s.spawn(move || {
-                        worker_run(w, wstate, wctx, exe, morsels, claimer, swap, sink, &tx)
+                        worker_run(
+                            w,
+                            wstate,
+                            wctx,
+                            exe,
+                            morsels,
+                            claimer,
+                            swap,
+                            sink,
+                            counts_rows,
+                            stop,
+                            &tx,
+                        )
                     })
                 })
                 .collect();
@@ -824,14 +1065,30 @@ impl ParallelPipeline<'_> {
 
             // Coordinator: forward morsel events to the tier-up hook;
             // publish any replacement so workers observe it at their
-            // next claim.
+            // next claim; check the budget on every completed morsel.
             let mut done = 0usize;
+            let mut rows_delta = 0u64;
             while done < workers {
                 match rx.recv() {
-                    Ok(WorkerMsg::Morsel { cycles, insts }) => {
+                    Ok(WorkerMsg::Morsel {
+                        cycles,
+                        insts,
+                        rows,
+                    }) => {
                         tally.cycles += cycles;
                         tally.insts += insts;
+                        rows_delta += rows;
                         *morsels_done += 1;
+                        if has_budget && budget_err.is_none() {
+                            if let Err(e) = bctx.check(*tally, rows_delta) {
+                                // Cooperative cancellation: workers see
+                                // the flag at their next claim, so the
+                                // query stops within one morsel per
+                                // worker of the budget tripping.
+                                budget_err = Some(e);
+                                stop.store(true, Ordering::Release);
+                            }
+                        }
                         let event = MorselEvent {
                             pipeline: self.pipe_idx,
                             morsels_done: *morsels_done,
@@ -854,29 +1111,163 @@ impl ParallelPipeline<'_> {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("morsel worker panicked"))
-                .collect()
-        })
-        .expect("worker scope");
+                .map(|h| {
+                    // Panics are caught inside `worker_run`; a join
+                    // error means one escaped the harness — synthesize
+                    // a panicked output so the retry pass covers its
+                    // morsels instead of aborting the process.
+                    h.join().unwrap_or_else(|payload| WorkerOutput {
+                        ctx: ctx.to_vec(),
+                        state: RuntimeState::new(),
+                        records: Vec::new(),
+                        tally: ExecTally::default(),
+                        error: Some((
+                            usize::MAX,
+                            EngineError::WorkerPanic(panic_text(payload.as_ref())),
+                        )),
+                    })
+                })
+                .collect::<Vec<WorkerOutput>>()
+        });
+        let mut outputs = match scope_out {
+            Ok(o) => o,
+            Err(payload) => {
+                return Err(EngineError::WorkerPanic(panic_text(payload.as_ref())));
+            }
+        };
 
-        // Surface the lowest-morsel trap (best-effort serial identity).
+        if let Some(e) = budget_err {
+            // The budget tripped: partial parallel work is discarded —
+            // never merged into canonical state — and the typed error
+            // carries the tally snapshot at trip time.
+            return Err(e);
+        }
+
+        // Surface the lowest-morsel trap or storage error (best-effort
+        // serial identity). Worker panics are handled below instead:
+        // they are recoverable via the retry pass.
         if let Some((_, err)) = outputs
             .iter()
             .filter_map(|o| o.error.as_ref())
+            .filter(|(_, e)| !matches!(e, EngineError::WorkerPanic(_)))
             .min_by_key(|(m, _)| *m)
         {
             return Err(clone_error(err));
         }
 
+        // Parallel-section cost envelope, computed before any retry
+        // pass: the retry runs serially after the barrier, so its
+        // cycles extend the critical path in full (the caller adds
+        // `tally - worker_total + busiest`, and retry cycles land in
+        // `tally` only).
+        let busiest = outputs.iter().map(|o| o.tally.cycles).max().unwrap_or(0);
+        let total = outputs.iter().map(|o| o.tally.cycles).sum();
+
+        let panicked: Vec<usize> = outputs
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o.error, Some((_, EngineError::WorkerPanic(_)))))
+            .map(|(w, _)| w)
+            .collect();
+        if !panicked.is_empty() {
+            // A panicked worker's accumulated aggregation states may
+            // include the partially-executed morsel's contributions, so
+            // for agg sinks all of its records are discarded and
+            // replayed. Buffer/join records delimit append-only ranges
+            // that stay intact past a later panic, so they are kept and
+            // only the lost morsels replay.
+            if matches!(self.pipe.sink, Sink::AggBuild { .. }) {
+                for &w in &panicked {
+                    outputs[w].records.clear();
+                }
+            }
+            let done: HashSet<usize> = outputs
+                .iter()
+                .flat_map(|o| o.records.iter().map(|r| r.morsel))
+                .collect();
+            let missing: Vec<usize> = (0..self.morsels.len())
+                .filter(|m| !done.contains(m))
+                .collect();
+            let mut retry_tally = ExecTally::default();
+            let retried =
+                self.retry_pass(state, ctx, compiled, bctx, &missing, &mut retry_tally)?;
+            tally.cycles += retry_tally.cycles;
+            tally.insts += retry_tally.insts;
+            *morsels_done += missing.len() as u64;
+            outputs.push(retried);
+        }
+
         self.merge(state, ctx, &outputs)?;
         // Worker cycles were fully streamed into `tally` via morsel and
-        // flush messages; only runtime call counts remain to fold in.
+        // flush messages (retry cycles folded in above); only runtime
+        // call counts remain to fold in.
         for o in &outputs {
             state.merge_counts_from(&o.state);
         }
-        let busiest = outputs.iter().map(|o| o.tally.cycles).max().unwrap_or(0);
-        let total = outputs.iter().map(|o| o.tally.cycles).sum();
         Ok((busiest, total))
+    }
+
+    /// The single retry after a worker panic: replays the missing
+    /// morsels serially on a fresh fork, in ascending order (so the
+    /// aggregation ascending-claim invariant holds for the replayed
+    /// records). A second fault — panic, trap, or budget trip — fails
+    /// the query cleanly.
+    fn retry_pass(
+        &self,
+        state: &RuntimeState,
+        ctx: &[u8],
+        compiled: &CompiledQuery,
+        bctx: &BudgetCtx<'_>,
+        missing: &[usize],
+        tally: &mut ExecTally,
+    ) -> Result<WorkerOutput, EngineError> {
+        let artifact = compiled
+            .artifacts
+            .get(self.pipe_idx)
+            .and_then(|a| a.as_ref())
+            .ok_or_else(|| {
+                EngineError::WorkerPanic("no artifact to replay panicked morsels".to_string())
+            })?;
+        let mut exe = artifact
+            .instantiate()
+            .map_err(|e| EngineError::WorkerPanic(format!("replay instantiation failed: {e}")))?;
+        let mut wstate = state.fork_worker();
+        let wctx = ctx.to_vec();
+        let ctx_addr = wctx.as_ptr() as u64;
+        let sink = self.sink_info();
+        let mut records = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), EngineError> {
+            tally.charge(exe.as_mut(), |e| e.call(&mut wstate, "setup", &[ctx_addr]))?;
+            for &m in missing {
+                let before = sink_progress(&wstate, &wctx, sink);
+                let produced = if bctx.counts_rows { before as u64 } else { 0 };
+                bctx.check(*tally, produced)?;
+                let morsel = self.morsels[m];
+                tally.charge(exe.as_mut(), |e| {
+                    e.call(&mut wstate, "main", &[ctx_addr, morsel.start, morsel.count])
+                })?;
+                records.push(MorselRecord {
+                    morsel: m,
+                    sink_start: before,
+                    sink_end: sink_progress(&wstate, &wctx, sink),
+                });
+            }
+            Ok(())
+        }));
+        match outcome {
+            Ok(Ok(())) => Ok(WorkerOutput {
+                ctx: wctx,
+                state: wstate,
+                records,
+                tally: ExecTally::default(),
+                error: None,
+            }),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(EngineError::WorkerPanic(format!(
+                "panicked again during replay: {}",
+                panic_text(payload.as_ref())
+            ))),
+        }
     }
 
     /// Replays worker sink effects into the canonical state in
@@ -929,8 +1320,8 @@ impl ParallelPipeline<'_> {
                     .ctx_offset(&CtxEntry::AggHt(agg_id_of(&self.pipe.sink)))
                     as usize;
                 let can_ht = ctx_handle(ctx, ht_off);
-                let key_fields = key_fields(keys, layout);
-                let combines = agg_combines(aggs, layout);
+                let key_fields = key_fields(keys, layout)?;
+                let combines = agg_combines(aggs, layout)?;
                 for (w, r) in order {
                     let o = &outputs[w];
                     let wgroups = ctx_handle(&o.ctx, sink.progress_off);
@@ -971,7 +1362,10 @@ fn agg_id_of(sink: &Sink) -> usize {
 }
 
 /// The worker body: fork-local setup, claim/execute loop, effect
-/// recording. Returns everything the barrier merge needs.
+/// recording. Returns everything the barrier merge needs. Panics in
+/// generated code are caught here — the worker poisons itself (handing
+/// its unclaimed morsels to survivors) and reports the panic as its
+/// error instead of unwinding through the scope.
 #[allow(clippy::too_many_arguments)]
 fn worker_run(
     worker: usize,
@@ -982,6 +1376,8 @@ fn worker_run(
     claimer: &Claimer,
     swap: &SwapCell,
     sink: SinkInfo,
+    counts_rows: bool,
+    stop: &AtomicBool,
     tx: &crossbeam::channel::Sender<WorkerMsg>,
 ) -> WorkerOutput {
     let ctx_addr = wctx.as_ptr() as u64;
@@ -995,11 +1391,27 @@ fn worker_run(
     // the worker's own arena, overwriting the sink slots in the worker
     // ctx copy. Source and probe slots keep the canonical handles,
     // which resolve into the forked read-only containers.
-    if let Err(t) = tally.charge(exe.as_mut(), |e| e.call(&mut wstate, "setup", &[ctx_addr])) {
-        error = Some((usize::MAX, EngineError::Trap(t)));
+    match catch_unwind(AssertUnwindSafe(|| {
+        tally.charge(exe.as_mut(), |e| e.call(&mut wstate, "setup", &[ctx_addr]))
+    })) {
+        Ok(Ok(_)) => {}
+        Ok(Err(t)) => error = Some((usize::MAX, EngineError::Trap(t))),
+        Err(payload) => {
+            claimer.poison(worker);
+            error = Some((
+                usize::MAX,
+                EngineError::WorkerPanic(panic_text(payload.as_ref())),
+            ));
+        }
     }
 
     while error.is_none() {
+        // Cooperative cancellation: the coordinator raises `stop` when
+        // the query budget trips; observing it at the claim boundary
+        // bounds overrun to one in-flight morsel per worker.
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
         let Some(m) = claimer.claim(worker, morsels.len()) else {
             break;
         };
@@ -1012,10 +1424,12 @@ fn worker_run(
         }
         let before = sink_progress(&wstate, &wctx, sink);
         let morsel = morsels[m];
-        match tally.charge(exe.as_mut(), |e| {
-            e.call(&mut wstate, "main", &[ctx_addr, morsel.start, morsel.count])
-        }) {
-            Ok(_) => {
+        match catch_unwind(AssertUnwindSafe(|| {
+            tally.charge(exe.as_mut(), |e| {
+                e.call(&mut wstate, "main", &[ctx_addr, morsel.start, morsel.count])
+            })
+        })) {
+            Ok(Ok(_)) => {
                 let after = sink_progress(&wstate, &wctx, sink);
                 records.push(MorselRecord {
                     morsel: m,
@@ -1025,10 +1439,19 @@ fn worker_run(
                 let _ = tx.send(WorkerMsg::Morsel {
                     cycles: tally.cycles - reported.cycles,
                     insts: tally.insts - reported.insts,
+                    rows: if counts_rows {
+                        (after - before) as u64
+                    } else {
+                        0
+                    },
                 });
                 reported = tally;
             }
-            Err(t) => error = Some((m, EngineError::Trap(t))),
+            Ok(Err(t)) => error = Some((m, EngineError::Trap(t))),
+            Err(payload) => {
+                claimer.poison(worker);
+                error = Some((m, EngineError::WorkerPanic(panic_text(payload.as_ref()))));
+            }
         }
     }
     // Flush any cycles not yet streamed (setup of a worker that claimed
@@ -1063,6 +1486,7 @@ fn clone_error(e: &EngineError) -> EngineError {
     match e {
         EngineError::Trap(t) => EngineError::Trap(*t),
         EngineError::Storage(s) => EngineError::Storage(s.clone()),
+        EngineError::WorkerPanic(s) => EngineError::WorkerPanic(s.clone()),
         other => EngineError::Storage(format!("worker error: {other}")),
     }
 }
@@ -1133,15 +1557,17 @@ impl KeyField {
     }
 }
 
-fn key_fields(keys: &[String], layout: &RowLayout) -> Vec<KeyField> {
+fn key_fields(keys: &[String], layout: &RowLayout) -> Result<Vec<KeyField>, EngineError> {
     keys.iter()
         .map(|k| {
-            let f = layout.field(k).expect("group key in agg layout");
-            KeyField {
+            let f = layout.field(k).ok_or_else(|| {
+                EngineError::Storage(format!("group key `{k}` missing from agg layout"))
+            })?;
+            Ok(KeyField {
                 off: f.offset as usize,
                 size: qc_plan::field_size(f.ty) as usize,
                 is_str: f.ty == ColumnType::Str,
-            }
+            })
         })
         .collect()
 }
@@ -1249,11 +1675,16 @@ fn numeric_combine(ty: ColumnType, min_max: Option<bool>) -> Combine {
     }
 }
 
-fn agg_combines(aggs: &[(String, AggFunc)], layout: &RowLayout) -> Vec<StateField> {
+fn agg_combines(
+    aggs: &[(String, AggFunc)],
+    layout: &RowLayout,
+) -> Result<Vec<StateField>, EngineError> {
     let mut out = Vec::new();
     for (name, agg) in aggs {
         let state = format!("#{name}");
-        let f = layout.field(&state).expect("agg state field");
+        let f = layout.field(&state).ok_or_else(|| {
+            EngineError::Storage(format!("agg state field `{state}` missing from layout"))
+        })?;
         let off = f.offset as usize;
         match agg {
             AggFunc::CountStar => out.push(StateField {
@@ -1285,9 +1716,9 @@ fn agg_combines(aggs: &[(String, AggFunc)], layout: &RowLayout) -> Vec<StateFiel
                     off,
                     combine: numeric_combine(f.ty, None),
                 });
-                let cnt = layout
-                    .field(&format!("#{name}_cnt"))
-                    .expect("avg count field");
+                let cnt = layout.field(&format!("#{name}_cnt")).ok_or_else(|| {
+                    EngineError::Storage(format!("avg count field `#{name}_cnt` missing"))
+                })?;
                 out.push(StateField {
                     off: cnt.offset as usize,
                     combine: Combine::AddI64,
@@ -1295,7 +1726,7 @@ fn agg_combines(aggs: &[(String, AggFunc)], layout: &RowLayout) -> Vec<StateFiel
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@
 //!   wait in a FIFO submission queue. This bounds memory (each admitted
 //!   query holds executables and runtime state) and keeps the cache
 //!   warm-up serial enough to be effective.
+//! * **Overload shedding.** With [`SchedulerConfig::max_queue_depth`]
+//!   set, submissions beyond the depth are shed up front per
+//!   [`ShedPolicy`] — rejected with an [`OutcomeStatus::Shed`] outcome
+//!   instead of queueing unboundedly.
 //! * **Fairness.** Admitted queries sit in a round-robin ready queue.
 //!   A worker pops the front, runs a slice of
 //!   [`SchedulerConfig::morsel_credits`] morsels through the
@@ -29,18 +33,88 @@
 //!   the paper's adaptive-execution argument. Completed tiers are
 //!   adopted at the next slice boundary (a morsel boundary, so the
 //!   swap is exactly as safe as the single-query adaptive path).
+//! * **Runaway governor.** With a [`RunawayPolicy`], the scheduler
+//!   learns an EWMA of cycles-per-morsel over completed queries and
+//!   applies the *inverse* of tier-up to queries blowing past their
+//!   prediction: downgrade to the next [`FallbackChain`] tier (same
+//!   morsel-boundary adoption machinery), or kill outright past the
+//!   kill factor ([`OutcomeStatus::Killed`]).
+//! * **Fault containment + circuit breaker.** Admission and execution
+//!   slices run under `catch_unwind`, so a panicking query fails its
+//!   own session, never the serve loop. With a [`BreakerPolicy`], K
+//!   consecutive execution faults on one back-end tier trip that
+//!   tier's breaker: subsequent admissions route down the fallback
+//!   chain until the cooldown passes.
 
 use crate::compile_service::{CompileService, PendingCompile};
-use crate::engine::{CompiledQuery, Engine, EngineError, PreparedQuery};
-use crate::morsel_exec::{QueryExecution, StepProgress};
+use crate::engine::{CompiledQuery, Engine, EngineError, PreparedQuery, QueryBudget};
+use crate::fallback::FallbackChain;
+use crate::morsel_exec::{lock_recover, panic_text, QueryExecution, StepProgress};
 use crate::session::{Session, StatementCache};
 use qc_backend::Backend;
 use qc_plan::PlanNode;
 use qc_runtime::SqlValue;
 use qc_timing::TimeTrace;
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// What happens to submissions beyond
+/// [`SchedulerConfig::max_queue_depth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Shed the newest submissions (tail of the queue); the oldest
+    /// waiters keep their place. The default.
+    #[default]
+    RejectNew,
+    /// Shed the oldest submissions; the freshest requests are served
+    /// (a recency-biased policy for workloads where stale queries have
+    /// lost their value).
+    DropOldest,
+}
+
+/// Runaway-query governor: queries that blow past the scheduler's
+/// cycles-per-morsel prediction are downgraded a tier, or killed.
+#[derive(Debug, Clone, Copy)]
+pub struct RunawayPolicy {
+    /// Downgrade when used cycles exceed `factor` × predicted.
+    pub factor: f64,
+    /// Kill when used cycles exceed `kill_factor` × predicted.
+    pub kill_factor: f64,
+    /// Completed queries needed before predictions are trusted.
+    pub min_samples: u64,
+}
+
+impl Default for RunawayPolicy {
+    fn default() -> Self {
+        RunawayPolicy {
+            factor: 4.0,
+            kill_factor: 16.0,
+            min_samples: 3,
+        }
+    }
+}
+
+/// Per-back-end-tier circuit breaker: after `trip_after` consecutive
+/// execution faults on one tier, admissions route down the fallback
+/// chain until `cooldown` passes.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerPolicy {
+    /// Consecutive execution faults that trip the breaker.
+    pub trip_after: u32,
+    /// How long a tripped breaker stays open.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            trip_after: 3,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
 
 /// Configuration of a [`QueryScheduler`].
 #[derive(Clone)]
@@ -56,6 +130,22 @@ pub struct SchedulerConfig {
     pub tier_up_backend: Option<Arc<dyn Backend>>,
     /// Maximum concurrent background tier-up compiles.
     pub tier_up_inflight: usize,
+    /// Bound on accepted submissions per serve; beyond it, requests are
+    /// shed per [`SchedulerConfig::shed_policy`]. `None` accepts all.
+    pub max_queue_depth: Option<usize>,
+    /// Which submissions to shed when over `max_queue_depth`.
+    pub shed_policy: ShedPolicy,
+    /// Default execution budget applied to every request that does not
+    /// carry its own ([`SessionRequest::with_budget`] overrides).
+    pub query_budget: Option<QueryBudget>,
+    /// Runaway-query governor (downgrade/kill past prediction).
+    pub runaway: Option<RunawayPolicy>,
+    /// Per-tier circuit breaker on execution faults.
+    pub breaker: Option<BreakerPolicy>,
+    /// Degradation route shared by the runaway governor (downgrade
+    /// target = tier below the current one) and the circuit breaker
+    /// (admission reroute for open tiers).
+    pub fallback_chain: Option<FallbackChain>,
 }
 
 impl Default for SchedulerConfig {
@@ -66,7 +156,63 @@ impl Default for SchedulerConfig {
             morsel_credits: 8,
             tier_up_backend: None,
             tier_up_inflight: 2,
+            max_queue_depth: None,
+            shed_policy: ShedPolicy::RejectNew,
+            query_budget: None,
+            runaway: None,
+            breaker: None,
+            fallback_chain: None,
         }
+    }
+}
+
+impl SchedulerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Config`] when `workers`,
+    /// `admission_limit` or `morsel_credits` is zero, when a set
+    /// `max_queue_depth` is zero, when the runaway factors are
+    /// nonsensical (`factor < 1` or `kill_factor < factor`), or when
+    /// the breaker trips after zero faults.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.workers == 0 {
+            return Err(EngineError::Config(
+                "scheduler needs at least one worker".to_string(),
+            ));
+        }
+        if self.admission_limit == 0 {
+            return Err(EngineError::Config(
+                "admission limit must be > 0".to_string(),
+            ));
+        }
+        if self.morsel_credits == 0 {
+            return Err(EngineError::Config(
+                "morsel credits must be > 0".to_string(),
+            ));
+        }
+        if self.max_queue_depth == Some(0) {
+            return Err(EngineError::Config(
+                "max_queue_depth must be > 0 when set".to_string(),
+            ));
+        }
+        if let Some(r) = &self.runaway {
+            if r.factor < 1.0 || r.kill_factor < r.factor {
+                return Err(EngineError::Config(format!(
+                    "runaway policy needs 1.0 <= factor <= kill_factor \
+                     (got factor {} kill_factor {})",
+                    r.factor, r.kill_factor
+                )));
+            }
+        }
+        if let Some(b) = &self.breaker {
+            if b.trip_after == 0 {
+                return Err(EngineError::Config(
+                    "breaker trip_after must be > 0".to_string(),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -76,23 +222,60 @@ pub struct SessionRequest {
     pub name: String,
     /// The logical plan to serve.
     pub plan: PlanNode,
+    /// Per-request execution budget; `None` falls back to
+    /// [`SchedulerConfig::query_budget`].
+    pub budget: Option<QueryBudget>,
+}
+
+impl SessionRequest {
+    /// A request with the scheduler's default budget.
+    pub fn new(name: impl Into<String>, plan: PlanNode) -> Self {
+        SessionRequest {
+            name: name.into(),
+            plan,
+            budget: None,
+        }
+    }
+
+    /// Attaches a per-request execution budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// How one served session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeStatus {
+    /// Completed with rows.
+    Ok,
+    /// Failed with an execution or compilation error.
+    Failed,
+    /// Rejected up front by overload shedding — never admitted.
+    Shed,
+    /// Stopped by the runaway governor or its [`QueryBudget`]
+    /// (deadline, cycle/row cap, cancellation).
+    Killed,
 }
 
 /// Result of one served session.
 pub struct QueryOutcome {
     /// Session name.
     pub name: String,
-    /// Result rows (empty when `error` is set).
+    /// Result rows (empty unless `status` is [`OutcomeStatus::Ok`]).
     pub rows: Vec<Vec<SqlValue>>,
     /// Time from submission to admission (prepare/compile start).
     pub queue_wait: Duration,
     /// Time from submission to completion.
     pub latency: Duration,
-    /// Deterministic execution cycles.
+    /// Deterministic execution cycles (partial for killed queries).
     pub cycles: u64,
     /// Whether a background tier was adopted mid-query.
     pub tiered_up: bool,
-    /// Failure description, if the session failed.
+    /// How the session ended.
+    pub status: OutcomeStatus,
+    /// Failure description, if the session did not complete.
     pub error: Option<String>,
 }
 
@@ -110,6 +293,12 @@ pub struct ServeReport {
     pub worker_busy: Vec<Duration>,
     /// Worker count used.
     pub workers: usize,
+    /// Runaway-governor downgrades granted.
+    pub runaway_downgrades: u64,
+    /// Queries killed (runaway kill or budget trip).
+    pub queries_killed: u64,
+    /// Circuit-breaker trips across all tiers.
+    pub breaker_trips: u64,
 }
 
 impl ServeReport {
@@ -124,9 +313,30 @@ impl ServeReport {
         (self.busy.as_secs_f64() / capacity.max(1e-9)).min(1.0)
     }
 
-    /// Sessions that failed.
+    fn count(&self, status: OutcomeStatus) -> usize {
+        self.outcomes.iter().filter(|o| o.status == status).count()
+    }
+
+    /// Sessions that failed with an error.
+    pub fn failed(&self) -> usize {
+        self.count(OutcomeStatus::Failed)
+    }
+
+    /// Sessions shed by overload protection (never admitted).
+    pub fn shed(&self) -> usize {
+        self.count(OutcomeStatus::Shed)
+    }
+
+    /// Sessions killed by the runaway governor or their budget.
+    pub fn killed(&self) -> usize {
+        self.count(OutcomeStatus::Killed)
+    }
+
+    /// Sessions that did not complete: failed + killed. Shed sessions
+    /// are counted separately ([`ServeReport::shed`]) — they were
+    /// rejected by policy, not broken by a fault.
     pub fn failures(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.error.is_some()).count()
+        self.failed() + self.killed()
     }
 
     /// Work-distribution speedup: total busy time over the busiest
@@ -159,8 +369,18 @@ struct Active {
     queue_wait: Duration,
     /// Estimated morsels left (tier-up priority key).
     remaining: u64,
+    /// Morsel estimate at admission (runaway prediction base).
+    initial_morsels: u64,
     pending_tier: Option<PendingCompile>,
     tiered_up: bool,
+    /// Whether the runaway governor already downgraded this query.
+    downgraded: bool,
+}
+
+#[derive(Default)]
+struct BreakerState {
+    consecutive: u32,
+    open_until: Option<Instant>,
 }
 
 /// Scheduler state shared by the serving workers.
@@ -171,6 +391,49 @@ struct SchedState {
     active: usize,
     done: usize,
     tier_inflight: usize,
+    /// EWMA of cycles-per-morsel over completed queries (runaway
+    /// prediction).
+    cpm_ewma: f64,
+    cpm_samples: u64,
+    breakers: HashMap<&'static str, BreakerState>,
+    runaway_downgrades: u64,
+    queries_killed: u64,
+    breaker_trips: u64,
+}
+
+impl SchedState {
+    /// Whether `tier`'s breaker is open right now; an expired cooldown
+    /// closes the breaker (and forgives its fault streak) on the way.
+    fn breaker_open(&mut self, tier: &str, now: Instant) -> bool {
+        if let Some(b) = self.breakers.get_mut(tier) {
+            if let Some(until) = b.open_until {
+                if now < until {
+                    return true;
+                }
+                b.open_until = None;
+                b.consecutive = 0;
+            }
+        }
+        false
+    }
+
+    fn record_exec_fault(&mut self, tier: &'static str, policy: &BreakerPolicy, now: Instant) {
+        let b = self.breakers.entry(tier).or_default();
+        b.consecutive += 1;
+        let trip = b.open_until.is_none() && b.consecutive >= policy.trip_after;
+        if trip {
+            b.open_until = Some(now + policy.cooldown);
+            self.breaker_trips += 1;
+        }
+    }
+
+    fn record_exec_ok(&mut self, tier: &str) {
+        if let Some(b) = self.breakers.get_mut(tier) {
+            if b.open_until.is_none() {
+                b.consecutive = 0;
+            }
+        }
+    }
 }
 
 struct Shared {
@@ -184,16 +447,27 @@ pub struct QueryScheduler {
 }
 
 impl QueryScheduler {
+    /// Creates a scheduler after validating `config`.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Config`] when
+    /// [`SchedulerConfig::validate`] rejects the configuration.
+    pub fn try_new(config: SchedulerConfig) -> Result<Self, EngineError> {
+        config.validate()?;
+        Ok(QueryScheduler { config })
+    }
+
     /// Creates a scheduler with `config`.
     ///
     /// # Panics
-    /// Panics when `workers`, `admission_limit` or `morsel_credits` is
-    /// zero.
+    /// Panics when the configuration is invalid (see
+    /// [`SchedulerConfig::validate`]).
+    #[deprecated(note = "use `QueryScheduler::try_new`, which validates instead of panicking")]
     pub fn new(config: SchedulerConfig) -> Self {
-        assert!(config.workers > 0, "scheduler needs at least one worker");
-        assert!(config.admission_limit > 0, "admission limit must be > 0");
-        assert!(config.morsel_credits > 0, "morsel credits must be > 0");
-        QueryScheduler { config }
+        match Self::try_new(config) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Serves `requests` to completion and reports per-session
@@ -238,14 +512,61 @@ impl QueryScheduler {
     ) -> ServeReport {
         let total = requests.len();
         let start = Instant::now();
+        let mut accepted: VecDeque<(usize, SessionRequest)> =
+            requests.into_iter().enumerate().collect();
+
+        // Overload shedding happens up front: this serve model takes
+        // the whole batch as the arrival queue, so everything past the
+        // depth bound is rejected per policy before any work starts.
+        let mut shed_outcomes: Vec<(usize, QueryOutcome)> = Vec::new();
+        if let Some(depth) = self.config.max_queue_depth {
+            if accepted.len() > depth {
+                let shed: Vec<(usize, SessionRequest)> = match self.config.shed_policy {
+                    ShedPolicy::RejectNew => accepted.split_off(depth).into(),
+                    ShedPolicy::DropOldest => {
+                        let keep = accepted.split_off(accepted.len() - depth);
+                        std::mem::replace(&mut accepted, keep).into()
+                    }
+                };
+                for (index, req) in shed {
+                    shed_outcomes.push((
+                        index,
+                        QueryOutcome {
+                            name: req.name,
+                            rows: Vec::new(),
+                            queue_wait: Duration::ZERO,
+                            latency: Duration::ZERO,
+                            cycles: 0,
+                            tiered_up: false,
+                            status: OutcomeStatus::Shed,
+                            error: Some(format!(
+                                "shed: queue depth {depth} exceeded ({total} submitted)"
+                            )),
+                        },
+                    ));
+                }
+            }
+        }
+
+        let mut outcomes: Vec<Option<QueryOutcome>> = (0..total).map(|_| None).collect();
+        let shed_count = shed_outcomes.len();
+        for (index, outcome) in shed_outcomes {
+            outcomes[index] = Some(outcome);
+        }
         let shared = Shared {
             state: Mutex::new(SchedState {
-                pending: requests.into_iter().enumerate().collect(),
+                pending: accepted,
                 ready: VecDeque::new(),
-                outcomes: (0..total).map(|_| None).collect(),
+                outcomes,
                 active: 0,
-                done: 0,
+                done: shed_count,
                 tier_inflight: 0,
+                cpm_ewma: 0.0,
+                cpm_samples: 0,
+                breakers: HashMap::new(),
+                runaway_downgrades: 0,
+                queries_killed: 0,
+                breaker_trips: 0,
             }),
             cv: Condvar::new(),
         };
@@ -264,16 +585,33 @@ impl QueryScheduler {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("serving worker panicked"))
+                .map(|h| h.join().unwrap_or(Duration::ZERO))
                 .collect()
         })
-        .expect("serving scope");
+        .unwrap_or_default();
 
-        let state = shared.state.into_inner().expect("scheduler state poisoned");
+        let state = shared
+            .state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         let outcomes = state
             .outcomes
             .into_iter()
-            .map(|o| o.expect("every session reports an outcome"))
+            .enumerate()
+            .map(|(i, o)| {
+                // Defensive: every path records an outcome; a lost one
+                // reports as a failure rather than panicking the serve.
+                o.unwrap_or_else(|| QueryOutcome {
+                    name: format!("session-{i}"),
+                    rows: Vec::new(),
+                    queue_wait: Duration::ZERO,
+                    latency: start.elapsed(),
+                    cycles: 0,
+                    tiered_up: false,
+                    status: OutcomeStatus::Failed,
+                    error: Some("scheduler lost this session's outcome".to_string()),
+                })
+            })
             .collect();
         ServeReport {
             outcomes,
@@ -281,8 +619,74 @@ impl QueryScheduler {
             busy: worker_busy.iter().sum(),
             worker_busy,
             workers: self.config.workers,
+            runaway_downgrades: state.runaway_downgrades,
+            queries_killed: state.queries_killed,
+            breaker_trips: state.breaker_trips,
         }
     }
+}
+
+fn lock_shared(shared: &Shared) -> std::sync::MutexGuard<'_, SchedState> {
+    lock_recover(&shared.state)
+}
+
+/// Picks the back-end for one admission: the requested tier unless its
+/// circuit breaker is open, in which case the first closed tier down
+/// the fallback chain (fail-open to the requested tier when every
+/// breaker is open or no chain is configured).
+fn route_backend(
+    config: &SchedulerConfig,
+    backend: &Arc<dyn Backend>,
+    g: &mut SchedState,
+) -> Arc<dyn Backend> {
+    if config.breaker.is_none() {
+        return Arc::clone(backend);
+    }
+    let now = Instant::now();
+    if !g.breaker_open(backend.name(), now) {
+        return Arc::clone(backend);
+    }
+    if let Some(chain) = &config.fallback_chain {
+        let tiers = chain.tiers();
+        let from = tiers
+            .iter()
+            .position(|t| t.name() == backend.name())
+            .map_or(0, |i| i + 1);
+        for tier in &tiers[from.min(tiers.len())..] {
+            if !g.breaker_open(tier.name(), now) {
+                return Arc::clone(tier);
+            }
+        }
+    }
+    Arc::clone(backend)
+}
+
+/// What the runaway governor decided for one query after a slice.
+enum RunawayAction {
+    None,
+    Downgrade,
+    Kill { used: u64, predicted: u64 },
+}
+
+fn runaway_check(config: &SchedulerConfig, g: &SchedState, a: &Active) -> RunawayAction {
+    let Some(policy) = &config.runaway else {
+        return RunawayAction::None;
+    };
+    if g.cpm_samples < policy.min_samples || a.initial_morsels == 0 {
+        return RunawayAction::None;
+    }
+    let predicted = g.cpm_ewma * a.initial_morsels as f64;
+    let used = a.exec.tally().cycles as f64;
+    if used > predicted * policy.kill_factor {
+        return RunawayAction::Kill {
+            used: used as u64,
+            predicted: predicted as u64,
+        };
+    }
+    if used > predicted * policy.factor && !a.downgraded && a.pending_tier.is_none() {
+        return RunawayAction::Downgrade;
+    }
+    RunawayAction::None
 }
 
 /// One serving worker: admits pending sessions while admission slots
@@ -301,7 +705,7 @@ fn serve_worker(
 ) -> Duration {
     let mut busy = Duration::ZERO;
     loop {
-        let mut g = shared.state.lock().expect("scheduler state poisoned");
+        let mut g = lock_shared(shared);
         loop {
             if g.done == total {
                 shared.cv.notify_all();
@@ -311,18 +715,35 @@ fn serve_worker(
             if can_admit || !g.ready.is_empty() {
                 break;
             }
-            g = shared.cv.wait(g).expect("scheduler state poisoned");
+            g = shared.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
 
         if g.active < config.admission_limit && !g.pending.is_empty() {
-            let (index, req) = g.pending.pop_front().expect("pending checked non-empty");
+            let Some((index, req)) = g.pending.pop_front() else {
+                continue;
+            };
             g.active += 1;
+            let routed = route_backend(config, backend, &mut g);
             drop(g);
             let t0 = Instant::now();
             let queue_wait = start.elapsed();
-            let admitted = admit(engine, service, backend, statements, index, req, queue_wait);
+            let name = req.name.clone();
+            // Admission fault containment: a panicking planner/compiler
+            // fails this session, not the serve loop.
+            let admitted = catch_unwind(AssertUnwindSafe(|| {
+                admit(
+                    engine, service, &routed, statements, config, index, req, queue_wait,
+                )
+            }))
+            .unwrap_or_else(|payload| {
+                Err((
+                    index,
+                    name,
+                    EngineError::WorkerPanic(panic_text(payload.as_ref())),
+                ))
+            });
             busy += t0.elapsed();
-            let mut g = shared.state.lock().expect("scheduler state poisoned");
+            let mut g = lock_shared(shared);
             match admitted {
                 Ok(active) => {
                     g.ready.push_back(active);
@@ -330,6 +751,9 @@ fn serve_worker(
                 }
                 Err((index, name, err)) => {
                     let outcome = failed_outcome(name, queue_wait, start, &err);
+                    if outcome.status == OutcomeStatus::Killed {
+                        g.queries_killed += 1;
+                    }
                     finalize(&mut g, (index, outcome));
                 }
             }
@@ -337,13 +761,16 @@ fn serve_worker(
             continue;
         }
 
-        let mut a = g.ready.pop_front().expect("ready checked non-empty");
+        let Some(mut a) = g.ready.pop_front() else {
+            continue;
+        };
         drop(g);
         let t0 = Instant::now();
 
         // Adopt a completed background tier at the slice boundary (a
         // morsel boundary — the same safety contract as the adaptive
-        // single-query path).
+        // single-query path). Tier-ups and runaway downgrades share
+        // this machinery.
         let mut tier_done = false;
         if let Some(pending) = a.pending_tier.as_mut() {
             if let Some(result) = pending.try_take() {
@@ -356,31 +783,95 @@ fn serve_worker(
             }
         }
 
-        let step = a
-            .exec
-            .step(engine, &a.prepared, &mut a.compiled, config.morsel_credits);
+        // Execution fault containment: generated code panicking inside
+        // a slice fails this session, not the serve loop.
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            a.exec
+                .step(engine, &a.prepared, &mut a.compiled, config.morsel_credits)
+        }))
+        .unwrap_or_else(|payload| Err(EngineError::WorkerPanic(panic_text(payload.as_ref()))));
         busy += t0.elapsed();
 
-        let mut g = shared.state.lock().expect("scheduler state poisoned");
+        let mut g = lock_shared(shared);
         if tier_done {
             g.tier_inflight -= 1;
         }
         match step {
             Ok(StepProgress::Ran(_)) => {
                 a.remaining = a.exec.remaining_morsels(engine, &a.prepared);
-                g.ready.push_back(a);
-                tier_up_governor(service, config, &mut g);
+                match runaway_check(config, &g, &a) {
+                    RunawayAction::Kill { used, predicted } => {
+                        if a.pending_tier.is_some() {
+                            g.tier_inflight -= 1;
+                        }
+                        g.queries_killed += 1;
+                        let outcome = QueryOutcome {
+                            name: a.name,
+                            rows: Vec::new(),
+                            queue_wait: a.queue_wait,
+                            latency: start.elapsed(),
+                            cycles: a.exec.tally().cycles,
+                            tiered_up: a.tiered_up,
+                            status: OutcomeStatus::Killed,
+                            error: Some(format!(
+                                "killed: runaway query used {used} cycles \
+                                 against a predicted {predicted}"
+                            )),
+                        };
+                        finalize(&mut g, (a.index, outcome));
+                    }
+                    RunawayAction::Downgrade => {
+                        if let Some(tier) = config
+                            .fallback_chain
+                            .as_ref()
+                            .and_then(|c| c.tier_below(a.compiled.backend_name))
+                        {
+                            a.pending_tier = Some(service.spawn_compile(&a.prepared, tier));
+                            a.downgraded = true;
+                            g.tier_inflight += 1;
+                            g.runaway_downgrades += 1;
+                        }
+                        g.ready.push_back(a);
+                    }
+                    RunawayAction::None => {
+                        g.ready.push_back(a);
+                        tier_up_governor(service, config, &mut g);
+                    }
+                }
             }
             Ok(StepProgress::Done) => {
+                let backend_name = a.compiled.backend_name;
+                let cpm = a.exec.tally().cycles as f64 / a.initial_morsels.max(1) as f64;
                 let outcome = finish_outcome(a, start);
+                if outcome.1.status == OutcomeStatus::Ok {
+                    // Feed the runaway predictor and forgive the tier's
+                    // fault streak.
+                    if g.cpm_samples == 0 {
+                        g.cpm_ewma = cpm;
+                    } else {
+                        g.cpm_ewma = 0.8 * g.cpm_ewma + 0.2 * cpm;
+                    }
+                    g.cpm_samples += 1;
+                    g.record_exec_ok(backend_name);
+                }
                 finalize(&mut g, outcome);
             }
             Err(err) => {
                 if a.pending_tier.is_some() {
                     g.tier_inflight -= 1; // abandoned in-flight compile
                 }
-                let outcome = (a.index, failed_outcome(a.name, a.queue_wait, start, &err));
-                finalize(&mut g, outcome);
+                let is_exec_fault =
+                    matches!(err, EngineError::Trap(_) | EngineError::WorkerPanic(_));
+                if is_exec_fault {
+                    if let Some(policy) = &config.breaker {
+                        g.record_exec_fault(a.compiled.backend_name, policy, Instant::now());
+                    }
+                }
+                let outcome = failed_outcome(a.name, a.queue_wait, start, &err);
+                if outcome.status == OutcomeStatus::Killed {
+                    g.queries_killed += 1;
+                }
+                finalize(&mut g, (a.index, outcome));
             }
         }
         shared.cv.notify_all();
@@ -395,11 +886,13 @@ type AdmitError = (usize, String, EngineError);
 /// query is then shared under the cache's canonical module name, which
 /// is free because the code cache keys on structural hashes that
 /// exclude names.
+#[allow(clippy::too_many_arguments)]
 fn admit(
     engine: &Engine<'_>,
     service: &CompileService,
     backend: &Arc<dyn Backend>,
     statements: Option<&StatementCache>,
+    config: &SchedulerConfig,
     index: usize,
     req: SessionRequest,
     queue_wait: Duration,
@@ -421,7 +914,12 @@ fn admit(
     let compiled = service
         .compile(&prepared, backend, &TimeTrace::disabled())
         .map_err(|e| fail(&req.name, e))?;
-    let exec = QueryExecution::new(engine, &prepared).map_err(|e| fail(&req.name, e))?;
+    let budget = req
+        .budget
+        .or_else(|| config.query_budget.clone())
+        .unwrap_or_default();
+    let exec =
+        QueryExecution::with_budget(engine, &prepared, budget).map_err(|e| fail(&req.name, e))?;
     let remaining = exec.remaining_morsels(engine, &prepared);
     Ok(Active {
         index,
@@ -431,14 +929,17 @@ fn admit(
         exec,
         queue_wait,
         remaining,
+        initial_morsels: remaining,
         pending_tier: None,
         tiered_up: false,
+        downgraded: false,
     })
 }
 
 /// Grants free tier-up slots to the ready queries with the most
 /// remaining morsels (the queries with the most execution left to
-/// amortize the expensive compile).
+/// amortize the expensive compile). Queries the runaway governor
+/// downgraded are excluded — tiering them back up would fight it.
 fn tier_up_governor(service: &CompileService, config: &SchedulerConfig, g: &mut SchedState) {
     let Some(opt_backend) = config.tier_up_backend.as_ref() else {
         return;
@@ -447,7 +948,7 @@ fn tier_up_governor(service: &CompileService, config: &SchedulerConfig, g: &mut 
         let candidate = g
             .ready
             .iter_mut()
-            .filter(|a| a.pending_tier.is_none() && !a.tiered_up)
+            .filter(|a| a.pending_tier.is_none() && !a.tiered_up && !a.downgraded)
             .max_by_key(|a| a.remaining);
         let Some(a) = candidate else { return };
         if a.remaining == 0 {
@@ -485,6 +986,7 @@ fn finish_outcome(a: Active, start: Instant) -> (usize, QueryOutcome) {
                 latency: start.elapsed(),
                 cycles: result.exec_stats.cycles,
                 tiered_up,
+                status: OutcomeStatus::Ok,
                 error: None,
             },
         ),
@@ -498,13 +1000,20 @@ fn failed_outcome(
     start: Instant,
     err: &EngineError,
 ) -> QueryOutcome {
+    let (status, cycles) = match err {
+        EngineError::DeadlineExceeded { partial, .. }
+        | EngineError::BudgetExhausted { partial, .. }
+        | EngineError::Cancelled { partial } => (OutcomeStatus::Killed, partial.cycles),
+        _ => (OutcomeStatus::Failed, 0),
+    };
     QueryOutcome {
         name,
         rows: Vec::new(),
         queue_wait,
         latency: start.elapsed(),
-        cycles: 0,
+        cycles,
         tiered_up: false,
+        status,
         error: Some(err.to_string()),
     }
 }

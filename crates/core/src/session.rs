@@ -32,6 +32,7 @@ use crate::artifact_store::ArtifactStoreConfig;
 use crate::compile_service::{CompileBudget, CompileService, CompileServiceConfig};
 use crate::engine::{
     CompiledQuery, Engine, EngineConfig, EngineError, ExecutionResult, MorselEvent, PreparedQuery,
+    QueryBudget,
 };
 use crate::morsel_exec::{MorselExecConfig, MorselExecutor, MorselSchedule};
 use crate::ArtifactStore;
@@ -356,6 +357,7 @@ impl<'db> Session<'db> {
             workers: 1,
             schedule: MorselSchedule::Stealing,
             budget: None,
+            query_budget: None,
             direct: false,
         }
     }
@@ -382,6 +384,7 @@ pub struct QueryRun<'s, 'db> {
     workers: usize,
     schedule: MorselSchedule,
     budget: Option<CompileBudget>,
+    query_budget: Option<QueryBudget>,
     direct: bool,
 }
 
@@ -419,6 +422,15 @@ impl<'s, 'db> QueryRun<'s, 'db> {
     #[must_use]
     pub fn budget(mut self, budget: CompileBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Bounds *execution* with a [`QueryBudget`]: wall-clock deadline,
+    /// model-cycle cap, result-row cap, and/or a cancellation token,
+    /// each checked at every morsel claim.
+    #[must_use]
+    pub fn query_budget(mut self, budget: QueryBudget) -> Self {
+        self.query_budget = Some(budget);
         self
     }
 
@@ -512,7 +524,14 @@ impl<'s, 'db> QueryRun<'s, 'db> {
             workers: self.workers,
             schedule: self.schedule,
         });
-        exec.execute_with_hook(&self.session.engine, self.statement.query(), compiled, hook)
+        let budget = self.query_budget.clone().unwrap_or_default();
+        exec.execute_budgeted(
+            &self.session.engine,
+            self.statement.query(),
+            compiled,
+            &budget,
+            hook,
+        )
     }
 }
 

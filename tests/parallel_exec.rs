@@ -205,20 +205,19 @@ fn scheduler_rows_match_serial_for_every_session() {
     let requests: Vec<SessionRequest> = (0..18)
         .map(|i| {
             let q = &shapes[i % shapes.len()];
-            SessionRequest {
-                name: q.name.clone(),
-                plan: q.plan.clone(),
-            }
+            SessionRequest::new(q.name.clone(), q.plan.clone())
         })
         .collect();
     let service = CompileService::default();
-    let scheduler = QueryScheduler::new(SchedulerConfig {
+    let scheduler = QueryScheduler::try_new(SchedulerConfig {
         workers: 3,
         admission_limit: 4,
         morsel_credits: 2,
         tier_up_backend: Some(Arc::from(backends::lvm_cheap(Isa::Tx64))),
         tier_up_inflight: 2,
-    });
+        ..Default::default()
+    })
+    .expect("valid scheduler config");
     let report = scheduler.serve(session.engine(), &service, &backend, requests);
 
     assert_eq!(report.outcomes.len(), 18);
